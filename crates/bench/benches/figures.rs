@@ -1,0 +1,90 @@
+//! Regenerate Figures 2–6 of the paper (one Criterion group per figure).
+//!
+//! Each group prints the figure's series once — the same rows the paper
+//! plots — and then times the regeneration from the underlying sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use tgi_core::ReferenceSystem;
+use tgi_harness::{
+    fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency,
+    fig5_tgi_arithmetic, fig6_tgi_weighted, system_g_reference, FireSweep,
+};
+
+fn fixtures() -> &'static (FireSweep, ReferenceSystem) {
+    static FIX: OnceLock<(FireSweep, ReferenceSystem)> = OnceLock::new();
+    FIX.get_or_init(|| (FireSweep::run(), system_g_reference()))
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let (sweep, _) = fixtures();
+    println!("{}", fig2_hpl_efficiency(sweep).to_text());
+    c.bench_function("fig2_hpl_scaling", |b| {
+        b.iter(|| black_box(fig2_hpl_efficiency(black_box(sweep))))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let (sweep, _) = fixtures();
+    println!("{}", fig3_stream_efficiency(sweep).to_text());
+    c.bench_function("fig3_stream_scaling", |b| {
+        b.iter(|| black_box(fig3_stream_efficiency(black_box(sweep))))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let (sweep, _) = fixtures();
+    println!("{}", fig4_iozone_efficiency(sweep).to_text());
+    c.bench_function("fig4_iozone_scaling", |b| {
+        b.iter(|| black_box(fig4_iozone_efficiency(black_box(sweep))))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let (sweep, reference) = fixtures();
+    println!("{}", fig5_tgi_arithmetic(sweep, reference).to_text());
+    c.bench_function("fig5_tgi_am", |b| {
+        b.iter(|| black_box(fig5_tgi_arithmetic(black_box(sweep), black_box(reference))))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let (sweep, reference) = fixtures();
+    println!("{}", fig6_tgi_weighted(sweep, reference).to_text());
+    c.bench_function("fig6_tgi_wam", |b| {
+        b.iter(|| black_box(fig6_tgi_weighted(black_box(sweep), black_box(reference))))
+    });
+}
+
+/// The end-to-end regeneration: sweep + reference from scratch (what the
+/// `tgi-experiments` binary does before printing anything).
+fn bench_full_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("fire_sweep_all_figures", |b| {
+        b.iter(|| {
+            let sweep = FireSweep::run();
+            let reference = system_g_reference();
+            black_box((
+                fig2_hpl_efficiency(&sweep),
+                fig3_stream_efficiency(&sweep),
+                fig4_iozone_efficiency(&sweep),
+                fig5_tgi_arithmetic(&sweep, &reference),
+                fig6_tgi_weighted(&sweep, &reference),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_full_sweep
+);
+criterion_main!(figures);

@@ -1,0 +1,126 @@
+//! Microbenchmarks of the native benchmark kernels.
+//!
+//! These measure the substrate itself (deliverable: the benchmark suite the
+//! paper's methodology runs). Throughput is reported per element/FLOP so
+//! regressions in the kernels are visible independent of problem size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpc_kernels::{fft, gemm, hpl, iobench, ptrans, random_access, stream};
+use std::hint::black_box;
+
+fn bench_hpl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpl");
+    group.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let cfg = hpl::HplConfig::new(n);
+        group.throughput(Throughput::Elements(cfg.flops() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| black_box(hpl::run(*cfg).expect("non-singular")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_triad");
+    group.sample_size(10);
+    for size in [1usize << 16, 1 << 20] {
+        let cfg = stream::StreamConfig { array_size: size, ntimes: 3 };
+        group.throughput(Throughput::Bytes((3 * 8 * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &cfg, |b, cfg| {
+            b.iter(|| black_box(stream::run(*cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_iobench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iozone_write");
+    group.sample_size(10);
+    for mb in [4u64, 16] {
+        let cfg = iobench::IoBenchConfig {
+            file_size: mb << 20,
+            record_size: 64 << 10,
+            fsync: false,
+            ..Default::default()
+        };
+        group.throughput(Throughput::Bytes(mb << 20));
+        group.bench_with_input(BenchmarkId::from_parameter(mb), &cfg, |b, cfg| {
+            b.iter(|| black_box(iobench::run(cfg).expect("scratch dir writable")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dgemm");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        group.throughput(Throughput::Elements(gemm::gemm_flops(n, n, n) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, &n| {
+            b.iter(|| black_box(gemm::benchmark(n, 7)))
+        });
+    }
+    // Ablation: naive triple loop at the small size only.
+    let n = 128;
+    let a = hpc_kernels::Matrix::random(n, n, 1);
+    let bm = hpc_kernels::Matrix::random(n, n, 2);
+    group.bench_function(BenchmarkId::new("naive", n), |b| {
+        b.iter(|| {
+            let mut cm = hpc_kernels::Matrix::zeros(n, n);
+            gemm::dgemm_naive(1.0, black_box(&a), black_box(&bm), 0.0, &mut cm);
+            black_box(cm)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(10);
+    for log_n in [12u32, 16] {
+        let n = 1usize << log_n;
+        group.throughput(Throughput::Elements(fft::fft_flops(n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(fft::benchmark(n, 1, 9)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ptrans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ptrans");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        group.throughput(Throughput::Bytes(ptrans::bytes_moved(n, n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(ptrans::benchmark(n, 3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_access");
+    group.sample_size(10);
+    for log2 in [14u32, 18] {
+        let cfg = random_access::GupsConfig::new(log2);
+        group.throughput(Throughput::Elements(cfg.updates));
+        group.bench_with_input(BenchmarkId::from_parameter(1u64 << log2), &cfg, |b, cfg| {
+            b.iter(|| black_box(random_access::run(*cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_hpl,
+    bench_stream,
+    bench_iobench,
+    bench_dgemm,
+    bench_fft,
+    bench_ptrans,
+    bench_gups
+);
+criterion_main!(kernels);

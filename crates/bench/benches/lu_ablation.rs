@@ -1,0 +1,85 @@
+//! Ablation: blocked vs unblocked LU, and the block-size (NB) sweep.
+//!
+//! DESIGN.md calls out the blocked right-looking factorization as the key
+//! design choice inside the HPL substrate; this bench quantifies it. HPL
+//! tuning folklore says NB in the 32–256 range; the sweep shows where the
+//! pure-Rust micro-kernel peaks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpc_kernels::lu;
+use hpc_kernels::Matrix;
+use std::hint::black_box;
+
+const N: usize = 384;
+
+fn flops(n: usize) -> u64 {
+    ((2.0 / 3.0) * (n as f64).powi(3)) as u64
+}
+
+fn bench_blocked_vs_unblocked(c: &mut Criterion) {
+    let a = Matrix::random(N, N, 42);
+    let mut group = c.benchmark_group("lu_factorization");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flops(N)));
+
+    group.bench_function("unblocked", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            black_box(lu::factor_unblocked(&mut m).expect("non-singular"))
+        })
+    });
+    group.bench_function("blocked_default_nb", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            black_box(lu::factor_blocked(&mut m, lu::DEFAULT_BLOCK).expect("non-singular"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_block_size_sweep(c: &mut Criterion) {
+    let a = Matrix::random(N, N, 43);
+    let mut group = c.benchmark_group("lu_block_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flops(N)));
+    for nb in [8usize, 16, 32, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |b, &nb| {
+            b.iter(|| {
+                let mut m = a.clone();
+                black_box(lu::factor_blocked(&mut m, nb).expect("non-singular"))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: full-f64 solve vs f32-factor + iterative refinement (the
+/// HPL-AI energy technique). Same N, same accuracy target; on hardware with
+/// wider f32 SIMD the gap widens further.
+fn bench_mixed_precision(c: &mut Criterion) {
+    use hpc_kernels::mixed;
+    let a = Matrix::random(N, N, 44);
+    let b: Vec<f64> = (0..N).map(|i| (i as f64 * 0.29).sin()).collect();
+    let mut group = c.benchmark_group("lu_precision");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flops(N)));
+    group.bench_function("f64_solve", |bch| {
+        bch.iter(|| black_box(lu::solve(a.clone(), &b, 64).expect("non-singular")))
+    });
+    group.bench_function("f32_factor_plus_refinement", |bch| {
+        bch.iter(|| {
+            let r = mixed::solve_refined(&a, &b, 64, 10).expect("non-singular");
+            assert!(r.converged);
+            black_box(r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    lu_ablation,
+    bench_blocked_vs_unblocked,
+    bench_block_size_sweep,
+    bench_mixed_precision
+);
+criterion_main!(lu_ablation);

@@ -1,0 +1,106 @@
+//! Ablations of the measurement substrate.
+//!
+//! 1. **Meter sampling rate** — the Watts Up? PRO samples at 1 Hz; a bursty
+//!    load hides sub-second spikes from it. The ablation quantifies the
+//!    energy error of 1 Hz vs a fine-grained ideal meter on a square-wave
+//!    load, and times the metering itself.
+//! 2. **PUE on/off** — how much the facility view (cooling included)
+//!    changes TGI, per DESIGN.md's cooling-extension entry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_model::cooling::CoolingModel;
+use power_model::meter::{IdealMeter, PowerMeter, WattsUpPro};
+use std::hint::black_box;
+use tgi_core::prelude::*;
+use tgi_core::Watts;
+
+/// A square-wave load: 2 s at 400 W, 0.3 s spikes to 900 W.
+fn bursty(t: f64) -> Watts {
+    if t % 2.3 < 0.3 {
+        Watts::new(900.0)
+    } else {
+        Watts::new(400.0)
+    }
+}
+
+fn bench_sampling_rate(c: &mut Criterion) {
+    // Report the accuracy ablation once.
+    let duration = 120.0;
+    let mut fine = IdealMeter::new(0.01);
+    let truth = fine.record(&bursty, duration).energy().value();
+    println!("\n# meter sampling-rate ablation (bursty load, {duration} s)");
+    println!("{:>12} {:>14} {:>10}", "interval", "energy (J)", "error");
+    for interval in [0.01, 0.1, 0.5, 1.0, 2.0, 5.0] {
+        let mut meter = IdealMeter::new(interval);
+        let e = meter.record(&bursty, duration).energy().value();
+        println!("{:>10.2}s {:>14.1} {:>9.2}%", interval, e, (e - truth) / truth * 100.0);
+    }
+    let mut wattsup = WattsUpPro::calibrated(7);
+    let e = wattsup.record(&bursty, duration).energy().value();
+    println!("{:>11} {:>14.1} {:>9.2}%  (Watts Up? PRO, 1 Hz)", "1.00s*", e, (e - truth) / truth * 100.0);
+
+    let mut group = c.benchmark_group("meter_recording");
+    for interval in [0.1f64, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(interval),
+            &interval,
+            |b, &interval| {
+                b.iter(|| {
+                    let mut meter = IdealMeter::new(interval);
+                    black_box(meter.record(&bursty, 60.0))
+                })
+            },
+        );
+    }
+    group.bench_function("watts_up_pro_60s", |b| {
+        b.iter(|| {
+            let mut meter = WattsUpPro::new(1);
+            black_box(meter.record(&bursty, 60.0))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pue_ablation(c: &mut Criterion) {
+    let reference = tgi_harness::system_g_reference();
+    let sweep = tgi_harness::FireSweep::run();
+    let point = &sweep.points()[7]; // 128 cores
+
+    let compute_tgi = |pue: Option<&CoolingModel>| {
+        let measurements: Vec<Measurement> = point
+            .measurements
+            .iter()
+            .map(|m| {
+                let power = match pue {
+                    Some(c) => c.facility_power(m.power()),
+                    None => m.power(),
+                };
+                Measurement::new(m.id(), m.performance().clone(), power, m.time())
+                    .expect("valid")
+            })
+            .collect();
+        Tgi::builder()
+            .reference(reference.clone())
+            .measurements(measurements)
+            .compute()
+            .expect("valid")
+            .value()
+    };
+
+    let legacy = CoolingModel::typical_2012();
+    let modern = CoolingModel::free_cooled();
+    println!("\n# PUE ablation (Fire at 128 cores)");
+    println!("  IT-only TGI        = {:.4}", compute_tgi(None));
+    println!("  facility (PUE 1.8) = {:.4}", compute_tgi(Some(&legacy)));
+    println!("  facility (PUE 1.1) = {:.4}", compute_tgi(Some(&modern)));
+
+    let mut group = c.benchmark_group("pue");
+    group.bench_function("it_only", |b| b.iter(|| black_box(compute_tgi(None))));
+    group.bench_function("facility_legacy", |b| {
+        b.iter(|| black_box(compute_tgi(Some(&legacy))))
+    });
+    group.finish();
+}
+
+criterion_group!(meter_ablation, bench_sampling_rate, bench_pue_ablation);
+criterion_main!(meter_ablation);

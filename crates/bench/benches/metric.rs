@@ -1,0 +1,100 @@
+//! Microbenchmarks of the TGI metric library itself.
+//!
+//! The metric is cheap by construction (a weighted mean over a handful of
+//! ratios); these benches pin that down and catch accidental regressions —
+//! and they sweep the weighting schemes and suite sizes, since §II claims
+//! TGI is "neither limited by the metrics … nor by the number of
+//! benchmarks".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tgi_core::prelude::*;
+
+fn suite(n_benchmarks: usize) -> (ReferenceSystem, Vec<Measurement>) {
+    let mut builder = ReferenceSystem::builder("ref");
+    let mut suite = Vec::new();
+    for i in 0..n_benchmarks {
+        let id = format!("bench{i}");
+        builder = builder.benchmark(
+            Measurement::new(
+                id.clone(),
+                Perf::gflops(10.0 + i as f64),
+                Watts::new(1000.0 + 10.0 * i as f64),
+                Seconds::new(100.0),
+            )
+            .expect("valid"),
+        );
+        suite.push(
+            Measurement::new(
+                id,
+                Perf::gflops(5.0 + i as f64),
+                Watts::new(800.0 + 10.0 * i as f64),
+                Seconds::new(120.0),
+            )
+            .expect("valid"),
+        );
+    }
+    (builder.build().expect("non-empty"), suite)
+}
+
+fn bench_tgi_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tgi_compute");
+    for n in [3usize, 7, 32] {
+        let (reference, measurements) = suite(n);
+        for weighting in
+            [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(weighting.label().replace(' ', "_"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            Tgi::builder()
+                                .reference(reference.clone())
+                                .weighting(weighting.clone())
+                                .measurements(measurements.iter().cloned())
+                                .compute()
+                                .expect("valid suite"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pearson");
+    for n in [8usize, 64, 1024] {
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i as f64).cos() + 0.1 * i as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(stats::pearson(black_box(&xs), black_box(&ys)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_means(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+    let ws: Vec<f64> = vec![1.0 / 64.0; 64];
+    let mut group = c.benchmark_group("means");
+    group.bench_function("arithmetic", |b| {
+        b.iter(|| black_box(means::arithmetic(black_box(&xs)).unwrap()))
+    });
+    group.bench_function("weighted_arithmetic", |b| {
+        b.iter(|| black_box(means::weighted_arithmetic(black_box(&xs), black_box(&ws)).unwrap()))
+    });
+    group.bench_function("geometric", |b| {
+        b.iter(|| black_box(means::geometric(black_box(&xs)).unwrap()))
+    });
+    group.bench_function("harmonic", |b| {
+        b.iter(|| black_box(means::harmonic(black_box(&xs)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(metric, bench_tgi_compute, bench_pearson, bench_means);
+criterion_main!(metric);

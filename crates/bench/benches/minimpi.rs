@@ -1,0 +1,99 @@
+//! Benchmarks of the message-passing substrate and the distributed HPL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mini_mpi::hpl::{run as hpl_run, DistributedHplConfig};
+use mini_mpi::World;
+use std::hint::black_box;
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimpi_pingpong");
+    group.sample_size(10);
+    group.bench_function("round_trips_1k", |b| {
+        b.iter(|| {
+            let out = World::run(2, |comm| {
+                if comm.rank() == 0 {
+                    for i in 0..1000u64 {
+                        comm.send_f64(1, i, &[1.0]);
+                        let _ = comm.recv_f64(1, i);
+                    }
+                    1.0
+                } else {
+                    for i in 0..1000u64 {
+                        let v = comm.recv_f64(0, i);
+                        comm.send_f64(0, i, &v);
+                    }
+                    1.0
+                }
+            });
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimpi_allreduce");
+    group.sample_size(10);
+    for ranks in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let out = World::run(ranks, |comm| {
+                    let local = vec![comm.rank() as f64; 1024];
+                    comm.allreduce_sum(&local)
+                });
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_hpl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimpi_hpl");
+    group.sample_size(10);
+    let n = 192;
+    let flops = (2.0 / 3.0) * (n as f64).powi(3);
+    group.throughput(Throughput::Elements(flops as u64));
+    for ranks in [1usize, 2, 4] {
+        let config = DistributedHplConfig::new(n);
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let out = World::run(ranks, move |comm| hpl_run(comm, config));
+                assert!(out[0].passed);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hpl_2d_grid(c: &mut Criterion) {
+    use mini_mpi::hpl2d::{run as run2d, Grid2dConfig};
+    let mut group = c.benchmark_group("minimpi_hpl2d");
+    group.sample_size(10);
+    let n = 144;
+    for (p, q) in [(1usize, 1usize), (2, 2), (1, 4)] {
+        let config = Grid2dConfig { n, block_size: 16, p, q, seed: 4 };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{q}")),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let out = World::run(config.p * config.q, move |comm| run2d(comm, config));
+                    assert!(out[0].passed);
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    minimpi,
+    bench_pingpong,
+    bench_allreduce,
+    bench_distributed_hpl,
+    bench_hpl_2d_grid
+);
+criterion_main!(minimpi);

@@ -1,0 +1,40 @@
+//! Regenerate Tables I and II of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use tgi_core::ReferenceSystem;
+use tgi_harness::{
+    system_g_reference, table1_reference_performance, table2_pcc, FireSweep,
+};
+
+fn fixtures() -> &'static (FireSweep, ReferenceSystem) {
+    static FIX: OnceLock<(FireSweep, ReferenceSystem)> = OnceLock::new();
+    FIX.get_or_init(|| (FireSweep::run(), system_g_reference()))
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let (_, reference) = fixtures();
+    println!("{}", table1_reference_performance(reference).to_text());
+    // Table I's cost is the reference-suite run itself.
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("systemg_reference_suite", |b| {
+        b.iter(|| black_box(system_g_reference()))
+    });
+    group.bench_function("render", |b| {
+        b.iter(|| black_box(table1_reference_performance(black_box(reference))))
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let (sweep, reference) = fixtures();
+    println!("{}", table2_pcc(sweep, reference).to_text());
+    c.bench_function("table2_pcc", |b| {
+        b.iter(|| black_box(table2_pcc(black_box(sweep), black_box(reference))))
+    });
+}
+
+criterion_group!(tables, bench_table1, bench_table2);
+criterion_main!(tables);

@@ -1,0 +1,29 @@
+//! # tgi-bench — benchmark harnesses for every paper artifact
+//!
+//! Each Criterion bench regenerates one artifact of the paper's evaluation
+//! (printing its rows/series once, then timing the regeneration), or runs an
+//! ablation of a design choice called out in DESIGN.md:
+//!
+//! * `benches/figures.rs` — Figures 2–6 (one bench group per figure).
+//! * `benches/tables.rs` — Tables I and II.
+//! * `benches/kernels.rs` — the native kernels (HPL, STREAM, IOzone-style,
+//!   DGEMM, FFT, PTRANS, GUPS) at several sizes.
+//! * `benches/lu_ablation.rs` — blocked vs unblocked LU, block-size sweep.
+//! * `benches/metric.rs` — tgi-core microbenchmarks (TGI computation,
+//!   Pearson correlation, means).
+//! * `benches/meter_ablation.rs` — meter sampling-rate sensitivity and
+//!   PUE-on/off ablation.
+//!
+//! Run with `cargo bench --workspace` (or `-p tgi-bench --bench figures`).
+
+/// Shared Criterion settings so `cargo bench --workspace` stays fast: the
+/// artifact regenerations are deterministic, so few samples suffice.
+pub fn quick() -> criterion_config::Quick {
+    criterion_config::Quick
+}
+
+/// Tiny marker module so the crate has a stable public item to document.
+pub mod criterion_config {
+    /// Marker for the quick-benchmarks configuration.
+    pub struct Quick;
+}

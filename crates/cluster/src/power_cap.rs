@@ -1,0 +1,142 @@
+//! Power capping: run under a facility power budget.
+//!
+//! Data centers increasingly operate under hard power caps (breaker limits,
+//! demand-response contracts). Given a cap, the operator's lever on this
+//! generation of hardware is DVFS: find the highest clock at which the
+//! cluster's draw under the workload stays within budget. This module does
+//! that by bisection over the frequency ratio, then reports the capped
+//! run's performance and energy — the substrate for capped-TGI studies.
+
+use crate::execution::{ExecutionEngine, SimulatedRun};
+use crate::spec::ClusterSpec;
+use crate::workload::Workload;
+
+/// The DVFS range the search may use.
+pub const MIN_RATIO: f64 = 0.1;
+/// Upper bound of the DVFS range (nominal clock).
+pub const MAX_RATIO: f64 = 1.0;
+
+/// Outcome of a capped run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CappedRun {
+    /// The clock ratio the search settled on.
+    pub freq_ratio: f64,
+    /// The run at that setting.
+    pub run: SimulatedRun,
+    /// The cap that was enforced, watts.
+    pub cap_watts: f64,
+    /// Whether the cap was satisfiable at all within the DVFS range.
+    pub satisfied: bool,
+}
+
+/// Finds the highest frequency ratio at which `workload` at `processes`
+/// ranks stays within `cap_watts`, by bisection (power is monotone in the
+/// clock). If even the lowest clock exceeds the cap, returns the
+/// lowest-clock run with `satisfied = false`.
+///
+/// # Panics
+/// Panics if `cap_watts` is not strictly positive.
+pub fn run_capped(
+    cluster: &ClusterSpec,
+    workload: Workload,
+    processes: usize,
+    cap_watts: f64,
+) -> CappedRun {
+    assert!(cap_watts > 0.0, "power cap must be positive");
+    let power_at = |ratio: f64| {
+        ExecutionEngine::new(cluster.clone())
+            .with_frequency_ratio(ratio)
+            .run(workload, processes)
+    };
+
+    // Fast paths: unconstrained, or unsatisfiable.
+    let full = power_at(MAX_RATIO);
+    if full.average_power.value() <= cap_watts {
+        return CappedRun { freq_ratio: MAX_RATIO, run: full, cap_watts, satisfied: true };
+    }
+    let floor = power_at(MIN_RATIO);
+    if floor.average_power.value() > cap_watts {
+        return CappedRun { freq_ratio: MIN_RATIO, run: floor, cap_watts, satisfied: false };
+    }
+
+    // Bisection on the monotone power-vs-clock curve.
+    let (mut lo, mut hi) = (MIN_RATIO, MAX_RATIO);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if power_at(mid).average_power.value() <= cap_watts {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let run = power_at(lo);
+    CappedRun { freq_ratio: lo, run, cap_watts, satisfied: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hpl() -> Workload {
+        Workload::Hpl { n: 40_000 }
+    }
+
+    #[test]
+    fn loose_cap_runs_at_full_clock() {
+        let capped = run_capped(&ClusterSpec::fire(), hpl(), 128, 100_000.0);
+        assert_eq!(capped.freq_ratio, MAX_RATIO);
+        assert!(capped.satisfied);
+    }
+
+    #[test]
+    fn tight_cap_lowers_clock_and_respects_budget() {
+        let fire = ClusterSpec::fire();
+        let full = ExecutionEngine::new(fire.clone()).run(hpl(), 128);
+        let cap = full.average_power.value() * 0.85;
+        let capped = run_capped(&fire, hpl(), 128, cap);
+        assert!(capped.satisfied);
+        assert!(capped.freq_ratio < 1.0, "clock must drop, got {}", capped.freq_ratio);
+        assert!(
+            capped.run.average_power.value() <= cap * 1.001,
+            "{} over cap {cap}",
+            capped.run.average_power
+        );
+        // And the search is tight: within 2% of the cap.
+        assert!(
+            capped.run.average_power.value() >= cap * 0.97,
+            "cap left on the table: {} vs {cap}",
+            capped.run.average_power
+        );
+        // Performance degrades gracefully (linearly in the clock).
+        assert!(
+            (capped.run.performance.as_gflops()
+                - full.performance.as_gflops() * capped.freq_ratio)
+                .abs()
+                < 1e-6 * full.performance.as_gflops()
+        );
+    }
+
+    #[test]
+    fn impossible_cap_reports_unsatisfied() {
+        let capped = run_capped(&ClusterSpec::fire(), hpl(), 128, 500.0);
+        assert!(!capped.satisfied);
+        assert_eq!(capped.freq_ratio, MIN_RATIO);
+        assert!(capped.run.average_power.value() > 500.0);
+    }
+
+    #[test]
+    fn tighter_caps_give_lower_clocks() {
+        let fire = ClusterSpec::fire();
+        let full = ExecutionEngine::new(fire.clone()).run(hpl(), 128);
+        let base = full.average_power.value();
+        let a = run_capped(&fire, hpl(), 128, base * 0.95).freq_ratio;
+        let b = run_capped(&fire, hpl(), 128, base * 0.85).freq_ratio;
+        assert!(b < a, "tighter cap must lower the clock more: {a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cap_panics() {
+        run_capped(&ClusterSpec::fire(), hpl(), 16, 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Analytic performance-scaling models for the three benchmarks.
+//!
+//! These are the models that replace the physical clusters (DESIGN.md §2).
+//! Each takes a [`ClusterSpec`] and a parallelism level and returns the
+//! aggregate performance the cluster would report:
+//!
+//! * **HPL** — per-process performance is `clock × flops/cycle ×
+//!   serial_efficiency`; parallel efficiency decays logarithmically with
+//!   process count, `e(p) = 1 / (1 + κ·log₂ p)`, the standard shape for
+//!   panel-broadcast-dominated LU at modest scale. Calibrated so Fire hits
+//!   ≈ 90 GFLOPS at 128 processes and SystemG ≈ 8.1 TFLOPS at 1024.
+//! * **STREAM** — per-node Triad bandwidth saturates with processes-per-node
+//!   as `ppn / (ppn + k)` of the node's sustainable bandwidth: a few cores
+//!   cannot fill the memory channels, many cores contend.
+//! * **IOzone** — aggregate write throughput against the shared filesystem:
+//!   linear in clients until the server cap, then degrading slightly per
+//!   additional client (lock/metadata contention).
+
+use crate::spec::ClusterSpec;
+
+/// Aggregate HPL performance in GFLOPS for `processes` MPI ranks.
+///
+/// # Panics
+/// Panics if `processes` is zero or exceeds the core count.
+pub fn hpl_gflops(spec: &ClusterSpec, processes: usize) -> f64 {
+    assert!(processes > 0, "need at least one process");
+    assert!(
+        processes <= spec.total_cores(),
+        "cannot run {processes} processes on {} cores",
+        spec.total_cores()
+    );
+    let per_core_peak = spec.node.clock_ghz * spec.node.flops_per_cycle;
+    let serial = per_core_peak * spec.scaling.hpl_serial_efficiency;
+    serial
+        * processes as f64
+        * hpl_parallel_efficiency(spec, processes)
+        * spec.scaling.hpl_accelerator_factor
+}
+
+/// HPL parallel efficiency `e(p) = 1 / (1 + κ·log₂ p + μ·(p−1)/(P−1))`,
+/// where `P` is the machine's core count. The logarithmic term models
+/// pivot/panel broadcast depth; the linear Amdahl-style term models the
+/// per-process update skew that eventually saturates aggregate performance.
+pub fn hpl_parallel_efficiency(spec: &ClusterSpec, processes: usize) -> f64 {
+    let p = processes as f64;
+    let full = (spec.total_cores() as f64 - 1.0).max(1.0);
+    1.0 / (1.0 + spec.scaling.hpl_kappa * p.log2() + spec.scaling.hpl_mu * (p - 1.0) / full)
+}
+
+/// Aggregate STREAM Triad bandwidth in MB/s (decimal) for `processes` ranks
+/// spread round-robin across all nodes.
+///
+/// # Panics
+/// Panics if `processes` is zero or exceeds the core count.
+pub fn stream_mbps(spec: &ClusterSpec, processes: usize) -> f64 {
+    assert!(processes > 0, "need at least one process");
+    assert!(
+        processes <= spec.total_cores(),
+        "cannot run {processes} processes on {} cores",
+        spec.total_cores()
+    );
+    let ppn = processes as f64 / spec.nodes as f64;
+    let per_node_gbps = spec.node.mem_bandwidth_gbps
+        * spec.scaling.stream_peak_fraction
+        * saturation(ppn, spec.scaling.stream_k);
+    per_node_gbps * spec.nodes as f64 * 1e3 // GB/s → MB/s
+}
+
+/// The saturation fraction achieved by `ppn` processes per node.
+pub fn saturation(ppn: f64, k: f64) -> f64 {
+    ppn / (ppn + k)
+}
+
+/// Aggregate IOzone write throughput in MB/s for `clients` nodes writing to
+/// the shared filesystem.
+///
+/// # Panics
+/// Panics if `clients` is zero or exceeds the node count.
+pub fn io_mbps(spec: &ClusterSpec, clients: usize) -> f64 {
+    assert!(clients > 0, "need at least one client");
+    assert!(
+        clients <= spec.nodes,
+        "cannot run {clients} clients on {} nodes",
+        spec.nodes
+    );
+    let fs = &spec.shared_fs;
+    let ideal = (clients as f64 * fs.per_client_mbps).min(fs.server_cap_mbps);
+    // Clients beyond the saturation point add contention, not throughput.
+    let saturation_clients = fs.server_cap_mbps / fs.per_client_mbps;
+    let excess = (clients as f64 - saturation_clients).max(0.0);
+    ideal * (1.0 - fs.contention_loss * excess).max(0.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fire_hits_paper_hpl_anchor() {
+        // "The cluster is capable of delivering 90 GFLOPS on the LINPACK
+        // benchmark" — calibration must land within 2%.
+        let fire = ClusterSpec::fire();
+        let g = hpl_gflops(&fire, 128);
+        assert!((g - 90.0).abs() < 1.8, "Fire HPL at 128 procs: {g} GFLOPS");
+    }
+
+    #[test]
+    fn system_g_hits_table1_anchor() {
+        // Table I: 8.1 TFLOPS on 1024 cores.
+        let g = hpl_gflops(&ClusterSpec::system_g(), 1024);
+        assert!((g - 8100.0).abs() < 162.0, "SystemG HPL: {g} GFLOPS");
+    }
+
+    #[test]
+    fn hpl_performance_monotone_in_processes() {
+        let fire = ClusterSpec::fire();
+        let mut prev = 0.0;
+        for p in [1, 2, 4, 8, 16, 32, 64, 128] {
+            let g = hpl_gflops(&fire, p);
+            assert!(g > prev, "HPL perf must grow with processes (p={p})");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn hpl_efficiency_decays_but_stays_positive() {
+        let fire = ClusterSpec::fire();
+        let e1 = hpl_parallel_efficiency(&fire, 1);
+        let e128 = hpl_parallel_efficiency(&fire, 128);
+        assert!((e1 - 1.0).abs() < 1e-12);
+        assert!(e128 < e1);
+        // κ·log₂128 + μ ≈ 1.09 overhead ⇒ ~48% efficiency at full scale.
+        assert!(e128 > 0.4);
+    }
+
+    #[test]
+    fn stream_bandwidth_saturates() {
+        let fire = ClusterSpec::fire();
+        let bw16 = stream_mbps(&fire, 16);
+        let bw64 = stream_mbps(&fire, 64);
+        let bw128 = stream_mbps(&fire, 128);
+        assert!(bw64 > bw16);
+        assert!(bw128 > bw64);
+        // Diminishing returns: the second doubling gains less than the first.
+        assert!(bw128 / bw64 < bw64 / bw16);
+        // Never exceeds the sustainable ceiling.
+        let ceiling =
+            fire.node.mem_bandwidth_gbps * fire.scaling.stream_peak_fraction * 8.0 * 1e3;
+        assert!(bw128 < ceiling);
+    }
+
+    #[test]
+    fn io_throughput_rises_then_declines() {
+        // The server cap sits near 6 clients (379.2 / 65.3 ≈ 5.8): aggregate
+        // rises until then, and contention erodes it afterwards.
+        let fire = ClusterSpec::fire();
+        let t1 = io_mbps(&fire, 1);
+        let t2 = io_mbps(&fire, 2);
+        let t6 = io_mbps(&fire, 6);
+        let t8 = io_mbps(&fire, 8);
+        assert!(t2 > t1, "second client should add throughput");
+        assert!(t6 > t2, "aggregate grows until the server cap");
+        assert!(t8 < t6, "contention should reduce aggregate past saturation");
+        assert!(t8 > 0.8 * t6, "decline is gentle, not a collapse");
+    }
+
+    #[test]
+    fn io_single_client_gets_its_full_rate() {
+        let fire = ClusterSpec::fire();
+        assert!((io_mbps(&fire, 1) - fire.shared_fs.per_client_mbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_function_shape() {
+        assert!(saturation(0.0, 1.0) == 0.0);
+        assert!((saturation(1.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!(saturation(100.0, 1.0) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_panics() {
+        hpl_gflops(&ClusterSpec::fire(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run")]
+    fn too_many_processes_panics() {
+        hpl_gflops(&ClusterSpec::fire(), 129);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run")]
+    fn too_many_clients_panics() {
+        io_mbps(&ClusterSpec::fire(), 9);
+    }
+
+    proptest! {
+        /// HPL perf never exceeds theoretical peak, for either cluster.
+        #[test]
+        fn prop_hpl_below_peak(p in 1usize..128) {
+            for spec in [ClusterSpec::fire(), ClusterSpec::system_g()] {
+                if p <= spec.total_cores() {
+                    prop_assert!(hpl_gflops(&spec, p) < spec.peak_gflops());
+                }
+            }
+        }
+
+        /// STREAM bandwidth is monotone in process count.
+        #[test]
+        fn prop_stream_monotone(p in 1usize..127) {
+            let fire = ClusterSpec::fire();
+            prop_assert!(stream_mbps(&fire, p + 1) >= stream_mbps(&fire, p));
+        }
+
+        /// IO throughput is always positive and at most the server cap.
+        #[test]
+        fn prop_io_bounded(c in 1usize..8) {
+            let fire = ClusterSpec::fire();
+            let t = io_mbps(&fire, c);
+            prop_assert!(t > 0.0);
+            prop_assert!(t <= fire.shared_fs.server_cap_mbps + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Workload descriptors: a fixed amount of work per benchmark.
+//!
+//! The paper's sweeps vary the *core count* while each benchmark does a
+//! fixed job (solve one system of order N, stream a fixed volume, write a
+//! fixed volume), so execution time shrinks as performance grows. The §III
+//! derivations (Eqs. 13–15) assume exactly this "given the performance …
+//! for a given amount of work" framing.
+
+use serde::{Deserialize, Serialize};
+
+/// A benchmark workload with a fixed amount of work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// HPL: solve a dense system of order `n`.
+    Hpl {
+        /// Problem order N.
+        n: usize,
+    },
+    /// STREAM: move `total_bytes` of memory traffic (all kernels combined).
+    Stream {
+        /// Total bytes of traffic to generate.
+        total_bytes: f64,
+    },
+    /// IOzone write test: each client writes its share of `total_bytes` to
+    /// the shared filesystem.
+    Iozone {
+        /// Total bytes written across all clients.
+        total_bytes: f64,
+    },
+}
+
+impl Workload {
+    /// The benchmark id this workload corresponds to (matching the suite and
+    /// reference-system keys).
+    pub fn benchmark_id(&self) -> &'static str {
+        match self {
+            Workload::Hpl { .. } => "hpl",
+            Workload::Stream { .. } => "stream",
+            Workload::Iozone { .. } => "iozone",
+        }
+    }
+
+    /// Total FLOPs for HPL workloads (`2/3·N³ + 2·N²`), 0 otherwise.
+    pub fn flops(&self) -> f64 {
+        match self {
+            Workload::Hpl { n } => {
+                let n = *n as f64;
+                (2.0 / 3.0) * n * n * n + 2.0 * n * n
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The standard Fire-sweep workload set: sized so the three benchmarks
+    /// have comparable (minutes-scale) runtimes at full cluster utilization,
+    /// as in the paper's evaluation runs.
+    pub fn fire_suite() -> Vec<Workload> {
+        vec![
+            // N = 57344 ⇒ ~1.26e14 FLOPs ⇒ ~23 min at 90 GFLOPS.
+            Workload::Hpl { n: 57_344 },
+            // 126 TB of traffic ⇒ ~12–20 min at 100–170 GB/s aggregate.
+            Workload::Stream { total_bytes: 1.2613e14 },
+            // ~43 GB written ⇒ ~2–11 min at 65–375 MB/s aggregate.
+            Workload::Iozone { total_bytes: 4.278e10 },
+        ]
+    }
+
+    /// The SystemG reference workload set (larger machine, larger jobs).
+    pub fn system_g_suite() -> Vec<Workload> {
+        vec![
+            // N = 131072 ⇒ ~1.5e15 FLOPs ⇒ ~3 min at 8.1 TFLOPS.
+            Workload::Hpl { n: 131_072 },
+            // 300 TB of traffic across 128 nodes.
+            Workload::Stream { total_bytes: 3.0e14 },
+            // 300 GB written against the shared filesystem.
+            Workload::Iozone { total_bytes: 3.0e11 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_match_suite_keys() {
+        assert_eq!(Workload::Hpl { n: 10 }.benchmark_id(), "hpl");
+        assert_eq!(Workload::Stream { total_bytes: 1.0 }.benchmark_id(), "stream");
+        assert_eq!(Workload::Iozone { total_bytes: 1.0 }.benchmark_id(), "iozone");
+    }
+
+    #[test]
+    fn hpl_flop_count() {
+        let w = Workload::Hpl { n: 1000 };
+        assert!((w.flops() - (2.0 / 3.0 * 1e9 + 2e6)).abs() < 1.0);
+        assert_eq!(Workload::Stream { total_bytes: 1.0 }.flops(), 0.0);
+    }
+
+    #[test]
+    fn suites_cover_all_three_benchmarks() {
+        for suite in [Workload::fire_suite(), Workload::system_g_suite()] {
+            let ids: Vec<&str> = suite.iter().map(|w| w.benchmark_id()).collect();
+            assert_eq!(ids, vec!["hpl", "stream", "iozone"]);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = Workload::Hpl { n: 40_960 };
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

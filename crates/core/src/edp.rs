@@ -1,0 +1,116 @@
+//! Energy-delay-product (EDP) family of metrics.
+//!
+//! §II of the paper: the TGI methodology "can be used with any other
+//! energy-efficient metric, such as the energy-delay product". Hsu et al.
+//! (cited as \[11\]) analyzed EDP and FLOPS/W on several platforms.
+//!
+//! EDP = energy × delay; ED²P = energy × delay². Both are *smaller is
+//! better*, so to satisfy the [`EfficiencyMetric`] contract (larger =
+//! greener) we expose their reciprocals.
+
+use crate::efficiency::EfficiencyMetric;
+use crate::measurement::Measurement;
+use serde::{Deserialize, Serialize};
+
+/// Reciprocal energy-delay product: `1 / (E × t)`.
+///
+/// Weighs energy and runtime equally; a system that halves energy at the
+/// cost of doubled runtime scores the same.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyDelayProduct;
+
+impl EnergyDelayProduct {
+    /// The raw (smaller-is-better) EDP in joule-seconds.
+    pub fn raw(m: &Measurement) -> f64 {
+        m.energy().value() * m.time().value()
+    }
+}
+
+impl EfficiencyMetric for EnergyDelayProduct {
+    fn name(&self) -> &'static str {
+        "1/EDP"
+    }
+
+    fn evaluate(&self, m: &Measurement) -> f64 {
+        1.0 / Self::raw(m)
+    }
+}
+
+/// Reciprocal energy-delay-squared product: `1 / (E × t²)`.
+///
+/// Emphasizes performance more strongly than EDP; appropriate for
+/// performance-first HPC procurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyDelaySquaredProduct;
+
+impl EnergyDelaySquaredProduct {
+    /// The raw (smaller-is-better) ED²P in joule-seconds².
+    pub fn raw(m: &Measurement) -> f64 {
+        m.energy().value() * m.time().value() * m.time().value()
+    }
+}
+
+impl EfficiencyMetric for EnergyDelaySquaredProduct {
+    fn name(&self) -> &'static str {
+        "1/ED2P"
+    }
+
+    fn evaluate(&self, m: &Measurement) -> f64 {
+        1.0 / Self::raw(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Perf, Seconds, Watts};
+
+    fn m(watts: f64, secs: f64) -> Measurement {
+        Measurement::new("b", Perf::gflops(1.0), Watts::new(watts), Seconds::new(secs))
+            .unwrap()
+    }
+
+    #[test]
+    fn edp_raw_is_energy_times_delay() {
+        // 100 W × 10 s = 1000 J; EDP = 1000 J × 10 s = 10_000 J·s.
+        assert!((EnergyDelayProduct::raw(&m(100.0, 10.0)) - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ed2p_raw_is_energy_times_delay_squared() {
+        assert!((EnergyDelaySquaredProduct::raw(&m(100.0, 10.0)) - 100_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reciprocals_are_larger_is_better() {
+        // Faster run (same power) must score higher on both metrics.
+        let slow = m(100.0, 20.0);
+        let fast = m(100.0, 10.0);
+        assert!(EnergyDelayProduct.evaluate(&fast) > EnergyDelayProduct.evaluate(&slow));
+        assert!(
+            EnergyDelaySquaredProduct.evaluate(&fast)
+                > EnergyDelaySquaredProduct.evaluate(&slow)
+        );
+    }
+
+    #[test]
+    fn ed2p_rewards_speed_more_than_edp() {
+        // Halving time at double power: energy unchanged.
+        // EDP improves 2x; ED2P improves 4x.
+        let base = m(100.0, 20.0);
+        let fast_hot = m(200.0, 10.0);
+        let edp_gain = EnergyDelayProduct.evaluate(&fast_hot) / EnergyDelayProduct.evaluate(&base);
+        let ed2p_gain = EnergyDelaySquaredProduct.evaluate(&fast_hot)
+            / EnergyDelaySquaredProduct.evaluate(&base);
+        assert!((edp_gain - 2.0).abs() < 1e-9);
+        assert!((ed2p_gain - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_distinguish_metrics() {
+        assert_ne!(
+            EfficiencyMetric::name(&EnergyDelayProduct),
+            EfficiencyMetric::name(&EnergyDelaySquaredProduct)
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Error type shared by all TGI computations.
+
+use std::fmt;
+
+/// Errors produced while constructing measurements or computing TGI.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TgiError {
+    /// A physical quantity (power, time, performance, energy) was not a
+    /// strictly positive, finite number.
+    NonPositiveQuantity {
+        /// Which quantity was invalid (e.g. `"power"`).
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A value was NaN or infinite where a finite number was required.
+    NotFinite {
+        /// Which quantity was invalid.
+        quantity: &'static str,
+    },
+    /// The benchmark set was empty where at least one entry is required.
+    EmptyBenchmarkSet,
+    /// Two measurements in one suite share the same benchmark id.
+    DuplicateBenchmark(String),
+    /// The reference system has no entry for a benchmark in the suite.
+    MissingReference(String),
+    /// A custom weight vector did not match the number of benchmarks.
+    WeightCountMismatch {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of benchmarks in the suite.
+        benchmarks: usize,
+    },
+    /// Weights must be non-negative and sum to 1 (within tolerance).
+    InvalidWeights {
+        /// The actual sum of the supplied weights.
+        sum: f64,
+    },
+    /// Two performance values with incompatible units were combined.
+    UnitMismatch {
+        /// Unit of the left operand.
+        left: String,
+        /// Unit of the right operand.
+        right: String,
+    },
+    /// A statistic was requested over too few samples (e.g. correlation of
+    /// one point) or over a degenerate sample (zero variance).
+    DegenerateStatistic(&'static str),
+    /// The TGI builder was finalized without a reference system.
+    MissingReferenceSystem,
+}
+
+impl fmt::Display for TgiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TgiError::NonPositiveQuantity { quantity, value } => {
+                write!(f, "{quantity} must be strictly positive, got {value}")
+            }
+            TgiError::NotFinite { quantity } => {
+                write!(f, "{quantity} must be a finite number")
+            }
+            TgiError::EmptyBenchmarkSet => write!(f, "benchmark set is empty"),
+            TgiError::DuplicateBenchmark(id) => {
+                write!(f, "duplicate benchmark id `{id}` in suite")
+            }
+            TgiError::MissingReference(id) => {
+                write!(f, "reference system has no measurement for benchmark `{id}`")
+            }
+            TgiError::WeightCountMismatch { weights, benchmarks } => write!(
+                f,
+                "got {weights} weights for {benchmarks} benchmarks; counts must match"
+            ),
+            TgiError::InvalidWeights { sum } => {
+                write!(f, "weights must be non-negative and sum to 1, got sum {sum}")
+            }
+            TgiError::UnitMismatch { left, right } => {
+                write!(f, "incompatible performance units: `{left}` vs `{right}`")
+            }
+            TgiError::DegenerateStatistic(what) => {
+                write!(f, "degenerate statistic: {what}")
+            }
+            TgiError::MissingReferenceSystem => {
+                write!(f, "TGI computation requires a reference system")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TgiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(TgiError, &str)> = vec![
+            (
+                TgiError::NonPositiveQuantity { quantity: "power", value: -1.0 },
+                "power",
+            ),
+            (TgiError::NotFinite { quantity: "time" }, "time"),
+            (TgiError::EmptyBenchmarkSet, "empty"),
+            (TgiError::DuplicateBenchmark("hpl".into()), "hpl"),
+            (TgiError::MissingReference("stream".into()), "stream"),
+            (
+                TgiError::WeightCountMismatch { weights: 2, benchmarks: 3 },
+                "2 weights",
+            ),
+            (TgiError::InvalidWeights { sum: 0.5 }, "0.5"),
+            (
+                TgiError::UnitMismatch { left: "GFLOPS".into(), right: "MB/s".into() },
+                "GFLOPS",
+            ),
+            (TgiError::DegenerateStatistic("zero variance"), "zero variance"),
+            (TgiError::MissingReferenceSystem, "reference"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "`{msg}` should contain `{needle}`");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TgiError::EmptyBenchmarkSet);
+    }
+}

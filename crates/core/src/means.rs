@@ -1,0 +1,243 @@
+//! Central-tendency measures for benchmark aggregation (§III, related work).
+//!
+//! The paper builds TGI on the (weighted) arithmetic mean (Eqs. 6–9) and
+//! cites Smith (CACM 1988) and John (CAN 2004) on summarizing benchmark
+//! suites with a single number. John concludes both arithmetic and harmonic
+//! means are valid with appropriate weights; the geometric mean is the SPEC
+//! tradition for ratio data. All three (plus weighted variants) are provided
+//! so weight/mean ablations can be benchmarked.
+
+use crate::error::TgiError;
+
+fn validate_nonempty(xs: &[f64]) -> Result<(), TgiError> {
+    if xs.is_empty() {
+        return Err(TgiError::EmptyBenchmarkSet);
+    }
+    for &x in xs {
+        if !x.is_finite() {
+            return Err(TgiError::NotFinite { quantity: "sample" });
+        }
+    }
+    Ok(())
+}
+
+fn validate_weights(xs: &[f64], ws: &[f64]) -> Result<(), TgiError> {
+    if ws.len() != xs.len() {
+        return Err(TgiError::WeightCountMismatch { weights: ws.len(), benchmarks: xs.len() });
+    }
+    let mut sum = 0.0;
+    for &w in ws {
+        if !w.is_finite() || w < 0.0 {
+            return Err(TgiError::InvalidWeights { sum: f64::NAN });
+        }
+        sum += w;
+    }
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(TgiError::InvalidWeights { sum });
+    }
+    Ok(())
+}
+
+/// Arithmetic mean (Eq. 6): `Σ x_i / n`.
+///
+/// ```
+/// assert_eq!(tgi_core::means::arithmetic(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+/// ```
+pub fn arithmetic(xs: &[f64]) -> Result<f64, TgiError> {
+    validate_nonempty(xs)?;
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Weighted arithmetic mean (Eq. 9): `Σ w_i x_i`, with `Σ w_i = 1`.
+///
+/// ```
+/// let wam = tgi_core::means::weighted_arithmetic(&[10.0, 20.0], &[0.25, 0.75]).unwrap();
+/// assert_eq!(wam, 17.5);
+/// ```
+pub fn weighted_arithmetic(xs: &[f64], ws: &[f64]) -> Result<f64, TgiError> {
+    validate_nonempty(xs)?;
+    validate_weights(xs, ws)?;
+    Ok(xs.iter().zip(ws).map(|(x, w)| x * w).sum())
+}
+
+/// Geometric mean: `(Π x_i)^(1/n)`. Requires strictly positive samples.
+pub fn geometric(xs: &[f64]) -> Result<f64, TgiError> {
+    validate_nonempty(xs)?;
+    let mut log_sum = 0.0;
+    for &x in xs {
+        if x <= 0.0 {
+            return Err(TgiError::NonPositiveQuantity { quantity: "sample", value: x });
+        }
+        log_sum += x.ln();
+    }
+    Ok((log_sum / xs.len() as f64).exp())
+}
+
+/// Weighted geometric mean: `Π x_i^{w_i}` with `Σ w_i = 1`.
+pub fn weighted_geometric(xs: &[f64], ws: &[f64]) -> Result<f64, TgiError> {
+    validate_nonempty(xs)?;
+    validate_weights(xs, ws)?;
+    let mut log_sum = 0.0;
+    for (&x, &w) in xs.iter().zip(ws) {
+        if x <= 0.0 {
+            return Err(TgiError::NonPositiveQuantity { quantity: "sample", value: x });
+        }
+        log_sum += w * x.ln();
+    }
+    Ok(log_sum.exp())
+}
+
+/// Harmonic mean: `n / Σ (1/x_i)`. Requires strictly positive samples.
+pub fn harmonic(xs: &[f64]) -> Result<f64, TgiError> {
+    validate_nonempty(xs)?;
+    let mut recip_sum = 0.0;
+    for &x in xs {
+        if x <= 0.0 {
+            return Err(TgiError::NonPositiveQuantity { quantity: "sample", value: x });
+        }
+        recip_sum += 1.0 / x;
+    }
+    Ok(xs.len() as f64 / recip_sum)
+}
+
+/// Weighted harmonic mean: `1 / Σ (w_i / x_i)` with `Σ w_i = 1`.
+pub fn weighted_harmonic(xs: &[f64], ws: &[f64]) -> Result<f64, TgiError> {
+    validate_nonempty(xs)?;
+    validate_weights(xs, ws)?;
+    let mut recip_sum = 0.0;
+    for (&x, &w) in xs.iter().zip(ws) {
+        if x <= 0.0 {
+            return Err(TgiError::NonPositiveQuantity { quantity: "sample", value: x });
+        }
+        recip_sum += w / x;
+    }
+    Ok(1.0 / recip_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_of_constants() {
+        assert!((arithmetic(&[3.0, 3.0, 3.0]).unwrap() - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn arithmetic_simple() {
+        assert!((arithmetic(&[1.0, 2.0, 3.0, 4.0]).unwrap() - 2.5).abs() < EPS);
+    }
+
+    #[test]
+    fn weighted_arithmetic_equal_weights_matches_arithmetic() {
+        let xs = [1.0, 5.0, 9.0];
+        let ws = [1.0 / 3.0; 3];
+        assert!(
+            (weighted_arithmetic(&xs, &ws).unwrap() - arithmetic(&xs).unwrap()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn weighted_arithmetic_degenerate_weight_selects_sample() {
+        let xs = [1.0, 5.0, 9.0];
+        let ws = [0.0, 1.0, 0.0];
+        assert!((weighted_arithmetic(&xs, &ws).unwrap() - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn geometric_of_powers_of_two() {
+        // gm(2, 8) = 4
+        assert!((geometric(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_of_rates() {
+        // hm(60, 30) = 40 (classic speed-averaging example)
+        assert!((harmonic(&[60.0, 30.0]).unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(arithmetic(&[]).is_err());
+        assert!(geometric(&[]).is_err());
+        assert!(harmonic(&[]).is_err());
+    }
+
+    #[test]
+    fn non_positive_rejected_by_geo_and_harmonic() {
+        assert!(geometric(&[1.0, 0.0]).is_err());
+        assert!(harmonic(&[1.0, -2.0]).is_err());
+        assert!(weighted_geometric(&[1.0, 0.0], &[0.5, 0.5]).is_err());
+        assert!(weighted_harmonic(&[-1.0, 2.0], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let xs = [1.0, 2.0];
+        assert!(weighted_arithmetic(&xs, &[0.4, 0.4]).is_err()); // sum != 1
+        assert!(weighted_arithmetic(&xs, &[1.5, -0.5]).is_err()); // negative
+        assert!(weighted_arithmetic(&xs, &[1.0]).is_err()); // count mismatch
+    }
+
+    #[test]
+    fn nan_samples_rejected() {
+        assert!(arithmetic(&[1.0, f64::NAN]).is_err());
+        assert!(weighted_arithmetic(&[1.0, f64::INFINITY], &[0.5, 0.5]).is_err());
+    }
+
+    fn positive_vec() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(1e-3..1e6f64, 1..16)
+    }
+
+    proptest! {
+        /// AM–GM–HM inequality: for positive samples, AM >= GM >= HM.
+        #[test]
+        fn prop_am_gm_hm_inequality(xs in positive_vec()) {
+            let am = arithmetic(&xs).unwrap();
+            let gm = geometric(&xs).unwrap();
+            let hm = harmonic(&xs).unwrap();
+            // Small numeric slack: these can be equal for constant inputs.
+            prop_assert!(am >= gm - 1e-9 * am.abs());
+            prop_assert!(gm >= hm - 1e-9 * gm.abs());
+        }
+
+        /// Every mean lies within [min, max] of the samples.
+        #[test]
+        fn prop_means_bounded_by_extremes(xs in positive_vec()) {
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for mean in [arithmetic(&xs).unwrap(), geometric(&xs).unwrap(), harmonic(&xs).unwrap()] {
+                prop_assert!(mean >= lo - 1e-9 * lo.abs().max(1.0));
+                prop_assert!(mean <= hi + 1e-9 * hi.abs().max(1.0));
+            }
+        }
+
+        /// Weighted means with equal weights reduce to unweighted means.
+        #[test]
+        fn prop_equal_weights_reduce(xs in positive_vec()) {
+            let n = xs.len();
+            let ws = vec![1.0 / n as f64; n];
+            prop_assert!((weighted_arithmetic(&xs, &ws).unwrap() - arithmetic(&xs).unwrap()).abs()
+                < 1e-6 * arithmetic(&xs).unwrap().abs().max(1.0));
+            prop_assert!((weighted_geometric(&xs, &ws).unwrap() - geometric(&xs).unwrap()).abs()
+                < 1e-6 * geometric(&xs).unwrap().abs().max(1.0));
+            prop_assert!((weighted_harmonic(&xs, &ws).unwrap() - harmonic(&xs).unwrap()).abs()
+                < 1e-6 * harmonic(&xs).unwrap().abs().max(1.0));
+        }
+
+        /// Means are scale-equivariant: mean(k·x) = k·mean(x).
+        #[test]
+        fn prop_scale_equivariance(xs in positive_vec(), k in 1e-2..1e3f64) {
+            let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+            let am = arithmetic(&xs).unwrap();
+            let am_scaled = arithmetic(&scaled).unwrap();
+            prop_assert!((am_scaled - k * am).abs() < 1e-6 * (k * am).abs().max(1e-12));
+            let gm = geometric(&xs).unwrap();
+            let gm_scaled = geometric(&scaled).unwrap();
+            prop_assert!((gm_scaled - k * gm).abs() < 1e-6 * (k * gm).abs().max(1e-12));
+        }
+    }
+}

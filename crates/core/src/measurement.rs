@@ -1,0 +1,163 @@
+//! A single benchmark observation: performance, power, time, energy.
+//!
+//! This is the record the TGI pipeline consumes. One `Measurement` per
+//! benchmark per system configuration — e.g. "HPL on Fire with 64 processes".
+
+use crate::error::TgiError;
+use crate::units::{Joules, Perf, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One benchmark run's measured quantities.
+///
+/// Energy is `power × time` unless an independently integrated energy value
+/// is supplied via [`Measurement::with_energy`] (a real power meter integrates
+/// the sampled trace, which need not equal `avg_power × time` exactly when
+/// samples are quantized).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    id: String,
+    performance: Perf,
+    power: Watts,
+    time: Seconds,
+    energy: Joules,
+}
+
+impl Measurement {
+    /// Creates a measurement, deriving energy as `power × time`.
+    ///
+    /// `id` identifies the benchmark (e.g. `"hpl"`); it is the key used to
+    /// match against the reference system.
+    pub fn new(
+        id: impl Into<String>,
+        performance: Perf,
+        power: Watts,
+        time: Seconds,
+    ) -> Result<Self, TgiError> {
+        let power = Watts::try_new(power.value())?;
+        let time = Seconds::try_new(time.value())?;
+        let id = id.into();
+        if id.is_empty() {
+            return Err(TgiError::DuplicateBenchmark(String::from(
+                "<empty id not allowed>",
+            )));
+        }
+        let energy = power.over(time);
+        Ok(Measurement { id, performance, power, time, energy })
+    }
+
+    /// Overrides the derived energy with an independently measured value
+    /// (e.g. integrated from a sampled power trace).
+    pub fn with_energy(mut self, energy: Joules) -> Result<Self, TgiError> {
+        self.energy = Joules::try_new(energy.value())?;
+        Ok(self)
+    }
+
+    /// Benchmark identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Measured performance.
+    pub fn performance(&self) -> &Perf {
+        &self.performance
+    }
+
+    /// Average power drawn during the run.
+    pub fn power(&self) -> Watts {
+        self.power
+    }
+
+    /// Wall-clock execution time.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Total energy consumed by the run.
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Energy efficiency: performance-to-power ratio (Eq. 2),
+    /// in canonical performance units per watt.
+    pub fn energy_efficiency(&self) -> f64 {
+        self.performance.value() / self.power.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(id: &str, gflops: f64, watts: f64, secs: f64) -> Measurement {
+        Measurement::new(id, Perf::gflops(gflops), Watts::new(watts), Seconds::new(secs))
+            .unwrap()
+    }
+
+    #[test]
+    fn energy_is_power_times_time_by_default() {
+        let meas = m("hpl", 90.0, 2000.0, 100.0);
+        assert!((meas.energy().value() - 200_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_energy_overrides() {
+        let meas = m("hpl", 90.0, 2000.0, 100.0)
+            .with_energy(Joules::new(123_456.0))
+            .unwrap();
+        assert_eq!(meas.energy().value(), 123_456.0);
+    }
+
+    #[test]
+    fn with_energy_rejects_non_positive() {
+        assert!(m("hpl", 1.0, 1.0, 1.0).with_energy(Joules::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn energy_efficiency_matches_eq2() {
+        let meas = m("hpl", 90.0, 2000.0, 100.0);
+        // 90 GFLOPS / 2000 W = 45 MFLOPS/W = 4.5e7 FLOPS/W
+        assert!((meas.energy_efficiency() - 4.5e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_power_and_time() {
+        assert!(Measurement::new("x", Perf::gflops(1.0), Watts::new(0.0), Seconds::new(1.0))
+            .is_err());
+        assert!(Measurement::new("x", Perf::gflops(1.0), Watts::new(1.0), Seconds::new(-2.0))
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_empty_id() {
+        assert!(Measurement::new("", Perf::gflops(1.0), Watts::new(1.0), Seconds::new(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let meas = m("stream", 5.0, 300.0, 60.0);
+        assert_eq!(meas.id(), "stream");
+        assert_eq!(meas.power().value(), 300.0);
+        assert_eq!(meas.time().value(), 60.0);
+        assert_eq!(meas.performance().as_gflops(), 5.0);
+    }
+
+    proptest! {
+        /// EE is always performance / power, and positive, for any valid inputs.
+        #[test]
+        fn prop_ee_positive(gf in 1e-3..1e6f64, w in 1e-3..1e7f64, t in 1e-3..1e6f64) {
+            let meas = m("b", gf, w, t);
+            let ee = meas.energy_efficiency();
+            prop_assert!(ee > 0.0);
+            prop_assert!((ee - gf * 1e9 / w).abs() <= 1e-6 * ee);
+        }
+
+        /// Derived energy equals power × time for any valid inputs.
+        #[test]
+        fn prop_energy_derivation(w in 1e-3..1e7f64, t in 1e-3..1e6f64) {
+            let meas = m("b", 1.0, w, t);
+            prop_assert!((meas.energy().value() - w * t).abs() <= 1e-9 * (w * t).max(1.0));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Green500-style ranking of systems by TGI.
+//!
+//! The motivation for a single-number metric (§I) is *rankability*: the
+//! TOP500/Green500 lists order systems by one number. [`Ranking`] holds a set
+//! of scored systems and produces a stable, descending order (greener first),
+//! breaking ties by name so the order is deterministic.
+
+use crate::tgi::TgiResult;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One system's entry in a ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedSystem {
+    /// Display name of the system.
+    pub name: String,
+    /// The system's Green Index.
+    pub tgi: f64,
+    /// Optional per-benchmark decomposition retained for reports.
+    pub detail: Option<TgiResult>,
+}
+
+/// A collection of systems ordered by TGI (descending).
+///
+/// ```
+/// use tgi_core::Ranking;
+/// let mut list = Ranking::new();
+/// list.add("fire", 0.4);
+/// list.add("ember", 1.2);
+/// assert_eq!(list.rank_of("ember"), Some(1));
+/// assert_eq!(list.greenest().unwrap().name, "ember");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ranking {
+    entries: Vec<RankedSystem>,
+}
+
+impl Ranking {
+    /// Creates an empty ranking.
+    pub fn new() -> Self {
+        Ranking::default()
+    }
+
+    /// Adds a system by name and raw TGI value.
+    pub fn add(&mut self, name: impl Into<String>, tgi: f64) {
+        self.entries.push(RankedSystem { name: name.into(), tgi, detail: None });
+        self.sort();
+    }
+
+    /// Adds a system with its full TGI decomposition.
+    pub fn add_result(&mut self, name: impl Into<String>, result: TgiResult) {
+        self.entries.push(RankedSystem {
+            name: name.into(),
+            tgi: result.value(),
+            detail: Some(result),
+        });
+        self.sort();
+    }
+
+    fn sort(&mut self) {
+        self.entries.sort_by(|a, b| {
+            b.tgi
+                .partial_cmp(&a.tgi)
+                .expect("TGI values are finite")
+                .then_with(|| a.name.cmp(&b.name))
+        });
+    }
+
+    /// The ranked entries, greenest first.
+    pub fn entries(&self) -> &[RankedSystem] {
+        &self.entries
+    }
+
+    /// Number of ranked systems.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// 1-based rank of a system by name.
+    pub fn rank_of(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name).map(|i| i + 1)
+    }
+
+    /// The top-ranked (greenest) system.
+    pub fn greenest(&self) -> Option<&RankedSystem> {
+        self.entries.first()
+    }
+}
+
+impl fmt::Display for Ranking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>4}  {:<24} {:>10}", "Rank", "System", "TGI")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            writeln!(f, "{:>4}  {:<24} {:>10.4}", i + 1, e.name, e.tgi)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_descending() {
+        let mut r = Ranking::new();
+        r.add("fire", 0.4);
+        r.add("ember", 1.2);
+        r.add("ash", 0.9);
+        assert_eq!(r.rank_of("ember"), Some(1));
+        assert_eq!(r.rank_of("ash"), Some(2));
+        assert_eq!(r.rank_of("fire"), Some(3));
+        assert_eq!(r.greenest().unwrap().name, "ember");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_name() {
+        let mut r = Ranking::new();
+        r.add("zeta", 1.0);
+        r.add("alpha", 1.0);
+        assert_eq!(r.rank_of("alpha"), Some(1));
+        assert_eq!(r.rank_of("zeta"), Some(2));
+    }
+
+    #[test]
+    fn unknown_system_has_no_rank() {
+        let mut r = Ranking::new();
+        r.add("fire", 0.4);
+        assert_eq!(r.rank_of("unknown"), None);
+    }
+
+    #[test]
+    fn empty_ranking() {
+        let r = Ranking::new();
+        assert!(r.is_empty());
+        assert!(r.greenest().is_none());
+    }
+
+    #[test]
+    fn display_contains_all_entries() {
+        let mut r = Ranking::new();
+        r.add("fire", 0.4);
+        r.add("ember", 1.2);
+        let out = r.to_string();
+        assert!(out.contains("fire"));
+        assert!(out.contains("ember"));
+        assert!(out.contains("Rank"));
+    }
+
+    #[test]
+    fn insertion_keeps_order_incrementally() {
+        let mut r = Ranking::new();
+        for (name, v) in [("a", 0.1), ("b", 0.5), ("c", 0.3), ("d", 0.9)] {
+            r.add(name, v);
+            // After every insertion, order is non-increasing.
+            let tgis: Vec<f64> = r.entries().iter().map(|e| e.tgi).collect();
+            assert!(tgis.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+}

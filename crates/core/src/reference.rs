@@ -1,0 +1,199 @@
+//! Reference system registry (the SPEC-rating analogy, §II / Eq. 1).
+//!
+//! Like the SPEC rating, TGI is *relative*: every benchmark's energy
+//! efficiency is divided by the corresponding result on a fixed reference
+//! machine (SystemG in the paper). A [`ReferenceSystem`] is therefore a named
+//! set of [`Measurement`]s keyed by benchmark id.
+
+use crate::efficiency::EfficiencyMetric;
+use crate::error::TgiError;
+use crate::measurement::Measurement;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named reference machine with one measurement per benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceSystem {
+    name: String,
+    measurements: BTreeMap<String, Measurement>,
+}
+
+impl ReferenceSystem {
+    /// Starts building a reference system with the given display name.
+    pub fn builder(name: impl Into<String>) -> ReferenceSystemBuilder {
+        ReferenceSystemBuilder { name: name.into(), measurements: Vec::new() }
+    }
+
+    /// The reference machine's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of benchmarks with reference measurements.
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// Whether the reference set is empty (builder forbids this, but a
+    /// deserialized value could be).
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// Looks up the reference measurement for a benchmark id.
+    pub fn measurement(&self, benchmark: &str) -> Option<&Measurement> {
+        self.measurements.get(benchmark)
+    }
+
+    /// Reference energy efficiency for a benchmark under the given metric.
+    pub fn efficiency(
+        &self,
+        benchmark: &str,
+        metric: &dyn EfficiencyMetric,
+    ) -> Result<f64, TgiError> {
+        let m = self
+            .measurement(benchmark)
+            .ok_or_else(|| TgiError::MissingReference(benchmark.to_string()))?;
+        Ok(metric.evaluate(m))
+    }
+
+    /// Iterates over `(benchmark id, measurement)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Measurement)> {
+        self.measurements.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Relative energy efficiency (Eq. 3) of `m` against this reference,
+    /// under the performance-to-power metric.
+    ///
+    /// Performs a unit check: the measurement's performance unit must match
+    /// the reference's for the same benchmark id.
+    pub fn ree(&self, m: &Measurement) -> Result<f64, TgiError> {
+        let reference = self
+            .measurement(m.id())
+            .ok_or_else(|| TgiError::MissingReference(m.id().to_string()))?;
+        // Unit check via Perf::ratio; then EE ratio = perf ratio × power ratio⁻¹.
+        let perf_ratio = m.performance().ratio(reference.performance())?;
+        Ok(perf_ratio * reference.power().value() / m.power().value())
+    }
+}
+
+/// Builder for [`ReferenceSystem`]; rejects duplicates and empty sets.
+#[derive(Debug, Clone)]
+pub struct ReferenceSystemBuilder {
+    name: String,
+    measurements: Vec<Measurement>,
+}
+
+impl ReferenceSystemBuilder {
+    /// Adds one benchmark's reference measurement.
+    pub fn benchmark(mut self, m: Measurement) -> Self {
+        self.measurements.push(m);
+        self
+    }
+
+    /// Finalizes the reference system.
+    pub fn build(self) -> Result<ReferenceSystem, TgiError> {
+        if self.measurements.is_empty() {
+            return Err(TgiError::EmptyBenchmarkSet);
+        }
+        let mut map = BTreeMap::new();
+        for m in self.measurements {
+            let id = m.id().to_string();
+            if map.insert(id.clone(), m).is_some() {
+                return Err(TgiError::DuplicateBenchmark(id));
+            }
+        }
+        Ok(ReferenceSystem { name: self.name, measurements: map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efficiency::PerfPerWatt;
+    use crate::units::{Perf, Seconds, Watts};
+
+    fn m(id: &str, perf: Perf, w: f64) -> Measurement {
+        Measurement::new(id, perf, Watts::new(w), Seconds::new(100.0)).unwrap()
+    }
+
+    fn sysg() -> ReferenceSystem {
+        ReferenceSystem::builder("SystemG")
+            .benchmark(m("hpl", Perf::tflops(8.1), 26_000.0))
+            .benchmark(m("stream", Perf::mbps(1_600_000.0), 24_000.0))
+            .benchmark(m("iozone", Perf::mbps(320.0), 11_500.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let r = sysg();
+        assert_eq!(r.name(), "SystemG");
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert!(r.measurement("hpl").is_some());
+        assert!(r.measurement("fft").is_none());
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert!(ReferenceSystem::builder("empty").build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_duplicates() {
+        let r = ReferenceSystem::builder("dup")
+            .benchmark(m("hpl", Perf::tflops(8.1), 26_000.0))
+            .benchmark(m("hpl", Perf::tflops(9.0), 26_000.0))
+            .build();
+        assert!(matches!(r, Err(TgiError::DuplicateBenchmark(_))));
+    }
+
+    #[test]
+    fn efficiency_lookup() {
+        let r = sysg();
+        let ee = r.efficiency("hpl", &PerfPerWatt).unwrap();
+        assert!((ee - 8.1e12 / 26_000.0).abs() < 1.0);
+        assert!(r.efficiency("fft", &PerfPerWatt).is_err());
+    }
+
+    #[test]
+    fn ree_matches_manual_eq3() {
+        let r = sysg();
+        // Fire-like measurement: 90 GFLOPS at 2.9 kW.
+        let fire = m("hpl", Perf::gflops(90.0), 2_900.0);
+        let ree = r.ree(&fire).unwrap();
+        let expected = (90e9 / 2_900.0) / (8.1e12 / 26_000.0);
+        assert!((ree - expected).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn ree_of_reference_itself_is_one() {
+        let r = sysg();
+        let same = r.measurement("stream").unwrap().clone();
+        assert!((r.ree(&same).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ree_rejects_unknown_benchmark() {
+        let r = sysg();
+        let unknown = m("fft", Perf::gflops(1.0), 100.0);
+        assert!(matches!(r.ree(&unknown), Err(TgiError::MissingReference(_))));
+    }
+
+    #[test]
+    fn ree_rejects_unit_mismatch() {
+        let r = sysg();
+        // "hpl" reported in MB/s instead of FLOPS.
+        let wrong = m("hpl", Perf::mbps(100.0), 2_900.0);
+        assert!(matches!(r.ree(&wrong), Err(TgiError::UnitMismatch { .. })));
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let r = sysg();
+        let ids: Vec<&str> = r.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec!["hpl", "iozone", "stream"]);
+    }
+}

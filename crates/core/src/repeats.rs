@@ -1,0 +1,318 @@
+//! Run-to-run repetition: aggregate repeated measurements and propagate
+//! their dispersion into TGI.
+//!
+//! Benchmarking methodology (Green500 run rules, SPEC's medians) demands
+//! repeated runs: a single measurement of a noisy system is not a result.
+//! [`MeasurementSet`] collects the repeats of one benchmark;
+//! [`tgi_with_uncertainty`] computes TGI on the mean measurements and
+//! propagates the per-benchmark energy-efficiency variance to a TGI
+//! standard deviation (first-order, independent benchmarks):
+//!
+//! ```text
+//! Var(TGI) = Σ_i (W_i / EE_i(ref))² · Var(EE_i)
+//! ```
+
+use crate::error::TgiError;
+use crate::measurement::Measurement;
+use crate::reference::ReferenceSystem;
+use crate::tgi::{Tgi, TgiResult};
+use crate::units::{Perf, Seconds, Watts};
+use crate::weights::Weighting;
+use serde::{Deserialize, Serialize};
+
+/// Repeated measurements of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    id: String,
+    runs: Vec<Measurement>,
+}
+
+impl MeasurementSet {
+    /// An empty set for a benchmark id.
+    pub fn new(id: impl Into<String>) -> Self {
+        MeasurementSet { id: id.into(), runs: Vec::new() }
+    }
+
+    /// Collects runs, validating ids and unit consistency.
+    pub fn from_runs(
+        id: impl Into<String>,
+        runs: impl IntoIterator<Item = Measurement>,
+    ) -> Result<Self, TgiError> {
+        let mut set = MeasurementSet::new(id);
+        for m in runs {
+            set.push(m)?;
+        }
+        if set.is_empty() {
+            return Err(TgiError::EmptyBenchmarkSet);
+        }
+        Ok(set)
+    }
+
+    /// Adds one run.
+    pub fn push(&mut self, m: Measurement) -> Result<(), TgiError> {
+        if m.id() != self.id {
+            return Err(TgiError::DuplicateBenchmark(format!(
+                "run id `{}` does not match set `{}`",
+                m.id(),
+                self.id
+            )));
+        }
+        if let Some(first) = self.runs.first() {
+            if first.performance().unit() != m.performance().unit() {
+                return Err(TgiError::UnitMismatch {
+                    left: first.performance().unit().label().to_string(),
+                    right: m.performance().unit().label().to_string(),
+                });
+            }
+        }
+        self.runs.push(m);
+        Ok(())
+    }
+
+    /// The benchmark id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Number of runs collected.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the set has no runs yet.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The runs in insertion order.
+    pub fn runs(&self) -> &[Measurement] {
+        &self.runs
+    }
+
+    /// Per-run energy-efficiency values.
+    pub fn ee_values(&self) -> Vec<f64> {
+        self.runs.iter().map(|m| m.energy_efficiency()).collect()
+    }
+
+    /// Mean energy efficiency across runs.
+    pub fn ee_mean(&self) -> Result<f64, TgiError> {
+        crate::stats::mean(&self.ee_values())
+    }
+
+    /// Sample standard deviation of the energy efficiency (0 for one run).
+    pub fn ee_std(&self) -> Result<f64, TgiError> {
+        if self.runs.len() < 2 {
+            return Ok(0.0);
+        }
+        crate::stats::std_dev(&self.ee_values())
+    }
+
+    /// Coefficient of variation of the energy efficiency (σ/μ).
+    pub fn ee_cov(&self) -> Result<f64, TgiError> {
+        Ok(self.ee_std()? / self.ee_mean()?)
+    }
+
+    /// The mean measurement: arithmetic means of performance, power, and
+    /// time. Energy is re-derived from the means.
+    pub fn mean_measurement(&self) -> Result<Measurement, TgiError> {
+        if self.runs.is_empty() {
+            return Err(TgiError::EmptyBenchmarkSet);
+        }
+        let n = self.runs.len() as f64;
+        let perf = self.runs.iter().map(|m| m.performance().value()).sum::<f64>() / n;
+        let power = self.runs.iter().map(|m| m.power().value()).sum::<f64>() / n;
+        let time = self.runs.iter().map(|m| m.time().value()).sum::<f64>() / n;
+        let unit = self.runs[0].performance().unit().clone();
+        Measurement::new(
+            self.id.clone(),
+            Perf::new(perf, unit)?,
+            Watts::new(power),
+            Seconds::new(time),
+        )
+    }
+}
+
+/// TGI with a first-order uncertainty from run-to-run dispersion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TgiWithUncertainty {
+    /// TGI computed on the mean measurements.
+    pub result: TgiResult,
+    /// Propagated standard deviation of the TGI value.
+    pub std_dev: f64,
+}
+
+impl TgiWithUncertainty {
+    /// The mean TGI value.
+    pub fn value(&self) -> f64 {
+        self.result.value()
+    }
+
+    /// A ±2σ interval (≈95% under normality).
+    pub fn interval95(&self) -> (f64, f64) {
+        (self.value() - 2.0 * self.std_dev, self.value() + 2.0 * self.std_dev)
+    }
+}
+
+/// Computes TGI on the per-benchmark mean measurements and propagates the
+/// EE variances into a TGI standard deviation.
+pub fn tgi_with_uncertainty(
+    reference: &ReferenceSystem,
+    sets: &[MeasurementSet],
+    weighting: Weighting,
+) -> Result<TgiWithUncertainty, TgiError> {
+    if sets.is_empty() {
+        return Err(TgiError::EmptyBenchmarkSet);
+    }
+    let means: Result<Vec<Measurement>, TgiError> =
+        sets.iter().map(|s| s.mean_measurement()).collect();
+    let result = Tgi::builder()
+        .reference(reference.clone())
+        .weighting(weighting)
+        .measurements(means?)
+        .compute()?;
+
+    // Var(TGI) = Σ (w_i / ref_ee_i)² σ_i²  — weights held at their
+    // mean-measurement values (first-order).
+    let mut var = 0.0;
+    for (set, c) in sets.iter().zip(result.contributions()) {
+        debug_assert_eq!(set.id(), c.benchmark);
+        let sigma = set.ee_std()?;
+        let k = c.weight / c.reference_efficiency;
+        var += k * k * sigma * sigma;
+    }
+    Ok(TgiWithUncertainty { result, std_dev: var.sqrt() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::PerfUnit;
+
+    fn m(id: &str, gflops: f64, watts: f64) -> Measurement {
+        Measurement::new(id, Perf::gflops(gflops), Watts::new(watts), Seconds::new(60.0))
+            .expect("valid")
+    }
+
+    fn reference() -> ReferenceSystem {
+        ReferenceSystem::builder("ref")
+            .benchmark(m("a", 10.0, 1000.0))
+            .benchmark(m("b", 20.0, 1000.0))
+            .build()
+            .expect("non-empty")
+    }
+
+    #[test]
+    fn set_validates_ids_and_units() {
+        let mut set = MeasurementSet::new("a");
+        set.push(m("a", 1.0, 100.0)).expect("matching id");
+        assert!(set.push(m("b", 1.0, 100.0)).is_err(), "wrong id rejected");
+        let wrong_unit =
+            Measurement::new("a", Perf::mbps(5.0), Watts::new(100.0), Seconds::new(1.0))
+                .expect("valid");
+        assert!(set.push(wrong_unit).is_err(), "unit change rejected");
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn identical_runs_have_zero_dispersion() {
+        let set =
+            MeasurementSet::from_runs("a", (0..5).map(|_| m("a", 4.0, 400.0))).expect("valid");
+        assert_eq!(set.ee_std().expect("computable"), 0.0);
+        assert_eq!(set.ee_cov().expect("computable"), 0.0);
+        let mean = set.mean_measurement().expect("non-empty");
+        assert!((mean.performance().as_gflops() - 4.0).abs() < 1e-12);
+        assert!((mean.power().value() - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispersion_matches_hand_computation() {
+        // EE values: 1e7 and 3e7 (gflops 1 and 3 at 100 W).
+        let set = MeasurementSet::from_runs("a", [m("a", 1.0, 100.0), m("a", 3.0, 100.0)])
+            .expect("valid");
+        let mean = set.ee_mean().expect("computable");
+        assert!((mean - 2e7).abs() < 1.0);
+        // Sample std of {1e7, 3e7} = sqrt(2)·1e7.
+        let std = set.ee_std().expect("computable");
+        assert!((std - std::f64::consts::SQRT_2 * 1e7).abs() < 1.0);
+        assert!((set.ee_cov().expect("computable") - std / mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_run_has_zero_std() {
+        let set = MeasurementSet::from_runs("a", [m("a", 1.0, 100.0)]).expect("valid");
+        assert_eq!(set.ee_std().expect("computable"), 0.0);
+    }
+
+    #[test]
+    fn uncertainty_zero_for_perfectly_repeatable_runs() {
+        let sets = vec![
+            MeasurementSet::from_runs("a", (0..3).map(|_| m("a", 5.0, 500.0))).expect("valid"),
+            MeasurementSet::from_runs("b", (0..3).map(|_| m("b", 10.0, 500.0))).expect("valid"),
+        ];
+        let t = tgi_with_uncertainty(&reference(), &sets, Weighting::Arithmetic)
+            .expect("computable");
+        assert_eq!(t.std_dev, 0.0);
+        let (lo, hi) = t.interval95();
+        assert_eq!(lo, hi);
+        assert!(t.value() > 0.0);
+    }
+
+    #[test]
+    fn noisier_benchmarks_widen_the_interval() {
+        let quiet = vec![
+            MeasurementSet::from_runs("a", [m("a", 5.0, 500.0), m("a", 5.1, 500.0)])
+                .expect("valid"),
+            MeasurementSet::from_runs("b", [m("b", 10.0, 500.0), m("b", 10.1, 500.0)])
+                .expect("valid"),
+        ];
+        let noisy = vec![
+            MeasurementSet::from_runs("a", [m("a", 3.0, 500.0), m("a", 7.0, 500.0)])
+                .expect("valid"),
+            MeasurementSet::from_runs("b", [m("b", 6.0, 500.0), m("b", 14.0, 500.0)])
+                .expect("valid"),
+        ];
+        let r = reference();
+        let tq = tgi_with_uncertainty(&r, &quiet, Weighting::Arithmetic).expect("computable");
+        let tn = tgi_with_uncertainty(&r, &noisy, Weighting::Arithmetic).expect("computable");
+        assert!(tn.std_dev > tq.std_dev * 5.0, "{} vs {}", tn.std_dev, tq.std_dev);
+    }
+
+    #[test]
+    fn propagation_matches_closed_form_for_am() {
+        // One benchmark, AM weight = 1: σ_TGI = σ_EE / ref_ee.
+        let r = ReferenceSystem::builder("r")
+            .benchmark(m("a", 10.0, 1000.0))
+            .build()
+            .expect("non-empty");
+        let set = MeasurementSet::from_runs("a", [m("a", 1.0, 100.0), m("a", 3.0, 100.0)])
+            .expect("valid");
+        let t =
+            tgi_with_uncertainty(&r, std::slice::from_ref(&set), Weighting::Arithmetic).expect("computable");
+        let ref_ee = 10e9 / 1000.0;
+        let expected = set.ee_std().expect("computable") / ref_ee;
+        assert!((t.std_dev - expected).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(MeasurementSet::from_runs("a", std::iter::empty()).is_err());
+        assert!(tgi_with_uncertainty(&reference(), &[], Weighting::Arithmetic).is_err());
+        assert!(MeasurementSet::new("a").mean_measurement().is_err());
+    }
+
+    #[test]
+    fn mean_measurement_preserves_unit() {
+        let runs = [
+            Measurement::new("io", Perf::mbps(100.0), Watts::new(50.0), Seconds::new(10.0))
+                .expect("valid"),
+            Measurement::new("io", Perf::mbps(200.0), Watts::new(70.0), Seconds::new(20.0))
+                .expect("valid"),
+        ];
+        let set = MeasurementSet::from_runs("io", runs).expect("valid");
+        let mean = set.mean_measurement().expect("non-empty");
+        assert_eq!(*mean.performance().unit(), PerfUnit::BytesPerSecond);
+        assert!((mean.performance().as_mbps() - 150.0).abs() < 1e-9);
+        assert!((mean.power().value() - 60.0).abs() < 1e-12);
+        assert!((mean.time().value() - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! Weight-sensitivity analysis of TGI comparisons.
+//!
+//! The paper makes weights a first-class feature (§II advantage 1, §III's
+//! weight study) — which raises the procurement question: *how robust is a
+//! ranking to the choice of weights?* This module answers it exactly for
+//! the tilt family
+//!
+//! ```text
+//! W(ε, i) = (1−ε)·W_base + ε·e_i        (all weight moved toward benchmark i)
+//! ```
+//!
+//! Because TGI is linear in the weights, `TGI(ε) = (1−ε)·TGI_base +
+//! ε·REE_i`, and the exact flip point between two systems has a closed
+//! form. If no tilt toward any single benchmark flips the comparison, the
+//! leader wins under *every* weighting reachable by single-benchmark tilts
+//! of the base — in particular, Pareto dominance implies no flip exists.
+
+use crate::error::TgiError;
+use crate::tgi::TgiResult;
+use serde::{Deserialize, Serialize};
+
+/// The gradient of TGI with respect to the weights: `∂TGI/∂W_i = REE_i`,
+/// keyed by benchmark. (Linear metric — the gradient *is* the REE vector.)
+pub fn weight_gradient(result: &TgiResult) -> Vec<(String, f64)> {
+    result
+        .contributions()
+        .iter()
+        .map(|c| (c.benchmark.clone(), c.ree))
+        .collect()
+}
+
+/// The smallest single-benchmark tilt that flips a comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlipPoint {
+    /// The benchmark the weight must be tilted toward.
+    pub benchmark: String,
+    /// The tilt fraction `ε ∈ (0, 1]` at which the two systems tie.
+    pub epsilon: f64,
+}
+
+/// Outcome of a robustness comparison between two TGI results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Robustness {
+    /// Which system leads under the base weights (`a` or `b` by name).
+    pub leader: String,
+    /// The base-weight TGI gap (leader minus trailer, positive).
+    pub gap: f64,
+    /// The cheapest flip, if any single-benchmark tilt can flip the order.
+    pub flip: Option<FlipPoint>,
+}
+
+/// Analyses how robust the comparison between two systems is to weight
+/// tilts. `name_a`/`name_b` label the results in the report.
+///
+/// Both results must come from the same benchmark suite (same ids in the
+/// same order) and the same base weighting.
+pub fn compare(
+    name_a: &str,
+    a: &TgiResult,
+    name_b: &str,
+    b: &TgiResult,
+) -> Result<Robustness, TgiError> {
+    let ca = a.contributions();
+    let cb = b.contributions();
+    if ca.len() != cb.len() {
+        return Err(TgiError::WeightCountMismatch { weights: cb.len(), benchmarks: ca.len() });
+    }
+    for (x, y) in ca.iter().zip(cb) {
+        if x.benchmark != y.benchmark {
+            return Err(TgiError::MissingReference(y.benchmark.clone()));
+        }
+        if (x.weight - y.weight).abs() > 1e-9 {
+            return Err(TgiError::InvalidWeights { sum: x.weight - y.weight });
+        }
+    }
+
+    // Orient so `lead` is the base-weight winner.
+    let delta = a.value() - b.value();
+    if delta == 0.0 {
+        return Err(TgiError::DegenerateStatistic("systems tie under base weights"));
+    }
+    let (leader, gap, sign) =
+        if delta > 0.0 { (name_a, delta, 1.0) } else { (name_b, -delta, -1.0) };
+
+    // TGI_lead(ε,i) − TGI_trail(ε,i) = (1−ε)·gap + ε·sign·(REE_a,i − REE_b,i).
+    // Flip at ε* = gap / (gap − d_i) where d_i = sign·(REE_a,i − REE_b,i),
+    // valid when d_i < 0 and ε* ≤ 1.
+    let mut best: Option<FlipPoint> = None;
+    for (x, y) in ca.iter().zip(cb) {
+        let d = sign * (x.ree - y.ree);
+        if d >= 0.0 {
+            continue; // tilting toward this benchmark helps the leader
+        }
+        let eps = gap / (gap - d);
+        if eps <= 1.0 + 1e-12 {
+            let candidate = FlipPoint { benchmark: x.benchmark.clone(), epsilon: eps.min(1.0) };
+            if best.as_ref().is_none_or(|b| candidate.epsilon < b.epsilon) {
+                best = Some(candidate);
+            }
+        }
+    }
+
+    Ok(Robustness { leader: leader.to_string(), gap, flip: best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::Measurement;
+    use crate::reference::ReferenceSystem;
+    use crate::tgi::Tgi;
+    use crate::units::{Perf, Seconds, Watts};
+    use crate::weights::Weighting;
+
+    fn reference() -> ReferenceSystem {
+        let mut b = ReferenceSystem::builder("ref");
+        for id in ["cpu", "mem", "io"] {
+            b = b.benchmark(
+                Measurement::new(id, Perf::gflops(10.0), Watts::new(1000.0), Seconds::new(60.0))
+                    .expect("valid"),
+            );
+        }
+        b.build().expect("non-empty")
+    }
+
+    /// Builds a TGI result with the given per-benchmark performance values
+    /// (REE = perf/10 at fixed 1000 W).
+    fn result(perfs: [f64; 3]) -> TgiResult {
+        let suite: Vec<Measurement> = ["cpu", "mem", "io"]
+            .iter()
+            .zip(perfs)
+            .map(|(id, p)| {
+                Measurement::new(*id, Perf::gflops(p), Watts::new(1000.0), Seconds::new(60.0))
+                    .expect("valid")
+            })
+            .collect();
+        Tgi::builder()
+            .reference(reference())
+            .weighting(Weighting::Arithmetic)
+            .measurements(suite)
+            .compute()
+            .expect("valid")
+    }
+
+    #[test]
+    fn gradient_is_the_ree_vector() {
+        let r = result([20.0, 10.0, 5.0]);
+        let g = weight_gradient(&r);
+        assert_eq!(g.len(), 3);
+        assert!((g[0].1 - 2.0).abs() < 1e-12);
+        assert!((g[1].1 - 1.0).abs() < 1e-12);
+        assert!((g[2].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_system_has_no_flip() {
+        // A beats B on every benchmark: no tilt can save B.
+        let a = result([20.0, 15.0, 12.0]);
+        let b = result([18.0, 14.0, 10.0]);
+        let rob = compare("A", &a, "B", &b).expect("comparable");
+        assert_eq!(rob.leader, "A");
+        assert!(rob.gap > 0.0);
+        assert!(rob.flip.is_none(), "{:?}", rob.flip);
+    }
+
+    #[test]
+    fn incomparable_pair_has_flip_on_the_right_benchmark() {
+        // A leads overall, but B is better on io: only io can flip it.
+        let a = result([30.0, 20.0, 5.0]);
+        let b = result([10.0, 10.0, 20.0]);
+        let rob = compare("A", &a, "B", &b).expect("comparable");
+        assert_eq!(rob.leader, "A");
+        let flip = rob.flip.expect("io tilt must flip");
+        assert_eq!(flip.benchmark, "io");
+        assert!(flip.epsilon > 0.0 && flip.epsilon <= 1.0);
+
+        // Verify the closed form: at ε*, the tilted TGIs tie.
+        let eps = flip.epsilon;
+        let tilt = |r: &TgiResult, bench: &str| {
+            let base = r.value();
+            let ree = r.contribution(bench).expect("present").ree;
+            (1.0 - eps) * base + eps * ree
+        };
+        let ta = tilt(&a, "io");
+        let tb = tilt(&b, "io");
+        assert!((ta - tb).abs() < 1e-9, "{ta} vs {tb}");
+    }
+
+    #[test]
+    fn orientation_follows_the_actual_leader() {
+        let a = result([5.0, 5.0, 5.0]);
+        let b = result([10.0, 10.0, 2.0]);
+        let rob = compare("A", &a, "B", &b).expect("comparable");
+        assert_eq!(rob.leader, "B");
+        // A is better only on io; a flip toward io must exist.
+        assert_eq!(rob.flip.expect("flip exists").benchmark, "io");
+    }
+
+    #[test]
+    fn tie_is_degenerate() {
+        let a = result([10.0, 10.0, 10.0]);
+        let b = result([10.0, 10.0, 10.0]);
+        assert!(matches!(
+            compare("A", &a, "B", &b),
+            Err(TgiError::DegenerateStatistic(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_suites_rejected() {
+        let a = result([10.0, 10.0, 10.0]);
+        // Build a result with different ids.
+        let reference = ReferenceSystem::builder("r2")
+            .benchmark(
+                Measurement::new("other", Perf::gflops(1.0), Watts::new(1.0), Seconds::new(1.0))
+                    .expect("valid"),
+            )
+            .build()
+            .expect("non-empty");
+        let b = Tgi::builder()
+            .reference(reference)
+            .measurement(
+                Measurement::new("other", Perf::gflops(2.0), Watts::new(1.0), Seconds::new(1.0))
+                    .expect("valid"),
+            )
+            .compute()
+            .expect("valid");
+        assert!(compare("A", &a, "B", &b).is_err());
+    }
+
+    #[test]
+    fn small_gap_flips_cheaply_large_gap_expensively() {
+        // Same trailer, same flip benchmark (io), growing lead for A.
+        let b = result([10.0, 10.0, 8.0]);
+        let close = compare("A", &result([12.0, 12.0, 5.0]), "B", &b).expect("comparable");
+        let far = compare("A", &result([20.0, 20.0, 5.0]), "B", &b).expect("comparable");
+        assert_eq!(close.leader, "A");
+        assert_eq!(far.leader, "A");
+        let (ec, ef) = (
+            close.flip.expect("flip exists").epsilon,
+            far.flip.expect("flip exists").epsilon,
+        );
+        assert!(ec < ef, "closer race must flip at a smaller tilt: {ec} vs {ef}");
+    }
+}

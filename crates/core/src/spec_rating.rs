@@ -1,0 +1,125 @@
+//! The SPEC rating (Eq. 1) — the historical model for TGI's normalization.
+//!
+//! "The earliest metric for comparing system performance is the Standard
+//! Performance Evaluation Corporation (SPEC) rating. … the SPEC rating
+//! defines the performance of a system under test, relative to a reference
+//! system, where time is used as the unit of performance. A SPEC rating of
+//! 25 means that the system under test is 25 times faster than the
+//! reference system."
+//!
+//! Implemented exactly as Eq. 1 for completeness, since TGI inherits its
+//! normalize-against-a-reference structure from it (and because it makes a
+//! crisp oracle for tests: REE is to efficiency what the SPEC rating is to
+//! time).
+
+use crate::error::TgiError;
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// One SPEC-style benchmark timing pair: reference time and measured time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingPair {
+    /// Runtime on the reference system.
+    pub reference: Seconds,
+    /// Runtime on the system under test.
+    pub measured: Seconds,
+}
+
+/// The SPEC rating of one benchmark (Eq. 1):
+/// `reference time / measured time`. Larger is faster.
+///
+/// ```
+/// use tgi_core::spec_rating::{spec_rating, TimingPair};
+/// use tgi_core::Seconds;
+/// let pair = TimingPair { reference: Seconds::new(2500.0), measured: Seconds::new(100.0) };
+/// assert_eq!(spec_rating(pair).unwrap(), 25.0); // "25 times faster"
+/// ```
+pub fn spec_rating(pair: TimingPair) -> Result<f64, TgiError> {
+    let r = Seconds::try_new(pair.reference.value())?;
+    let m = Seconds::try_new(pair.measured.value())?;
+    Ok(r.value() / m.value())
+}
+
+/// The overall SPEC rating of a suite: the geometric mean of the
+/// per-benchmark ratings (SPEC's aggregation choice, contrast with TGI's
+/// weighted arithmetic mean).
+pub fn suite_rating(pairs: &[TimingPair]) -> Result<f64, TgiError> {
+    if pairs.is_empty() {
+        return Err(TgiError::EmptyBenchmarkSet);
+    }
+    let ratings: Result<Vec<f64>, TgiError> =
+        pairs.iter().map(|p| spec_rating(*p)).collect();
+    crate::means::geometric(&ratings?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(reference: f64, measured: f64) -> TimingPair {
+        TimingPair { reference: Seconds::new(reference), measured: Seconds::new(measured) }
+    }
+
+    #[test]
+    fn rating_of_25_means_25x_faster() {
+        // The paper's own example sentence.
+        assert!((spec_rating(pair(2500.0, 100.0)).unwrap() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_against_itself_scores_one() {
+        assert!((spec_rating(pair(100.0, 100.0)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_than_reference_scores_below_one() {
+        assert!(spec_rating(pair(100.0, 400.0)).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn invalid_times_rejected() {
+        assert!(spec_rating(pair(0.0, 1.0)).is_err());
+        assert!(spec_rating(pair(1.0, -1.0)).is_err());
+    }
+
+    #[test]
+    fn suite_rating_is_geometric_mean() {
+        // Ratings 2 and 8 → geometric mean 4.
+        let pairs = [pair(200.0, 100.0), pair(800.0, 100.0)];
+        assert!((suite_rating(&pairs).unwrap() - 4.0).abs() < 1e-9);
+        assert!(suite_rating(&[]).is_err());
+    }
+
+    #[test]
+    fn ree_generalizes_spec_rating() {
+        // For a fixed amount of work at fixed power, REE reduces to the SPEC
+        // rating: performance ratio = inverse time ratio.
+        use crate::measurement::Measurement;
+        use crate::reference::ReferenceSystem;
+        use crate::units::{Perf, Watts};
+        let work_gflop = 1000.0;
+        let (t_ref, t_sut) = (500.0, 100.0);
+        let reference = ReferenceSystem::builder("ref")
+            .benchmark(
+                Measurement::new(
+                    "b",
+                    Perf::gflops(work_gflop / t_ref),
+                    Watts::new(300.0),
+                    Seconds::new(t_ref),
+                )
+                .expect("valid"),
+            )
+            .build()
+            .expect("non-empty");
+        let sut = Measurement::new(
+            "b",
+            Perf::gflops(work_gflop / t_sut),
+            Watts::new(300.0),
+            Seconds::new(t_sut),
+        )
+        .expect("valid");
+        let ree = reference.ree(&sut).expect("valid");
+        let rating = spec_rating(pair(t_ref, t_sut)).expect("valid");
+        assert!((ree - rating).abs() < 1e-12);
+    }
+}

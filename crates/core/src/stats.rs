@@ -1,0 +1,243 @@
+//! Descriptive statistics used by the paper's goodness analysis (§IV).
+//!
+//! The paper judges TGI variants by the Pearson correlation coefficient
+//! (Eq. 17) between the TGI series and each benchmark's energy-efficiency
+//! series across the core-count sweep. Spearman rank correlation and simple
+//! linear regression are provided for additional ablations.
+
+use crate::error::TgiError;
+
+fn validate_series(xs: &[f64]) -> Result<(), TgiError> {
+    for &x in xs {
+        if !x.is_finite() {
+            return Err(TgiError::NotFinite { quantity: "sample" });
+        }
+    }
+    Ok(())
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> Result<f64, TgiError> {
+    if xs.is_empty() {
+        return Err(TgiError::EmptyBenchmarkSet);
+    }
+    validate_series(xs)?;
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (Bessel-corrected, `n-1` denominator).
+pub fn variance(xs: &[f64]) -> Result<f64, TgiError> {
+    if xs.len() < 2 {
+        return Err(TgiError::DegenerateStatistic("variance needs at least 2 samples"));
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64, TgiError> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Sample covariance (Bessel-corrected).
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64, TgiError> {
+    if xs.len() != ys.len() {
+        return Err(TgiError::WeightCountMismatch { weights: ys.len(), benchmarks: xs.len() });
+    }
+    if xs.len() < 2 {
+        return Err(TgiError::DegenerateStatistic("covariance needs at least 2 samples"));
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    Ok(xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64)
+}
+
+/// Pearson correlation coefficient (Eq. 17 in the paper).
+///
+/// Returns a value in `[-1, 1]`. Errors on length mismatch, fewer than two
+/// samples, or a zero-variance series (the coefficient is undefined there —
+/// the paper's Table II implicitly assumes non-constant series).
+///
+/// ```
+/// let r = tgi_core::stats::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, TgiError> {
+    let cov = covariance(xs, ys)?;
+    let sx = std_dev(xs)?;
+    let sy = std_dev(ys)?;
+    if sx == 0.0 || sy == 0.0 {
+        return Err(TgiError::DegenerateStatistic("zero variance series"));
+    }
+    // Clamp tiny numeric excursions outside [-1, 1].
+    Ok((cov / (sx * sy)).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank vectors, with
+/// average ranks assigned to ties.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, TgiError> {
+    let rx = ranks(xs)?;
+    let ry = ranks(ys)?;
+    pearson(&rx, &ry)
+}
+
+fn ranks(xs: &[f64]) -> Result<Vec<f64>, TgiError> {
+    validate_series(xs)?;
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values compare"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < idx.len() && xs[idx[j]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank of the group (1-based ranks).
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            ranks[k] = avg;
+        }
+        i = j;
+    }
+    Ok(ranks)
+}
+
+/// Ordinary least-squares fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// Simple linear regression of `ys` on `xs`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, TgiError> {
+    let cov = covariance(xs, ys)?;
+    let vx = variance(xs)?;
+    if vx == 0.0 {
+        return Err(TgiError::DegenerateStatistic("zero variance in x"));
+    }
+    let slope = cov / vx;
+    let intercept = mean(ys)? - slope * mean(xs)?;
+    let vy = variance(ys)?;
+    let r_squared = if vy == 0.0 { 1.0 } else { (cov * cov / (vx * vy)).clamp(0.0, 1.0) };
+    Ok(LinearFit { slope, intercept, r_squared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Hand-computed example.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson(&xs, &ys).unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err()); // zero variance
+        assert!(pearson(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap();
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    fn paired_series() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+        (2usize..24).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-1e3..1e3f64, n),
+                proptest::collection::vec(-1e3..1e3f64, n),
+            )
+        })
+    }
+
+    proptest! {
+        /// Pearson is symmetric and bounded.
+        #[test]
+        fn prop_pearson_symmetric_bounded((xs, ys) in paired_series()) {
+            if let (Ok(a), Ok(b)) = (pearson(&xs, &ys), pearson(&ys, &xs)) {
+                prop_assert!((a - b).abs() < 1e-9);
+                prop_assert!((-1.0..=1.0).contains(&a));
+            }
+        }
+
+        /// Pearson is invariant under positive affine transforms of either series.
+        #[test]
+        fn prop_pearson_affine_invariant((xs, ys) in paired_series(),
+                                         a in 0.1..10.0f64, b in -50.0..50.0f64) {
+            let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            if let (Ok(r1), Ok(r2)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
+                prop_assert!((r1 - r2).abs() < 1e-6);
+            }
+        }
+
+        /// Self-correlation is 1 for any non-constant series.
+        #[test]
+        fn prop_pearson_self_is_one(xs in proptest::collection::vec(-1e3..1e3f64, 2..24)) {
+            if let Ok(r) = pearson(&xs, &xs) {
+                prop_assert!((r - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! The Green Index computation (§II, Eqs. 2–4).
+//!
+//! [`Tgi::builder`] assembles the four-step algorithm:
+//!
+//! 1. `EE_i = Performance_i / Power_i` — per-benchmark energy efficiency,
+//!    computed by a pluggable [`EfficiencyMetric`] (default: perf/W).
+//! 2. `REE_i = EE_i / EE_i(reference)` — relative energy efficiency.
+//! 3. `W_i` from a [`Weighting`] scheme, `Σ W_i = 1`.
+//! 4. `TGI = Σ W_i · REE_i`.
+//!
+//! The result retains every intermediate quantity per benchmark so reports
+//! (and the paper's Table II analysis) can inspect the decomposition.
+
+use crate::efficiency::{EfficiencyMetric, PerfPerWatt};
+use crate::error::TgiError;
+use crate::measurement::Measurement;
+use crate::reference::ReferenceSystem;
+use crate::weights::Weighting;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The central-tendency measure used to combine the weighted REEs.
+///
+/// The paper builds TGI on the weighted *arithmetic* mean (Eq. 4). Its
+/// related-work discussion (John, CAN 2004) concludes that arithmetic and
+/// harmonic means are both valid with appropriate weights, and the
+/// geometric mean is SPEC's tradition for ratio data — so all three are
+/// available for the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MeanKind {
+    /// `Σ W_i·REE_i` — the paper's Eq. 4.
+    #[default]
+    Arithmetic,
+    /// `Π REE_i^{W_i}` — SPEC-style, insensitive to which system is the
+    /// reference.
+    Geometric,
+    /// `1 / Σ (W_i / REE_i)` — rate-averaging semantics.
+    Harmonic,
+}
+
+impl MeanKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MeanKind::Arithmetic => "arithmetic",
+            MeanKind::Geometric => "geometric",
+            MeanKind::Harmonic => "harmonic",
+        }
+    }
+}
+
+/// Entry point for computing The Green Index.
+#[derive(Debug, Clone)]
+pub struct Tgi;
+
+impl Tgi {
+    /// Starts a TGI computation with default settings (perf/W metric,
+    /// arithmetic-mean weighting).
+    pub fn builder() -> TgiBuilder<PerfPerWatt> {
+        TgiBuilder {
+            metric: PerfPerWatt,
+            reference: None,
+            weighting: Weighting::Arithmetic,
+            mean: MeanKind::Arithmetic,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+/// Builder for a TGI computation.
+#[derive(Debug, Clone)]
+pub struct TgiBuilder<M: EfficiencyMetric> {
+    metric: M,
+    reference: Option<ReferenceSystem>,
+    weighting: Weighting,
+    mean: MeanKind,
+    measurements: Vec<Measurement>,
+}
+
+impl<M: EfficiencyMetric> TgiBuilder<M> {
+    /// Swaps the energy-efficiency metric (§II: "TGI … can be used with any
+    /// other energy-efficient metric, such as the energy-delay product").
+    pub fn metric<N: EfficiencyMetric>(self, metric: N) -> TgiBuilder<N> {
+        TgiBuilder {
+            metric,
+            reference: self.reference,
+            weighting: self.weighting,
+            mean: self.mean,
+            measurements: self.measurements,
+        }
+    }
+
+    /// Selects the central-tendency measure (default: arithmetic, Eq. 4).
+    pub fn mean(mut self, mean: MeanKind) -> Self {
+        self.mean = mean;
+        self
+    }
+
+    /// Sets the reference system (required).
+    pub fn reference(mut self, reference: ReferenceSystem) -> Self {
+        self.reference = Some(reference);
+        self
+    }
+
+    /// Sets the weighting scheme (default: arithmetic mean).
+    pub fn weighting(mut self, weighting: Weighting) -> Self {
+        self.weighting = weighting;
+        self
+    }
+
+    /// Adds one benchmark measurement.
+    pub fn measurement(mut self, m: Measurement) -> Self {
+        self.measurements.push(m);
+        self
+    }
+
+    /// Adds a batch of benchmark measurements.
+    pub fn measurements(mut self, ms: impl IntoIterator<Item = Measurement>) -> Self {
+        self.measurements.extend(ms);
+        self
+    }
+
+    /// Runs the four-step TGI algorithm.
+    pub fn compute(self) -> Result<TgiResult, TgiError> {
+        let reference = self.reference.ok_or(TgiError::MissingReferenceSystem)?;
+        if self.measurements.is_empty() {
+            return Err(TgiError::EmptyBenchmarkSet);
+        }
+        let mut seen = BTreeSet::new();
+        for m in &self.measurements {
+            if !seen.insert(m.id().to_string()) {
+                return Err(TgiError::DuplicateBenchmark(m.id().to_string()));
+            }
+        }
+
+        let weights = self.weighting.weights_for(&self.measurements)?;
+
+        let mut contributions = Vec::with_capacity(self.measurements.len());
+        for (i, m) in self.measurements.iter().enumerate() {
+            // Step 1: EE_i under the configured metric.
+            let ee = self.metric.evaluate(m);
+            // Step 2: REE_i. For the default perf/W metric this includes the
+            // unit check; for custom metrics we divide raw metric values.
+            let ref_meas = reference
+                .measurement(m.id())
+                .ok_or_else(|| TgiError::MissingReference(m.id().to_string()))?;
+            // Unit compatibility is enforced for all metrics.
+            m.performance().ratio(ref_meas.performance())?;
+            let ref_ee = self.metric.evaluate(ref_meas);
+            let ree = ee / ref_ee;
+            // Steps 3–4 (the additive `contribution` is meaningful for the
+            // arithmetic mean; the other means aggregate below).
+            let w = weights.get(i);
+            let contribution = w * ree;
+            contributions.push(BenchmarkContribution {
+                benchmark: m.id().to_string(),
+                energy_efficiency: ee,
+                reference_efficiency: ref_ee,
+                ree,
+                weight: w,
+                contribution,
+            });
+        }
+
+        let rees: Vec<f64> = contributions.iter().map(|c| c.ree).collect();
+        let ws: Vec<f64> = contributions.iter().map(|c| c.weight).collect();
+        let tgi = match self.mean {
+            MeanKind::Arithmetic => contributions.iter().map(|c| c.contribution).sum(),
+            MeanKind::Geometric => crate::means::weighted_geometric(&rees, &ws)?,
+            MeanKind::Harmonic => crate::means::weighted_harmonic(&rees, &ws)?,
+        };
+
+        Ok(TgiResult {
+            value: tgi,
+            weighting: self.weighting,
+            mean: self.mean,
+            reference_name: reference.name().to_string(),
+            contributions,
+        })
+    }
+}
+
+impl std::fmt::Display for TgiResult {
+    /// A multi-line human-readable summary: the headline value and the
+    /// per-benchmark decomposition.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "TGI = {:.4}  ({} mean, {} weights, vs {})",
+            self.value,
+            self.mean.label(),
+            self.weighting.label(),
+            self.reference_name
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>12} {:>12} {:>8} {:>8}",
+            "benchmark", "EE", "EE(ref)", "REE", "weight"
+        )?;
+        for c in &self.contributions {
+            writeln!(
+                f,
+                "  {:<12} {:>12.4e} {:>12.4e} {:>8.4} {:>8.4}",
+                c.benchmark, c.energy_efficiency, c.reference_efficiency, c.ree, c.weight
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-benchmark decomposition of a TGI value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkContribution {
+    /// Benchmark id.
+    pub benchmark: String,
+    /// `EE_i` — energy efficiency on the system under test (Eq. 2).
+    pub energy_efficiency: f64,
+    /// `EE_i(reference)` — energy efficiency on the reference system.
+    pub reference_efficiency: f64,
+    /// `REE_i = EE_i / EE_i(reference)` (Eq. 3).
+    pub ree: f64,
+    /// `W_i` — the weighting factor (Σ = 1).
+    pub weight: f64,
+    /// `W_i × REE_i` — this benchmark's share of TGI.
+    pub contribution: f64,
+}
+
+/// The result of a TGI computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TgiResult {
+    value: f64,
+    weighting: Weighting,
+    #[serde(default)]
+    mean: MeanKind,
+    reference_name: String,
+    contributions: Vec<BenchmarkContribution>,
+}
+
+impl TgiResult {
+    /// The Green Index (Eq. 4).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The weighting scheme that produced this value.
+    pub fn weighting(&self) -> &Weighting {
+        &self.weighting
+    }
+
+    /// The central-tendency measure that produced this value.
+    pub fn mean(&self) -> MeanKind {
+        self.mean
+    }
+
+    /// Name of the reference system used for normalization.
+    pub fn reference_name(&self) -> &str {
+        &self.reference_name
+    }
+
+    /// Per-benchmark decomposition, in suite order.
+    pub fn contributions(&self) -> &[BenchmarkContribution] {
+        &self.contributions
+    }
+
+    /// The contribution record for a specific benchmark, if present.
+    pub fn contribution(&self, benchmark: &str) -> Option<&BenchmarkContribution> {
+        self.contributions.iter().find(|c| c.benchmark == benchmark)
+    }
+
+    /// The benchmark with the smallest REE — the subsystem the paper expects
+    /// to *bound* system-wide efficiency ("We expect the TGI metric to be
+    /// bound by \[the\] benchmark with least REE", §IV-B).
+    pub fn least_efficient(&self) -> Option<&BenchmarkContribution> {
+        self.contributions
+            .iter()
+            .min_by(|a, b| a.ree.partial_cmp(&b.ree).expect("REE values are finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edp::EnergyDelayProduct;
+    use crate::units::{Perf, Seconds, Watts};
+    use proptest::prelude::*;
+
+    fn meas(id: &str, perf: Perf, w: f64, t: f64) -> Measurement {
+        Measurement::new(id, perf, Watts::new(w), Seconds::new(t)).unwrap()
+    }
+
+    fn reference() -> ReferenceSystem {
+        ReferenceSystem::builder("SystemG")
+            .benchmark(meas("hpl", Perf::tflops(8.1), 26_000.0, 7200.0))
+            .benchmark(meas("stream", Perf::mbps(1_600_000.0), 24_000.0, 600.0))
+            .benchmark(meas("iozone", Perf::mbps(320.0), 11_500.0, 900.0))
+            .build()
+            .unwrap()
+    }
+
+    fn fire_suite() -> Vec<Measurement> {
+        vec![
+            meas("hpl", Perf::gflops(90.0), 2_900.0, 1800.0),
+            meas("stream", Perf::mbps(80_000.0), 2_500.0, 300.0),
+            meas("iozone", Perf::mbps(95.0), 2_300.0, 600.0),
+        ]
+    }
+
+    #[test]
+    fn tgi_arithmetic_mean_matches_hand_computation() {
+        let result = Tgi::builder()
+            .reference(reference())
+            .measurements(fire_suite())
+            .compute()
+            .unwrap();
+
+        let ree_hpl = (90e9 / 2_900.0) / (8.1e12 / 26_000.0);
+        let ree_stream = (80_000e6 / 2_500.0) / (1_600_000e6 / 24_000.0);
+        let ree_io = (95e6 / 2_300.0) / (320e6 / 11_500.0);
+        let expected = (ree_hpl + ree_stream + ree_io) / 3.0;
+        assert!(
+            (result.value() - expected).abs() < 1e-9 * expected,
+            "got {} want {expected}",
+            result.value()
+        );
+        assert_eq!(result.reference_name(), "SystemG");
+        assert_eq!(result.contributions().len(), 3);
+    }
+
+    #[test]
+    fn contributions_sum_to_tgi() {
+        let result = Tgi::builder()
+            .reference(reference())
+            .weighting(Weighting::Energy)
+            .measurements(fire_suite())
+            .compute()
+            .unwrap();
+        let sum: f64 = result.contributions().iter().map(|c| c.contribution).sum();
+        assert!((sum - result.value()).abs() < 1e-12 * result.value().abs().max(1.0));
+    }
+
+    #[test]
+    fn reference_system_scores_tgi_one_under_any_weighting() {
+        // The reference measured against itself must yield TGI = 1 for every
+        // weighting scheme, because every REE_i = 1 and Σ W_i = 1.
+        let r = reference();
+        let self_suite: Vec<Measurement> =
+            r.iter().map(|(_, m)| m.clone()).collect();
+        for w in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
+            let result = Tgi::builder()
+                .reference(r.clone())
+                .weighting(w.clone())
+                .measurements(self_suite.clone())
+                .compute()
+                .unwrap();
+            assert!(
+                (result.value() - 1.0).abs() < 1e-12,
+                "{w}: TGI of reference vs itself = {}",
+                result.value()
+            );
+        }
+    }
+
+    #[test]
+    fn least_efficient_identifies_min_ree() {
+        let result = Tgi::builder()
+            .reference(reference())
+            .measurements(fire_suite())
+            .compute()
+            .unwrap();
+        let min = result.least_efficient().unwrap();
+        for c in result.contributions() {
+            assert!(min.ree <= c.ree);
+        }
+    }
+
+    #[test]
+    fn missing_reference_benchmark_errors() {
+        let extra = meas("fft", Perf::gflops(5.0), 2_000.0, 120.0);
+        let err = Tgi::builder()
+            .reference(reference())
+            .measurement(extra)
+            .compute()
+            .unwrap_err();
+        assert!(matches!(err, TgiError::MissingReference(_)));
+    }
+
+    #[test]
+    fn duplicate_measurement_errors() {
+        let err = Tgi::builder()
+            .reference(reference())
+            .measurement(meas("hpl", Perf::gflops(90.0), 2_900.0, 1800.0))
+            .measurement(meas("hpl", Perf::gflops(91.0), 2_900.0, 1800.0))
+            .compute()
+            .unwrap_err();
+        assert!(matches!(err, TgiError::DuplicateBenchmark(_)));
+    }
+
+    #[test]
+    fn missing_reference_system_errors() {
+        let err = Tgi::builder().measurements(fire_suite()).compute().unwrap_err();
+        assert_eq!(err, TgiError::MissingReferenceSystem);
+    }
+
+    #[test]
+    fn empty_suite_errors() {
+        let err = Tgi::builder().reference(reference()).compute().unwrap_err();
+        assert_eq!(err, TgiError::EmptyBenchmarkSet);
+    }
+
+    #[test]
+    fn unit_mismatch_against_reference_errors() {
+        let wrong = meas("hpl", Perf::mbps(100.0), 2_900.0, 1800.0);
+        let err = Tgi::builder()
+            .reference(reference())
+            .measurement(wrong)
+            .compute()
+            .unwrap_err();
+        assert!(matches!(err, TgiError::UnitMismatch { .. }));
+    }
+
+    #[test]
+    fn mean_kinds_obey_am_gm_hm_ordering() {
+        // For positive, non-constant REEs: AM ≥ GM ≥ HM.
+        let compute = |mean: MeanKind| {
+            Tgi::builder()
+                .mean(mean)
+                .reference(reference())
+                .measurements(fire_suite())
+                .compute()
+                .unwrap()
+                .value()
+        };
+        let am = compute(MeanKind::Arithmetic);
+        let gm = compute(MeanKind::Geometric);
+        let hm = compute(MeanKind::Harmonic);
+        assert!(am > gm && gm > hm, "AM {am} ≥ GM {gm} ≥ HM {hm}");
+    }
+
+    #[test]
+    fn geometric_mean_is_reference_reciprocal() {
+        // The SPEC argument for the geometric mean: swapping system under
+        // test and reference exactly inverts the score.
+        let r = reference();
+        let fire = fire_suite();
+        let forward = Tgi::builder()
+            .mean(MeanKind::Geometric)
+            .reference(r.clone())
+            .measurements(fire.clone())
+            .compute()
+            .unwrap()
+            .value();
+        let mut fire_ref = ReferenceSystem::builder("fire");
+        for m in &fire {
+            fire_ref = fire_ref.benchmark(m.clone());
+        }
+        let fire_ref = fire_ref.build().unwrap();
+        let g_suite: Vec<Measurement> = r.iter().map(|(_, m)| m.clone()).collect();
+        let backward = Tgi::builder()
+            .mean(MeanKind::Geometric)
+            .reference(fire_ref)
+            .measurements(g_suite)
+            .compute()
+            .unwrap()
+            .value();
+        assert!(
+            (forward * backward - 1.0).abs() < 1e-9,
+            "GM must invert under reference swap: {forward} × {backward}"
+        );
+        // The arithmetic mean does NOT have this property.
+        let am_fwd = Tgi::builder()
+            .reference(r.clone())
+            .measurements(fire.clone())
+            .compute()
+            .unwrap()
+            .value();
+        assert!((am_fwd * backward - 1.0).abs() > 0.01);
+    }
+
+    #[test]
+    fn mean_kind_recorded_in_result() {
+        let result = Tgi::builder()
+            .mean(MeanKind::Harmonic)
+            .reference(reference())
+            .measurements(fire_suite())
+            .compute()
+            .unwrap();
+        assert_eq!(result.mean(), MeanKind::Harmonic);
+        assert_eq!(result.mean().label(), "harmonic");
+        assert_eq!(MeanKind::default(), MeanKind::Arithmetic);
+    }
+
+    #[test]
+    fn custom_metric_edp_changes_value() {
+        let perf_w = Tgi::builder()
+            .reference(reference())
+            .measurements(fire_suite())
+            .compute()
+            .unwrap();
+        let edp = Tgi::builder()
+            .metric(EnergyDelayProduct)
+            .reference(reference())
+            .measurements(fire_suite())
+            .compute()
+            .unwrap();
+        // Different metric, same pipeline — results are both positive and
+        // generally different.
+        assert!(edp.value() > 0.0);
+        assert!((edp.value() - perf_w.value()).abs() > 1e-12);
+    }
+
+    #[test]
+    fn custom_weighting_emphasizes_benchmark() {
+        // Pushing all weight onto iozone makes TGI equal iozone's REE.
+        let result = Tgi::builder()
+            .reference(reference())
+            .weighting(Weighting::Custom(vec![0.0, 0.0, 1.0]))
+            .measurements(fire_suite())
+            .compute()
+            .unwrap();
+        let io = result.contribution("iozone").unwrap();
+        assert!((result.value() - io.ree).abs() < 1e-12 * io.ree);
+    }
+
+    #[test]
+    fn display_summarizes_result() {
+        let result = Tgi::builder()
+            .reference(reference())
+            .measurements(fire_suite())
+            .compute()
+            .unwrap();
+        let text = result.to_string();
+        assert!(text.starts_with("TGI = "));
+        assert!(text.contains("arithmetic mean"));
+        assert!(text.contains("SystemG"));
+        for id in ["hpl", "stream", "iozone"] {
+            assert!(text.contains(id), "missing {id}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn result_serde_round_trip() {
+        let result = Tgi::builder()
+            .reference(reference())
+            .measurements(fire_suite())
+            .compute()
+            .unwrap();
+        let json = serde_json::to_string(&result).unwrap();
+        let back: TgiResult = serde_json::from_str(&json).unwrap();
+        // Floats may lose a ULP through JSON; compare within tolerance.
+        assert!((result.value() - back.value()).abs() < 1e-12);
+        assert_eq!(result.reference_name(), back.reference_name());
+        assert_eq!(result.weighting(), back.weighting());
+        assert_eq!(result.contributions().len(), back.contributions().len());
+        for (a, b) in result.contributions().iter().zip(back.contributions()) {
+            assert_eq!(a.benchmark, b.benchmark);
+            assert!((a.ree - b.ree).abs() < 1e-9 * a.ree.abs().max(1.0));
+        }
+    }
+
+    proptest! {
+        /// Scale invariance of the reference (SPEC-rating property): scaling
+        /// the system under test's performance by k scales TGI contributions
+        /// of that benchmark by k.
+        #[test]
+        fn prop_tgi_linear_in_performance(k in 0.1..10.0f64) {
+            let base = Tgi::builder()
+                .reference(reference())
+                .measurements(fire_suite())
+                .compute()
+                .unwrap();
+            let scaled_suite = vec![
+                meas("hpl", Perf::gflops(90.0 * k), 2_900.0, 1800.0),
+                meas("stream", Perf::mbps(80_000.0), 2_500.0, 300.0),
+                meas("iozone", Perf::mbps(95.0), 2_300.0, 600.0),
+            ];
+            let scaled = Tgi::builder()
+                .reference(reference())
+                .measurements(scaled_suite)
+                .compute()
+                .unwrap();
+            let c0 = base.contribution("hpl").unwrap().contribution;
+            let c1 = scaled.contribution("hpl").unwrap().contribution;
+            prop_assert!((c1 - k * c0).abs() < 1e-9 * (k * c0).abs());
+        }
+
+        /// TGI under any builtin weighting is bounded by [min REE, max REE]
+        /// — a weighted mean cannot escape the hull of its inputs.
+        #[test]
+        fn prop_tgi_within_ree_hull(
+            p1 in 1.0..1e3f64, p2 in 1.0..1e6f64, p3 in 1.0..1e3f64,
+            w1 in 100.0..1e4f64, w2 in 100.0..1e4f64, w3 in 100.0..1e4f64,
+        ) {
+            let suite = vec![
+                meas("hpl", Perf::gflops(p1), w1, 500.0),
+                meas("stream", Perf::mbps(p2), w2, 300.0),
+                meas("iozone", Perf::mbps(p3), w3, 600.0),
+            ];
+            for scheme in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
+                let r = Tgi::builder()
+                    .reference(reference())
+                    .weighting(scheme)
+                    .measurements(suite.clone())
+                    .compute()
+                    .unwrap();
+                let rees: Vec<f64> = r.contributions().iter().map(|c| c.ree).collect();
+                let lo = rees.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = rees.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(r.value() >= lo - 1e-9 * lo.abs());
+                prop_assert!(r.value() <= hi + 1e-9 * hi.abs());
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The vector view of energy efficiency.
+//!
+//! §II: "Despite arguments that energy efficiency can only be represented by
+//! a vector which captures the effect of energy consumed by a benchmark
+//! suite, we seek the holy grail of a single representative number."
+//!
+//! This module implements the vector side of that argument so the collapse
+//! to TGI can be *checked* rather than assumed: an [`EfficiencyVector`]
+//! holds one REE per benchmark and supports Pareto-dominance comparison.
+//! When one system dominates another, every weighting of TGI agrees on
+//! their order (proved as a property test in `tgi.rs`-adjacent tests here);
+//! when neither dominates, the scalar ranking is weight-dependent — the
+//! information the single number necessarily discards.
+
+use crate::error::TgiError;
+use crate::measurement::Measurement;
+use crate::reference::ReferenceSystem;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How two efficiency vectors compare under Pareto dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// Strictly better on at least one benchmark, no worse on any.
+    Dominates,
+    /// Strictly worse on at least one benchmark, no better on any.
+    DominatedBy,
+    /// Identical on every benchmark.
+    Equal,
+    /// Better on some benchmarks, worse on others: no scalar-free order.
+    Incomparable,
+}
+
+/// A per-benchmark vector of relative energy efficiencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyVector {
+    entries: BTreeMap<String, f64>,
+}
+
+impl EfficiencyVector {
+    /// Builds the REE vector of a suite of measurements against a reference.
+    pub fn from_suite(
+        reference: &ReferenceSystem,
+        suite: &[Measurement],
+    ) -> Result<Self, TgiError> {
+        if suite.is_empty() {
+            return Err(TgiError::EmptyBenchmarkSet);
+        }
+        let mut entries = BTreeMap::new();
+        for m in suite {
+            let ree = reference.ree(m)?;
+            if entries.insert(m.id().to_string(), ree).is_some() {
+                return Err(TgiError::DuplicateBenchmark(m.id().to_string()));
+            }
+        }
+        Ok(EfficiencyVector { entries })
+    }
+
+    /// Builds a vector directly from `(benchmark, REE)` pairs.
+    pub fn from_rees(
+        pairs: impl IntoIterator<Item = (String, f64)>,
+    ) -> Result<Self, TgiError> {
+        let mut entries = BTreeMap::new();
+        for (id, ree) in pairs {
+            if !ree.is_finite() || ree <= 0.0 {
+                return Err(TgiError::NonPositiveQuantity { quantity: "REE", value: ree });
+            }
+            if entries.insert(id.clone(), ree).is_some() {
+                return Err(TgiError::DuplicateBenchmark(id));
+            }
+        }
+        if entries.is_empty() {
+            return Err(TgiError::EmptyBenchmarkSet);
+        }
+        Ok(EfficiencyVector { entries })
+    }
+
+    /// The REE for one benchmark.
+    pub fn get(&self, benchmark: &str) -> Option<f64> {
+        self.entries.get(benchmark).copied()
+    }
+
+    /// Number of benchmarks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is empty (cannot occur via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(benchmark, REE)` in benchmark order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The benchmark with the least REE — the paper's expected bound on
+    /// system-wide efficiency.
+    pub fn least(&self) -> (&str, f64) {
+        self.entries
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("REEs are finite"))
+            .map(|(k, v)| (k.as_str(), *v))
+            .expect("constructors forbid empty vectors")
+    }
+
+    /// Pareto-dominance comparison with another vector over the *same*
+    /// benchmark set.
+    pub fn dominance(&self, other: &EfficiencyVector) -> Result<Dominance, TgiError> {
+        if self.entries.len() != other.entries.len() {
+            return Err(TgiError::WeightCountMismatch {
+                weights: other.entries.len(),
+                benchmarks: self.entries.len(),
+            });
+        }
+        let mut better = false;
+        let mut worse = false;
+        for (id, &ree) in &self.entries {
+            let theirs = other
+                .entries
+                .get(id)
+                .copied()
+                .ok_or_else(|| TgiError::MissingReference(id.clone()))?;
+            if ree > theirs {
+                better = true;
+            } else if ree < theirs {
+                worse = true;
+            }
+        }
+        Ok(match (better, worse) {
+            (true, false) => Dominance::Dominates,
+            (false, true) => Dominance::DominatedBy,
+            (false, false) => Dominance::Equal,
+            (true, true) => Dominance::Incomparable,
+        })
+    }
+}
+
+impl fmt::Display for EfficiencyVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (id, ree)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}: {ree:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Perf, Seconds, Watts};
+    use proptest::prelude::*;
+
+    fn vector(rees: &[(&str, f64)]) -> EfficiencyVector {
+        EfficiencyVector::from_rees(
+            rees.iter().map(|(id, r)| (id.to_string(), *r)),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn from_suite_matches_reference_ree() {
+        let reference = ReferenceSystem::builder("ref")
+            .benchmark(
+                Measurement::new("hpl", Perf::gflops(10.0), Watts::new(1000.0), Seconds::new(60.0))
+                    .expect("valid"),
+            )
+            .build()
+            .expect("non-empty");
+        let suite = vec![Measurement::new(
+            "hpl",
+            Perf::gflops(5.0),
+            Watts::new(250.0),
+            Seconds::new(60.0),
+        )
+        .expect("valid")];
+        let v = EfficiencyVector::from_suite(&reference, &suite).expect("valid");
+        // EE = 5e9/250 = 2e7; ref EE = 1e7 → REE = 2.
+        assert!((v.get("hpl").expect("present") - 2.0).abs() < 1e-12);
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn least_identifies_minimum() {
+        let v = vector(&[("hpl", 0.1), ("stream", 2.0), ("iozone", 0.5)]);
+        assert_eq!(v.least(), ("hpl", 0.1));
+    }
+
+    #[test]
+    fn dominance_cases() {
+        let base = vector(&[("a", 1.0), ("b", 1.0)]);
+        assert_eq!(
+            base.dominance(&vector(&[("a", 0.5), ("b", 0.9)])).expect("comparable"),
+            Dominance::Dominates
+        );
+        assert_eq!(
+            base.dominance(&vector(&[("a", 2.0), ("b", 1.5)])).expect("comparable"),
+            Dominance::DominatedBy
+        );
+        assert_eq!(
+            base.dominance(&vector(&[("a", 1.0), ("b", 1.0)])).expect("comparable"),
+            Dominance::Equal
+        );
+        assert_eq!(
+            base.dominance(&vector(&[("a", 2.0), ("b", 0.5)])).expect("comparable"),
+            Dominance::Incomparable
+        );
+    }
+
+    #[test]
+    fn dominance_rejects_mismatched_sets() {
+        let a = vector(&[("a", 1.0), ("b", 1.0)]);
+        let b = vector(&[("a", 1.0)]);
+        assert!(a.dominance(&b).is_err());
+        let c = vector(&[("a", 1.0), ("c", 1.0)]);
+        assert!(a.dominance(&c).is_err());
+    }
+
+    #[test]
+    fn constructors_reject_bad_input() {
+        assert!(EfficiencyVector::from_rees(std::iter::empty()).is_err());
+        assert!(EfficiencyVector::from_rees([("a".to_string(), -1.0)]).is_err());
+        assert!(EfficiencyVector::from_rees([("a".to_string(), f64::NAN)]).is_err());
+        assert!(EfficiencyVector::from_rees([
+            ("a".to_string(), 1.0),
+            ("a".to_string(), 2.0)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn display_lists_benchmarks() {
+        let v = vector(&[("hpl", 0.5), ("stream", 2.0)]);
+        let s = v.to_string();
+        assert!(s.contains("hpl: 0.5000"));
+        assert!(s.contains("stream: 2.0000"));
+    }
+
+    proptest! {
+        /// When A dominates B, every valid weighting's TGI agrees:
+        /// Σ w·A >= Σ w·B. This is the precise sense in which the scalar
+        /// collapse is safe for dominated pairs (and only for them).
+        #[test]
+        fn prop_dominance_implies_scalar_agreement(
+            a in proptest::collection::vec(0.1..10.0f64, 3),
+            bump in proptest::collection::vec(0.0..5.0f64, 3),
+            w in proptest::collection::vec(0.01..1.0f64, 3),
+        ) {
+            let ids = ["x", "y", "z"];
+            let total: f64 = w.iter().sum();
+            let weights: Vec<f64> = w.iter().map(|v| v / total).collect();
+            let b: Vec<f64> = a.iter().zip(&bump).map(|(v, d)| v + d).collect();
+            let va = vector(&[(ids[0], a[0]), (ids[1], a[1]), (ids[2], a[2])]);
+            let vb = vector(&[(ids[0], b[0]), (ids[1], b[1]), (ids[2], b[2])]);
+            let dom = vb.dominance(&va).expect("comparable");
+            prop_assert!(matches!(dom, Dominance::Dominates | Dominance::Equal));
+            let tgi_a: f64 = a.iter().zip(&weights).map(|(v, w)| v * w).sum();
+            let tgi_b: f64 = b.iter().zip(&weights).map(|(v, w)| v * w).sum();
+            prop_assert!(tgi_b >= tgi_a - 1e-12);
+        }
+
+        /// Dominance is antisymmetric: if A dominates B then B is dominated
+        /// by A.
+        #[test]
+        fn prop_dominance_antisymmetric(
+            a in proptest::collection::vec(0.1..10.0f64, 3),
+            b in proptest::collection::vec(0.1..10.0f64, 3),
+        ) {
+            let ids = ["x", "y", "z"];
+            let va = vector(&[(ids[0], a[0]), (ids[1], a[1]), (ids[2], a[2])]);
+            let vb = vector(&[(ids[0], b[0]), (ids[1], b[1]), (ids[2], b[2])]);
+            let ab = va.dominance(&vb).expect("comparable");
+            let ba = vb.dominance(&va).expect("comparable");
+            let expected = match ab {
+                Dominance::Dominates => Dominance::DominatedBy,
+                Dominance::DominatedBy => Dominance::Dominates,
+                Dominance::Equal => Dominance::Equal,
+                Dominance::Incomparable => Dominance::Incomparable,
+            };
+            prop_assert_eq!(ba, expected);
+        }
+    }
+}

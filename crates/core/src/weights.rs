@@ -1,0 +1,269 @@
+//! TGI weighting schemes (§III).
+//!
+//! Step 3 of the TGI algorithm assigns each benchmark a weight with
+//! `Σ W_i = 1`. The paper studies:
+//!
+//! * **Arithmetic mean** (Eqs. 6–8): equal weights `1/n`.
+//! * **Time weights** (Eq. 10): `W_ti = t_i / Σ t_i`.
+//! * **Energy weights** (Eq. 11): `W_ei = e_i / Σ e_i`.
+//! * **Power weights** (Eq. 12): `W_pi = p_i / Σ p_i`.
+//!
+//! §III observes (Eqs. 13–15) that time weights preserve the desired
+//! inverse-proportionality to energy, whereas energy and power weights cancel
+//! the energy component — the experimental Table II confirms that the latter
+//! two correlate with HPL rather than with the least-efficient subsystem.
+//! User-defined weights (advantage 1 in §II) are supported via
+//! [`Weighting::Custom`].
+
+use crate::error::TgiError;
+use crate::measurement::Measurement;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How to assign the TGI component (weighting factor) to each benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Weighting {
+    /// Equal weights `1/n` — TGI via the arithmetic mean (Eq. 7).
+    Arithmetic,
+    /// Weights proportional to per-benchmark execution time (Eq. 10).
+    Time,
+    /// Weights proportional to per-benchmark energy consumption (Eq. 11).
+    Energy,
+    /// Weights proportional to per-benchmark average power (Eq. 12).
+    Power,
+    /// User-supplied weights, one per benchmark in suite order. They are
+    /// validated (non-negative, summing to 1) at computation time.
+    Custom(Vec<f64>),
+}
+
+impl Weighting {
+    /// Computes the normalized weight vector for the given suite of
+    /// measurements, in the same order.
+    ///
+    /// ```
+    /// use tgi_core::prelude::*;
+    /// let suite = vec![
+    ///     Measurement::new("a", Perf::gflops(1.0), Watts::new(100.0), Seconds::new(30.0)).unwrap(),
+    ///     Measurement::new("b", Perf::gflops(1.0), Watts::new(100.0), Seconds::new(90.0)).unwrap(),
+    /// ];
+    /// let w = Weighting::Time.weights_for(&suite).unwrap();
+    /// assert_eq!(w.as_slice(), &[0.25, 0.75]);
+    /// ```
+    pub fn weights_for(&self, suite: &[Measurement]) -> Result<WeightSet, TgiError> {
+        if suite.is_empty() {
+            return Err(TgiError::EmptyBenchmarkSet);
+        }
+        let raw: Vec<f64> = match self {
+            Weighting::Arithmetic => vec![1.0; suite.len()],
+            Weighting::Time => suite.iter().map(|m| m.time().value()).collect(),
+            Weighting::Energy => suite.iter().map(|m| m.energy().value()).collect(),
+            Weighting::Power => suite.iter().map(|m| m.power().value()).collect(),
+            Weighting::Custom(ws) => {
+                if ws.len() != suite.len() {
+                    return Err(TgiError::WeightCountMismatch {
+                        weights: ws.len(),
+                        benchmarks: suite.len(),
+                    });
+                }
+                let sum: f64 = ws.iter().sum();
+                if ws.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                    return Err(TgiError::InvalidWeights { sum: f64::NAN });
+                }
+                if (sum - 1.0).abs() > 1e-9 {
+                    return Err(TgiError::InvalidWeights { sum });
+                }
+                return Ok(WeightSet { weights: ws.clone() });
+            }
+        };
+        let total: f64 = raw.iter().sum();
+        if !(total.is_finite()) || total <= 0.0 {
+            return Err(TgiError::InvalidWeights { sum: total });
+        }
+        Ok(WeightSet { weights: raw.into_iter().map(|w| w / total).collect() })
+    }
+
+    /// Short label used in reports and figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Weighting::Arithmetic => "arithmetic mean",
+            Weighting::Time => "time-weighted",
+            Weighting::Energy => "energy-weighted",
+            Weighting::Power => "power-weighted",
+            Weighting::Custom(_) => "custom",
+        }
+    }
+}
+
+impl fmt::Display for Weighting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A validated weight vector: non-negative entries summing to one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightSet {
+    weights: Vec<f64>,
+}
+
+impl WeightSet {
+    /// The weight assigned to the `i`-th benchmark.
+    pub fn get(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Borrow the full weight vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of weights.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when there are no weights (cannot occur via `weights_for`).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Perf, Seconds, Watts};
+    use proptest::prelude::*;
+
+    fn m(id: &str, watts: f64, secs: f64) -> Measurement {
+        Measurement::new(id, Perf::gflops(1.0), Watts::new(watts), Seconds::new(secs))
+            .unwrap()
+    }
+
+    fn suite() -> Vec<Measurement> {
+        vec![m("hpl", 2_900.0, 1800.0), m("stream", 2_500.0, 300.0), m("iozone", 2_300.0, 600.0)]
+    }
+
+    #[test]
+    fn arithmetic_weights_are_equal() {
+        let ws = Weighting::Arithmetic.weights_for(&suite()).unwrap();
+        for i in 0..3 {
+            assert!((ws.get(i) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn time_weights_eq10() {
+        let ws = Weighting::Time.weights_for(&suite()).unwrap();
+        let total = 1800.0 + 300.0 + 600.0;
+        assert!((ws.get(0) - 1800.0 / total).abs() < 1e-12);
+        assert!((ws.get(1) - 300.0 / total).abs() < 1e-12);
+        assert!((ws.get(2) - 600.0 / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_weights_eq11() {
+        let ws = Weighting::Energy.weights_for(&suite()).unwrap();
+        let e = [2_900.0 * 1800.0, 2_500.0 * 300.0, 2_300.0 * 600.0];
+        let total: f64 = e.iter().sum();
+        for (i, &ei) in e.iter().enumerate() {
+            assert!((ws.get(i) - ei / total).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_weights_eq12() {
+        let ws = Weighting::Power.weights_for(&suite()).unwrap();
+        let total = 2_900.0 + 2_500.0 + 2_300.0;
+        assert!((ws.get(0) - 2_900.0 / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_builtin_weightings_sum_to_one() {
+        for w in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
+            let ws = w.weights_for(&suite()).unwrap();
+            let sum: f64 = ws.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{w}: sum {sum}");
+            assert_eq!(ws.len(), 3);
+            assert!(!ws.is_empty());
+        }
+    }
+
+    #[test]
+    fn custom_weights_validated() {
+        let s = suite();
+        assert!(Weighting::Custom(vec![0.5, 0.3, 0.2]).weights_for(&s).is_ok());
+        assert!(matches!(
+            Weighting::Custom(vec![0.5, 0.5]).weights_for(&s),
+            Err(TgiError::WeightCountMismatch { .. })
+        ));
+        assert!(matches!(
+            Weighting::Custom(vec![0.5, 0.3, 0.3]).weights_for(&s),
+            Err(TgiError::InvalidWeights { .. })
+        ));
+        assert!(matches!(
+            Weighting::Custom(vec![1.5, -0.3, -0.2]).weights_for(&s),
+            Err(TgiError::InvalidWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_suite_errors() {
+        assert!(Weighting::Arithmetic.weights_for(&[]).is_err());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Weighting::Arithmetic.label(),
+            Weighting::Time.label(),
+            Weighting::Energy.label(),
+            Weighting::Power.label(),
+        ];
+        let unique: std::collections::BTreeSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    /// Per §II advantage 1: boosting a benchmark's weight must increase
+    /// the influence of that benchmark on TGI — verified here at the weight
+    /// level: the memory benchmark's weight grows when requested.
+    #[test]
+    fn custom_weights_allow_memory_emphasis() {
+        let s = suite();
+        let ws = Weighting::Custom(vec![0.2, 0.6, 0.2]).weights_for(&s).unwrap();
+        assert!(ws.get(1) > ws.get(0));
+        assert!(ws.get(1) > ws.get(2));
+    }
+
+    proptest! {
+        /// For any valid suite, each builtin weighting yields weights that
+        /// are non-negative and sum to 1.
+        #[test]
+        fn prop_weights_normalized(
+            params in proptest::collection::vec((1.0..1e5f64, 1.0..1e5f64), 1..8)
+        ) {
+            let suite: Vec<Measurement> = params
+                .iter()
+                .enumerate()
+                .map(|(i, (w, t))| m(&format!("b{i}"), *w, *t))
+                .collect();
+            for scheme in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
+                let ws = scheme.weights_for(&suite).unwrap();
+                let sum: f64 = ws.as_slice().iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+                prop_assert!(ws.as_slice().iter().all(|w| *w >= 0.0));
+            }
+        }
+
+        /// Time weights order like the times themselves.
+        #[test]
+        fn prop_time_weights_monotone(t1 in 1.0..1e4f64, t2 in 1.0..1e4f64) {
+            let suite = vec![m("a", 100.0, t1), m("b", 100.0, t2)];
+            let ws = Weighting::Time.weights_for(&suite).unwrap();
+            if t1 > t2 {
+                prop_assert!(ws.get(0) >= ws.get(1));
+            } else {
+                prop_assert!(ws.get(0) <= ws.get(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! `calibrate` — diagnostic dump for tuning the cluster scaling models.
+//!
+//! Prints, for every Fire sweep point: per-benchmark performance, power,
+//! time, energy, EE, and REE; then each weighting's TGI series and the full
+//! PCC matrix. Used to keep the simulator calibrated to the paper's anchor
+//! points and correlation pattern (see DESIGN.md §6).
+
+use tgi_core::Weighting;
+use tgi_harness::{experiments, FireSweep};
+
+fn main() {
+    let reference = experiments::system_g_reference();
+    println!("reference: {}", reference.name());
+    for (id, m) in reference.iter() {
+        println!(
+            "  {:8} perf={:>16} power={:>9} time={:>9} ee={:.4e}",
+            id,
+            m.performance().to_string(),
+            m.power().to_string(),
+            m.time().to_string(),
+            m.energy_efficiency()
+        );
+    }
+
+    let sweep = FireSweep::run();
+    println!("\nsweep detail:");
+    for p in sweep.points() {
+        println!("cores={}", p.cores);
+        for m in &p.measurements {
+            let ree = reference.ree(m).unwrap();
+            println!(
+                "  {:8} perf={:>16} power={:>9} time={:>10} energy={:>11} ee={:.4e} ree={:.4}",
+                m.id(),
+                m.performance().to_string(),
+                m.power().to_string(),
+                m.time().to_string(),
+                m.energy().to_string(),
+                m.energy_efficiency(),
+                ree
+            );
+        }
+    }
+
+    println!("\nTGI series:");
+    for w in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
+        let series = sweep.tgi_series(&reference, w.clone()).unwrap();
+        let vals: Vec<String> =
+            series.iter().map(|(_, r)| format!("{:.3}", r.value())).collect();
+        println!("  {:16} {}", w.label(), vals.join(" "));
+    }
+
+    println!("\nPCC matrix (rows: benchmark EE, cols: weighting):");
+    println!("  {:8} {:>7} {:>7} {:>7} {:>7}", "", "AM", "time", "energy", "power");
+    let cols: Vec<Vec<(String, f64)>> =
+        [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power]
+            .into_iter()
+            .map(|w| experiments::pcc_for_weighting(&sweep, &reference, w))
+            .collect();
+    for i in 0..3 {
+        print!("  {:8}", cols[0][i].0);
+        for c in &cols {
+            print!(" {:>7.3}", c[i].1);
+        }
+        println!();
+    }
+}

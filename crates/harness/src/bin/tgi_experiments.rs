@@ -1,0 +1,194 @@
+//! `tgi-experiments` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! tgi-experiments all              # every artifact, text to stdout
+//! tgi-experiments fig2 … fig6      # one figure
+//! tgi-experiments table1 table2    # one table
+//! tgi-experiments extensions       # §VI future-work experiments
+//! tgi-experiments list             # Green500-style side-by-side list
+//! tgi-experiments --csv <dir> all  # also write CSV files into <dir>
+//! tgi-experiments --json <file> all # also write one JSON bundle
+//! tgi-experiments --markdown <file> all # also write a Markdown report
+//! ```
+
+use std::path::PathBuf;
+use tgi_harness::{
+    fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency,
+    fig5_tgi_arithmetic, fig6_tgi_weighted, system_g_reference,
+    table1_reference_performance, table2_pcc, ExperimentBundle, FigureData, FireSweep,
+    TableData,
+};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        if pos + 1 >= args.len() {
+            eprintln!("--csv requires a directory argument");
+            std::process::exit(2);
+        }
+        csv_dir = Some(PathBuf::from(args.remove(pos + 1)));
+        args.remove(pos);
+    }
+    let mut json_path: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if pos + 1 >= args.len() {
+            eprintln!("--json requires a file argument");
+            std::process::exit(2);
+        }
+        json_path = Some(PathBuf::from(args.remove(pos + 1)));
+        args.remove(pos);
+    }
+    let mut md_path: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--markdown") {
+        if pos + 1 >= args.len() {
+            eprintln!("--markdown requires a file argument");
+            std::process::exit(2);
+        }
+        md_path = Some(PathBuf::from(args.remove(pos + 1)));
+        args.remove(pos);
+    }
+    if args.is_empty() {
+        args.push("all".to_string());
+    }
+
+    let want = |name: &str| args.iter().any(|a| a == name || a == "all");
+
+    eprintln!("running SystemG reference experiments (1024 cores)...");
+    let reference = system_g_reference();
+    eprintln!("running Fire core-count sweep (16..128 cores x 3 benchmarks)...");
+    let sweep = FireSweep::run();
+
+    let mut figures: Vec<FigureData> = Vec::new();
+    let mut tables: Vec<TableData> = Vec::new();
+
+    if want("fig2") {
+        figures.push(fig2_hpl_efficiency(&sweep));
+    }
+    if want("fig3") {
+        figures.push(fig3_stream_efficiency(&sweep));
+    }
+    if want("fig4") {
+        figures.push(fig4_iozone_efficiency(&sweep));
+    }
+    if want("fig5") {
+        figures.push(fig5_tgi_arithmetic(&sweep, &reference));
+    }
+    if want("fig6") {
+        figures.push(fig6_tgi_weighted(&sweep, &reference));
+    }
+    if want("table1") {
+        tables.push(table1_reference_performance(&reference));
+    }
+    if want("table2") {
+        tables.push(table2_pcc(&sweep, &reference));
+    }
+    if args.iter().any(|a| a == "list") {
+        eprintln!("scoring the built-in fleet under FLOPS/W and TGI...");
+        match tgi_harness::list::Green500StyleList::build(
+            &reference,
+            &tgi_harness::list::builtin_fleet(),
+        ) {
+            Ok(l) => tables.push(l.to_table()),
+            Err(e) => {
+                eprintln!("list failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.iter().any(|a| a == "extensions") {
+        eprintln!("running extension experiments (GPU platform, cooling, DVFS)...");
+        match tgi_harness::extensions::gpu_platform_comparison(&reference) {
+            Ok(t) => tables.push(t),
+            Err(e) => {
+                eprintln!("gpu extension failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        match tgi_harness::extensions::center_wide_tgi(&reference) {
+            Ok(t) => tables.push(t),
+            Err(e) => {
+                eprintln!("cooling extension failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        match tgi_harness::extensions::mean_ablation(&reference) {
+            Ok(t) => tables.push(t),
+            Err(e) => {
+                eprintln!("mean ablation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        match tgi_harness::extensions::dvfs_sweep(&reference) {
+            Ok(f) => figures.push(f),
+            Err(e) => {
+                eprintln!("dvfs extension failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        match tgi_harness::extensions::more_systems_ranking(&reference) {
+            Ok(r) => println!("{r}"),
+            Err(e) => {
+                eprintln!("ranking extension failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if figures.is_empty() && tables.is_empty() {
+        eprintln!(
+            "unknown artifact(s) {:?}; expected fig2..fig6, table1, table2, all",
+            args
+        );
+        std::process::exit(2);
+    }
+
+    for f in &figures {
+        println!("{}", f.to_text());
+    }
+    for t in &tables {
+        println!("{}", t.to_text());
+    }
+
+    if json_path.is_some() || md_path.is_some() {
+        let bundle =
+            ExperimentBundle::new(reference.name(), figures.clone(), tables.clone());
+        if let Some(path) = json_path {
+            if let Err(e) = bundle.write(&path) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        if let Some(path) = md_path {
+            if let Err(e) = std::fs::write(&path, bundle.to_markdown()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if let Some(dir) = csv_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        for f in &figures {
+            let path = dir.join(format!("{}.csv", f.id));
+            if let Err(e) = std::fs::write(&path, f.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        for t in &tables {
+            let path = dir.join(format!("{}.csv", t.id));
+            if let Err(e) = std::fs::write(&path, t.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! `tgi-native` — run the benchmark suite on *this* machine and score it.
+//!
+//! ```text
+//! tgi-native                         # the standard 3-benchmark suite
+//! tgi-native --preset quick|hpcc    # built-in suite presets
+//! tgi-native --spec suite.json      # a custom SuiteSpec
+//! tgi-native --reference ref.json   # score against a saved reference
+//! tgi-native --save-reference ref.json   # save this run as the reference
+//! tgi-native --json out.json        # dump measurements as JSON
+//! ```
+//!
+//! Power comes from the background sampler over the modeled node (see
+//! `power-model`); on a machine with a real metering daemon, implement
+//! `PowerSource` against it and the rest of the pipeline is unchanged.
+
+use std::path::PathBuf;
+use tgi_core::prelude::*;
+use tgi_suite::SuiteSpec;
+
+struct Args {
+    preset: String,
+    spec: Option<PathBuf>,
+    reference: Option<PathBuf>,
+    save_reference: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        preset: "standard".to_string(),
+        spec: None,
+        reference: None,
+        save_reference: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--preset" => args.preset = value("--preset"),
+            "--spec" => args.spec = Some(PathBuf::from(value("--spec"))),
+            "--reference" => args.reference = Some(PathBuf::from(value("--reference"))),
+            "--save-reference" => {
+                args.save_reference = Some(PathBuf::from(value("--save-reference")))
+            }
+            "--json" => args.json = Some(PathBuf::from(value("--json"))),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn load_spec(args: &Args) -> SuiteSpec {
+    if let Some(path) = &args.spec {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("invalid suite spec {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    } else {
+        match args.preset.as_str() {
+            "standard" => SuiteSpec::standard(),
+            "quick" => SuiteSpec::quick(),
+            "hpcc" => SuiteSpec::hpcc_style(),
+            other => {
+                eprintln!("unknown preset `{other}` (expected standard|quick|hpcc)");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = load_spec(&args);
+    let suite = spec.build();
+    eprintln!("running {} benchmarks natively...", suite.len());
+
+    let measurements = match suite.run_all() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("suite failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:<10} {:>18} {:>12} {:>12} {:>14}",
+        "benchmark", "performance", "power", "time", "EE (unit/W)"
+    );
+    for m in &measurements {
+        println!(
+            "{:<10} {:>18} {:>12} {:>12} {:>14.4e}",
+            m.id(),
+            m.performance().to_string(),
+            m.power().to_string(),
+            m.time().to_string(),
+            m.energy_efficiency()
+        );
+    }
+
+    if let Some(path) = &args.save_reference {
+        let json = serde_json::to_string_pretty(&measurements)
+            .expect("measurements serialize");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("saved reference measurements to {}", path.display());
+    }
+
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(&measurements)
+            .expect("measurements serialize");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    // Score against a reference, if one is available.
+    if let Some(path) = &args.reference {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let ref_measurements: Vec<Measurement> =
+            serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("invalid reference {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        let mut builder = ReferenceSystem::builder(
+            path.file_stem().and_then(|s| s.to_str()).unwrap_or("reference"),
+        );
+        for m in ref_measurements {
+            builder = builder.benchmark(m);
+        }
+        let reference = match builder.build() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("invalid reference suite: {e}");
+                std::process::exit(1);
+            }
+        };
+
+        println!();
+        for weighting in
+            [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power]
+        {
+            match Tgi::builder()
+                .reference(reference.clone())
+                .weighting(weighting.clone())
+                .measurements(measurements.iter().cloned())
+                .compute()
+            {
+                Ok(result) => {
+                    println!("TGI ({:<15}) = {:.4}", weighting.to_string(), result.value())
+                }
+                Err(e) => {
+                    eprintln!("cannot compute TGI ({weighting}): {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else {
+        eprintln!(
+            "\nno --reference given: showing raw efficiencies only.\n\
+             Tip: run once on the reference machine with --save-reference ref.json,\n\
+             then score others with --reference ref.json."
+        );
+    }
+}

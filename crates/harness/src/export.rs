@@ -1,0 +1,216 @@
+//! Machine-readable export of a full experiment run.
+//!
+//! Everything the `tgi-experiments` binary prints can also be captured as
+//! one JSON bundle, so downstream tooling (plotting scripts, regression
+//! dashboards) can diff runs without re-parsing text tables.
+
+use crate::report::{FigureData, TableData};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A complete, self-describing experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentBundle {
+    /// Bundle format version (bump on breaking layout changes).
+    pub version: u32,
+    /// Name of the reference system the TGI values are normalized to.
+    pub reference_system: String,
+    /// All regenerated figures.
+    pub figures: Vec<FigureData>,
+    /// All regenerated tables.
+    pub tables: Vec<TableData>,
+}
+
+/// Current bundle format version.
+pub const BUNDLE_VERSION: u32 = 1;
+
+impl ExperimentBundle {
+    /// Assembles a bundle.
+    pub fn new(
+        reference_system: impl Into<String>,
+        figures: Vec<FigureData>,
+        tables: Vec<TableData>,
+    ) -> Self {
+        ExperimentBundle {
+            version: BUNDLE_VERSION,
+            reference_system: reference_system.into(),
+            figures,
+            tables,
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bundle contains only serializable data")
+    }
+
+    /// Parses a bundle, rejecting unknown versions.
+    pub fn from_json(json: &str) -> Result<Self, ExportError> {
+        let bundle: ExperimentBundle = serde_json::from_str(json)?;
+        if bundle.version != BUNDLE_VERSION {
+            return Err(ExportError::UnsupportedVersion(bundle.version));
+        }
+        Ok(bundle)
+    }
+
+    /// Writes the bundle to `path` as JSON.
+    pub fn write(&self, path: &Path) -> Result<(), ExportError> {
+        Ok(std::fs::write(path, self.to_json())?)
+    }
+
+    /// Reads a bundle back from `path`.
+    pub fn read(path: &Path) -> Result<Self, ExportError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Renders the whole bundle as one Markdown report.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# TGI experiment bundle (reference: {})\n\n",
+            self.reference_system
+        ));
+        for f in &self.figures {
+            out.push_str(&f.to_markdown());
+            out.push('\n');
+        }
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Looks up a figure by id.
+    pub fn figure(&self, id: &str) -> Option<&FigureData> {
+        self.figures.iter().find(|f| f.id == id)
+    }
+
+    /// Looks up a table by id.
+    pub fn table(&self, id: &str) -> Option<&TableData> {
+        self.tables.iter().find(|t| t.id == id)
+    }
+}
+
+/// Export/import failures.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// A bundle written by an incompatible version of this crate.
+    UnsupportedVersion(u32),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "I/O error: {e}"),
+            ExportError::Json(e) => write!(f, "JSON error: {e}"),
+            ExportError::UnsupportedVersion(v) => {
+                write!(f, "unsupported bundle version {v} (expected {BUNDLE_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+impl From<std::io::Error> for ExportError {
+    fn from(e: std::io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ExportError {
+    fn from(e: serde_json::Error) -> Self {
+        ExportError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Series;
+
+    fn bundle() -> ExperimentBundle {
+        ExperimentBundle::new(
+            "SystemG",
+            vec![FigureData {
+                id: "fig2".into(),
+                title: "t".into(),
+                x_label: "x".into(),
+                y_label: "y".into(),
+                series: vec![Series::from_pairs("s", &[(1.0, 2.0)])],
+            }],
+            vec![TableData {
+                id: "table1".into(),
+                title: "t".into(),
+                headers: vec!["a".into()],
+                rows: vec![vec!["1".into()]],
+            }],
+        )
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let b = bundle();
+        let parsed = ExperimentBundle::from_json(&b.to_json()).unwrap();
+        assert_eq!(b, parsed);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let b = bundle();
+        assert!(b.figure("fig2").is_some());
+        assert!(b.figure("fig9").is_none());
+        assert!(b.table("table1").is_some());
+        assert!(b.table("tableX").is_none());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut b = bundle();
+        b.version = 99;
+        let json = serde_json::to_string(&b).unwrap();
+        assert!(matches!(
+            ExperimentBundle::from_json(&json),
+            Err(ExportError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            ExperimentBundle::from_json("{not json"),
+            Err(ExportError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tgi_bundle_test_{}.json", std::process::id()));
+        let b = bundle();
+        b.write(&path).unwrap();
+        let back = ExperimentBundle::read(&path).unwrap();
+        assert_eq!(b, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bundle_markdown_contains_everything() {
+        let md = bundle().to_markdown();
+        assert!(md.starts_with("# TGI experiment bundle (reference: SystemG)"));
+        assert!(md.contains("### fig2"));
+        assert!(md.contains("### table1"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = ExperimentBundle::read(Path::new("/nonexistent/bundle.json")).unwrap_err();
+        assert!(matches!(err, ExportError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,191 @@
+//! A Green500-style list: systems ranked side-by-side under FLOPS/W and TGI.
+//!
+//! §I frames the problem as list-making ("the TOP500 list uses … HPL … to
+//! rank the 500 fastest supercomputers"; the Green500 ranks by FLOPS/W).
+//! This module produces the list TGI argues for: every system scored under
+//! both metrics, with the rank movement between them — the systems that
+//! move are exactly the ones whose non-CPU subsystems diverge from their
+//! CPU story.
+
+use crate::report::TableData;
+use cluster_sim::{ClusterSpec, ExecutionEngine, Workload};
+use tgi_core::{Measurement, ReferenceSystem, Tgi, TgiError};
+
+/// One scored system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListedSystem {
+    /// Display name.
+    pub name: String,
+    /// HPL performance, GFLOPS.
+    pub hpl_gflops: f64,
+    /// HPL energy efficiency, MFLOPS/W (the Green500 number).
+    pub mflops_per_watt: f64,
+    /// The Green Index (arithmetic mean) against the list's reference.
+    pub tgi: f64,
+}
+
+/// The composed list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Green500StyleList {
+    /// Reference system name the TGI column is normalized to.
+    pub reference: String,
+    /// Systems in TGI order (greenest first).
+    pub systems: Vec<ListedSystem>,
+}
+
+impl Green500StyleList {
+    /// Scores a set of clusters at full core count against `reference`.
+    pub fn build(
+        reference: &ReferenceSystem,
+        clusters: &[ClusterSpec],
+    ) -> Result<Self, TgiError> {
+        let mut systems = Vec::with_capacity(clusters.len());
+        for cluster in clusters {
+            let measurements: Vec<Measurement> = ExecutionEngine::new(cluster.clone())
+                .run_suite(&Workload::fire_suite(), cluster.total_cores())
+                .into_iter()
+                .map(|r| r.measurement())
+                .collect();
+            let hpl = measurements
+                .iter()
+                .find(|m| m.id() == "hpl")
+                .expect("suite contains hpl");
+            let tgi = Tgi::builder()
+                .reference(reference.clone())
+                .measurements(measurements.iter().cloned())
+                .compute()?
+                .value();
+            systems.push(ListedSystem {
+                name: cluster.name.clone(),
+                hpl_gflops: hpl.performance().as_gflops(),
+                mflops_per_watt: hpl.energy_efficiency() / 1e6,
+                tgi,
+            });
+        }
+        systems.sort_by(|a, b| {
+            b.tgi.partial_cmp(&a.tgi).expect("finite").then_with(|| a.name.cmp(&b.name))
+        });
+        Ok(Green500StyleList { reference: reference.name().to_string(), systems })
+    }
+
+    /// 1-based rank of a system under the FLOPS/W column.
+    pub fn flops_per_watt_rank(&self, name: &str) -> Option<usize> {
+        let mut order: Vec<&ListedSystem> = self.systems.iter().collect();
+        order.sort_by(|a, b| {
+            b.mflops_per_watt
+                .partial_cmp(&a.mflops_per_watt)
+                .expect("finite")
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        order.iter().position(|s| s.name == name).map(|i| i + 1)
+    }
+
+    /// Renders as a table: TGI rank, FLOPS/W rank, and the movement.
+    pub fn to_table(&self) -> TableData {
+        let rows = self
+            .systems
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let tgi_rank = i + 1;
+                let fw_rank = self
+                    .flops_per_watt_rank(&s.name)
+                    .expect("system is in its own list");
+                let movement = fw_rank as i64 - tgi_rank as i64;
+                let arrow = match movement.cmp(&0) {
+                    std::cmp::Ordering::Greater => format!("▲{movement}"),
+                    std::cmp::Ordering::Less => format!("▼{}", -movement),
+                    std::cmp::Ordering::Equal => "=".to_string(),
+                };
+                vec![
+                    tgi_rank.to_string(),
+                    s.name.clone(),
+                    format!("{:.1}", s.hpl_gflops),
+                    format!("{:.2}", s.mflops_per_watt),
+                    format!("#{fw_rank}"),
+                    format!("{:.4}", s.tgi),
+                    arrow,
+                ]
+            })
+            .collect();
+        TableData {
+            id: "green500-style".into(),
+            title: format!("System-wide list (TGI vs {}; Δ = movement vs FLOPS/W rank)", self.reference),
+            headers: vec![
+                "Rank".into(),
+                "System".into(),
+                "HPL GFLOPS".into(),
+                "MFLOPS/W".into(),
+                "FLOPS/W rank".into(),
+                "TGI".into(),
+                "Δ".into(),
+            ],
+            rows,
+        }
+    }
+}
+
+/// The built-in fleet: every cluster preset plus instructive variants.
+pub fn builtin_fleet() -> Vec<ClusterSpec> {
+    let mut fast_io = ClusterSpec::fire();
+    fast_io.name = "Fire-FastIO".to_string();
+    fast_io.shared_fs.server_cap_mbps *= 3.0;
+    fast_io.shared_fs.per_client_mbps *= 2.0;
+    vec![ClusterSpec::fire(), ClusterSpec::fire_gpu(), ClusterSpec::sandy(), fast_io]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::system_g_reference;
+    use std::sync::OnceLock;
+
+    fn list() -> &'static Green500StyleList {
+        static LIST: OnceLock<Green500StyleList> = OnceLock::new();
+        LIST.get_or_init(|| {
+            Green500StyleList::build(&system_g_reference(), &builtin_fleet())
+                .expect("fleet scores")
+        })
+    }
+
+    #[test]
+    fn list_is_sorted_by_tgi() {
+        let l = list();
+        assert_eq!(l.systems.len(), 4);
+        let tgis: Vec<f64> = l.systems.iter().map(|s| s.tgi).collect();
+        assert!(tgis.windows(2).all(|w| w[0] >= w[1]), "{tgis:?}");
+    }
+
+    #[test]
+    fn gpu_system_moves_down_from_its_flops_per_watt_rank() {
+        let l = list();
+        let gpu_tgi_rank = l
+            .systems
+            .iter()
+            .position(|s| s.name == "Fire-GPU")
+            .expect("listed")
+            + 1;
+        let gpu_fw_rank = l.flops_per_watt_rank("Fire-GPU").expect("listed");
+        assert!(
+            gpu_fw_rank < gpu_tgi_rank,
+            "GPU system should rank better under FLOPS/W ({gpu_fw_rank}) than TGI ({gpu_tgi_rank})"
+        );
+    }
+
+    #[test]
+    fn table_renders_movement_arrows() {
+        let t = list().to_table();
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.headers.len(), 7);
+        let all_cells = t.rows.iter().flatten().cloned().collect::<String>();
+        assert!(
+            all_cells.contains('▲') || all_cells.contains('▼'),
+            "at least one system should move between rankings: {all_cells}"
+        );
+    }
+
+    #[test]
+    fn unknown_system_has_no_rank() {
+        assert_eq!(list().flops_per_watt_rank("nonexistent"), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! Figure/table data containers and text/CSV rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One (x, y) point of a figure series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate (process count, node count, core count).
+    pub x: f64,
+    /// Y coordinate (efficiency, TGI).
+    pub y: f64,
+}
+
+/// A named series of points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Builds a series from `(x, y)` pairs.
+    pub fn from_pairs(name: impl Into<String>, pairs: &[(f64, f64)]) -> Self {
+        Series {
+            name: name.into(),
+            points: pairs.iter().map(|&(x, y)| Point { x, y }).collect(),
+        }
+    }
+
+    /// The y values in order.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.y).collect()
+    }
+
+    /// The x values in order.
+    pub fn xs(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.x).collect()
+    }
+}
+
+/// Everything needed to regenerate one figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Identifier, e.g. `"fig2"`.
+    pub id: String,
+    /// Title matching the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// One or more series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Renders as an aligned text table (one x column, one column per
+    /// series), which is how the harness binary prints figures.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>18}", s.name);
+        }
+        let _ = writeln!(out);
+        let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        // Integer x axes (process/core counts) print without decimals;
+        // fractional ones (clock ratios) keep two.
+        let integral_x = self
+            .series
+            .iter()
+            .flat_map(|s| &s.points)
+            .all(|p| (p.x - p.x.round()).abs() < 1e-9);
+        for i in 0..n {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.x))
+                .unwrap_or(f64::NAN);
+            if integral_x {
+                let _ = write!(out, "{x:>12.0}");
+            } else {
+                let _ = write!(out, "{x:>12.2}");
+            }
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => {
+                        let _ = write!(out, " {:>18.4}", p.y);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {} |", s.name);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for i in 0..n {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.x))
+                .unwrap_or(f64::NAN);
+            let _ = write!(out, "| {x} |");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => {
+                        let _ = write!(out, " {:.4} |", p.y);
+                    }
+                    None => {
+                        let _ = write!(out, " – |");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders as CSV: header `x,<series...>`, one row per x.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label.replace(' ', "_"));
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.name.replace(' ', "_"));
+        }
+        let _ = writeln!(out);
+        let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for i in 0..n {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.x))
+                .unwrap_or(f64::NAN);
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => {
+                        let _ = write!(out, ",{}", p.y);
+                    }
+                    None => out.push(','),
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Everything needed to regenerate one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableData {
+    /// Identifier, e.g. `"table1"`.
+    pub id: String,
+    /// Title matching the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableData {
+    /// Renders as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:<w$}  ", h, w = widths[i]);
+        }
+        let _ = writeln!(out);
+        for (i, _) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                let _ = write!(out, "{:<w$}  ", cell, w = widths[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}", "---|".repeat(self.headers.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureData {
+        FigureData {
+            id: "figX".into(),
+            title: "Test figure".into(),
+            x_label: "procs".into(),
+            y_label: "EE".into(),
+            series: vec![
+                Series::from_pairs("a", &[(16.0, 1.5), (32.0, 2.5)]),
+                Series::from_pairs("b", &[(16.0, 0.5), (32.0, 0.75)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn series_accessors() {
+        let s = Series::from_pairs("s", &[(1.0, 10.0), (2.0, 20.0)]);
+        assert_eq!(s.xs(), vec![1.0, 2.0]);
+        assert_eq!(s.ys(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn figure_text_contains_all_values() {
+        let t = fig().to_text();
+        assert!(t.contains("figX"));
+        assert!(t.contains("1.5000"));
+        assert!(t.contains("0.7500"));
+        assert!(t.contains("16"));
+        assert!(t.contains("32"));
+    }
+
+    #[test]
+    fn figure_csv_is_parseable() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "procs,a,b");
+        assert_eq!(lines.len(), 3);
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0], "16");
+    }
+
+    #[test]
+    fn ragged_series_render_dashes() {
+        let mut f = fig();
+        f.series[1].points.pop();
+        let t = f.to_text();
+        assert!(t.contains('-'));
+        let csv = f.to_csv();
+        assert!(csv.lines().nth(2).unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn table_text_aligns_and_contains_cells() {
+        let t = TableData {
+            id: "table1".into(),
+            title: "Performance on SystemG".into(),
+            headers: vec!["Benchmark".into(), "Performance".into(), "Power".into()],
+            rows: vec![
+                vec!["HPL".into(), "8.1 TFLOPS".into(), "26.00 kW".into()],
+                vec!["STREAM".into(), "1.2 TB/s".into(), "24.00 kW".into()],
+            ],
+        };
+        let text = t.to_text();
+        assert!(text.contains("8.1 TFLOPS"));
+        assert!(text.contains("STREAM"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "Benchmark,Performance,Power");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn markdown_renders_pipes_and_headers() {
+        let md = fig().to_markdown();
+        assert!(md.starts_with("### figX"));
+        assert!(md.contains("| procs | a | b |"));
+        assert!(md.contains("| 16 | 1.5000 | 0.5000 |"));
+        let t = TableData {
+            id: "t".into(),
+            title: "x".into(),
+            headers: vec!["A".into(), "B".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        let md = t.to_markdown();
+        assert!(md.contains("| A | B |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn fractional_x_axis_keeps_decimals() {
+        let f = FigureData {
+            id: "f".into(),
+            title: "t".into(),
+            x_label: "ratio".into(),
+            y_label: "y".into(),
+            series: vec![Series::from_pairs("s", &[(0.55, 1.0), (0.6, 2.0)])],
+        };
+        let text = f.to_text();
+        assert!(text.contains("0.55"), "{text}");
+        assert!(text.contains("0.60"), "{text}");
+    }
+
+    #[test]
+    fn empty_figure_renders() {
+        let f = FigureData {
+            id: "f".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert!(f.to_text().contains("# f"));
+        assert!(f.to_csv().starts_with('x'));
+    }
+}

@@ -1,0 +1,154 @@
+//! The Fire core-count sweep underlying Figures 2–6 and Table II.
+//!
+//! §IV-B: "Each point in Figure 5 represents TGI calculated while executing
+//! HPL, STREAM and IOzone using a particular number of cores in the
+//! cluster." The sweep runs the three fixed-work benchmarks at each core
+//! count and retains every measurement, so all downstream artifacts share
+//! one set of runs (as the paper's did).
+
+use cluster_sim::{ClusterSpec, ExecutionEngine, Workload};
+use tgi_core::{Measurement, ReferenceSystem, Tgi, TgiResult, Weighting};
+
+/// The paper's Fire sweep: 16…128 cores in steps of 16 (one core-per-node
+/// granularity step per point on the 8-node cluster).
+pub const FIRE_CORE_COUNTS: [usize; 8] = [16, 32, 48, 64, 80, 96, 112, 128];
+
+/// One sweep point: the core count and the three benchmark measurements.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Cores (MPI processes) used.
+    pub cores: usize,
+    /// Measurements in suite order (hpl, stream, iozone).
+    pub measurements: Vec<Measurement>,
+}
+
+/// The complete Fire sweep.
+#[derive(Debug, Clone)]
+pub struct FireSweep {
+    points: Vec<SweepPoint>,
+}
+
+impl FireSweep {
+    /// Runs the sweep on the Fire cluster with the paper's workload set.
+    pub fn run() -> Self {
+        Self::run_with(ClusterSpec::fire(), &Workload::fire_suite(), &FIRE_CORE_COUNTS)
+    }
+
+    /// Runs the paper's sweep with run-to-run performance noise (relative
+    /// σ, deterministic per seed) — for robustness studies of the
+    /// correlation results.
+    pub fn run_noisy(sigma: f64, seed: u64) -> Self {
+        let engine =
+            ExecutionEngine::new(ClusterSpec::fire()).with_run_noise(sigma, seed);
+        Self::run_on(engine, &Workload::fire_suite(), &FIRE_CORE_COUNTS)
+    }
+
+    /// Runs a custom sweep.
+    pub fn run_with(cluster: ClusterSpec, workloads: &[Workload], cores: &[usize]) -> Self {
+        Self::run_on(ExecutionEngine::new(cluster), workloads, cores)
+    }
+
+    /// Runs a sweep on a pre-configured engine (noise, DVFS, meter serial).
+    pub fn run_on(engine: ExecutionEngine, workloads: &[Workload], cores: &[usize]) -> Self {
+        let points = cores
+            .iter()
+            .map(|&c| SweepPoint {
+                cores: c,
+                measurements: engine
+                    .run_suite(workloads, c)
+                    .into_iter()
+                    .map(|r| r.measurement())
+                    .collect(),
+            })
+            .collect();
+        FireSweep { points }
+    }
+
+    /// The sweep points in core order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// The energy-efficiency series for one benchmark, as
+    /// `(cores, EE in canonical units per watt)` pairs.
+    pub fn efficiency_series(&self, benchmark: &str) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                p.measurements
+                    .iter()
+                    .find(|m| m.id() == benchmark)
+                    .map(|m| (p.cores as f64, m.energy_efficiency()))
+            })
+            .collect()
+    }
+
+    /// TGI at every sweep point under a weighting scheme.
+    pub fn tgi_series(
+        &self,
+        reference: &ReferenceSystem,
+        weighting: Weighting,
+    ) -> Result<Vec<(f64, TgiResult)>, tgi_core::TgiError> {
+        self.points
+            .iter()
+            .map(|p| {
+                Tgi::builder()
+                    .reference(reference.clone())
+                    .weighting(weighting.clone())
+                    .measurements(p.measurements.iter().cloned())
+                    .compute()
+                    .map(|r| (p.cores as f64, r))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::system_g_reference;
+
+    #[test]
+    fn sweep_covers_all_core_counts() {
+        let sweep = FireSweep::run();
+        assert_eq!(sweep.points().len(), 8);
+        let cores: Vec<usize> = sweep.points().iter().map(|p| p.cores).collect();
+        assert_eq!(cores, FIRE_CORE_COUNTS.to_vec());
+        for p in sweep.points() {
+            assert_eq!(p.measurements.len(), 3);
+        }
+    }
+
+    #[test]
+    fn efficiency_series_complete_and_positive() {
+        let sweep = FireSweep::run();
+        for b in ["hpl", "stream", "iozone"] {
+            let series = sweep.efficiency_series(b);
+            assert_eq!(series.len(), 8, "{b}");
+            assert!(series.iter().all(|&(_, ee)| ee > 0.0), "{b}");
+        }
+        assert!(sweep.efficiency_series("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn tgi_series_has_one_value_per_point() {
+        let sweep = FireSweep::run();
+        let reference = system_g_reference();
+        let series = sweep.tgi_series(&reference, Weighting::Arithmetic).unwrap();
+        assert_eq!(series.len(), 8);
+        assert!(series.iter().all(|(_, r)| r.value() > 0.0));
+    }
+
+    #[test]
+    fn hpl_efficiency_rises_then_dips_through_sweep() {
+        let sweep = FireSweep::run();
+        let series = sweep.efficiency_series("hpl");
+        let ys: Vec<f64> = series.iter().map(|&(_, y)| y).collect();
+        // Rising through mid-scale, peaking around 64–80 processes, then a
+        // mild dip as convex CPU power outruns the saturating performance.
+        assert!(ys[1] > ys[0] && ys[2] > ys[1] && ys[3] > ys[2], "rising: {ys:?}");
+        let peak = ys.iter().cloned().fold(0.0, f64::max);
+        assert!(*ys.last().unwrap() < peak, "tail dips: {ys:?}");
+        assert!(*ys.last().unwrap() > 0.7 * peak, "dip is mild: {ys:?}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Communication benchmark — the b_eff (effective bandwidth) analogue.
+//!
+//! The seventh HPC Challenge test measures the network's latency and
+//! bandwidth. With no cluster available, the same *code path* is exercised
+//! between threads: bounded crossbeam channels carry `bytes::Bytes`
+//! messages between worker "ranks", measuring
+//!
+//! * **ping-pong latency** — round-trip time of a minimal message between
+//!   two ranks, halved;
+//! * **ring bandwidth** — every rank forwards fixed-size messages around a
+//!   ring, reporting aggregate delivered bytes/second.
+//!
+//! Shared-memory numbers are orders of magnitude better than any NIC's, but
+//! the *shape* (latency floor, bandwidth saturating with message size) is
+//! the same phenomenon b_eff reports, and the harness treats the result
+//! like any other benchmark measurement.
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration for the communication benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommConfig {
+    /// Ranks (threads) in the ring.
+    pub ranks: usize,
+    /// Message payload size in bytes for the bandwidth phase.
+    pub message_bytes: usize,
+    /// Messages each rank forwards during the bandwidth phase.
+    pub messages_per_rank: usize,
+    /// Round trips for the latency phase.
+    pub pingpong_rounds: usize,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            ranks: 4,
+            message_bytes: 1 << 20,
+            messages_per_rank: 64,
+            pingpong_rounds: 1000,
+        }
+    }
+}
+
+impl CommConfig {
+    /// A configuration sized for unit tests.
+    pub fn small() -> Self {
+        CommConfig { ranks: 3, message_bytes: 4 << 10, messages_per_rank: 16, pingpong_rounds: 64 }
+    }
+}
+
+/// Result of a communication benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommResult {
+    /// One-way small-message latency, seconds.
+    pub latency_s: f64,
+    /// Aggregate ring bandwidth, bytes/second.
+    pub ring_bytes_per_sec: f64,
+    /// Total bytes moved during the bandwidth phase.
+    pub total_bytes: f64,
+}
+
+impl CommResult {
+    /// Latency in microseconds (the unit b_eff reports).
+    pub fn latency_us(&self) -> f64 {
+        self.latency_s * 1e6
+    }
+
+    /// Bandwidth in MB/s (decimal).
+    pub fn ring_mbps(&self) -> f64 {
+        self.ring_bytes_per_sec / 1e6
+    }
+}
+
+/// Runs the latency and bandwidth phases.
+///
+/// # Panics
+/// Panics on a configuration with fewer than 2 ranks or zero-sized phases.
+pub fn run(config: CommConfig) -> CommResult {
+    assert!(config.ranks >= 2, "need at least two ranks");
+    assert!(config.message_bytes > 0, "message size must be positive");
+    assert!(config.messages_per_rank > 0, "message count must be positive");
+    assert!(config.pingpong_rounds > 0, "round count must be positive");
+
+    let latency_s = pingpong_latency(config.pingpong_rounds);
+    let (ring_bytes_per_sec, total_bytes) = ring_bandwidth(config);
+    CommResult { latency_s, ring_bytes_per_sec, total_bytes }
+}
+
+/// Half the mean round-trip time of a 1-byte message between two threads.
+fn pingpong_latency(rounds: usize) -> f64 {
+    let (to_b, from_a): (Sender<Bytes>, Receiver<Bytes>) = bounded(1);
+    let (to_a, from_b): (Sender<Bytes>, Receiver<Bytes>) = bounded(1);
+    let echo = std::thread::spawn(move || {
+        while let Ok(msg) = from_a.recv() {
+            if to_a.send(msg).is_err() {
+                break;
+            }
+        }
+    });
+    let payload = Bytes::from_static(b"x");
+    // Warm-up round outside the timed region.
+    to_b.send(payload.clone()).expect("echo thread alive");
+    from_b.recv().expect("echo thread alive");
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        to_b.send(payload.clone()).expect("echo thread alive");
+        from_b.recv().expect("echo thread alive");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(to_b);
+    echo.join().expect("echo thread exits cleanly");
+    elapsed / rounds as f64 / 2.0
+}
+
+/// Every rank forwards messages around a ring; returns aggregate bytes/s
+/// and total bytes moved.
+fn ring_bandwidth(config: CommConfig) -> (f64, f64) {
+    let ranks = config.ranks;
+    // Channel i carries messages from rank i to rank (i+1) % ranks.
+    let mut senders = Vec::with_capacity(ranks);
+    let mut receivers = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (tx, rx) = bounded::<Bytes>(4);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    // Rank i receives from channel (i + ranks - 1) % ranks, sends on i.
+    // Reorder the receivers accordingly.
+    receivers.rotate_right(1);
+
+    let payload = Bytes::from(vec![0xA5u8; config.message_bytes]);
+    let per_rank = config.messages_per_rank;
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(ranks);
+    for (rank, (tx, rx)) in senders.into_iter().zip(receivers).enumerate() {
+        let payload = payload.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut received = 0usize;
+            let mut sent = 0usize;
+            // Rank 0 injects the first message to break symmetry.
+            if rank == 0 {
+                tx.send(payload.clone()).expect("ring neighbour alive");
+                sent += 1;
+            }
+            while received < per_rank {
+                let msg = rx.recv().expect("ring neighbour alive");
+                received += 1;
+                if sent < per_rank {
+                    tx.send(msg).expect("ring neighbour alive");
+                    sent += 1;
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("ring thread exits cleanly");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let total = (ranks * per_rank * config.message_bytes) as f64;
+    (total / elapsed, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_reports_positive_metrics() {
+        let r = run(CommConfig::small());
+        assert!(r.latency_s > 0.0);
+        assert!(r.latency_us() < 1e4, "thread ping-pong should be far under 10 ms");
+        assert!(r.ring_bytes_per_sec > 0.0);
+        assert!(r.ring_mbps() > 0.0);
+        assert_eq!(r.total_bytes, (3 * 16 * (4 << 10)) as f64);
+    }
+
+    #[test]
+    fn two_rank_ring_works() {
+        let mut c = CommConfig::small();
+        c.ranks = 2;
+        let r = run(c);
+        assert!(r.ring_bytes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn larger_messages_raise_bandwidth() {
+        // Latency-dominated small messages vs payload-dominated large ones.
+        let mut small = CommConfig::small();
+        small.message_bytes = 64;
+        small.messages_per_rank = 64;
+        let mut large = CommConfig::small();
+        large.message_bytes = 256 << 10;
+        large.messages_per_rank = 64;
+        let bw_small = run(small).ring_bytes_per_sec;
+        let bw_large = run(large).ring_bytes_per_sec;
+        assert!(
+            bw_large > bw_small * 5.0,
+            "large {bw_large} should dwarf small {bw_small}"
+        );
+    }
+
+    #[test]
+    fn latency_is_stable_order_of_magnitude() {
+        let a = run(CommConfig::small()).latency_s;
+        let b = run(CommConfig::small()).latency_s;
+        assert!(a / b < 100.0 && b / a < 100.0, "{a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_rank_panics() {
+        let mut c = CommConfig::small();
+        c.ranks = 1;
+        run(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "message size")]
+    fn zero_message_panics() {
+        let mut c = CommConfig::small();
+        c.message_bytes = 0;
+        run(c);
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal double-precision complex arithmetic for the FFT kernel.
+//!
+//! Only what the radix-2 FFT needs — no external `num` dependency.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Constructs `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64::new(0.0, 0.0);
+
+    /// The multiplicative identity.
+    pub const ONE: Complex64 = Complex64::new(1.0, 0.0);
+
+    /// `e^{iθ} = cos θ + i·sin θ`.
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Complex64 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (avoids the sqrt).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z + Complex64::ZERO, z);
+        assert_eq!(z * Complex64::ONE, z);
+        assert_eq!(z - z, Complex64::ZERO);
+        assert_eq!(-z, Complex64::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn multiplication_i_squared_is_minus_one() {
+        let i = Complex64::new(0.0, 1.0);
+        let i2 = i * i;
+        assert!((i2.re + 1.0).abs() < EPS && i2.im.abs() < EPS);
+    }
+
+    #[test]
+    fn abs_and_norm() {
+        let z = Complex64::new(3.0, -4.0);
+        assert!((z.abs() - 5.0).abs() < EPS);
+        assert!((z.norm_sqr() - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_product_is_norm() {
+        let z = Complex64::new(2.0, 7.0);
+        let p = z * z.conj();
+        assert!((p.re - z.norm_sqr()).abs() < EPS);
+        assert!(p.im.abs() < EPS);
+    }
+
+    #[test]
+    fn polar_unit_circle() {
+        let z = Complex64::from_polar_unit(std::f64::consts::FRAC_PI_2);
+        assert!(z.re.abs() < EPS);
+        assert!((z.im - 1.0).abs() < EPS);
+        // e^{iπ} = −1 (Euler).
+        let e = Complex64::from_polar_unit(std::f64::consts::PI);
+        assert!((e.re + 1.0).abs() < EPS);
+        assert!(e.im.abs() < EPS);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut z = Complex64::new(1.0, 1.0);
+        z += Complex64::new(2.0, -0.5);
+        assert_eq!(z, Complex64::new(3.0, 0.5));
+        assert_eq!(z.scale(2.0), Complex64::new(6.0, 1.0));
+    }
+}

@@ -1,0 +1,193 @@
+//! 1-norm condition-number estimation from an LU factorization.
+//!
+//! HPL's residual test scales by machine epsilon and the problem norms; a
+//! meaningful interpretation of that residual needs κ₁(A). Computing the
+//! exact condition number costs a full inversion, so, as LAPACK does, we
+//! estimate `‖A⁻¹‖₁` with Hager's power method on the dual norm — each
+//! iteration costs two triangular solves with the existing factors (one
+//! with `A`, one with `Aᵀ`).
+
+use crate::lu::solve_factored;
+use crate::matrix::Matrix;
+
+/// Solves `Aᵀ x = b` given the in-place LU factors of `A` and its pivots.
+///
+/// From `P·A = L·U`: `Aᵀ = Uᵀ·Lᵀ·P`, so solve `Uᵀ z = b` (lower-triangular
+/// forward pass), `Lᵀ w = z` (unit upper-triangular backward pass), then
+/// undo the permutation.
+pub fn solve_transposed_factored(lu: &Matrix, piv: &[usize], b: &[f64]) -> Vec<f64> {
+    let n = lu.rows();
+    assert_eq!(piv.len(), n);
+    assert_eq!(b.len(), n);
+    let mut x = b.to_vec();
+
+    // Uᵀ z = b: Uᵀ is lower triangular with U's diagonal.
+    for k in 0..n {
+        let col = lu.col(k);
+        let mut s = x[k];
+        // Uᵀ[k][i] = U[i][k] = lu[(i,k)] for i < k.
+        for (i, xi) in x.iter().enumerate().take(k) {
+            s -= col[i] * xi;
+        }
+        x[k] = s / col[k];
+    }
+    // Lᵀ w = z: Lᵀ is unit upper triangular; Lᵀ[k][i] = L[i][k] for i > k.
+    for k in (0..n).rev() {
+        let mut s = x[k];
+        for i in k + 1..n {
+            s -= lu[(i, k)] * x[i];
+        }
+        x[k] = s;
+    }
+    // y = Pᵀ w: undo the row swaps in reverse order.
+    for (k, &p) in piv.iter().enumerate().rev() {
+        x.swap(k, p);
+    }
+    x
+}
+
+/// Estimates `‖A⁻¹‖₁` with Hager's algorithm (at most `max_iter` refinement
+/// steps; 5 matches LAPACK's practice).
+pub fn inverse_norm1_estimate(lu: &Matrix, piv: &[usize]) -> f64 {
+    let n = lu.rows();
+    assert!(n > 0, "empty matrix has no condition number");
+    let max_iter = 5;
+
+    let mut x = vec![1.0 / n as f64; n];
+    let mut estimate = 0.0;
+    let mut last_j = usize::MAX;
+    for _ in 0..max_iter {
+        // y = A⁻¹ x
+        let y = solve_factored(lu, piv, &x);
+        estimate = y.iter().map(|v| v.abs()).sum();
+        // ξ = sign(y)
+        let xi: Vec<f64> =
+            y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        // z = A⁻ᵀ ξ
+        let z = solve_transposed_factored(lu, piv, &xi);
+        // Convergence: max |z_j| ≤ zᵀx means the current estimate is a
+        // local maximum of the dual problem.
+        let (j, zmax) = z
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        let ztx: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();
+        if zmax <= ztx || j == last_j {
+            break;
+        }
+        last_j = j;
+        x = vec![0.0; n];
+        x[j] = 1.0;
+    }
+    estimate
+}
+
+/// Estimated 1-norm condition number `κ₁(A) ≈ ‖A‖₁ · est(‖A⁻¹‖₁)`.
+///
+/// `a` must be the *original* matrix (for its norm); `lu`/`piv` its factors.
+pub fn condition_estimate(a: &Matrix, lu: &Matrix, piv: &[usize]) -> f64 {
+    a.norm_one() * inverse_norm1_estimate(lu, piv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::factor_blocked;
+    use proptest::prelude::*;
+
+    fn factors(a: &Matrix) -> (Matrix, Vec<usize>) {
+        let mut lu = a.clone();
+        let piv = factor_blocked(&mut lu, 8).expect("non-singular");
+        (lu, piv)
+    }
+
+    /// Exact 1-norm of A⁻¹ by solving against every unit vector.
+    fn exact_inverse_norm1(a: &Matrix) -> f64 {
+        let n = a.rows();
+        let (lu, piv) = factors(a);
+        let mut best = 0.0f64;
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = solve_factored(&lu, &piv, &e);
+            best = best.max(col.iter().map(|v| v.abs()).sum());
+        }
+        best
+    }
+
+    #[test]
+    fn transposed_solve_is_correct() {
+        let n = 24;
+        let a = Matrix::random(n, n, 5);
+        let (lu, piv) = factors(&a);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let x = solve_transposed_factored(&lu, &piv, &b);
+        // Check Aᵀ x = b via explicit transpose.
+        let at = a.transpose();
+        let atx = at.matvec(&x);
+        for (got, want) in atx.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn identity_has_condition_one() {
+        let a = Matrix::identity(16);
+        let (lu, piv) = factors(&a);
+        let cond = condition_estimate(&a, &lu, &piv);
+        assert!((cond - 1.0).abs() < 1e-12, "κ₁(I) = {cond}");
+    }
+
+    #[test]
+    fn diagonal_condition_is_ratio() {
+        // diag(1, 10, 100): κ₁ = 100.
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 10.0;
+        a[(2, 2)] = 100.0;
+        let (lu, piv) = factors(&a);
+        let cond = condition_estimate(&a, &lu, &piv);
+        assert!((cond - 100.0).abs() < 1e-9, "got {cond}");
+    }
+
+    #[test]
+    fn estimate_is_lower_bound_and_close_for_random_matrices() {
+        for seed in [1u64, 2, 3, 9, 17] {
+            let a = Matrix::random(20, 20, seed);
+            let (lu, piv) = factors(&a);
+            let est = inverse_norm1_estimate(&lu, &piv);
+            let exact = exact_inverse_norm1(&a);
+            assert!(est <= exact * (1.0 + 1e-9), "seed {seed}: est {est} > exact {exact}");
+            // Hager's estimate is typically within a small factor.
+            assert!(est >= exact / 3.0, "seed {seed}: est {est} far below exact {exact}");
+        }
+    }
+
+    #[test]
+    fn nearly_singular_matrix_has_large_condition() {
+        // Rows nearly parallel.
+        let a = Matrix::from_col_major(2, 2, vec![1.0, 1.0, 1.0, 1.0 + 1e-8]);
+        let (lu, piv) = factors(&a);
+        let cond = condition_estimate(&a, &lu, &piv);
+        assert!(cond > 1e7, "κ₁ = {cond}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Well-conditioned (diagonally dominant) matrices report modest κ.
+        #[test]
+        fn prop_dominant_matrices_well_conditioned(n in 2usize..24, seed in 0u64..100) {
+            let mut a = Matrix::random(n, n, seed);
+            for i in 0..n {
+                a[(i, i)] += n as f64 + 1.0;
+            }
+            let (lu, piv) = factors(&a);
+            let cond = condition_estimate(&a, &lu, &piv);
+            prop_assert!(cond >= 1.0 - 1e-9, "κ₁ below 1: {cond}");
+            prop_assert!(cond < 1e4, "κ₁ too large for a dominant matrix: {cond}");
+        }
+    }
+}

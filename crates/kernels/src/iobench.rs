@@ -1,0 +1,463 @@
+//! IOzone-style file-system benchmark (§IV-A of the paper).
+//!
+//! "IOzone benchmark stresses the IO subsystem by performing a variety of
+//! file operations. The tool allows us to test the IO performance with
+//! various file sizes using typical file system operations such as reads and
+//! writes. We perform only the write test … The benchmark reports the
+//! performance results in MBPS."
+//!
+//! The write, rewrite, read, and reread tests are implemented with real file
+//! I/O against a scratch directory, using IOzone's record-at-a-time access
+//! pattern and configurable file/record sizes. Like IOzone's default mode,
+//! close+flush time is included in the write timing.
+
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The file operations supported (IOzone's core test set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoOperation {
+    /// Sequential write of a new file.
+    Write,
+    /// Sequential overwrite of an existing file.
+    Rewrite,
+    /// Sequential read.
+    Read,
+    /// Second sequential read (benefits from the page cache).
+    Reread,
+    /// Random-offset record writes over the existing file.
+    RandomWrite,
+    /// Random-offset record reads.
+    RandomRead,
+}
+
+impl IoOperation {
+    /// All operations in IOzone's order.
+    pub const ALL: [IoOperation; 6] = [
+        IoOperation::Write,
+        IoOperation::Rewrite,
+        IoOperation::Read,
+        IoOperation::Reread,
+        IoOperation::RandomWrite,
+        IoOperation::RandomRead,
+    ];
+
+    /// Display name matching IOzone's report columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoOperation::Write => "write",
+            IoOperation::Rewrite => "rewrite",
+            IoOperation::Read => "read",
+            IoOperation::Reread => "reread",
+            IoOperation::RandomWrite => "random write",
+            IoOperation::RandomRead => "random read",
+        }
+    }
+}
+
+/// Configuration for an I/O benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoBenchConfig {
+    /// Total file size in bytes.
+    pub file_size: u64,
+    /// Record (transfer) size in bytes.
+    pub record_size: usize,
+    /// Directory for scratch files; defaults to the system temp dir.
+    pub dir: Option<PathBuf>,
+    /// Operations to run, in order.
+    pub operations: Vec<IoOperation>,
+    /// Whether to fsync after writes (IOzone `-e` includes flush in timing).
+    pub fsync: bool,
+}
+
+impl Default for IoBenchConfig {
+    fn default() -> Self {
+        IoBenchConfig {
+            file_size: 64 << 20, // 64 MiB
+            record_size: 64 << 10, // 64 KiB, an IOzone sweet spot
+            dir: None,
+            operations: vec![IoOperation::Write],
+            fsync: true,
+        }
+    }
+}
+
+impl IoBenchConfig {
+    /// A config sized for unit tests.
+    pub fn small() -> Self {
+        IoBenchConfig {
+            file_size: 1 << 20,
+            record_size: 16 << 10,
+            dir: None,
+            operations: IoOperation::ALL.to_vec(),
+            fsync: false,
+        }
+    }
+}
+
+/// Timing of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperationTiming {
+    /// Which operation.
+    pub operation: IoOperation,
+    /// Throughput in bytes/second.
+    pub bytes_per_sec: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Result of an I/O benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoBenchResult {
+    /// Per-operation timings in configured order.
+    pub operations: Vec<OperationTiming>,
+    /// Bytes per operation pass.
+    pub file_size: u64,
+    /// Record size used.
+    pub record_size: usize,
+}
+
+impl IoBenchResult {
+    /// Throughput of the write test in MB/s (decimal) — the paper's metric.
+    pub fn write_mbps(&self) -> f64 {
+        self.timing(IoOperation::Write)
+            .map(|t| t.bytes_per_sec / 1e6)
+            .unwrap_or(0.0)
+    }
+
+    /// Timing for a specific operation, if it was configured.
+    pub fn timing(&self, op: IoOperation) -> Option<&OperationTiming> {
+        self.operations.iter().find(|t| t.operation == op)
+    }
+}
+
+/// I/O benchmark errors.
+#[derive(Debug)]
+pub enum IoBenchError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Invalid configuration (zero sizes, record > file).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for IoBenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoBenchError::Io(e) => write!(f, "I/O error: {e}"),
+            IoBenchError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoBenchError {}
+
+impl From<std::io::Error> for IoBenchError {
+    fn from(e: std::io::Error) -> Self {
+        IoBenchError::Io(e)
+    }
+}
+
+/// Runs the configured operations against a scratch file, removing it
+/// afterwards.
+pub fn run(config: &IoBenchConfig) -> Result<IoBenchResult, IoBenchError> {
+    if config.file_size == 0 {
+        return Err(IoBenchError::InvalidConfig("file size must be positive".into()));
+    }
+    if config.record_size == 0 {
+        return Err(IoBenchError::InvalidConfig("record size must be positive".into()));
+    }
+    if config.record_size as u64 > config.file_size {
+        return Err(IoBenchError::InvalidConfig(
+            "record size must not exceed file size".into(),
+        ));
+    }
+    if config.operations.is_empty() {
+        return Err(IoBenchError::InvalidConfig("no operations configured".into()));
+    }
+    // Reads require the file to exist: the op list must start with a write.
+    if !matches!(config.operations.first(), Some(IoOperation::Write)) {
+        return Err(IoBenchError::InvalidConfig(
+            "operation list must start with a write".into(),
+        ));
+    }
+
+    let dir = config.dir.clone().unwrap_or_else(std::env::temp_dir);
+    let path = scratch_path(&dir);
+    let result = run_at(&path, config);
+    let _ = std::fs::remove_file(&path); // best-effort cleanup
+    result
+}
+
+fn scratch_path(dir: &Path) -> PathBuf {
+    // Unique-enough name: pid + monotonic counter.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("tgi_iobench_{}_{}.dat", std::process::id(), id))
+}
+
+fn run_at(path: &Path, config: &IoBenchConfig) -> Result<IoBenchResult, IoBenchError> {
+    // A patterned record; IOzone writes non-zero data to defeat
+    // compression/dedup on smart filesystems.
+    let record: Vec<u8> =
+        (0..config.record_size).map(|i| (i % 251) as u8 ^ 0x5A).collect();
+    let records = config.file_size / config.record_size as u64;
+    let tail = (config.file_size % config.record_size as u64) as usize;
+
+    let mut timings = Vec::with_capacity(config.operations.len());
+    for &op in &config.operations {
+        let seconds = match op {
+            IoOperation::Write => {
+                let mut f = File::create(path)?;
+                time_write(&mut f, &record, records, tail, config.fsync)?
+            }
+            IoOperation::Rewrite => {
+                let mut f = OpenOptions::new().write(true).open(path)?;
+                f.seek(SeekFrom::Start(0))?;
+                time_write(&mut f, &record, records, tail, config.fsync)?
+            }
+            IoOperation::RandomWrite => {
+                let mut f = OpenOptions::new().write(true).open(path)?;
+                time_random(&mut f, &record, config, true)?
+            }
+            IoOperation::RandomRead => {
+                let mut f = OpenOptions::new().read(true).open(path)?;
+                time_random(&mut f, &record, config, false)?
+            }
+            IoOperation::Read | IoOperation::Reread => {
+                let mut f = File::open(path)?;
+                let mut buf = vec![0u8; config.record_size];
+                let start = Instant::now();
+                let mut remaining = config.file_size;
+                let mut checksum = 0u64;
+                while remaining > 0 {
+                    let want = (remaining as usize).min(buf.len());
+                    f.read_exact(&mut buf[..want])?;
+                    checksum = checksum.wrapping_add(buf[0] as u64);
+                    remaining -= want as u64;
+                }
+                assert!(checksum > 0 || config.file_size == 0);
+                start.elapsed().as_secs_f64().max(1e-9)
+            }
+        };
+        timings.push(OperationTiming {
+            operation: op,
+            bytes_per_sec: config.file_size as f64 / seconds,
+            seconds,
+        });
+    }
+
+    Ok(IoBenchResult {
+        operations: timings,
+        file_size: config.file_size,
+        record_size: config.record_size,
+    })
+}
+
+/// Visits every full record once in a deterministic pseudo-random order
+/// (an LCG over the record indices), reading or writing at each offset.
+fn time_random(
+    f: &mut File,
+    record: &[u8],
+    config: &IoBenchConfig,
+    write: bool,
+) -> Result<f64, IoBenchError> {
+    let records = (config.file_size / config.record_size as u64).max(1);
+    let mut buf = vec![0u8; config.record_size];
+    // A full-period LCG over [0, records): c odd, a-1 divisible by all
+    // prime factors of m — use a = 1 (pure addition by an odd stride) over
+    // the next power of two, skipping out-of-range values.
+    let m = records.next_power_of_two();
+    let stride = (m / 2 + 1) | 1;
+    let mut idx = 0u64;
+    let start = Instant::now();
+    let mut visited = 0u64;
+    while visited < records {
+        idx = (idx + stride) % m;
+        if idx >= records {
+            continue;
+        }
+        visited += 1;
+        let offset = idx * config.record_size as u64;
+        // Clamp the final record to the file end.
+        let len = config.record_size.min((config.file_size - offset) as usize);
+        f.seek(SeekFrom::Start(offset))?;
+        if write {
+            f.write_all(&record[..len])?;
+        } else {
+            f.read_exact(&mut buf[..len])?;
+        }
+    }
+    if write {
+        f.flush()?;
+        if config.fsync {
+            f.sync_all()?;
+        }
+    }
+    Ok(start.elapsed().as_secs_f64().max(1e-9))
+}
+
+fn time_write(
+    f: &mut File,
+    record: &[u8],
+    records: u64,
+    tail: usize,
+    fsync: bool,
+) -> Result<f64, IoBenchError> {
+    let start = Instant::now();
+    for _ in 0..records {
+        f.write_all(record)?;
+    }
+    if tail > 0 {
+        f.write_all(&record[..tail])?;
+    }
+    f.flush()?;
+    if fsync {
+        f.sync_all()?;
+    }
+    Ok(start.elapsed().as_secs_f64().max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_only_run_reports_mbps() {
+        let config = IoBenchConfig {
+            file_size: 256 << 10,
+            record_size: 4 << 10,
+            operations: vec![IoOperation::Write],
+            fsync: false,
+            dir: None,
+        };
+        let r = run(&config).unwrap();
+        assert!(r.write_mbps() > 0.0);
+        assert_eq!(r.operations.len(), 1);
+        assert_eq!(r.file_size, 256 << 10);
+    }
+
+    #[test]
+    fn full_test_set_runs_all_operations() {
+        let r = run(&IoBenchConfig::small()).unwrap();
+        assert_eq!(r.operations.len(), 6);
+        for op in IoOperation::ALL {
+            let t = r.timing(op).unwrap();
+            assert!(t.bytes_per_sec > 0.0, "{:?} has zero throughput", op);
+            assert!(t.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn scratch_file_is_cleaned_up() {
+        let dir = std::env::temp_dir().join(format!("tgi_iobench_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = IoBenchConfig {
+            file_size: 64 << 10,
+            record_size: 4 << 10,
+            dir: Some(dir.clone()),
+            operations: vec![IoOperation::Write],
+            fsync: false,
+        };
+        run(&config).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "scratch files not removed: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = IoBenchConfig::small();
+        c.file_size = 0;
+        assert!(run(&c).is_err());
+
+        let mut c = IoBenchConfig::small();
+        c.record_size = 0;
+        assert!(run(&c).is_err());
+
+        let mut c = IoBenchConfig::small();
+        c.record_size = 4 << 20;
+        c.file_size = 1 << 20;
+        assert!(run(&c).is_err());
+
+        let mut c = IoBenchConfig::small();
+        c.operations = vec![];
+        assert!(run(&c).is_err());
+
+        let mut c = IoBenchConfig::small();
+        c.operations = vec![IoOperation::Read];
+        assert!(run(&c).is_err(), "read before write must be rejected");
+    }
+
+    #[test]
+    fn file_size_not_multiple_of_record_size_ok() {
+        let config = IoBenchConfig {
+            file_size: (64 << 10) + 123,
+            record_size: 4 << 10,
+            operations: vec![IoOperation::Write, IoOperation::Read],
+            fsync: false,
+            dir: None,
+        };
+        let r = run(&config).unwrap();
+        assert_eq!(r.operations.len(), 2);
+    }
+
+    #[test]
+    fn operation_names_match_iozone() {
+        let names: Vec<&str> = IoOperation::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec!["write", "rewrite", "read", "reread", "random write", "random read"]
+        );
+    }
+
+    #[test]
+    fn random_operations_touch_every_record() {
+        // Random write then sequential read back must see the record
+        // pattern everywhere (the LCG permutation covers all offsets).
+        let config = IoBenchConfig {
+            file_size: 128 << 10,
+            record_size: 8 << 10,
+            operations: vec![
+                IoOperation::Write,
+                IoOperation::RandomWrite,
+                IoOperation::RandomRead,
+            ],
+            fsync: false,
+            dir: None,
+        };
+        let r = run(&config).unwrap();
+        assert_eq!(r.operations.len(), 3);
+        for t in &r.operations {
+            assert!(t.bytes_per_sec > 0.0, "{:?}", t.operation);
+        }
+    }
+
+    #[test]
+    fn random_ops_on_odd_sized_file() {
+        // File not a multiple of the record size: the tail record clamps.
+        let config = IoBenchConfig {
+            file_size: (64 << 10) + 777,
+            record_size: 8 << 10,
+            operations: vec![IoOperation::Write, IoOperation::RandomRead],
+            fsync: false,
+            dir: None,
+        };
+        let r = run(&config).unwrap();
+        assert!(r.timing(IoOperation::RandomRead).unwrap().bytes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn missing_timing_returns_none_and_zero_mbps() {
+        let r = IoBenchResult {
+            operations: vec![],
+            file_size: 1,
+            record_size: 1,
+        };
+        assert!(r.timing(IoOperation::Write).is_none());
+        assert_eq!(r.write_mbps(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! # hpc-kernels — native benchmark kernels for the TGI suite
+//!
+//! The TGI paper evaluates energy efficiency with a benchmark suite: HPL for
+//! computation, STREAM for memory, and IOzone for I/O (§IV-A). This crate
+//! implements those workloads natively in Rust — real compute, real memory
+//! traffic, real file I/O — plus the HPCC-style extensions the paper's
+//! introduction motivates (the HPC Challenge suite has seven tests):
+//!
+//! * [`hpl`] — dense `Ax = b` solve via blocked LU factorization with row
+//!   partial pivoting, exactly HPL's algorithm and FLOP accounting.
+//! * [`stream`] — McCalpin's Copy/Scale/Add/Triad sustainable-bandwidth
+//!   kernels.
+//! * [`iobench`] — IOzone-style sequential write/rewrite/read file tests.
+//! * [`gemm`] — blocked, parallel DGEMM (also the compute core of HPL).
+//! * [`fft`] — radix-2 complex FFT (HPCC FFT analogue).
+//! * [`ptrans`] — parallel blocked matrix transpose (HPCC PTRANS analogue).
+//! * [`random_access`] — GUPS table-update kernel (HPCC RandomAccess).
+//! * [`comm`] — b_eff-style latency/bandwidth benchmark over channels.
+//! * [`mixed`] — f32 LU + f64 iterative refinement (the HPL-AI energy
+//!   technique), with honest convergence reporting.
+//!
+//! All kernels are multi-threaded via rayon and report the same metrics the
+//! original benchmarks report (GFLOPS, MB/s, GUPS), with explicit work
+//! accounting so power and energy models can reuse the numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod complex;
+pub mod condest;
+pub mod fft;
+pub mod gemm;
+pub mod hpl;
+pub mod iobench;
+pub mod lu;
+pub mod matrix;
+pub mod mixed;
+pub mod ptrans;
+pub mod random_access;
+pub mod stream;
+
+pub use comm::{CommConfig, CommResult};
+pub use complex::Complex64;
+pub use hpl::{HplConfig, HplResult};
+pub use iobench::{IoBenchConfig, IoBenchResult, IoOperation};
+pub use matrix::Matrix;
+pub use random_access::{GupsConfig, GupsResult};
+pub use stream::{StreamConfig, StreamKernel, StreamResult};
+
+/// Work accounting for one kernel execution, used by power/energy models to
+/// attribute utilization to subsystems.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Work {
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes read from + written to memory (approximate, by kernel formula).
+    pub bytes_moved: f64,
+    /// Bytes read from or written to storage.
+    pub io_bytes: f64,
+}
+
+impl Work {
+    /// Pure-compute work.
+    pub fn compute(flops: f64, bytes_moved: f64) -> Self {
+        Work { flops, bytes_moved, io_bytes: 0.0 }
+    }
+
+    /// Pure-I/O work.
+    pub fn io(io_bytes: f64) -> Self {
+        Work { flops: 0.0, bytes_moved: io_bytes, io_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_constructors() {
+        let w = Work::compute(100.0, 800.0);
+        assert_eq!(w.flops, 100.0);
+        assert_eq!(w.io_bytes, 0.0);
+        let io = Work::io(4096.0);
+        assert_eq!(io.io_bytes, 4096.0);
+        assert_eq!(io.flops, 0.0);
+    }
+}

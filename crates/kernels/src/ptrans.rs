@@ -1,0 +1,189 @@
+//! PTRANS-style parallel matrix transpose — `A ← Aᵀ + C`.
+//!
+//! The HPC Challenge PTRANS test exercises the communication/memory system
+//! by transposing a large dense matrix and adding another: useful here as a
+//! memory-latency-bound counterpoint to STREAM's pure streaming bandwidth.
+//! The kernel is cache-blocked (transposing tile-by-tile keeps one tile of
+//! the source and destination resident) and parallelized over destination
+//! column-blocks.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Tile edge for the blocked transpose.
+const TILE: usize = 64;
+
+/// Out-of-place blocked transpose-add: `dst = srcᵀ + add`.
+///
+/// # Panics
+/// Panics unless `dst` is `cols×rows` of `src` and `add` matches `dst`.
+pub fn transpose_add(src: &Matrix, add: &Matrix, dst: &mut Matrix) {
+    let (m, n) = (src.rows(), src.cols());
+    assert_eq!(dst.rows(), n, "dst must be cols×rows of src");
+    assert_eq!(dst.cols(), m, "dst must be cols×rows of src");
+    assert_eq!(add.rows(), n, "add must match dst shape");
+    assert_eq!(add.cols(), m, "add must match dst shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let src_data = src.as_slice();
+    let add_data = add.as_slice();
+    let dst_rows = n;
+    // Parallelize over column-tiles of dst (i.e. row-tiles of src).
+    let col_tiles: Vec<usize> = (0..m).step_by(TILE).collect();
+    let dst_slice = dst.as_mut_slice();
+    // Partition dst into disjoint column-tile slabs.
+    let mut slabs: Vec<&mut [f64]> = Vec::with_capacity(col_tiles.len());
+    let mut rest = dst_slice;
+    for &j0 in &col_tiles {
+        let width = TILE.min(m - j0);
+        let (slab, tail) = rest.split_at_mut(width * dst_rows);
+        slabs.push(slab);
+        rest = tail;
+    }
+
+    slabs
+        .into_par_iter()
+        .zip(col_tiles)
+        .for_each(|(slab, j0)| {
+            let width = TILE.min(m - j0);
+            // Within the slab, sweep row-tiles of dst.
+            let mut i0 = 0;
+            while i0 < n {
+                let height = TILE.min(n - i0);
+                for dj in 0..width {
+                    let src_row = j0 + dj; // dst column j0+dj = src row j0+dj
+                    let dst_col = &mut slab[dj * dst_rows..(dj + 1) * dst_rows];
+                    let add_col = &add_data[(j0 + dj) * dst_rows..(j0 + dj + 1) * dst_rows];
+                    for di in 0..height {
+                        let src_col_idx = i0 + di; // dst row index = src column
+                        let v = src_data[src_row + src_col_idx * m];
+                        dst_col[i0 + di] = v + add_col[i0 + di];
+                    }
+                }
+                i0 += height;
+            }
+        });
+}
+
+/// Bytes moved by one transpose-add of an `m×n` source: read src + read add
+/// + write dst, 8 bytes each.
+pub fn bytes_moved(m: usize, n: usize) -> f64 {
+    3.0 * 8.0 * m as f64 * n as f64
+}
+
+/// Result of a PTRANS benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtransResult {
+    /// Matrix order (square case).
+    pub n: usize,
+    /// Achieved bandwidth, bytes/second.
+    pub bytes_per_sec: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl PtransResult {
+    /// Bandwidth in decimal GB/s (HPCC's PTRANS unit).
+    pub fn gbps(&self) -> f64 {
+        self.bytes_per_sec / 1e9
+    }
+}
+
+/// Runs a square PTRANS benchmark of order `n`.
+pub fn benchmark(n: usize, seed: u64) -> PtransResult {
+    let a = Matrix::random(n, n, seed);
+    let c = Matrix::random(n, n, seed.wrapping_add(1));
+    let mut out = Matrix::zeros(n, n);
+    let start = Instant::now();
+    transpose_add(&a, &c, &mut out);
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    assert!(out.norm_frobenius().is_finite());
+    PtransResult { n, bytes_per_sec: bytes_moved(n, n) / seconds, seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(src: &Matrix, add: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(src.cols(), src.rows());
+        for j in 0..src.cols() {
+            for i in 0..src.rows() {
+                out[(j, i)] = src[(i, j)] + add[(j, i)];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_various_shapes() {
+        for (m, n) in [(1, 1), (3, 5), (64, 64), (65, 63), (130, 70), (1, 200)] {
+            let a = Matrix::random(m, n, 1);
+            let c = Matrix::random(n, m, 2);
+            let mut out = Matrix::zeros(n, m);
+            transpose_add(&a, &c, &mut out);
+            let expected = naive(&a, &c);
+            assert!(out.max_abs_diff(&expected) < 1e-14, "shape ({m},{n})");
+        }
+    }
+
+    #[test]
+    fn zero_add_is_pure_transpose() {
+        let a = Matrix::random(48, 32, 5);
+        let zero = Matrix::zeros(32, 48);
+        let mut out = Matrix::zeros(32, 48);
+        transpose_add(&a, &zero, &mut out);
+        assert!(out.max_abs_diff(&a.transpose()) < 1e-14);
+    }
+
+    #[test]
+    fn empty_matrix_is_noop() {
+        let a = Matrix::zeros(0, 0);
+        let c = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        transpose_add(&a, &c, &mut out); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "cols×rows")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(3, 4);
+        let c = Matrix::zeros(4, 3);
+        let mut out = Matrix::zeros(3, 4); // wrong: should be 4×3
+        transpose_add(&a, &c, &mut out);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        assert_eq!(bytes_moved(100, 200), 3.0 * 8.0 * 20_000.0);
+    }
+
+    #[test]
+    fn benchmark_reports_positive_bandwidth() {
+        let r = benchmark(128, 11);
+        assert!(r.bytes_per_sec > 0.0);
+        assert!(r.gbps() > 0.0);
+        assert_eq!(r.n, 128);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Double transpose-add with zero C recovers the original.
+        #[test]
+        fn prop_involution(m in 1usize..50, n in 1usize..50, seed in 0u64..100) {
+            let a = Matrix::random(m, n, seed);
+            let zero_nm = Matrix::zeros(n, m);
+            let zero_mn = Matrix::zeros(m, n);
+            let mut t = Matrix::zeros(n, m);
+            transpose_add(&a, &zero_nm, &mut t);
+            let mut tt = Matrix::zeros(m, n);
+            transpose_add(&t, &zero_mn, &mut tt);
+            prop_assert!(tt.max_abs_diff(&a) < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! STREAM — sustainable memory bandwidth (McCalpin), §IV-A of the paper.
+//!
+//! "There are four different computations performed by the benchmark: Copy,
+//! Scale, Add, and Triad. We are mainly interested in Triad … Triad scales a
+//! vector A and adds it to another vector B and writes the result to a third
+//! vector C" (Eq. 16: `C = α·A + B`).
+//!
+//! Faithful to the reference benchmark:
+//!
+//! * three working arrays much larger than cache;
+//! * each kernel timed over `ntimes` repetitions, *best* time reported;
+//! * bandwidth accounting per the official byte counts (Copy/Scale move
+//!   2 words per element, Add/Triad move 3);
+//! * parallelized over array chunks (the rayon analogue of STREAM's OpenMP
+//!   pragmas).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKernel {
+    /// `C = A`
+    Copy,
+    /// `B = α·C`
+    Scale,
+    /// `C = A + B`
+    Add,
+    /// `C = α·A + B` (Eq. 16) — the kernel the paper reports.
+    Triad,
+}
+
+impl StreamKernel {
+    /// All four kernels in benchmark order.
+    pub const ALL: [StreamKernel; 4] =
+        [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad];
+
+    /// Words moved per element (reads + writes), per the STREAM rules.
+    pub fn words_per_element(self) -> usize {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 2,
+            StreamKernel::Add | StreamKernel::Triad => 3,
+        }
+    }
+
+    /// Display name matching the reference benchmark's output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "Copy",
+            StreamKernel::Scale => "Scale",
+            StreamKernel::Add => "Add",
+            StreamKernel::Triad => "Triad",
+        }
+    }
+}
+
+/// Configuration for a STREAM run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Elements per array. The STREAM rule is ≥ 4× the last-level cache.
+    pub array_size: usize,
+    /// Repetitions per kernel; best time wins (reference default 10).
+    pub ntimes: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        // 8 M elements × 3 arrays × 8 B = 192 MB: far beyond any LLC.
+        StreamConfig { array_size: 8 << 20, ntimes: 10 }
+    }
+}
+
+impl StreamConfig {
+    /// A config sized for tests (small arrays, few repetitions).
+    pub fn small() -> Self {
+        StreamConfig { array_size: 1 << 16, ntimes: 3 }
+    }
+}
+
+/// Result of one kernel within a STREAM run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Which kernel.
+    pub kernel: StreamKernel,
+    /// Best bandwidth across repetitions, bytes/second.
+    pub best_bytes_per_sec: f64,
+    /// Best (minimum) time, seconds.
+    pub best_seconds: f64,
+    /// Worst (maximum) time, seconds.
+    pub worst_seconds: f64,
+}
+
+/// Result of a full STREAM run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// Per-kernel timings in benchmark order.
+    pub kernels: Vec<KernelTiming>,
+    /// Array size used.
+    pub array_size: usize,
+    /// Total wall-clock seconds for the whole run.
+    pub total_seconds: f64,
+    /// Maximum relative error of the final array values against the
+    /// analytic expectation — the reference STREAM's results check.
+    pub max_relative_error: f64,
+    /// Whether the results check passed (error < 1e-13, STREAM's epsilon).
+    pub validated: bool,
+}
+
+impl StreamResult {
+    /// The Triad bandwidth in MB/s (decimal) — the number the paper reports.
+    pub fn triad_mbps(&self) -> f64 {
+        self.timing(StreamKernel::Triad).best_bytes_per_sec / 1e6
+    }
+
+    /// Timing record for a specific kernel.
+    ///
+    /// # Panics
+    /// Panics if the kernel is missing (cannot happen for results produced
+    /// by [`run`]).
+    pub fn timing(&self, kernel: StreamKernel) -> &KernelTiming {
+        self.kernels
+            .iter()
+            .find(|k| k.kernel == kernel)
+            .expect("all four kernels present")
+    }
+}
+
+/// The scalar used by Scale and Triad (the reference uses 3.0).
+pub const SCALAR: f64 = 3.0;
+
+/// Runs the STREAM benchmark.
+///
+/// Faithful to the reference driver: each repetition executes the full
+/// Copy→Scale→Add→Triad cycle, each kernel is timed within the cycle, the
+/// per-kernel *minimum* across repetitions is reported, and the final array
+/// contents are checked against the analytic expectation.
+pub fn run(config: StreamConfig) -> StreamResult {
+    assert!(config.array_size > 0, "array size must be positive");
+    assert!(config.ntimes > 0, "ntimes must be positive");
+    let n = config.array_size;
+    let mut a = vec![1.0f64; n];
+    let mut b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+
+    let run_start = Instant::now();
+    let mut best = [f64::INFINITY; 4];
+    let mut worst = [0.0f64; 4];
+    for _ in 0..config.ntimes {
+        for (ki, kernel) in StreamKernel::ALL.into_iter().enumerate() {
+            let start = Instant::now();
+            match kernel {
+                StreamKernel::Copy => {
+                    c.par_iter_mut().zip(a.par_iter()).for_each(|(c, a)| *c = *a);
+                }
+                StreamKernel::Scale => {
+                    b.par_iter_mut().zip(c.par_iter()).for_each(|(b, c)| *b = SCALAR * *c);
+                }
+                StreamKernel::Add => {
+                    c.par_iter_mut()
+                        .zip(a.par_iter().zip(b.par_iter()))
+                        .for_each(|(c, (a, b))| *c = *a + *b);
+                }
+                StreamKernel::Triad => {
+                    a.par_iter_mut()
+                        .zip(b.par_iter().zip(c.par_iter()))
+                        .for_each(|(a, (b, c))| *a = *b + SCALAR * *c);
+                }
+            }
+            let t = start.elapsed().as_secs_f64().max(1e-9);
+            best[ki] = best[ki].min(t);
+            worst[ki] = worst[ki].max(t);
+        }
+    }
+    let results: Vec<KernelTiming> = StreamKernel::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(ki, kernel)| {
+            let bytes = (kernel.words_per_element() * 8 * n) as f64;
+            KernelTiming {
+                kernel,
+                best_bytes_per_sec: bytes / best[ki],
+                best_seconds: best[ki],
+                worst_seconds: worst[ki],
+            }
+        })
+        .collect();
+
+    // Results check (the reference's checkSTREAMresults): every element of
+    // each array must equal the analytic value after `ntimes` cycles.
+    let (ea, eb, ec) = expected_values(config.ntimes);
+    let rel = |got: f64, want: f64| ((got - want) / want).abs();
+    let max_relative_error = a
+        .iter()
+        .map(|&v| rel(v, ea))
+        .chain(b.iter().map(|&v| rel(v, eb)))
+        .chain(c.iter().map(|&v| rel(v, ec)))
+        .fold(0.0, f64::max);
+
+    StreamResult {
+        kernels: results,
+        array_size: n,
+        total_seconds: run_start.elapsed().as_secs_f64(),
+        max_relative_error,
+        validated: max_relative_error < 1e-13,
+    }
+}
+
+/// Verifies the STREAM invariant analytically: after the Copy→Scale→Add→
+/// Triad cycle starting from `a=1, b=2, c=0`, every element of each array
+/// holds a single known value. Returns `(a, b, c)` expected element values
+/// after `cycles` full kernel cycles.
+pub fn expected_values(cycles: usize) -> (f64, f64, f64) {
+    let (mut a, mut b, mut c) = (1.0f64, 2.0f64, 0.0f64);
+    for _ in 0..cycles {
+        c = a; // Copy
+        b = SCALAR * c; // Scale
+        c = a + b; // Add
+        a = b + SCALAR * c; // Triad
+    }
+    (a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_produces_all_four_kernels() {
+        let r = run(StreamConfig::small());
+        assert_eq!(r.kernels.len(), 4);
+        assert!(r.validated, "results check failed: {}", r.max_relative_error);
+        for k in StreamKernel::ALL {
+            let t = r.timing(k);
+            assert!(t.best_bytes_per_sec > 0.0, "{:?} has zero bandwidth", k);
+            assert!(t.best_seconds <= t.worst_seconds);
+        }
+        assert!(r.triad_mbps() > 0.0);
+        assert!(r.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn byte_accounting_follows_stream_rules() {
+        assert_eq!(StreamKernel::Copy.words_per_element(), 2);
+        assert_eq!(StreamKernel::Scale.words_per_element(), 2);
+        assert_eq!(StreamKernel::Add.words_per_element(), 3);
+        assert_eq!(StreamKernel::Triad.words_per_element(), 3);
+    }
+
+    #[test]
+    fn kernel_names_match_reference_output() {
+        let names: Vec<&str> = StreamKernel::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["Copy", "Scale", "Add", "Triad"]);
+    }
+
+    #[test]
+    fn kernels_compute_correct_values() {
+        // Replicate one cycle manually on tiny arrays (serial semantics are
+        // identical to the parallel kernels — element-wise, no races).
+        let n = 64;
+        let mut a = vec![1.0f64; n];
+        let mut b = vec![2.0f64; n];
+        let mut c = vec![0.0f64; n];
+        for (cv, av) in c.iter_mut().zip(&a) {
+            *cv = *av;
+        }
+        for (bv, cv) in b.iter_mut().zip(&c) {
+            *bv = SCALAR * *cv;
+        }
+        let c2: Vec<f64> = a.iter().zip(&b).map(|(a, b)| a + b).collect();
+        c.copy_from_slice(&c2);
+        let a2: Vec<f64> = b.iter().zip(&c).map(|(b, c)| b + SCALAR * c).collect();
+        a.copy_from_slice(&a2);
+        let (ea, eb, ec) = expected_values(1);
+        assert!(a.iter().all(|&v| (v - ea).abs() < 1e-12));
+        assert!(b.iter().all(|&v| (v - eb).abs() < 1e-12));
+        assert!(c.iter().all(|&v| (v - ec).abs() < 1e-12));
+    }
+
+    #[test]
+    fn results_check_validates_many_cycles() {
+        // After 10 cycles the values are astronomically large; the check
+        // must still hold exactly in relative terms.
+        let r = run(StreamConfig { array_size: 1024, ntimes: 10 });
+        assert!(r.validated, "error {}", r.max_relative_error);
+        let (ea, _, _) = expected_values(10);
+        assert!(ea > 1e10, "values grow fast: {ea}");
+    }
+
+    #[test]
+    fn expected_values_one_cycle() {
+        // a=1,b=2,c=0 → Copy: c=1; Scale: b=3; Add: c=4; Triad: a=3+12=15.
+        assert_eq!(expected_values(1), (15.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn triad_is_fastest_reported_metric_unit() {
+        let r = run(StreamConfig::small());
+        let triad = r.timing(StreamKernel::Triad);
+        let mbps = r.triad_mbps();
+        assert!((mbps - triad.best_bytes_per_sec / 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_array_size_panics() {
+        run(StreamConfig { array_size: 0, ntimes: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "ntimes")]
+    fn zero_ntimes_panics() {
+        run(StreamConfig { array_size: 16, ntimes: 0 });
+    }
+}

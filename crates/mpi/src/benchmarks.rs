@@ -1,0 +1,122 @@
+//! Distributed STREAM and I/O benchmarks over the mini-MPI runtime.
+//!
+//! The paper runs STREAM and IOzone as MPI jobs: every rank works on its
+//! own slice and the job reports the *aggregate* rate. These drivers do the
+//! same — each rank executes the real kernel from `hpc-kernels`, then the
+//! per-rank rates are combined with an `allreduce`, and (as in the MPI
+//! versions of both benchmarks) a barrier brackets the timed region so the
+//! aggregate is honest about stragglers.
+
+use crate::comm::Communicator;
+use hpc_kernels::iobench::{self, IoBenchConfig, IoOperation};
+use hpc_kernels::stream::{self, StreamConfig};
+use std::time::Instant;
+
+/// Result of a distributed STREAM run (identical on every rank).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedStreamResult {
+    /// Sum of per-rank best Triad bandwidths, MB/s.
+    pub aggregate_triad_mbps: f64,
+    /// The slowest rank's wall time for the whole kernel set, seconds.
+    pub max_seconds: f64,
+    /// This rank's own Triad bandwidth, MB/s.
+    pub local_triad_mbps: f64,
+}
+
+/// Runs STREAM on every rank and reduces the Triad bandwidths.
+pub fn stream(comm: &mut Communicator, config: StreamConfig) -> DistributedStreamResult {
+    comm.barrier(100);
+    let start = Instant::now();
+    let local = stream::run(config);
+    let local_mbps = local.triad_mbps();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let sums = comm.allreduce_sum(&[local_mbps]);
+    // Max over ranks via max-loc on the elapsed time.
+    let (max_seconds, _, _) = comm.allreduce_max_loc(elapsed, comm.rank());
+    comm.barrier(101);
+    DistributedStreamResult {
+        aggregate_triad_mbps: sums[0],
+        max_seconds,
+        local_triad_mbps: local_mbps,
+    }
+}
+
+/// Result of a distributed write test (identical on every rank).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedIoResult {
+    /// Aggregate write throughput: total bytes / slowest rank's time, MB/s.
+    pub aggregate_write_mbps: f64,
+    /// The slowest rank's write time, seconds.
+    pub max_seconds: f64,
+    /// This rank's own write throughput, MB/s.
+    pub local_write_mbps: f64,
+}
+
+/// Runs the IOzone-style write test on every rank concurrently — real
+/// filesystem contention — and reports the aggregate the way the MPI
+/// version of IOzone does: total bytes over the slowest writer's time.
+pub fn io_write(comm: &mut Communicator, per_rank_bytes: u64) -> DistributedIoResult {
+    let config = IoBenchConfig {
+        file_size: per_rank_bytes,
+        record_size: (64 << 10).min(per_rank_bytes as usize),
+        dir: None,
+        operations: vec![IoOperation::Write],
+        fsync: false,
+    };
+    comm.barrier(102);
+    let result = iobench::run(&config).expect("scratch directory is writable");
+    let timing = result.timing(IoOperation::Write).expect("write was configured");
+    let (max_seconds, _, _) = comm.allreduce_max_loc(timing.seconds, comm.rank());
+    comm.barrier(103);
+
+    let total_bytes = per_rank_bytes as f64 * comm.size() as f64;
+    DistributedIoResult {
+        aggregate_write_mbps: total_bytes / max_seconds / 1e6,
+        max_seconds,
+        local_write_mbps: timing.bytes_per_sec / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn distributed_stream_aggregates_across_ranks() {
+        let out = World::run(3, |comm| stream(comm, StreamConfig::small()));
+        // Every rank reports the same aggregate.
+        for r in &out {
+            assert_eq!(r.aggregate_triad_mbps, out[0].aggregate_triad_mbps);
+            assert!(r.max_seconds > 0.0);
+            assert!(r.local_triad_mbps > 0.0);
+        }
+        // The aggregate is the sum of the locals.
+        let sum: f64 = out.iter().map(|r| r.local_triad_mbps).sum();
+        assert!((out[0].aggregate_triad_mbps - sum).abs() < 1e-6 * sum);
+        // And the max time is at least every local time.
+        assert!(out.iter().all(|r| r.max_seconds >= 0.0));
+    }
+
+    #[test]
+    fn distributed_io_reports_aggregate_over_slowest() {
+        let per_rank = 256u64 << 10;
+        let out = World::run(2, move |comm| io_write(comm, per_rank));
+        for r in &out {
+            assert_eq!(r.aggregate_write_mbps, out[0].aggregate_write_mbps);
+            assert!(r.aggregate_write_mbps > 0.0);
+            assert!(r.local_write_mbps > 0.0);
+        }
+        // Aggregate uses total bytes over max time, so it can't exceed the
+        // sum of local rates (stragglers only drag it down).
+        let sum: f64 = out.iter().map(|r| r.local_write_mbps).sum();
+        assert!(out[0].aggregate_write_mbps <= sum * 1.001);
+    }
+
+    #[test]
+    fn single_rank_distributed_equals_local() {
+        let out = World::run(1, |comm| stream(comm, StreamConfig::small()));
+        assert!((out[0].aggregate_triad_mbps - out[0].local_triad_mbps).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Accelerator (GPU) power model — the paper's §VI platform extension.
+//!
+//! "The suitability of TGI to various kind of platforms, such as GPU based
+//! system, is of particular interest." A discrete accelerator adds a large
+//! idle floor (device memory, fans) and an even larger dynamic range; its
+//! power responds to *its own* utilization, not the host CPU's.
+
+use serde::{Deserialize, Serialize};
+use tgi_core::Watts;
+
+/// A discrete accelerator's power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorPower {
+    /// Idle power per device, watts (device memory + fans + leakage).
+    pub idle_w: f64,
+    /// Board power at full load, watts (TDP).
+    pub max_w: f64,
+    /// Utilization exponent; GPUs ramp close to linearly once busy.
+    pub alpha: f64,
+    /// Devices per node.
+    pub devices: usize,
+}
+
+impl AcceleratorPower {
+    /// No accelerators (the default for CPU-only nodes).
+    pub fn none() -> Self {
+        AcceleratorPower { idle_w: 0.0, max_w: 0.0, alpha: 1.0, devices: 0 }
+    }
+
+    /// A Fermi-class (2011-era) compute GPU: ~40 W idle, 225 W TDP.
+    pub fn fermi_class(devices: usize) -> Self {
+        AcceleratorPower { idle_w: 40.0, max_w: 225.0, alpha: 1.05, devices }
+    }
+
+    /// Power at accelerator utilization `u ∈ [0,1]`, all devices.
+    pub fn power(&self, u: f64) -> Watts {
+        if self.devices == 0 {
+            return Watts::new(0.0);
+        }
+        let u = u.clamp(0.0, 1.0);
+        let per_device = self.idle_w + (self.max_w - self.idle_w) * u.powf(self.alpha);
+        Watts::new(per_device * self.devices as f64)
+    }
+
+    /// True when the node actually has accelerators.
+    pub fn is_present(&self) -> bool {
+        self.devices > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn none_draws_nothing() {
+        let a = AcceleratorPower::none();
+        assert!(!a.is_present());
+        assert_eq!(a.power(0.0).value(), 0.0);
+        assert_eq!(a.power(1.0).value(), 0.0);
+    }
+
+    #[test]
+    fn fermi_endpoints() {
+        let a = AcceleratorPower::fermi_class(2);
+        assert!(a.is_present());
+        assert!((a.power(0.0).value() - 80.0).abs() < 1e-9);
+        assert!((a.power(1.0).value() - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_floor_is_significant() {
+        // The GPU idle floor is a real cost: ~18% of TDP.
+        let a = AcceleratorPower::fermi_class(1);
+        assert!(a.power(0.0).value() / a.power(1.0).value() > 0.15);
+    }
+
+    proptest! {
+        /// Monotone and bounded, like every component model.
+        #[test]
+        fn prop_monotone_bounded(u1 in 0.0..1.0f64, u2 in 0.0..1.0f64) {
+            let a = AcceleratorPower::fermi_class(2);
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            prop_assert!(a.power(lo).value() <= a.power(hi).value() + 1e-12);
+            prop_assert!(a.power(hi).value() <= a.power(1.0).value() + 1e-12);
+            prop_assert!(a.power(lo).value() >= a.power(0.0).value() - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Power-trace analysis: the post-processing a metered experiment needs.
+//!
+//! A wall meter produces a long 1 Hz trace per run; turning that into the
+//! numbers a study reports (baseline idle draw, phase boundaries, stable
+//! averages) is part of the measurement methodology. These helpers work on
+//! [`PowerTrace`] and are deliberately dependency-free.
+
+use crate::trace::PowerTrace;
+use tgi_core::Watts;
+
+/// The `p`-th percentile (0–100) of the sampled power values, by linear
+/// interpolation between order statistics.
+///
+/// # Panics
+/// Panics if the trace is empty or `p` is outside `[0, 100]`.
+pub fn percentile(trace: &PowerTrace, p: f64) -> Watts {
+    assert!(!trace.is_empty(), "percentile of an empty trace");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut values: Vec<f64> = trace.samples().iter().map(|s| s.watts).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("power samples are finite"));
+    let rank = p / 100.0 * (values.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Watts::new(values[lo] + (values[hi] - values[lo]) * frac)
+}
+
+/// Estimated idle (baseline) draw: the 5th percentile — robust to the run
+/// occupying most of the trace.
+pub fn estimate_idle(trace: &PowerTrace) -> Watts {
+    percentile(trace, 5.0)
+}
+
+/// A centered moving average with the given time window; timestamps are
+/// preserved.
+pub fn moving_average(trace: &PowerTrace, window_s: f64) -> PowerTrace {
+    assert!(window_s > 0.0, "window must be positive");
+    let samples = trace.samples();
+    let mut out = PowerTrace::new();
+    for (i, s) in samples.iter().enumerate() {
+        let half = window_s / 2.0;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        // Trace lengths here are small (≤ tens of thousands); the simple
+        // two-sided scan keeps the window exact at the edges.
+        for other in samples[..i].iter().rev() {
+            if s.t - other.t > half {
+                break;
+            }
+            sum += other.watts;
+            count += 1;
+        }
+        for other in &samples[i..] {
+            if other.t - s.t > half {
+                break;
+            }
+            sum += other.watts;
+            count += 1;
+        }
+        out.push(s.t, Watts::new(sum / count as f64));
+    }
+    out
+}
+
+/// One detected phase of roughly constant power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerPhase {
+    /// Phase start time, seconds.
+    pub start_s: f64,
+    /// Phase end time, seconds (exclusive; start of the next phase).
+    pub end_s: f64,
+    /// Mean power during the phase.
+    pub mean_w: f64,
+}
+
+/// Segments a trace into phases by splitting wherever consecutive samples
+/// jump by more than `threshold` watts. Adjacent samples inside a phase are
+/// averaged.
+///
+/// # Panics
+/// Panics on an empty trace or a non-positive threshold.
+pub fn segment_phases(trace: &PowerTrace, threshold: Watts) -> Vec<PowerPhase> {
+    assert!(!trace.is_empty(), "cannot segment an empty trace");
+    assert!(threshold.value() > 0.0, "threshold must be positive");
+    let samples = trace.samples();
+    let mut phases = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=samples.len() {
+        let boundary = i == samples.len()
+            || (samples[i].watts - samples[i - 1].watts).abs() > threshold.value();
+        if boundary {
+            let slice = &samples[start..i];
+            let mean = slice.iter().map(|s| s.watts).sum::<f64>() / slice.len() as f64;
+            let end = if i < samples.len() { samples[i].t } else { slice[slice.len() - 1].t };
+            phases.push(PowerPhase { start_s: slice[0].t, end_s: end, mean_w: mean });
+            start = i;
+        }
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn trace(points: &[(f64, f64)]) -> PowerTrace {
+        let mut t = PowerTrace::new();
+        for &(time, w) in points {
+            t.push(time, Watts::new(w));
+        }
+        t
+    }
+
+    fn step_trace() -> PowerTrace {
+        // 10 s at 100 W, 10 s at 300 W, 5 s at 100 W.
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push((i as f64, 100.0));
+        }
+        for i in 10..20 {
+            points.push((i as f64, 300.0));
+        }
+        for i in 20..25 {
+            points.push((i as f64, 100.0));
+        }
+        trace(&points)
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let t = trace(&[(0.0, 10.0), (1.0, 20.0), (2.0, 30.0), (3.0, 40.0), (4.0, 50.0)]);
+        assert_eq!(percentile(&t, 0.0).value(), 10.0);
+        assert_eq!(percentile(&t, 100.0).value(), 50.0);
+        assert_eq!(percentile(&t, 50.0).value(), 30.0);
+        assert_eq!(percentile(&t, 25.0).value(), 20.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let t = trace(&[(0.0, 0.0), (1.0, 100.0)]);
+        assert!((percentile(&t, 30.0).value() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&PowerTrace::new(), 50.0);
+    }
+
+    #[test]
+    fn idle_estimate_finds_baseline() {
+        let idle = estimate_idle(&step_trace()).value();
+        assert!((idle - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_average_smooths_but_preserves_mean_region() {
+        let smoothed = moving_average(&step_trace(), 3.0);
+        assert_eq!(smoothed.len(), step_trace().len());
+        // Mid-plateau values are unchanged; the edge at t=10 is blended.
+        let mid_low = smoothed.samples()[5].watts;
+        let mid_high = smoothed.samples()[15].watts;
+        assert!((mid_low - 100.0).abs() < 1e-9);
+        assert!((mid_high - 300.0).abs() < 1e-9);
+        let edge = smoothed.samples()[10].watts;
+        assert!(edge > 100.0 && edge < 300.0);
+    }
+
+    #[test]
+    fn segmentation_recovers_three_phases() {
+        let phases = segment_phases(&step_trace(), Watts::new(50.0));
+        assert_eq!(phases.len(), 3, "{phases:?}");
+        assert!((phases[0].mean_w - 100.0).abs() < 1e-9);
+        assert!((phases[1].mean_w - 300.0).abs() < 1e-9);
+        assert!((phases[2].mean_w - 100.0).abs() < 1e-9);
+        assert_eq!(phases[0].start_s, 0.0);
+        assert_eq!(phases[1].start_s, 10.0);
+        assert_eq!(phases[2].start_s, 20.0);
+    }
+
+    #[test]
+    fn segmentation_constant_trace_is_one_phase() {
+        let t = trace(&[(0.0, 200.0), (1.0, 201.0), (2.0, 199.0)]);
+        let phases = segment_phases(&t, Watts::new(50.0));
+        assert_eq!(phases.len(), 1);
+        assert!((phases[0].mean_w - 200.0).abs() < 1.0);
+    }
+
+    proptest! {
+        /// Percentiles are monotone in p and bounded by min/max.
+        #[test]
+        fn prop_percentile_monotone(
+            powers in proptest::collection::vec(1.0..1000.0f64, 2..64),
+            p1 in 0.0..100.0f64, p2 in 0.0..100.0f64,
+        ) {
+            let mut t = PowerTrace::new();
+            for (i, &w) in powers.iter().enumerate() {
+                t.push(i as f64, Watts::new(w));
+            }
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(percentile(&t, lo).value() <= percentile(&t, hi).value() + 1e-9);
+            let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = powers.iter().cloned().fold(0.0, f64::max);
+            prop_assert!(percentile(&t, 0.0).value() >= min - 1e-9);
+            prop_assert!(percentile(&t, 100.0).value() <= max + 1e-9);
+        }
+
+        /// Smoothing never escapes the value range, and phases tile the trace.
+        #[test]
+        fn prop_smoothing_bounded_phases_tile(
+            powers in proptest::collection::vec(1.0..1000.0f64, 2..64),
+            window in 0.5..10.0f64,
+        ) {
+            let mut t = PowerTrace::new();
+            for (i, &w) in powers.iter().enumerate() {
+                t.push(i as f64, Watts::new(w));
+            }
+            let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = powers.iter().cloned().fold(0.0, f64::max);
+            for s in moving_average(&t, window).samples() {
+                prop_assert!(s.watts >= min - 1e-9 && s.watts <= max + 1e-9);
+            }
+            let phases = segment_phases(&t, Watts::new(10.0));
+            prop_assert!(!phases.is_empty());
+            prop_assert_eq!(phases[0].start_s, 0.0);
+            for w in phases.windows(2) {
+                prop_assert!((w[0].end_s - w[1].start_s).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Component-level power models.
+//!
+//! Each model maps a utilization level in `[0, 1]` to DC power draw. The
+//! shapes follow the standard server-power literature:
+//!
+//! * CPU: `P = P_idle + (P_max − P_idle) · u^α` with α slightly above 1
+//!   (frequency/voltage effects make the first cores cheaper than the last).
+//! * Memory: near-linear in bandwidth utilization per DIMM.
+//! * Disk: idle spindle/controller power plus an active-I/O increment.
+//! * NIC: small idle draw plus traffic-proportional increment.
+//! * Baseboard: constant (chipset, fans at fixed speed, BMC).
+
+use serde::{Deserialize, Serialize};
+use tgi_core::Watts;
+
+/// CPU socket power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPower {
+    /// Idle power per socket, watts.
+    pub idle_w: f64,
+    /// Fully-loaded power per socket, watts (TDP-ish).
+    pub max_w: f64,
+    /// Utilization exponent α (1.0 = linear; ~1.15 typical).
+    pub alpha: f64,
+    /// Number of sockets.
+    pub sockets: usize,
+}
+
+impl CpuPower {
+    /// Power at CPU utilization `u ∈ [0,1]`, all sockets.
+    pub fn power(&self, u: f64) -> Watts {
+        self.power_scaled(u, 1.0)
+    }
+
+    /// Power at utilization `u` with the clock scaled to `freq_ratio` of
+    /// nominal (DVFS). Dynamic power follows the classic `f·V²` law with
+    /// voltage roughly proportional to frequency — a cubic — while idle
+    /// (leakage + uncore) stays fixed.
+    pub fn power_scaled(&self, u: f64, freq_ratio: f64) -> Watts {
+        let u = u.clamp(0.0, 1.0);
+        let ratio = freq_ratio.clamp(0.1, 1.5);
+        let dynamic = (self.max_w - self.idle_w) * u.powf(self.alpha) * ratio.powi(3);
+        Watts::new((self.idle_w + dynamic) * self.sockets as f64)
+    }
+}
+
+/// Memory subsystem power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPower {
+    /// Idle (refresh/standby) power per DIMM, watts.
+    pub idle_w_per_dimm: f64,
+    /// Fully-active power per DIMM, watts.
+    pub active_w_per_dimm: f64,
+    /// DIMM count.
+    pub dimms: usize,
+}
+
+impl MemoryPower {
+    /// Power at memory-bandwidth utilization `u ∈ [0,1]`.
+    pub fn power(&self, u: f64) -> Watts {
+        let u = u.clamp(0.0, 1.0);
+        let per_dimm = self.idle_w_per_dimm + (self.active_w_per_dimm - self.idle_w_per_dimm) * u;
+        Watts::new(per_dimm * self.dimms as f64)
+    }
+}
+
+/// Storage device power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskPower {
+    /// Idle power (spindle or controller), watts.
+    pub idle_w: f64,
+    /// Active (seek/transfer) power, watts.
+    pub active_w: f64,
+    /// Drive count.
+    pub drives: usize,
+}
+
+impl DiskPower {
+    /// Power at I/O utilization `u ∈ [0,1]`.
+    pub fn power(&self, u: f64) -> Watts {
+        let u = u.clamp(0.0, 1.0);
+        let per_drive = self.idle_w + (self.active_w - self.idle_w) * u;
+        Watts::new(per_drive * self.drives as f64)
+    }
+}
+
+/// Network interface power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicPower {
+    /// Idle power, watts (link maintenance).
+    pub idle_w: f64,
+    /// Saturated-traffic power, watts.
+    pub active_w: f64,
+}
+
+impl NicPower {
+    /// Power at network utilization `u ∈ [0,1]`.
+    pub fn power(&self, u: f64) -> Watts {
+        let u = u.clamp(0.0, 1.0);
+        Watts::new(self.idle_w + (self.active_w - self.idle_w) * u)
+    }
+}
+
+/// Constant baseboard draw: chipset, BMC, fans at nominal speed, VRM losses
+/// not captured elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaseboardPower {
+    /// Constant power, watts.
+    pub w: f64,
+}
+
+impl BaseboardPower {
+    /// The constant draw.
+    pub fn power(&self) -> Watts {
+        Watts::new(self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cpu() -> CpuPower {
+        CpuPower { idle_w: 20.0, max_w: 95.0, alpha: 1.15, sockets: 2 }
+    }
+
+    #[test]
+    fn cpu_endpoints() {
+        let c = cpu();
+        assert!((c.power(0.0).value() - 40.0).abs() < 1e-9);
+        assert!((c.power(1.0).value() - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_clamps_out_of_range() {
+        let c = cpu();
+        assert_eq!(c.power(-0.5).value(), c.power(0.0).value());
+        assert_eq!(c.power(2.0).value(), c.power(1.0).value());
+    }
+
+    #[test]
+    fn cpu_alpha_makes_midload_cheaper_than_linear() {
+        // α > 1 ⇒ u^α < u for u ∈ (0,1) ⇒ sub-linear power at mid-load.
+        let c = cpu();
+        let linear = 40.0 + (190.0 - 40.0) * 0.5;
+        assert!(c.power(0.5).value() < linear);
+    }
+
+    #[test]
+    fn dvfs_scaling_is_cubic_on_dynamic_power() {
+        let c = cpu();
+        let full = c.power_scaled(1.0, 1.0).value();
+        let half = c.power_scaled(1.0, 0.5).value();
+        // Idle survives; dynamic shrinks by 8x at half clock.
+        let idle = c.power(0.0).value();
+        let dynamic_full = full - idle;
+        let dynamic_half = half - idle;
+        assert!((dynamic_half - dynamic_full / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dvfs_ratio_is_clamped() {
+        let c = cpu();
+        assert_eq!(c.power_scaled(1.0, 0.0).value(), c.power_scaled(1.0, 0.1).value());
+        assert_eq!(c.power_scaled(1.0, 9.0).value(), c.power_scaled(1.0, 1.5).value());
+    }
+
+    #[test]
+    fn memory_linear_in_utilization() {
+        let m = MemoryPower { idle_w_per_dimm: 2.0, active_w_per_dimm: 6.0, dimms: 8 };
+        assert!((m.power(0.0).value() - 16.0).abs() < 1e-9);
+        assert!((m.power(1.0).value() - 48.0).abs() < 1e-9);
+        assert!((m.power(0.5).value() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_and_nic_models() {
+        let d = DiskPower { idle_w: 4.0, active_w: 10.0, drives: 2 };
+        assert!((d.power(0.5).value() - 14.0).abs() < 1e-9);
+        let n = NicPower { idle_w: 1.0, active_w: 5.0 };
+        assert!((n.power(0.25).value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseboard_constant() {
+        let b = BaseboardPower { w: 55.0 };
+        assert_eq!(b.power().value(), 55.0);
+    }
+
+    proptest! {
+        /// Every component model is monotone in utilization and bounded by
+        /// its endpoints.
+        #[test]
+        fn prop_monotone_bounded(u1 in 0.0..1.0f64, u2 in 0.0..1.0f64) {
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            let c = cpu();
+            prop_assert!(c.power(lo).value() <= c.power(hi).value() + 1e-12);
+            prop_assert!(c.power(lo).value() >= c.power(0.0).value() - 1e-12);
+            prop_assert!(c.power(hi).value() <= c.power(1.0).value() + 1e-12);
+
+            let m = MemoryPower { idle_w_per_dimm: 2.0, active_w_per_dimm: 6.0, dimms: 4 };
+            prop_assert!(m.power(lo).value() <= m.power(hi).value() + 1e-12);
+
+            let d = DiskPower { idle_w: 4.0, active_w: 10.0, drives: 1 };
+            prop_assert!(d.power(lo).value() <= d.power(hi).value() + 1e-12);
+
+            let n = NicPower { idle_w: 1.0, active_w: 5.0 };
+            prop_assert!(n.power(lo).value() <= n.power(hi).value() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # power-model — the power-measurement substrate
+//!
+//! The paper measures energy with a *Watts Up? PRO ES* wall-plug meter wired
+//! between the outlet and the system (Figure 1). No physical meter exists in
+//! this reproduction, so the whole measurement path is built as a faithful
+//! synthetic equivalent:
+//!
+//! * [`components`] — utilization-dependent power models for CPU, memory,
+//!   disk, and NIC, plus a constant baseboard draw.
+//! * [`psu`] — a load-dependent power-supply efficiency curve mapping DC
+//!   draw to wall (AC) power, which is what a wall meter actually sees.
+//! * [`node`] — a whole node: components behind a PSU.
+//! * [`utilization`] — time-phased utilization profiles describing what a
+//!   workload does to each subsystem.
+//! * [`meter`] — the [`meter::PowerMeter`] trait and the simulated
+//!   [`meter::WattsUpPro`] (1 Hz sampling, 0.1 W quantization, calibrated
+//!   accuracy noise) — the code path a real meter would plug into.
+//! * [`trace`] — time-stamped power traces with trapezoidal energy
+//!   integration.
+//! * [`analysis`] — trace post-processing: percentiles, idle estimation,
+//!   smoothing, phase segmentation.
+//! * [`sampler`] — a background thread that samples a live power source
+//!   while a native benchmark runs.
+//! * [`cooling`] — the PUE/cooling extension the paper lists as advantage
+//!   (2) of TGI and as future work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod analysis;
+pub mod components;
+pub mod cooling;
+pub mod meter;
+pub mod node;
+pub mod psu;
+pub mod sampler;
+pub mod thermal;
+pub mod trace;
+pub mod trace_io;
+pub mod utilization;
+
+pub use accelerator::AcceleratorPower;
+pub use components::{BaseboardPower, CpuPower, DiskPower, MemoryPower, NicPower};
+pub use cooling::CoolingModel;
+pub use meter::{MeterSpec, PowerMeter, WattsUpPro};
+pub use node::NodePowerModel;
+pub use psu::PsuEfficiency;
+pub use sampler::{BackgroundSampler, PowerSource};
+pub use thermal::ThermalModel;
+pub use trace::PowerTrace;
+pub use utilization::{UtilizationProfile, UtilizationSample};

@@ -1,0 +1,249 @@
+//! Whole-node power: components behind a PSU.
+//!
+//! [`NodePowerModel::wall_power`] is the quantity a wall-plug meter (the
+//! paper's Watts Up? PRO ES) observes for one node: the sum of component DC
+//! draws at the current utilization, divided by the PSU efficiency at that
+//! load.
+
+use crate::accelerator::AcceleratorPower;
+use crate::components::{BaseboardPower, CpuPower, DiskPower, MemoryPower, NicPower};
+use crate::psu::PsuEfficiency;
+use crate::utilization::UtilizationSample;
+use serde::{Deserialize, Serialize};
+use tgi_core::Watts;
+
+/// A complete node power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePowerModel {
+    /// CPU sockets.
+    pub cpu: CpuPower,
+    /// Memory subsystem.
+    pub memory: MemoryPower,
+    /// Storage.
+    pub disk: DiskPower,
+    /// Network interface.
+    pub nic: NicPower,
+    /// Constant baseboard draw.
+    pub baseboard: BaseboardPower,
+    /// Discrete accelerators (absent on CPU-only nodes).
+    #[serde(default = "AcceleratorPower::none")]
+    pub accelerator: AcceleratorPower,
+    /// Power supply efficiency curve.
+    pub psu: PsuEfficiency,
+}
+
+impl NodePowerModel {
+    /// Total DC power at the given utilization.
+    pub fn dc_power(&self, u: UtilizationSample) -> Watts {
+        self.cpu.power(u.cpu)
+            + self.memory.power(u.memory)
+            + self.disk.power(u.disk)
+            + self.nic.power(u.network)
+            + self.accelerator.power(u.accelerator)
+            + self.baseboard.power()
+    }
+
+    /// Wall (AC) power at the given utilization — what the meter sees.
+    pub fn wall_power(&self, u: UtilizationSample) -> Watts {
+        self.psu.wall_power(self.dc_power(u))
+    }
+
+    /// DC power with the CPU clock scaled to `freq_ratio` of nominal.
+    pub fn dc_power_scaled(&self, u: UtilizationSample, freq_ratio: f64) -> Watts {
+        self.cpu.power_scaled(u.cpu, freq_ratio)
+            + self.memory.power(u.memory)
+            + self.disk.power(u.disk)
+            + self.nic.power(u.network)
+            + self.accelerator.power(u.accelerator)
+            + self.baseboard.power()
+    }
+
+    /// Wall power with the CPU clock scaled to `freq_ratio` of nominal
+    /// (DVFS): CPU dynamic power follows the cubic law; the other
+    /// components are unaffected.
+    pub fn wall_power_scaled(&self, u: UtilizationSample, freq_ratio: f64) -> Watts {
+        self.psu.wall_power(self.dc_power_scaled(u, freq_ratio))
+    }
+
+    /// Wall power of the idle node.
+    pub fn idle_wall_power(&self) -> Watts {
+        self.wall_power(UtilizationSample::IDLE)
+    }
+
+    /// Wall power at full load on every subsystem (including accelerators).
+    pub fn peak_wall_power(&self) -> Watts {
+        self.wall_power(UtilizationSample::new(1.0, 1.0, 1.0, 1.0).with_accelerator(1.0))
+    }
+
+    /// Adds accelerators to an existing node model (builder style).
+    pub fn with_accelerator(mut self, accelerator: AcceleratorPower) -> Self {
+        self.accelerator = accelerator;
+        self
+    }
+
+    /// A model of one *Fire*-cluster node (2× AMD Opteron 6134, 8-core
+    /// 2.3 GHz, 32 GB): parameters chosen so the 8-node cluster draws power
+    /// in the low-kW band the paper's Figure 5/6 sweeps imply.
+    pub fn fire_node() -> Self {
+        NodePowerModel {
+            // Opteron 6134 (115 W TDP): low idle (Magny-Cours gates cores
+            // aggressively), steep convex rise under load — the α > 2
+            // exponent matches SPECpower-style curves where the last cores
+            // and full memory-channel activity are the expensive ones.
+            // max_w includes socket VRM losses.
+            cpu: CpuPower { idle_w: 22.0, max_w: 132.0, alpha: 2.1, sockets: 2 },
+            // 8 × 4 GB DDR3 registered DIMMs.
+            memory: MemoryPower { idle_w_per_dimm: 2.5, active_w_per_dimm: 6.5, dimms: 8 },
+            disk: DiskPower { idle_w: 5.0, active_w: 11.0, drives: 1 },
+            // Gigabit/IB HCA on the node.
+            nic: NicPower { idle_w: 6.0, active_w: 14.0 },
+            baseboard: BaseboardPower { w: 30.0 },
+            accelerator: AcceleratorPower::none(),
+            psu: PsuEfficiency::bronze(800.0),
+        }
+    }
+
+    /// A GPU node for the §VI platform extension: a Fire-class host with
+    /// two Fermi-class compute boards and a beefier PSU.
+    pub fn gpu_node() -> Self {
+        let mut node = NodePowerModel::fire_node()
+            .with_accelerator(AcceleratorPower::fermi_class(2));
+        node.psu = PsuEfficiency::bronze(1400.0);
+        node
+    }
+
+    /// A 2012-generation node (2× Sandy Bridge-EP): lower idle, wider
+    /// dynamic range, and a Platinum-class PSU — the "what came next"
+    /// contrast point for ranking studies.
+    pub fn sandy_bridge_node() -> Self {
+        NodePowerModel {
+            cpu: CpuPower { idle_w: 15.0, max_w: 130.0, alpha: 1.8, sockets: 2 },
+            // 8 × 8 GB DDR3-1600 RDIMMs.
+            memory: MemoryPower { idle_w_per_dimm: 2.0, active_w_per_dimm: 5.5, dimms: 8 },
+            disk: DiskPower { idle_w: 4.0, active_w: 9.0, drives: 1 },
+            nic: NicPower { idle_w: 5.0, active_w: 12.0 },
+            baseboard: BaseboardPower { w: 25.0 },
+            accelerator: AcceleratorPower::none(),
+            // 80 PLUS Platinum-like: flatter, higher curve.
+            psu: PsuEfficiency::new(
+                1100.0,
+                vec![(0.05, 0.82), (0.10, 0.89), (0.20, 0.92), (0.50, 0.94), (1.00, 0.91)],
+            ),
+        }
+    }
+
+    /// A model of one *SystemG* node (Mac Pro, 2× Xeon 5462 quad-core
+    /// 2.8 GHz, 8 GB, QDR InfiniBand).
+    pub fn system_g_node() -> Self {
+        NodePowerModel {
+            // Xeon 5462: 80 W TDP per socket; Penryn idles relatively high.
+            cpu: CpuPower { idle_w: 30.0, max_w: 80.0, alpha: 1.1, sockets: 2 },
+            // 4 × 2 GB FB-DIMMs — notoriously power-hungry.
+            memory: MemoryPower { idle_w_per_dimm: 6.0, active_w_per_dimm: 11.0, dimms: 4 },
+            disk: DiskPower { idle_w: 6.0, active_w: 12.0, drives: 1 },
+            // QDR InfiniBand HCA.
+            nic: NicPower { idle_w: 8.0, active_w: 18.0 },
+            baseboard: BaseboardPower { w: 50.0 },
+            accelerator: AcceleratorPower::none(),
+            psu: PsuEfficiency::bronze(980.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dc_power_is_sum_of_components() {
+        let node = NodePowerModel::fire_node();
+        let u = UtilizationSample::new(0.5, 0.3, 0.1, 0.2);
+        let expected = node.cpu.power(0.5).value()
+            + node.memory.power(0.3).value()
+            + node.disk.power(0.1).value()
+            + node.nic.power(0.2).value()
+            + node.baseboard.power().value();
+        assert!((node.dc_power(u).value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_exceeds_dc() {
+        let node = NodePowerModel::fire_node();
+        for u in [UtilizationSample::IDLE, UtilizationSample::cpu_bound(1.0)] {
+            assert!(node.wall_power(u).value() > node.dc_power(u).value());
+        }
+    }
+
+    #[test]
+    fn fire_node_power_band_is_plausible() {
+        let node = NodePowerModel::fire_node();
+        let idle = node.idle_wall_power().value();
+        let peak = node.peak_wall_power().value();
+        // A power-gated dual-socket 2010-era server idles 110–200 W and
+        // peaks 350–500 W at the wall.
+        assert!((110.0..250.0).contains(&idle), "idle {idle}");
+        assert!((320.0..550.0).contains(&peak), "peak {peak}");
+        assert!(peak > idle * 1.5);
+    }
+
+    #[test]
+    fn system_g_node_power_band_is_plausible() {
+        let node = NodePowerModel::system_g_node();
+        let idle = node.idle_wall_power().value();
+        let peak = node.peak_wall_power().value();
+        assert!((150.0..300.0).contains(&idle), "idle {idle}");
+        assert!((280.0..500.0).contains(&peak), "peak {peak}");
+    }
+
+    #[test]
+    fn gpu_node_adds_idle_floor_and_headroom() {
+        let cpu_only = NodePowerModel::fire_node();
+        let gpu = NodePowerModel::gpu_node();
+        // Two idle Fermi boards add ~80 W DC at the wall.
+        assert!(gpu.idle_wall_power().value() > cpu_only.idle_wall_power().value() + 70.0);
+        // Peak grows by roughly the boards' TDP.
+        assert!(gpu.peak_wall_power().value() > cpu_only.peak_wall_power().value() + 350.0);
+        // Accelerator utilization is what moves GPU power.
+        let host_busy = gpu.wall_power(UtilizationSample::cpu_bound(1.0));
+        let both_busy =
+            gpu.wall_power(UtilizationSample::cpu_bound(1.0).with_accelerator(1.0));
+        assert!(both_busy.value() > host_busy.value() + 300.0);
+    }
+
+    #[test]
+    fn cpu_load_dominates_cpu_bound_delta() {
+        let node = NodePowerModel::fire_node();
+        let idle = node.wall_power(UtilizationSample::IDLE).value();
+        let cpu = node.wall_power(UtilizationSample::cpu_bound(1.0)).value();
+        let io = node.wall_power(UtilizationSample::io_bound(1.0)).value();
+        assert!(cpu - idle > io - idle, "CPU-bound load must cost more than I/O-bound");
+    }
+
+    proptest! {
+        /// Wall power is monotone in every utilization dimension.
+        #[test]
+        fn prop_wall_monotone(
+            cpu in 0.0..1.0f64, mem in 0.0..1.0f64,
+            disk in 0.0..1.0f64, net in 0.0..1.0f64, bump in 0.0..0.3f64,
+        ) {
+            let node = NodePowerModel::fire_node();
+            let base = node.wall_power(UtilizationSample::new(cpu, mem, disk, net)).value();
+            let more =
+                node.wall_power(UtilizationSample::new(cpu + bump, mem, disk, net)).value();
+            prop_assert!(more >= base - 1e-9);
+        }
+
+        /// Power stays within [idle, peak] for any utilization.
+        #[test]
+        fn prop_power_within_envelope(
+            cpu in 0.0..1.0f64, mem in 0.0..1.0f64,
+            disk in 0.0..1.0f64, net in 0.0..1.0f64,
+        ) {
+            let node = NodePowerModel::system_g_node();
+            let p = node.wall_power(UtilizationSample::new(cpu, mem, disk, net)).value();
+            prop_assert!(p >= node.idle_wall_power().value() - 1e-9);
+            prop_assert!(p <= node.peak_wall_power().value() + 1e-9);
+        }
+    }
+}

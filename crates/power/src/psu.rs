@@ -1,0 +1,156 @@
+//! Power-supply efficiency: what a wall meter sees.
+//!
+//! A Watts Up? meter sits on the AC side of the PSU (Figure 1 of the paper),
+//! so wall power = DC power / η(load). Efficiency curves follow the 80 PLUS
+//! shape: poor at very light load, peaking near 50%, drooping slightly at
+//! full load. The curve is piecewise-linear through calibration points.
+
+use serde::{Deserialize, Serialize};
+use tgi_core::Watts;
+
+/// A load-dependent PSU efficiency curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsuEfficiency {
+    /// Rated output capacity, watts DC.
+    pub rated_w: f64,
+    /// `(load fraction, efficiency)` calibration points, sorted by load.
+    points: Vec<(f64, f64)>,
+}
+
+impl PsuEfficiency {
+    /// Builds a curve from calibration points `(load fraction, efficiency)`.
+    ///
+    /// # Panics
+    /// Panics if there are no points, any value is out of `(0, 1]`, or the
+    /// loads are not strictly increasing.
+    pub fn new(rated_w: f64, points: Vec<(f64, f64)>) -> Self {
+        assert!(rated_w > 0.0, "rated capacity must be positive");
+        assert!(!points.is_empty(), "need at least one calibration point");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "load points must be strictly increasing");
+        }
+        for &(l, e) in &points {
+            assert!((0.0..=1.5).contains(&l), "load fraction out of range: {l}");
+            assert!(e > 0.0 && e <= 1.0, "efficiency out of range: {e}");
+        }
+        PsuEfficiency { rated_w, points }
+    }
+
+    /// An 80 PLUS Bronze-like curve (typical ~2008-era server PSU, matching
+    /// the paper's hardware generation).
+    pub fn bronze(rated_w: f64) -> Self {
+        PsuEfficiency::new(
+            rated_w,
+            vec![(0.05, 0.70), (0.10, 0.78), (0.20, 0.82), (0.50, 0.85), (1.00, 0.82)],
+        )
+    }
+
+    /// A perfectly efficient PSU (for ablations isolating conversion loss).
+    pub fn ideal(rated_w: f64) -> Self {
+        PsuEfficiency::new(rated_w, vec![(0.5, 1.0)])
+    }
+
+    /// Efficiency at a DC load, by linear interpolation (clamped at the
+    /// curve's ends).
+    pub fn efficiency_at(&self, dc_w: f64) -> f64 {
+        let load = (dc_w / self.rated_w).max(0.0);
+        let pts = &self.points;
+        if load <= pts[0].0 {
+            return pts[0].1;
+        }
+        if load >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            let ((l0, e0), (l1, e1)) = (w[0], w[1]);
+            if load <= l1 {
+                let t = (load - l0) / (l1 - l0);
+                return e0 + t * (e1 - e0);
+            }
+        }
+        unreachable!("load within bracket bounds");
+    }
+
+    /// Wall (AC) power for a given DC draw.
+    pub fn wall_power(&self, dc: Watts) -> Watts {
+        Watts::new(dc.value() / self.efficiency_at(dc.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bronze_curve_shape() {
+        let psu = PsuEfficiency::bronze(800.0);
+        // Peak near 50% load.
+        let e50 = psu.efficiency_at(400.0);
+        assert!(e50 > psu.efficiency_at(40.0));
+        assert!(e50 > psu.efficiency_at(800.0));
+        assert!((e50 - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let psu = PsuEfficiency::new(100.0, vec![(0.0, 0.5), (1.0, 1.0)]);
+        assert!((psu.efficiency_at(50.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_outside_curve() {
+        let psu = PsuEfficiency::bronze(800.0);
+        assert_eq!(psu.efficiency_at(0.0), 0.70);
+        assert_eq!(psu.efficiency_at(10_000.0), 0.82);
+    }
+
+    #[test]
+    fn wall_power_exceeds_dc_power() {
+        let psu = PsuEfficiency::bronze(800.0);
+        for dc in [50.0, 200.0, 400.0, 800.0] {
+            let wall = psu.wall_power(Watts::new(dc)).value();
+            assert!(wall > dc, "wall {wall} must exceed DC {dc}");
+        }
+    }
+
+    #[test]
+    fn ideal_psu_is_lossless() {
+        let psu = PsuEfficiency::ideal(500.0);
+        assert_eq!(psu.wall_power(Watts::new(300.0)).value(), 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_points_panic() {
+        PsuEfficiency::new(100.0, vec![(0.5, 0.8), (0.2, 0.9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency out of range")]
+    fn bad_efficiency_panics() {
+        PsuEfficiency::new(100.0, vec![(0.5, 1.2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_points_panic() {
+        PsuEfficiency::new(100.0, vec![]);
+    }
+
+    proptest! {
+        /// Efficiency is always within the hull of the calibration points,
+        /// and wall power is monotone in DC power.
+        #[test]
+        fn prop_efficiency_bounded_monotone_wall(dc1 in 1.0..1000.0f64, dc2 in 1.0..1000.0f64) {
+            let psu = PsuEfficiency::bronze(800.0);
+            let e = psu.efficiency_at(dc1);
+            prop_assert!((0.70..=0.85).contains(&e));
+            let (lo, hi) = if dc1 <= dc2 { (dc1, dc2) } else { (dc2, dc1) };
+            prop_assert!(
+                psu.wall_power(Watts::new(lo)).value()
+                    <= psu.wall_power(Watts::new(hi)).value() + 1e-9
+            );
+        }
+    }
+}

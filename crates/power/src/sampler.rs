@@ -1,0 +1,258 @@
+//! Background power sampling for *native* benchmark runs.
+//!
+//! When a kernel executes for real on the local machine, nothing knows its
+//! power draw a priori: a sampler thread polls a [`PowerSource`] while the
+//! workload runs — exactly how a logging wall meter is used in practice —
+//! and the resulting [`PowerTrace`] is integrated into energy.
+//!
+//! [`ModeledSource`] implements the source by reading this process's actual
+//! CPU utilization from `/proc` (falling back to a constant on other
+//! platforms) and evaluating a [`NodePowerModel`] at it.
+
+use crate::node::NodePowerModel;
+use crate::trace::PowerTrace;
+use crate::utilization::UtilizationSample;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tgi_core::Watts;
+
+/// Something whose instantaneous power can be polled.
+pub trait PowerSource: Send + Sync {
+    /// The current wall power.
+    fn power_now(&self) -> Watts;
+}
+
+/// A constant-power source (tests, idle baselines).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantSource(pub f64);
+
+impl PowerSource for ConstantSource {
+    fn power_now(&self) -> Watts {
+        Watts::new(self.0)
+    }
+}
+
+/// Evaluates a node power model at the *measured* CPU utilization of this
+/// process (Linux: `/proc/self/stat` utime+stime deltas against wall time).
+pub struct ModeledSource {
+    model: NodePowerModel,
+    state: Mutex<CpuTimeState>,
+    /// Utilization assumed for non-CPU subsystems while a kernel runs.
+    pub assumed: UtilizationSample,
+}
+
+struct CpuTimeState {
+    last_cpu: f64,
+    last_wall: Instant,
+    cores: f64,
+}
+
+impl ModeledSource {
+    /// Creates a source for the given node model.
+    pub fn new(model: NodePowerModel) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get() as f64)
+            .unwrap_or(1.0);
+        ModeledSource {
+            model,
+            state: Mutex::new(CpuTimeState {
+                last_cpu: process_cpu_seconds().unwrap_or(0.0),
+                last_wall: Instant::now(),
+                cores,
+            }),
+            assumed: UtilizationSample::IDLE,
+        }
+    }
+
+    /// Sets the assumed non-CPU utilization (e.g. memory-bound kernels).
+    pub fn with_assumed(mut self, assumed: UtilizationSample) -> Self {
+        self.assumed = assumed;
+        self
+    }
+
+    /// Measures CPU utilization since the previous call, in `[0, 1]` of the
+    /// whole machine.
+    pub fn cpu_utilization(&self) -> f64 {
+        let mut st = self.state.lock();
+        let now_cpu = match process_cpu_seconds() {
+            Some(v) => v,
+            None => return 0.5, // non-Linux fallback: assume half load
+        };
+        let now_wall = Instant::now();
+        let wall_dt = now_wall.duration_since(st.last_wall).as_secs_f64();
+        let cpu_dt = now_cpu - st.last_cpu;
+        st.last_cpu = now_cpu;
+        st.last_wall = now_wall;
+        if wall_dt <= 0.0 {
+            return 0.0;
+        }
+        (cpu_dt / wall_dt / st.cores).clamp(0.0, 1.0)
+    }
+}
+
+impl PowerSource for ModeledSource {
+    fn power_now(&self) -> Watts {
+        let cpu = self.cpu_utilization();
+        let u = UtilizationSample::new(
+            cpu.max(self.assumed.cpu),
+            self.assumed.memory,
+            self.assumed.disk,
+            self.assumed.network,
+        );
+        self.model.wall_power(u)
+    }
+}
+
+/// Reads this process's cumulative CPU time (user+system) in seconds.
+fn process_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Fields 14 and 15 (utime, stime) in clock ticks; the command name can
+    // contain spaces but is parenthesized, so split after the last ')'.
+    let after = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let utime: f64 = fields.get(11)?.parse().ok()?;
+    let stime: f64 = fields.get(12)?.parse().ok()?;
+    // CLK_TCK is effectively always 100 on Linux.
+    Some((utime + stime) / 100.0)
+}
+
+/// A sampler thread recording a [`PowerSource`] at a fixed interval.
+pub struct BackgroundSampler {
+    stop: Sender<()>,
+    handle: JoinHandle<PowerTrace>,
+}
+
+impl BackgroundSampler {
+    /// Starts sampling `source` every `interval`.
+    pub fn start(source: Arc<dyn PowerSource>, interval: Duration) -> Self {
+        assert!(interval > Duration::ZERO, "sampling interval must be positive");
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let handle = std::thread::spawn(move || {
+            let mut trace = PowerTrace::new();
+            let start = Instant::now();
+            trace.push(0.0, source.power_now());
+            loop {
+                // Wait for the interval or a stop signal, whichever first.
+                if stop_rx.recv_timeout(interval).is_ok() {
+                    break;
+                }
+                trace.push(start.elapsed().as_secs_f64(), source.power_now());
+            }
+            // Final sample so the trace covers the full duration.
+            trace.push(start.elapsed().as_secs_f64(), source.power_now());
+            trace
+        });
+        BackgroundSampler { stop: stop_tx, handle }
+    }
+
+    /// Stops sampling and returns the recorded trace.
+    pub fn stop(self) -> PowerTrace {
+        let _ = self.stop.send(());
+        self.handle.join().expect("sampler thread must not panic")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_source_sampled() {
+        let sampler = BackgroundSampler::start(
+            Arc::new(ConstantSource(250.0)),
+            Duration::from_millis(10),
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        let trace = sampler.stop();
+        assert!(trace.len() >= 3, "expected several samples, got {}", trace.len());
+        assert!((trace.average_power().value() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_covers_elapsed_time() {
+        let sampler = BackgroundSampler::start(
+            Arc::new(ConstantSource(100.0)),
+            Duration::from_millis(5),
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        let trace = sampler.stop();
+        assert!(trace.duration().value() >= 0.045);
+    }
+
+    #[test]
+    fn immediate_stop_still_yields_trace() {
+        let sampler = BackgroundSampler::start(
+            Arc::new(ConstantSource(100.0)),
+            Duration::from_millis(500),
+        );
+        let trace = sampler.stop();
+        assert!(trace.len() >= 2); // initial + final sample
+    }
+
+    #[test]
+    fn process_cpu_time_is_monotone_on_linux() {
+        if let Some(a) = process_cpu_seconds() {
+            // Burn a little CPU.
+            let mut x = 0u64;
+            for i in 0..5_000_000u64 {
+                x = x.wrapping_add(i).rotate_left(7);
+            }
+            assert!(x != 0);
+            let b = process_cpu_seconds().unwrap();
+            assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn modeled_source_produces_plausible_power() {
+        let src = ModeledSource::new(NodePowerModel::fire_node());
+        let p = src.power_now().value();
+        let node = NodePowerModel::fire_node();
+        assert!(p >= node.idle_wall_power().value() - 1e-9);
+        assert!(p <= node.peak_wall_power().value() + 1e-9);
+    }
+
+    #[test]
+    fn modeled_source_rises_under_load() {
+        let src = Arc::new(
+            ModeledSource::new(NodePowerModel::fire_node())
+                .with_assumed(UtilizationSample::IDLE),
+        );
+        // First reading establishes a baseline window.
+        let _ = src.power_now();
+        // Burn CPU on all threads for a bit.
+        let burn_until = Instant::now() + Duration::from_millis(120);
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut x = 1u64;
+                    while Instant::now() < burn_until {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    x
+                })
+            })
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+        let loaded = src.power_now().value();
+        let idle_model = NodePowerModel::fire_node().idle_wall_power().value();
+        assert!(
+            loaded >= idle_model,
+            "loaded power {loaded} should be at or above idle {idle_model}"
+        );
+    }
+
+    #[test]
+    fn cpu_utilization_bounded() {
+        let src = ModeledSource::new(NodePowerModel::fire_node());
+        for _ in 0..3 {
+            let u = src.cpu_utilization();
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Thermal dynamics and fan power — the time-varying tail of node power.
+//!
+//! Wall traces of real machines keep climbing for minutes after a job
+//! starts: heatsinks warm up and fans spin up. A first-order RC thermal
+//! model captures that:
+//!
+//! ```text
+//! τ · dT/dt = R·P_dissipated − (T − T_ambient)
+//! ```
+//!
+//! with fan power a convex function of the temperature-controlled duty
+//! cycle. This feeds the meter path with realistic warm-up transients (the
+//! effect the meter-ablation bench's bursty loads probe) and closes the
+//! loop with the cooling extension: what PUE abstracts at facility scale,
+//! this models at node scale.
+
+use crate::node::NodePowerModel;
+use crate::trace::PowerTrace;
+use crate::utilization::UtilizationProfile;
+use serde::{Deserialize, Serialize};
+use tgi_core::Watts;
+
+/// First-order node thermal model with a temperature-driven fan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Thermal resistance heatsink→air, °C per watt of dissipated power.
+    pub r_c_per_watt: f64,
+    /// Thermal time constant τ, seconds.
+    pub tau_s: f64,
+    /// Ambient (inlet) temperature, °C.
+    pub ambient_c: f64,
+    /// Temperature at which fans start ramping, °C.
+    pub fan_start_c: f64,
+    /// Temperature at which fans reach full duty, °C.
+    pub fan_full_c: f64,
+    /// Fan power at full duty, watts (fan power ∝ duty³).
+    pub fan_max_w: f64,
+}
+
+impl ThermalModel {
+    /// A typical 1U/2U server: ~45 s time constant, fans ramp 45–75 °C.
+    pub fn typical_server() -> Self {
+        ThermalModel {
+            r_c_per_watt: 0.11,
+            tau_s: 45.0,
+            ambient_c: 22.0,
+            fan_start_c: 45.0,
+            fan_full_c: 75.0,
+            fan_max_w: 48.0,
+        }
+    }
+
+    /// Steady-state temperature at a constant dissipated power.
+    pub fn steady_temp(&self, dissipated: Watts) -> f64 {
+        self.ambient_c + self.r_c_per_watt * dissipated.value()
+    }
+
+    /// Fan duty cycle in `[0, 1]` at a given temperature.
+    pub fn fan_duty(&self, temp_c: f64) -> f64 {
+        ((temp_c - self.fan_start_c) / (self.fan_full_c - self.fan_start_c)).clamp(0.0, 1.0)
+    }
+
+    /// Fan power at a given temperature (cube law in duty cycle).
+    pub fn fan_power(&self, temp_c: f64) -> Watts {
+        Watts::new(self.fan_max_w * self.fan_duty(temp_c).powi(3))
+    }
+
+    /// Simulates a utilization profile on a node with thermal dynamics:
+    /// integrates the RC equation at `dt_s` steps and returns the wall-power
+    /// trace *including* fan power, plus the temperature trajectory.
+    ///
+    /// # Panics
+    /// Panics on a non-positive step size.
+    pub fn simulate(
+        &self,
+        node: &NodePowerModel,
+        profile: &UtilizationProfile,
+        dt_s: f64,
+    ) -> (PowerTrace, Vec<(f64, f64)>) {
+        assert!(dt_s > 0.0, "integration step must be positive");
+        let mut trace = PowerTrace::new();
+        let mut temps = Vec::new();
+        let mut temp = self.ambient_c;
+        let duration = profile.duration_s();
+        let steps = (duration / dt_s).ceil() as usize;
+        for k in 0..=steps {
+            let t = (k as f64 * dt_s).min(duration);
+            // The profile is half-open at its end: clamp the lookup just
+            // inside so the final sample reflects the last phase.
+            let u = profile.at(if t >= duration { duration - 1e-9 } else { t });
+            // Dissipated heat ≈ DC power (electrical in = heat out).
+            let dissipated = node.dc_power(u).value();
+            // Explicit Euler on the RC equation.
+            let target = self.ambient_c + self.r_c_per_watt * dissipated;
+            temp += (target - temp) * (dt_s / self.tau_s).min(1.0);
+            let wall = node.wall_power(u).value() + self.fan_power(temp).value();
+            trace.push(t, Watts::new(wall));
+            temps.push((t, temp));
+            if t >= duration {
+                break;
+            }
+        }
+        (trace, temps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utilization::UtilizationSample;
+    use proptest::prelude::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel::typical_server()
+    }
+
+    #[test]
+    fn steady_state_temperature_is_linear_in_power() {
+        let m = model();
+        assert_eq!(m.steady_temp(Watts::new(0.0)), 22.0);
+        let t200 = m.steady_temp(Watts::new(200.0));
+        let t400 = m.steady_temp(Watts::new(400.0));
+        assert!((t200 - 44.0).abs() < 1e-9);
+        assert!(((t400 - 22.0) - 2.0 * (t200 - 22.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_curve_endpoints_and_cube_law() {
+        let m = model();
+        assert_eq!(m.fan_duty(30.0), 0.0);
+        assert_eq!(m.fan_duty(75.0), 1.0);
+        assert_eq!(m.fan_duty(100.0), 1.0);
+        assert!((m.fan_duty(60.0) - 0.5).abs() < 1e-12);
+        // Half duty → 1/8 of max power.
+        assert!((m.fan_power(60.0).value() - m.fan_max_w / 8.0).abs() < 1e-9);
+        assert_eq!(m.fan_power(30.0).value(), 0.0);
+    }
+
+    #[test]
+    fn warm_up_transient_raises_power_over_time() {
+        let node = NodePowerModel::fire_node();
+        let profile = UtilizationProfile::constant(300.0, UtilizationSample::cpu_bound(1.0));
+        let (trace, temps) = model().simulate(&node, &profile, 1.0);
+        // Temperature climbs toward steady state.
+        let t_early = temps[5].1;
+        let t_late = temps.last().expect("non-empty").1;
+        assert!(t_late > t_early + 5.0, "warm-up: {t_early} -> {t_late}");
+        // Wall power climbs with it (fans spin up), while utilization is
+        // constant — the transient a constant-power model misses.
+        let p_early = trace.samples()[5].watts;
+        let p_late = trace.samples()[trace.len() - 1].watts;
+        assert!(p_late > p_early, "power warm-up: {p_early} -> {p_late}");
+        // And converges near the analytic steady state.
+        let steady = model()
+            .steady_temp(node.dc_power(UtilizationSample::cpu_bound(1.0)));
+        assert!((t_late - steady).abs() < 2.0, "late {t_late} vs steady {steady}");
+    }
+
+    #[test]
+    fn cooldown_after_job_ends() {
+        let node = NodePowerModel::fire_node();
+        let mut profile = UtilizationProfile::new();
+        profile.push(120.0, UtilizationSample::cpu_bound(1.0));
+        profile.push(180.0, UtilizationSample::IDLE);
+        let (_, temps) = model().simulate(&node, &profile, 1.0);
+        let peak = temps.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        let end = temps.last().expect("non-empty").1;
+        assert!(end < peak - 5.0, "cooldown: peak {peak}, end {end}");
+        assert!(end > model().ambient_c, "never below ambient");
+    }
+
+    #[test]
+    fn fan_energy_is_visible_in_the_trace() {
+        let node = NodePowerModel::fire_node();
+        let profile = UtilizationProfile::constant(600.0, UtilizationSample::cpu_bound(1.0));
+        let (with_fans, _) = model().simulate(&node, &profile, 1.0);
+        // Static model (no thermal): constant wall power, no fan term.
+        let static_w = node.wall_power(UtilizationSample::cpu_bound(1.0)).value();
+        let static_energy = static_w * 600.0;
+        assert!(
+            with_fans.energy().value() > static_energy,
+            "fans must add energy: {} vs {static_energy}",
+            with_fans.energy().value()
+        );
+    }
+
+    proptest! {
+        /// Temperature stays within [ambient, steady-state at peak power].
+        #[test]
+        fn prop_temperature_bounded(cpu in 0.0..1.0f64, dur in 10.0..500.0f64) {
+            let node = NodePowerModel::fire_node();
+            let profile = UtilizationProfile::constant(dur, UtilizationSample::cpu_bound(cpu));
+            let m = model();
+            let (_, temps) = m.simulate(&node, &profile, 1.0);
+            let hot = m.steady_temp(node.dc_power(UtilizationSample::cpu_bound(cpu)));
+            for (_, t) in temps {
+                prop_assert!(t >= m.ambient_c - 1e-9);
+                prop_assert!(t <= hot + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Time-stamped power traces and energy integration.
+//!
+//! A real Watts Up? logger produces a sequence of `(time, watts)` samples;
+//! energy is the integral of power over time. [`PowerTrace`] stores samples
+//! and integrates with the trapezoidal rule, which is exact for the
+//! piecewise-linear interpolation of the samples.
+
+use serde::{Deserialize, Serialize};
+use tgi_core::{Joules, Seconds, Watts};
+
+/// One power sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Seconds from trace start.
+    pub t: f64,
+    /// Instantaneous wall power.
+    pub watts: f64,
+}
+
+/// A sequence of power samples with monotonically non-decreasing timestamps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    samples: Vec<PowerSample>,
+}
+
+impl PowerTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        PowerTrace::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the previous sample or any value is not
+    /// finite/non-negative.
+    pub fn push(&mut self, t: f64, watts: Watts) {
+        assert!(t.is_finite() && t >= 0.0, "sample time must be finite and non-negative");
+        let w = watts.value();
+        assert!(w.is_finite() && w >= 0.0, "power must be finite and non-negative");
+        if let Some(last) = self.samples.last() {
+            assert!(t >= last.t, "sample times must be non-decreasing");
+        }
+        self.samples.push(PowerSample { t, watts: w });
+    }
+
+    /// The samples in order.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Trace duration: time between the first and last sample.
+    pub fn duration(&self) -> Seconds {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => Seconds::new(b.t - a.t),
+            _ => Seconds::new(0.0),
+        }
+    }
+
+    /// Total energy by trapezoidal integration.
+    pub fn energy(&self) -> Joules {
+        let mut e = 0.0;
+        for w in self.samples.windows(2) {
+            let dt = w[1].t - w[0].t;
+            e += 0.5 * (w[0].watts + w[1].watts) * dt;
+        }
+        Joules::new(e)
+    }
+
+    /// Time-weighted average power (energy / duration). Falls back to the
+    /// plain sample mean when the trace spans zero time.
+    pub fn average_power(&self) -> Watts {
+        let d = self.duration().value();
+        if d > 0.0 {
+            Watts::new(self.energy().value() / d)
+        } else if !self.samples.is_empty() {
+            Watts::new(self.samples.iter().map(|s| s.watts).sum::<f64>() / self.len() as f64)
+        } else {
+            Watts::new(0.0)
+        }
+    }
+
+    /// Peak sampled power.
+    pub fn peak_power(&self) -> Watts {
+        Watts::new(self.samples.iter().map(|s| s.watts).fold(0.0, f64::max))
+    }
+
+    /// Minimum sampled power (0 for an empty trace).
+    pub fn min_power(&self) -> Watts {
+        Watts::new(
+            self.samples.iter().map(|s| s.watts).fold(f64::INFINITY, f64::min).min(f64::MAX),
+        )
+    }
+
+    /// Concatenates another trace, shifting its timestamps to start at this
+    /// trace's end.
+    pub fn extend_shifted(&mut self, other: &PowerTrace) {
+        let offset = self.samples.last().map(|s| s.t).unwrap_or(0.0);
+        for s in &other.samples {
+            self.samples.push(PowerSample { t: offset + s.t, watts: s.watts });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn trace(points: &[(f64, f64)]) -> PowerTrace {
+        let mut t = PowerTrace::new();
+        for &(time, w) in points {
+            t.push(time, Watts::new(w));
+        }
+        t
+    }
+
+    #[test]
+    fn constant_power_energy() {
+        // 100 W for 10 s = 1000 J.
+        let t = trace(&[(0.0, 100.0), (5.0, 100.0), (10.0, 100.0)]);
+        assert!((t.energy().value() - 1000.0).abs() < 1e-9);
+        assert!((t.average_power().value() - 100.0).abs() < 1e-9);
+        assert_eq!(t.duration().value(), 10.0);
+    }
+
+    #[test]
+    fn ramp_energy_is_trapezoid() {
+        // Linear ramp 0→100 W over 10 s: energy = 500 J.
+        let t = trace(&[(0.0, 0.0), (10.0, 100.0)]);
+        assert!((t.energy().value() - 500.0).abs() < 1e-9);
+        assert!((t.average_power().value() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_and_min() {
+        let t = trace(&[(0.0, 80.0), (1.0, 250.0), (2.0, 120.0)]);
+        assert_eq!(t.peak_power().value(), 250.0);
+        assert_eq!(t.min_power().value(), 80.0);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = PowerTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.energy().value(), 0.0);
+        assert_eq!(t.duration().value(), 0.0);
+        assert_eq!(t.average_power().value(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_average_is_that_sample() {
+        let t = trace(&[(3.0, 42.0)]);
+        assert_eq!(t.average_power().value(), 42.0);
+        assert_eq!(t.energy().value(), 0.0);
+    }
+
+    #[test]
+    fn extend_shifted_concatenates() {
+        let mut a = trace(&[(0.0, 100.0), (10.0, 100.0)]);
+        let b = trace(&[(0.0, 200.0), (5.0, 200.0)]);
+        a.extend_shifted(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.samples()[2].t, 10.0);
+        assert_eq!(a.samples()[3].t, 15.0);
+        // Energy: 1000 J + 1000 J + transition trapezoid (0 s wide) = 2000 J.
+        assert!((a.energy().value() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_push_panics() {
+        let mut t = trace(&[(5.0, 100.0)]);
+        t.push(4.0, Watts::new(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_panics() {
+        let mut t = PowerTrace::new();
+        t.push(0.0, Watts::new(-5.0));
+    }
+
+    proptest! {
+        /// Energy is within [min·T, max·T] for any trace.
+        #[test]
+        fn prop_energy_bounds(
+            powers in proptest::collection::vec(1.0..1000.0f64, 2..32),
+            dt in 0.1..10.0f64,
+        ) {
+            let mut t = PowerTrace::new();
+            for (i, &w) in powers.iter().enumerate() {
+                t.push(i as f64 * dt, Watts::new(w));
+            }
+            let dur = t.duration().value();
+            let lo = powers.iter().cloned().fold(f64::INFINITY, f64::min) * dur;
+            let hi = powers.iter().cloned().fold(0.0, f64::max) * dur;
+            let e = t.energy().value();
+            prop_assert!(e >= lo - 1e-6);
+            prop_assert!(e <= hi + 1e-6);
+            // average power equals energy / duration by construction
+            prop_assert!((t.average_power().value() - e / dur).abs() < 1e-9);
+        }
+
+        /// Doubling every power value doubles the energy (linearity).
+        #[test]
+        fn prop_energy_linear(
+            powers in proptest::collection::vec(1.0..500.0f64, 2..16),
+        ) {
+            let mut t1 = PowerTrace::new();
+            let mut t2 = PowerTrace::new();
+            for (i, &w) in powers.iter().enumerate() {
+                t1.push(i as f64, Watts::new(w));
+                t2.push(i as f64, Watts::new(2.0 * w));
+            }
+            prop_assert!((t2.energy().value() - 2.0 * t1.energy().value()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Reading and writing meter logs.
+//!
+//! Watts Up?-class loggers emit one `elapsed_seconds,watts` sample per
+//! line; studies archive those CSVs. This module round-trips
+//! [`PowerTrace`]s through that format, with strict parsing (a corrupted
+//! log should fail loudly, not silently skew an energy number).
+
+use crate::trace::PowerTrace;
+use std::path::Path;
+use tgi_core::Watts;
+
+/// Errors while parsing a meter log.
+#[derive(Debug)]
+pub enum LogError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// A line that is not `seconds,watts`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// Timestamps went backwards or values were negative/non-finite.
+    Invalid {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "I/O error: {e}"),
+            LogError::Malformed { line, content } => {
+                write!(f, "malformed meter log line {line}: `{content}`")
+            }
+            LogError::Invalid { line, reason } => {
+                write!(f, "invalid sample at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// Serializes a trace as `seconds,watts` lines with a header.
+pub fn to_log(trace: &PowerTrace) -> String {
+    let mut out = String::from("seconds,watts\n");
+    for s in trace.samples() {
+        out.push_str(&format!("{},{}\n", s.t, s.watts));
+    }
+    out
+}
+
+/// Parses a meter log. Accepts an optional `seconds,watts` header and blank
+/// lines; rejects anything else.
+pub fn from_log(text: &str) -> Result<PowerTrace, LogError> {
+    let mut trace = PowerTrace::new();
+    let mut last_t = f64::NEG_INFINITY;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.trim();
+        if content.is_empty() || (idx == 0 && content.eq_ignore_ascii_case("seconds,watts")) {
+            continue;
+        }
+        let (ts, ws) = content.split_once(',').ok_or_else(|| LogError::Malformed {
+            line,
+            content: content.to_string(),
+        })?;
+        let t: f64 = ts.trim().parse().map_err(|_| LogError::Malformed {
+            line,
+            content: content.to_string(),
+        })?;
+        let w: f64 = ws.trim().parse().map_err(|_| LogError::Malformed {
+            line,
+            content: content.to_string(),
+        })?;
+        if !t.is_finite() || t < 0.0 {
+            return Err(LogError::Invalid { line, reason: "timestamp not finite/non-negative" });
+        }
+        if t < last_t {
+            return Err(LogError::Invalid { line, reason: "timestamps went backwards" });
+        }
+        if !w.is_finite() || w < 0.0 {
+            return Err(LogError::Invalid { line, reason: "power not finite/non-negative" });
+        }
+        last_t = t;
+        trace.push(t, Watts::new(w));
+    }
+    Ok(trace)
+}
+
+/// Writes a trace to a log file.
+pub fn write_log(trace: &PowerTrace, path: &Path) -> Result<(), LogError> {
+    Ok(std::fs::write(path, to_log(trace))?)
+}
+
+/// Reads a trace from a log file.
+pub fn read_log(path: &Path) -> Result<PowerTrace, LogError> {
+    from_log(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn trace(points: &[(f64, f64)]) -> PowerTrace {
+        let mut t = PowerTrace::new();
+        for &(time, w) in points {
+            t.push(time, Watts::new(w));
+        }
+        t
+    }
+
+    #[test]
+    fn text_round_trip_preserves_energy() {
+        let t = trace(&[(0.0, 100.0), (1.0, 150.5), (2.0, 120.25)]);
+        let back = from_log(&to_log(&t)).expect("well-formed");
+        assert_eq!(back.len(), 3);
+        assert!((back.energy().value() - t.energy().value()).abs() < 1e-9);
+        assert_eq!(back.samples()[1].watts, 150.5);
+    }
+
+    #[test]
+    fn header_and_blank_lines_accepted() {
+        let text = "seconds,watts\n\n0,100\n1,200\n\n";
+        let t = from_log(text).expect("tolerates blanks");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn headerless_log_accepted() {
+        let t = from_log("0,100\n1,110\n").expect("headerless");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_position() {
+        for (text, bad_line) in [
+            ("0,100\ngarbage\n", 2),
+            ("0,100\n1;200\n", 2),
+            ("abc,100\n", 1),
+            ("0,watts\n", 1),
+        ] {
+            match from_log(text) {
+                Err(LogError::Malformed { line, .. }) => assert_eq!(line, bad_line, "{text}"),
+                other => panic!("expected Malformed for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        assert!(matches!(
+            from_log("0,100\n0.5,-5\n"),
+            Err(LogError::Invalid { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_log("1,100\n0.5,100\n"),
+            Err(LogError::Invalid { line: 2, .. })
+        ));
+        assert!(matches!(from_log("-1,100\n"), Err(LogError::Invalid { line: 1, .. })));
+        assert!(matches!(from_log("0,inf\n"), Err(LogError::Invalid { line: 1, .. })));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir()
+            .join(format!("tgi_meter_log_{}.csv", std::process::id()));
+        let t = trace(&[(0.0, 250.0), (1.0, 260.0)]);
+        write_log(&t, &path).expect("writable");
+        let back = read_log(&path).expect("readable");
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        let err = from_log("nope").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    proptest! {
+        /// Any valid trace survives the text round trip sample-for-sample.
+        #[test]
+        fn prop_round_trip(
+            powers in proptest::collection::vec(0.0..5000.0f64, 1..64),
+        ) {
+            let mut t = PowerTrace::new();
+            for (i, &w) in powers.iter().enumerate() {
+                t.push(i as f64 * 0.5, Watts::new(w));
+            }
+            let back = from_log(&to_log(&t)).expect("round trip");
+            prop_assert_eq!(back.len(), t.len());
+            for (a, b) in back.samples().iter().zip(t.samples()) {
+                prop_assert!((a.t - b.t).abs() < 1e-12);
+                prop_assert!((a.watts - b.watts).abs() < 1e-12);
+            }
+        }
+    }
+}

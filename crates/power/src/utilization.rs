@@ -1,0 +1,257 @@
+//! Subsystem utilization: what a workload does to the machine over time.
+//!
+//! A [`UtilizationSample`] is an instantaneous load vector (CPU, memory,
+//! disk, network, each in `[0, 1]`); a [`UtilizationProfile`] is a piecewise
+//! sequence of phases, which is how the cluster simulator describes a
+//! benchmark run (e.g. HPL: short memory-bound generation phase, long
+//! compute phase).
+
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous per-subsystem utilization, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// CPU utilization across the node's cores.
+    pub cpu: f64,
+    /// Memory-bandwidth utilization.
+    pub memory: f64,
+    /// Storage utilization.
+    pub disk: f64,
+    /// Network utilization.
+    pub network: f64,
+    /// Accelerator (GPU) utilization; 0 on nodes without devices.
+    #[serde(default)]
+    pub accelerator: f64,
+}
+
+impl UtilizationSample {
+    /// The idle vector.
+    pub const IDLE: UtilizationSample =
+        UtilizationSample { cpu: 0.0, memory: 0.0, disk: 0.0, network: 0.0, accelerator: 0.0 };
+
+    /// Builds a sample, clamping every component into `[0, 1]`. Accelerator
+    /// utilization starts at 0; set it with [`UtilizationSample::with_accelerator`].
+    pub fn new(cpu: f64, memory: f64, disk: f64, network: f64) -> Self {
+        UtilizationSample {
+            cpu: clamp01(cpu),
+            memory: clamp01(memory),
+            disk: clamp01(disk),
+            network: clamp01(network),
+            accelerator: 0.0,
+        }
+    }
+
+    /// Sets the accelerator utilization (clamped to `[0, 1]`).
+    pub fn with_accelerator(mut self, u: f64) -> Self {
+        self.accelerator = clamp01(u);
+        self
+    }
+
+    /// CPU-only load (e.g. a compute kernel).
+    pub fn cpu_bound(cpu: f64) -> Self {
+        UtilizationSample::new(cpu, 0.3 * cpu, 0.0, 0.0)
+    }
+
+    /// Memory-bound load (e.g. STREAM): saturated memory, moderate CPU.
+    pub fn memory_bound(memory: f64) -> Self {
+        UtilizationSample::new(0.4 * memory, memory, 0.0, 0.0)
+    }
+
+    /// I/O-bound load (e.g. IOzone): busy disk, light CPU.
+    pub fn io_bound(disk: f64) -> Self {
+        UtilizationSample::new(0.15 * disk, 0.1 * disk, disk, 0.05 * disk)
+    }
+}
+
+fn clamp01(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v.clamp(0.0, 1.0)
+    }
+}
+
+/// One phase of a profile: constant utilization for a duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase length in seconds.
+    pub duration_s: f64,
+    /// Utilization during the phase.
+    pub load: UtilizationSample,
+}
+
+/// A piecewise-constant utilization timeline.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct UtilizationProfile {
+    phases: Vec<Phase>,
+}
+
+impl UtilizationProfile {
+    /// An empty profile (zero duration).
+    pub fn new() -> Self {
+        UtilizationProfile::default()
+    }
+
+    /// A single-phase profile.
+    pub fn constant(duration_s: f64, load: UtilizationSample) -> Self {
+        let mut p = UtilizationProfile::new();
+        p.push(duration_s, load);
+        p
+    }
+
+    /// Appends a phase.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or negative duration.
+    pub fn push(&mut self, duration_s: f64, load: UtilizationSample) {
+        assert!(
+            duration_s.is_finite() && duration_s >= 0.0,
+            "phase duration must be non-negative"
+        );
+        self.phases.push(Phase { duration_s, load });
+    }
+
+    /// Total profile duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+
+    /// The phases in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Utilization at time `t` seconds from the start. Before 0 or past the
+    /// end, the machine is idle.
+    pub fn at(&self, t: f64) -> UtilizationSample {
+        if t < 0.0 {
+            return UtilizationSample::IDLE;
+        }
+        let mut elapsed = 0.0;
+        for p in &self.phases {
+            if t < elapsed + p.duration_s {
+                return p.load;
+            }
+            elapsed += p.duration_s;
+        }
+        UtilizationSample::IDLE
+    }
+
+    /// Time-weighted average utilization over the whole profile.
+    pub fn average(&self) -> UtilizationSample {
+        let total = self.duration_s();
+        if total == 0.0 {
+            return UtilizationSample::IDLE;
+        }
+        let mut acc = [0.0f64; 4];
+        for p in &self.phases {
+            let w = p.duration_s / total;
+            acc[0] += w * p.load.cpu;
+            acc[1] += w * p.load.memory;
+            acc[2] += w * p.load.disk;
+            acc[3] += w * p.load.network;
+        }
+        UtilizationSample::new(acc[0], acc[1], acc[2], acc[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn samples_clamp_to_unit_interval() {
+        let s = UtilizationSample::new(1.5, -0.2, 0.5, f64::NAN);
+        assert_eq!(s.cpu, 1.0);
+        assert_eq!(s.memory, 0.0);
+        assert_eq!(s.disk, 0.5);
+        assert_eq!(s.network, 0.0);
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let c = UtilizationSample::cpu_bound(1.0);
+        assert!(c.cpu > c.memory && c.disk == 0.0);
+        let m = UtilizationSample::memory_bound(1.0);
+        assert!(m.memory > m.cpu);
+        let io = UtilizationSample::io_bound(1.0);
+        assert!(io.disk > io.cpu && io.disk > io.memory);
+    }
+
+    #[test]
+    fn profile_lookup_and_duration() {
+        let mut p = UtilizationProfile::new();
+        p.push(10.0, UtilizationSample::cpu_bound(1.0));
+        p.push(5.0, UtilizationSample::io_bound(0.8));
+        assert_eq!(p.duration_s(), 15.0);
+        assert_eq!(p.at(0.0), UtilizationSample::cpu_bound(1.0));
+        assert_eq!(p.at(9.999), UtilizationSample::cpu_bound(1.0));
+        assert_eq!(p.at(10.0), UtilizationSample::io_bound(0.8));
+        assert_eq!(p.at(14.9), UtilizationSample::io_bound(0.8));
+        assert_eq!(p.at(15.0), UtilizationSample::IDLE);
+        assert_eq!(p.at(-1.0), UtilizationSample::IDLE);
+    }
+
+    #[test]
+    fn constant_profile() {
+        let p = UtilizationProfile::constant(7.0, UtilizationSample::memory_bound(0.9));
+        assert_eq!(p.duration_s(), 7.0);
+        assert_eq!(p.phases().len(), 1);
+        assert_eq!(p.at(3.0), UtilizationSample::memory_bound(0.9));
+    }
+
+    #[test]
+    fn average_is_time_weighted() {
+        let mut p = UtilizationProfile::new();
+        p.push(3.0, UtilizationSample::new(1.0, 0.0, 0.0, 0.0));
+        p.push(1.0, UtilizationSample::new(0.0, 1.0, 0.0, 0.0));
+        let avg = p.average();
+        assert!((avg.cpu - 0.75).abs() < 1e-12);
+        assert!((avg.memory - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_average_is_idle() {
+        assert_eq!(UtilizationProfile::new().average(), UtilizationSample::IDLE);
+        assert_eq!(UtilizationProfile::new().duration_s(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        UtilizationProfile::new().push(-1.0, UtilizationSample::IDLE);
+    }
+
+    proptest! {
+        /// The average always lies in the unit hypercube.
+        #[test]
+        fn prop_average_in_bounds(
+            phases in proptest::collection::vec((0.1..100.0f64, 0.0..1.0f64, 0.0..1.0f64), 1..8)
+        ) {
+            let mut p = UtilizationProfile::new();
+            for (d, cpu, mem) in phases {
+                p.push(d, UtilizationSample::new(cpu, mem, 0.0, 0.0));
+            }
+            let avg = p.average();
+            prop_assert!((0.0..=1.0).contains(&avg.cpu));
+            prop_assert!((0.0..=1.0).contains(&avg.memory));
+        }
+
+        /// at() never escapes phase bounds: any query returns a sample equal
+        /// to one of the phase loads or IDLE.
+        #[test]
+        fn prop_at_returns_known_sample(t in -10.0..200.0f64) {
+            let mut p = UtilizationProfile::new();
+            p.push(10.0, UtilizationSample::cpu_bound(0.5));
+            p.push(20.0, UtilizationSample::io_bound(0.7));
+            let s = p.at(t);
+            let known = [
+                UtilizationSample::cpu_bound(0.5),
+                UtilizationSample::io_bound(0.7),
+                UtilizationSample::IDLE,
+            ];
+            prop_assert!(known.contains(&s));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The uniform benchmark interface.
+
+use tgi_core::Measurement;
+
+/// Errors from running a suite benchmark.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// The benchmark's own validation failed (e.g. HPL residual too large).
+    ValidationFailed {
+        /// Benchmark id.
+        benchmark: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The underlying kernel reported an error.
+    Kernel(String),
+    /// Converting the raw result into a measurement failed.
+    Metric(tgi_core::TgiError),
+    /// Filesystem error during an I/O benchmark.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::ValidationFailed { benchmark, detail } => {
+                write!(f, "benchmark `{benchmark}` failed validation: {detail}")
+            }
+            SuiteError::Kernel(msg) => write!(f, "kernel error: {msg}"),
+            SuiteError::Metric(e) => write!(f, "metric error: {e}"),
+            SuiteError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+impl From<tgi_core::TgiError> for SuiteError {
+    fn from(e: tgi_core::TgiError) -> Self {
+        SuiteError::Metric(e)
+    }
+}
+
+impl From<std::io::Error> for SuiteError {
+    fn from(e: std::io::Error) -> Self {
+        SuiteError::Io(e)
+    }
+}
+
+/// A benchmark that yields one measurement per run.
+pub trait Benchmark {
+    /// Stable identifier, matching reference-system keys (`"hpl"`, …).
+    fn id(&self) -> &str;
+
+    /// Which subsystem this benchmark stresses (for reports).
+    fn subsystem(&self) -> &'static str;
+
+    /// Executes the benchmark and returns its measurement.
+    fn run(&self) -> Result<Measurement, SuiteError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgi_core::{Perf, Seconds, Watts};
+
+    struct Dummy;
+    impl Benchmark for Dummy {
+        fn id(&self) -> &str {
+            "dummy"
+        }
+        fn subsystem(&self) -> &'static str {
+            "none"
+        }
+        fn run(&self) -> Result<Measurement, SuiteError> {
+            Ok(Measurement::new(
+                "dummy",
+                Perf::gflops(1.0),
+                Watts::new(100.0),
+                Seconds::new(1.0),
+            )?)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_runs() {
+        let b: Box<dyn Benchmark> = Box::new(Dummy);
+        assert_eq!(b.id(), "dummy");
+        let m = b.run().unwrap();
+        assert_eq!(m.id(), "dummy");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SuiteError::ValidationFailed {
+            benchmark: "hpl".into(),
+            detail: "residual 20 > 16".into(),
+        };
+        assert!(e.to_string().contains("hpl"));
+        assert!(e.to_string().contains("residual"));
+        let k = SuiteError::Kernel("singular".into());
+        assert!(k.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn error_conversions() {
+        let t: SuiteError = tgi_core::TgiError::EmptyBenchmarkSet.into();
+        assert!(matches!(t, SuiteError::Metric(_)));
+        let io: SuiteError =
+            std::io::Error::other("x").into();
+        assert!(matches!(io, SuiteError::Io(_)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # tgi-suite — the benchmark-suite layer
+//!
+//! §II of the paper frames TGI as a metric over a *benchmark suite*: "the
+//! chosen benchmarks currently include HPL for computation, STREAM for
+//! memory, and IOzone for I/O", and "TGI is neither limited by the metrics
+//! used in each benchmark nor by the number of benchmarks".
+//!
+//! [`benchmark::Benchmark`] is the uniform interface: anything that can
+//! produce a [`tgi_core::Measurement`] (performance + power + time). Two
+//! families implement it:
+//!
+//! * [`native`] — run the real kernels from `hpc-kernels` on this machine
+//!   while a background sampler records modeled node power (the laptop-scale
+//!   path; includes the HPCC-style extensions DGEMM/FFT/PTRANS/GUPS).
+//! * [`simulated`] — run workloads on a `cluster-sim` cluster (the path that
+//!   reproduces the paper's Fire/SystemG experiments).
+//!
+//! [`suite::BenchmarkSuite`] sequences a set of benchmarks and can promote a
+//! full run into a [`tgi_core::ReferenceSystem`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod config;
+pub mod native;
+pub mod simulated;
+pub mod suite;
+
+pub use benchmark::{Benchmark, SuiteError};
+pub use config::{BenchmarkSpec, SuiteSpec};
+pub use simulated::SimulatedBenchmark;
+pub use suite::BenchmarkSuite;

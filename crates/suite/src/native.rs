@@ -1,0 +1,507 @@
+//! Native benchmarks: real kernels on this machine, modeled power.
+//!
+//! Each native benchmark runs its `hpc-kernels` workload for real while a
+//! [`power_model::BackgroundSampler`] polls a [`power_model::sampler::ModeledSource`]
+//! (actual process CPU utilization → node power model → wall watts), exactly
+//! the role the paper's wall meter plays. The measurement combines the real
+//! performance with the sampled power trace.
+//!
+//! Besides the paper's three benchmarks, the HPCC-style extensions (DGEMM,
+//! FFT, PTRANS, RandomAccess) are provided — §II: TGI is "neither limited by
+//! the metrics used in each benchmark nor by the number of benchmarks".
+
+use crate::benchmark::{Benchmark, SuiteError};
+use hpc_kernels::{comm, fft, gemm, hpl, iobench, ptrans, random_access, stream};
+use power_model::sampler::{BackgroundSampler, ModeledSource};
+use power_model::utilization::UtilizationSample;
+use power_model::NodePowerModel;
+use std::sync::Arc;
+use std::time::Duration;
+use tgi_core::{Joules, Measurement, Perf, Seconds, Watts};
+
+/// Sampling cadence for native runs (finer than the 1 Hz wall meter so that
+/// second-scale kernels still collect several samples).
+const SAMPLE_INTERVAL: Duration = Duration::from_millis(50);
+
+fn metered<T>(
+    model: &NodePowerModel,
+    assumed: UtilizationSample,
+    work: impl FnOnce() -> T,
+) -> (T, Watts, Seconds, Joules) {
+    let source = Arc::new(ModeledSource::new(model.clone()).with_assumed(assumed));
+    let sampler = BackgroundSampler::start(source, SAMPLE_INTERVAL);
+    let start = std::time::Instant::now();
+    let out = work();
+    let elapsed = start.elapsed().as_secs_f64().max(1e-6);
+    let trace = sampler.stop();
+    let avg = trace.average_power();
+    (out, avg, Seconds::new(elapsed), Joules::new(avg.value() * elapsed))
+}
+
+fn to_measurement(
+    id: &str,
+    perf: Perf,
+    power: Watts,
+    time: Seconds,
+    energy: Joules,
+) -> Result<Measurement, SuiteError> {
+    Ok(Measurement::new(id, perf, power, time)?.with_energy(energy)?)
+}
+
+/// HPL on this machine: blocked LU solve with residual validation.
+#[derive(Debug, Clone)]
+pub struct NativeHpl {
+    /// Kernel configuration.
+    pub config: hpl::HplConfig,
+    /// Node power model used by the sampler.
+    pub model: NodePowerModel,
+}
+
+impl NativeHpl {
+    /// An HPL benchmark of order `n` with the Fire node model.
+    pub fn new(n: usize) -> Self {
+        NativeHpl { config: hpl::HplConfig::new(n), model: NodePowerModel::fire_node() }
+    }
+}
+
+impl Benchmark for NativeHpl {
+    fn id(&self) -> &str {
+        "hpl"
+    }
+    fn subsystem(&self) -> &'static str {
+        "cpu"
+    }
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        let (result, power, time, energy) =
+            metered(&self.model, UtilizationSample::cpu_bound(1.0), || hpl::run(self.config));
+        let result = result.map_err(|e| SuiteError::Kernel(e.to_string()))?;
+        if !result.passed {
+            return Err(SuiteError::ValidationFailed {
+                benchmark: "hpl".into(),
+                detail: format!("scaled residual {} > 16", result.scaled_residual),
+            });
+        }
+        to_measurement("hpl", Perf::gflops(result.gflops), power, time, energy)
+    }
+}
+
+/// STREAM on this machine.
+#[derive(Debug, Clone)]
+pub struct NativeStream {
+    /// Kernel configuration.
+    pub config: stream::StreamConfig,
+    /// Node power model used by the sampler.
+    pub model: NodePowerModel,
+}
+
+impl NativeStream {
+    /// A STREAM benchmark with the given array size.
+    pub fn new(array_size: usize) -> Self {
+        NativeStream {
+            config: stream::StreamConfig { array_size, ntimes: 10 },
+            model: NodePowerModel::fire_node(),
+        }
+    }
+}
+
+impl Benchmark for NativeStream {
+    fn id(&self) -> &str {
+        "stream"
+    }
+    fn subsystem(&self) -> &'static str {
+        "memory"
+    }
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        let (result, power, time, energy) =
+            metered(&self.model, UtilizationSample::memory_bound(1.0), || {
+                stream::run(self.config)
+            });
+        if !result.validated {
+            return Err(SuiteError::ValidationFailed {
+                benchmark: "stream".into(),
+                detail: format!("results check error {}", result.max_relative_error),
+            });
+        }
+        to_measurement("stream", Perf::mbps(result.triad_mbps()), power, time, energy)
+    }
+}
+
+/// IOzone-style write test on this machine.
+#[derive(Debug, Clone)]
+pub struct NativeIozone {
+    /// Kernel configuration.
+    pub config: iobench::IoBenchConfig,
+    /// Node power model used by the sampler.
+    pub model: NodePowerModel,
+}
+
+impl NativeIozone {
+    /// A write benchmark of `file_size` bytes.
+    pub fn new(file_size: u64) -> Self {
+        NativeIozone {
+            config: iobench::IoBenchConfig { file_size, ..Default::default() },
+            model: NodePowerModel::fire_node(),
+        }
+    }
+}
+
+impl Benchmark for NativeIozone {
+    fn id(&self) -> &str {
+        "iozone"
+    }
+    fn subsystem(&self) -> &'static str {
+        "io"
+    }
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        let (result, power, time, energy) =
+            metered(&self.model, UtilizationSample::io_bound(1.0), || {
+                iobench::run(&self.config)
+            });
+        let result = result.map_err(|e| SuiteError::Kernel(e.to_string()))?;
+        to_measurement("iozone", Perf::mbps(result.write_mbps()), power, time, energy)
+    }
+}
+
+/// DGEMM extension benchmark.
+#[derive(Debug, Clone)]
+pub struct NativeDgemm {
+    /// Square matrix order.
+    pub n: usize,
+    /// Node power model used by the sampler.
+    pub model: NodePowerModel,
+}
+
+impl NativeDgemm {
+    /// A DGEMM benchmark of order `n`.
+    pub fn new(n: usize) -> Self {
+        NativeDgemm { n, model: NodePowerModel::fire_node() }
+    }
+}
+
+impl Benchmark for NativeDgemm {
+    fn id(&self) -> &str {
+        "dgemm"
+    }
+    fn subsystem(&self) -> &'static str {
+        "cpu"
+    }
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        let n = self.n;
+        let (result, power, time, energy) =
+            metered(&self.model, UtilizationSample::cpu_bound(1.0), || {
+                gemm::benchmark(n, 0xD6E3)
+            });
+        to_measurement("dgemm", Perf::gflops(result.gflops), power, time, energy)
+    }
+}
+
+/// FFT extension benchmark.
+#[derive(Debug, Clone)]
+pub struct NativeFft {
+    /// Transform length (power of two).
+    pub n: usize,
+    /// Timed forward+inverse repetitions.
+    pub repetitions: usize,
+    /// Node power model used by the sampler.
+    pub model: NodePowerModel,
+}
+
+impl NativeFft {
+    /// An FFT benchmark of length `n`.
+    pub fn new(n: usize) -> Self {
+        NativeFft { n, repetitions: 4, model: NodePowerModel::fire_node() }
+    }
+}
+
+impl Benchmark for NativeFft {
+    fn id(&self) -> &str {
+        "fft"
+    }
+    fn subsystem(&self) -> &'static str {
+        "cpu+memory"
+    }
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        let (n, reps) = (self.n, self.repetitions);
+        let (result, power, time, energy) =
+            metered(&self.model, UtilizationSample::cpu_bound(0.9), || {
+                fft::benchmark(n, reps, 0xFF7)
+            });
+        if result.max_roundtrip_error > 1e-6 {
+            return Err(SuiteError::ValidationFailed {
+                benchmark: "fft".into(),
+                detail: format!("round-trip error {}", result.max_roundtrip_error),
+            });
+        }
+        to_measurement("fft", Perf::gflops(result.gflops), power, time, energy)
+    }
+}
+
+/// PTRANS extension benchmark.
+#[derive(Debug, Clone)]
+pub struct NativePtrans {
+    /// Matrix order.
+    pub n: usize,
+    /// Node power model used by the sampler.
+    pub model: NodePowerModel,
+}
+
+impl NativePtrans {
+    /// A PTRANS benchmark of order `n`.
+    pub fn new(n: usize) -> Self {
+        NativePtrans { n, model: NodePowerModel::fire_node() }
+    }
+}
+
+impl Benchmark for NativePtrans {
+    fn id(&self) -> &str {
+        "ptrans"
+    }
+    fn subsystem(&self) -> &'static str {
+        "memory"
+    }
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        let n = self.n;
+        let (result, power, time, energy) =
+            metered(&self.model, UtilizationSample::memory_bound(0.9), || {
+                ptrans::benchmark(n, 0x974A)
+            });
+        to_measurement(
+            "ptrans",
+            Perf::mbps(result.bytes_per_sec / 1e6),
+            power,
+            time,
+            energy,
+        )
+    }
+}
+
+/// RandomAccess (GUPS) extension benchmark.
+#[derive(Debug, Clone)]
+pub struct NativeGups {
+    /// Kernel configuration.
+    pub config: random_access::GupsConfig,
+    /// Node power model used by the sampler.
+    pub model: NodePowerModel,
+}
+
+impl NativeGups {
+    /// A GUPS benchmark with a `2^log2_size`-word table.
+    pub fn new(log2_size: u32) -> Self {
+        NativeGups {
+            config: random_access::GupsConfig::new(log2_size),
+            model: NodePowerModel::fire_node(),
+        }
+    }
+}
+
+impl Benchmark for NativeGups {
+    fn id(&self) -> &str {
+        "gups"
+    }
+    fn subsystem(&self) -> &'static str {
+        "memory"
+    }
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        let config = self.config;
+        let (result, power, time, energy) =
+            metered(&self.model, UtilizationSample::memory_bound(0.8), || {
+                random_access::run(config)
+            });
+        if !result.passed {
+            return Err(SuiteError::ValidationFailed {
+                benchmark: "gups".into(),
+                detail: format!("error fraction {}", result.error_fraction),
+            });
+        }
+        to_measurement(
+            "gups",
+            Perf::new(result.gups, tgi_core::PerfUnit::Gups)?,
+            power,
+            time,
+            energy,
+        )
+    }
+}
+
+/// HPL run as a *distributed* program over the mini-MPI runtime — the form
+/// the paper's benchmarks actually take ("Number of MPI Processes").
+#[derive(Debug, Clone)]
+pub struct NativeDistributedHpl {
+    /// Distributed-solver configuration.
+    pub config: mini_mpi::hpl::DistributedHplConfig,
+    /// MPI ranks (threads).
+    pub ranks: usize,
+    /// Node power model used by the sampler.
+    pub model: NodePowerModel,
+}
+
+impl NativeDistributedHpl {
+    /// A distributed HPL of order `n` on `ranks` ranks.
+    pub fn new(n: usize, ranks: usize) -> Self {
+        NativeDistributedHpl {
+            config: mini_mpi::hpl::DistributedHplConfig::new(n),
+            ranks,
+            model: NodePowerModel::fire_node(),
+        }
+    }
+}
+
+impl Benchmark for NativeDistributedHpl {
+    fn id(&self) -> &str {
+        "hpl"
+    }
+    fn subsystem(&self) -> &'static str {
+        "cpu"
+    }
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        let (config, ranks) = (self.config, self.ranks);
+        let (results, power, time, energy) =
+            metered(&self.model, UtilizationSample::cpu_bound(1.0), || {
+                mini_mpi::World::run(ranks, move |comm| mini_mpi::hpl::run(comm, config))
+            });
+        let rank0 = &results[0];
+        if !rank0.passed {
+            return Err(SuiteError::ValidationFailed {
+                benchmark: "hpl".into(),
+                detail: format!("scaled residual {} > 16", rank0.scaled_residual),
+            });
+        }
+        to_measurement("hpl", Perf::gflops(rank0.gflops), power, time, energy)
+    }
+}
+
+/// Communication (b_eff-style) extension benchmark.
+#[derive(Debug, Clone)]
+pub struct NativeComm {
+    /// Kernel configuration.
+    pub config: comm::CommConfig,
+    /// Node power model used by the sampler.
+    pub model: NodePowerModel,
+}
+
+impl NativeComm {
+    /// A communication benchmark with `ranks` communicating threads.
+    pub fn new(ranks: usize) -> Self {
+        NativeComm {
+            config: comm::CommConfig { ranks, ..Default::default() },
+            model: NodePowerModel::fire_node(),
+        }
+    }
+}
+
+impl Benchmark for NativeComm {
+    fn id(&self) -> &str {
+        "comm"
+    }
+    fn subsystem(&self) -> &'static str {
+        "network"
+    }
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        let config = self.config;
+        let (result, power, time, energy) =
+            metered(&self.model, UtilizationSample::new(0.3, 0.2, 0.0, 0.9), || {
+                comm::run(config)
+            });
+        to_measurement(
+            "comm",
+            Perf::mbps(result.ring_mbps()),
+            power,
+            time,
+            energy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_hpl_runs_and_validates() {
+        let m = NativeHpl::new(192).run().unwrap();
+        assert_eq!(m.id(), "hpl");
+        assert!(m.performance().as_gflops() > 0.0);
+        assert!(m.power().value() > 0.0);
+        assert!(m.energy().value() > 0.0);
+    }
+
+    #[test]
+    fn native_stream_runs() {
+        let mut b = NativeStream::new(1 << 16);
+        b.config.ntimes = 3;
+        let m = b.run().unwrap();
+        assert_eq!(m.id(), "stream");
+        assert!(m.performance().as_mbps() > 0.0);
+    }
+
+    #[test]
+    fn native_iozone_runs() {
+        let mut b = NativeIozone::new(512 << 10);
+        b.config.fsync = false;
+        let m = b.run().unwrap();
+        assert_eq!(m.id(), "iozone");
+        assert!(m.performance().as_mbps() > 0.0);
+    }
+
+    #[test]
+    fn native_dgemm_runs() {
+        let m = NativeDgemm::new(128).run().unwrap();
+        assert_eq!(m.id(), "dgemm");
+        assert!(m.performance().as_gflops() > 0.0);
+    }
+
+    #[test]
+    fn native_fft_runs_and_validates() {
+        let m = NativeFft::new(1 << 12).run().unwrap();
+        assert_eq!(m.id(), "fft");
+        assert!(m.performance().as_gflops() > 0.0);
+    }
+
+    #[test]
+    fn native_ptrans_runs() {
+        let m = NativePtrans::new(256).run().unwrap();
+        assert_eq!(m.id(), "ptrans");
+        assert!(m.performance().as_mbps() > 0.0);
+    }
+
+    #[test]
+    fn native_gups_runs_and_validates() {
+        let m = NativeGups::new(12).run().unwrap();
+        assert_eq!(m.id(), "gups");
+        assert_eq!(*m.performance().unit(), tgi_core::PerfUnit::Gups);
+    }
+
+    #[test]
+    fn native_distributed_hpl_runs_and_validates() {
+        let b = NativeDistributedHpl::new(96, 3);
+        let m = b.run().unwrap();
+        assert_eq!(m.id(), "hpl");
+        assert!(m.performance().as_gflops() > 0.0);
+        assert!(m.power().value() > 0.0);
+    }
+
+    #[test]
+    fn native_comm_runs() {
+        let mut b = NativeComm::new(2);
+        b.config = hpc_kernels::comm::CommConfig::small();
+        let m = b.run().unwrap();
+        assert_eq!(m.id(), "comm");
+        assert_eq!(b.subsystem(), "network");
+        assert!(m.performance().as_mbps() > 0.0);
+    }
+
+    #[test]
+    fn power_within_model_envelope() {
+        let model = NodePowerModel::fire_node();
+        let m = NativeDgemm::new(160).run().unwrap();
+        assert!(m.power().value() >= model.idle_wall_power().value() - 1e-9);
+        assert!(m.power().value() <= model.peak_wall_power().value() + 1e-9);
+    }
+
+    #[test]
+    fn subsystem_labels() {
+        assert_eq!(NativeHpl::new(32).subsystem(), "cpu");
+        assert_eq!(NativeStream::new(64).subsystem(), "memory");
+        assert_eq!(NativeIozone::new(1 << 16).subsystem(), "io");
+    }
+}

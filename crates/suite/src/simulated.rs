@@ -1,0 +1,93 @@
+//! Simulated benchmarks: workloads on a `cluster-sim` cluster.
+//!
+//! This is the path that reproduces the paper's experiments: the same
+//! [`Benchmark`] interface as the native runners, but performance and power
+//! come from the analytic cluster models and the simulated PDU meter.
+
+use crate::benchmark::{Benchmark, SuiteError};
+use cluster_sim::{ClusterSpec, ExecutionEngine, Workload};
+use tgi_core::Measurement;
+
+/// One benchmark workload bound to a cluster and process count.
+#[derive(Debug, Clone)]
+pub struct SimulatedBenchmark {
+    engine: ExecutionEngine,
+    workload: Workload,
+    processes: usize,
+}
+
+impl SimulatedBenchmark {
+    /// Creates a simulated benchmark.
+    pub fn new(cluster: ClusterSpec, workload: Workload, processes: usize) -> Self {
+        SimulatedBenchmark { engine: ExecutionEngine::new(cluster), workload, processes }
+    }
+
+    /// Uses an existing engine (shared meter device across benchmarks).
+    pub fn with_engine(engine: ExecutionEngine, workload: Workload, processes: usize) -> Self {
+        SimulatedBenchmark { engine, workload, processes }
+    }
+
+    /// The process count this benchmark runs with.
+    pub fn processes(&self) -> usize {
+        self.processes
+    }
+}
+
+impl Benchmark for SimulatedBenchmark {
+    fn id(&self) -> &str {
+        self.workload.benchmark_id()
+    }
+
+    fn subsystem(&self) -> &'static str {
+        match self.workload {
+            Workload::Hpl { .. } => "cpu",
+            Workload::Stream { .. } => "memory",
+            Workload::Iozone { .. } => "io",
+        }
+    }
+
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        Ok(self.engine.run(self.workload, self.processes).measurement())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_hpl_runs() {
+        let b = SimulatedBenchmark::new(ClusterSpec::fire(), Workload::Hpl { n: 20_000 }, 64);
+        assert_eq!(b.id(), "hpl");
+        assert_eq!(b.subsystem(), "cpu");
+        assert_eq!(b.processes(), 64);
+        let m = b.run().unwrap();
+        assert!(m.performance().as_gflops() > 0.0);
+        assert!(m.power().value() > 1000.0, "an 8-node cluster draws kilowatts");
+    }
+
+    #[test]
+    fn simulated_suite_ids() {
+        for (w, id, sub) in [
+            (Workload::Hpl { n: 1000 }, "hpl", "cpu"),
+            (Workload::Stream { total_bytes: 1e9 }, "stream", "memory"),
+            (Workload::Iozone { total_bytes: 1e9 }, "iozone", "io"),
+        ] {
+            let b = SimulatedBenchmark::new(ClusterSpec::fire(), w, 16);
+            assert_eq!(b.id(), id);
+            assert_eq!(b.subsystem(), sub);
+        }
+    }
+
+    #[test]
+    fn shared_engine_keeps_meter_device() {
+        let engine = ExecutionEngine::new(ClusterSpec::fire()).with_meter_serial(99);
+        let a = SimulatedBenchmark::with_engine(engine.clone(), Workload::Hpl { n: 10_000 }, 32)
+            .run()
+            .unwrap();
+        let b = SimulatedBenchmark::with_engine(engine, Workload::Hpl { n: 10_000 }, 32)
+            .run()
+            .unwrap();
+        assert_eq!(a.power().value(), b.power().value());
+    }
+}

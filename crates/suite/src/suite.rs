@@ -1,0 +1,161 @@
+//! Sequencing a set of benchmarks into a suite run.
+//!
+//! [`BenchmarkSuite`] runs its benchmarks in order (as the paper's
+//! methodology does: each benchmark measured separately with the meter
+//! attached) and can promote a run into a [`ReferenceSystem`] — which is how
+//! the SystemG reference numbers of Table I are produced in this
+//! reproduction.
+
+use crate::benchmark::{Benchmark, SuiteError};
+use tgi_core::{Measurement, ReferenceSystem};
+
+/// An ordered collection of benchmarks.
+#[derive(Default)]
+pub struct BenchmarkSuite {
+    benchmarks: Vec<Box<dyn Benchmark>>,
+}
+
+impl BenchmarkSuite {
+    /// An empty suite.
+    pub fn new() -> Self {
+        BenchmarkSuite::default()
+    }
+
+    /// Adds a benchmark (builder style).
+    pub fn with(mut self, b: impl Benchmark + 'static) -> Self {
+        self.benchmarks.push(Box::new(b));
+        self
+    }
+
+    /// Adds a boxed benchmark.
+    pub fn push(&mut self, b: Box<dyn Benchmark>) {
+        self.benchmarks.push(b);
+    }
+
+    /// Number of benchmarks.
+    pub fn len(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.benchmarks.is_empty()
+    }
+
+    /// The benchmark ids, in order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.benchmarks.iter().map(|b| b.id()).collect()
+    }
+
+    /// Runs every benchmark in order, failing fast on the first error.
+    pub fn run_all(&self) -> Result<Vec<Measurement>, SuiteError> {
+        self.benchmarks.iter().map(|b| b.run()).collect()
+    }
+
+    /// Runs the suite and builds a reference system from the results.
+    pub fn run_as_reference(
+        &self,
+        name: impl Into<String>,
+    ) -> Result<ReferenceSystem, SuiteError> {
+        let mut builder = ReferenceSystem::builder(name);
+        for m in self.run_all()? {
+            builder = builder.benchmark(m);
+        }
+        Ok(builder.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgi_core::{Perf, Seconds, Watts};
+
+    struct Fixed {
+        id: &'static str,
+        gflops: f64,
+    }
+
+    impl Benchmark for Fixed {
+        fn id(&self) -> &str {
+            self.id
+        }
+        fn subsystem(&self) -> &'static str {
+            "test"
+        }
+        fn run(&self) -> Result<Measurement, SuiteError> {
+            Ok(Measurement::new(
+                self.id,
+                Perf::gflops(self.gflops),
+                Watts::new(100.0),
+                Seconds::new(10.0),
+            )?)
+        }
+    }
+
+    struct Failing;
+    impl Benchmark for Failing {
+        fn id(&self) -> &str {
+            "bad"
+        }
+        fn subsystem(&self) -> &'static str {
+            "test"
+        }
+        fn run(&self) -> Result<Measurement, SuiteError> {
+            Err(SuiteError::Kernel("boom".into()))
+        }
+    }
+
+    #[test]
+    fn runs_in_order() {
+        let suite = BenchmarkSuite::new()
+            .with(Fixed { id: "a", gflops: 1.0 })
+            .with(Fixed { id: "b", gflops: 2.0 });
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite.ids(), vec!["a", "b"]);
+        let ms = suite.run_all().unwrap();
+        assert_eq!(ms[0].id(), "a");
+        assert_eq!(ms[1].id(), "b");
+    }
+
+    #[test]
+    fn fails_fast_on_error() {
+        let suite = BenchmarkSuite::new()
+            .with(Fixed { id: "a", gflops: 1.0 })
+            .with(Failing);
+        assert!(suite.run_all().is_err());
+    }
+
+    #[test]
+    fn builds_reference_system() {
+        let suite = BenchmarkSuite::new()
+            .with(Fixed { id: "a", gflops: 1.0 })
+            .with(Fixed { id: "b", gflops: 2.0 });
+        let r = suite.run_as_reference("TestRef").unwrap();
+        assert_eq!(r.name(), "TestRef");
+        assert_eq!(r.len(), 2);
+        assert!(r.measurement("a").is_some());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_at_reference_build() {
+        let suite = BenchmarkSuite::new()
+            .with(Fixed { id: "a", gflops: 1.0 })
+            .with(Fixed { id: "a", gflops: 2.0 });
+        assert!(suite.run_as_reference("dup").is_err());
+    }
+
+    #[test]
+    fn empty_suite() {
+        let suite = BenchmarkSuite::new();
+        assert!(suite.is_empty());
+        assert!(suite.run_all().unwrap().is_empty());
+        assert!(suite.run_as_reference("empty").is_err());
+    }
+
+    #[test]
+    fn push_boxed() {
+        let mut suite = BenchmarkSuite::new();
+        suite.push(Box::new(Fixed { id: "x", gflops: 1.0 }));
+        assert_eq!(suite.len(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Center-wide TGI: folding cooling overhead into the metric (§II / §VI).
+//!
+//! ```sh
+//! cargo run --example datacenter_pue
+//! ```
+//!
+//! The paper lists as an advantage that "TGI can be extended to incorporate
+//! power consumed outside the HPC system, e.g., cooling", and names the
+//! center-wide view as future work. This example computes TGI twice — at
+//! the PDU (IT power) and at the facility meter (IT × PUE) — for the same
+//! cluster hosted in two different machine rooms, across a range of outside
+//! temperatures.
+
+use tgi::cluster::{ClusterSpec, ExecutionEngine, Workload};
+use tgi::power::CoolingModel;
+use tgi::prelude::*;
+
+/// Rebuilds a measurement with facility power substituted for IT power.
+fn at_facility(m: &Measurement, cooling: &CoolingModel, temp_c: f64) -> Measurement {
+    Measurement::new(
+        m.id(),
+        m.performance().clone(),
+        cooling.facility_power_at(m.power(), temp_c),
+        m.time(),
+    )
+    .expect("facility power remains positive")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = tgi::harness::system_g_reference();
+    let cluster = ClusterSpec::fire();
+    let engine = ExecutionEngine::new(cluster);
+    let measurements: Vec<Measurement> = engine
+        .run_suite(&Workload::fire_suite(), 128)
+        .into_iter()
+        .map(|r| r.measurement())
+        .collect();
+
+    let it_tgi = Tgi::builder()
+        .reference(reference.clone())
+        .measurements(measurements.iter().cloned())
+        .compute()?;
+    println!("TGI at the PDU (IT power only): {:.4}\n", it_tgi.value());
+
+    let rooms = [
+        ("legacy machine room", CoolingModel::typical_2012()),
+        ("free-cooled facility", CoolingModel::free_cooled()),
+    ];
+
+    println!("{:<22} {:>8} {:>8} {:>8} {:>8}", "facility", "10C", "20C", "30C", "40C");
+    for (name, cooling) in &rooms {
+        print!("{name:<22}");
+        for temp in [10.0, 20.0, 30.0, 40.0] {
+            let facility_measurements: Vec<Measurement> =
+                measurements.iter().map(|m| at_facility(m, cooling, temp)).collect();
+            let tgi = Tgi::builder()
+                .reference(reference.clone())
+                .measurements(facility_measurements)
+                .compute()?;
+            print!(" {:>8.4}", tgi.value());
+        }
+        println!("  (PUE {:.2} at design point)", cooling.base_pue);
+    }
+
+    println!(
+        "\nThe same cluster looks up to {:.0}% less green once its cooling bill is\n\
+         included — the center-wide view the paper proposes as future work.",
+        (1.0 - 1.0 / CoolingModel::typical_2012().pue_at(30.0)) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! GPU platforms under TGI — the paper's §VI platform extension.
+//!
+//! ```sh
+//! cargo run --example gpu_cluster
+//! ```
+//!
+//! Accelerators transform FLOPS/W (the Green500 lens) but leave memory and
+//! I/O untouched while raising idle power. TGI makes that visible: the same
+//! upgrade that multiplies HPL efficiency several-fold can *lower* the
+//! system-wide index.
+
+use tgi::harness::{extensions, system_g_reference};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = system_g_reference();
+
+    let comparison = extensions::gpu_platform_comparison(&reference)?;
+    println!("{}", comparison.to_text());
+
+    let ranking = extensions::more_systems_ranking(&reference)?;
+    println!("== All built-in systems ranked by TGI ==");
+    print!("{ranking}");
+
+    println!(
+        "\nReading: the GPU upgrade multiplies HPL MFLOPS/W yet *lowers* TGI —\n\
+         STREAM and IOzone see the same machine with hotter idle nodes — and a\n\
+         GPU system with a slow filesystem ranks below its well-fed twin."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Mixed precision as an energy lever: f32 factorization + refinement.
+//!
+//! ```sh
+//! cargo run --release --example mixed_precision
+//! ```
+//!
+//! The decade after the paper made precision the biggest green-HPC lever
+//! (HPL-AI / HPL-MxP). The idea: factor in f32 — half the memory traffic —
+//! then recover full f64 accuracy with a few cheap refinement sweeps. This
+//! example solves the same system both ways under the background power
+//! sampler and reports time, energy, and the achieved residual, plus the
+//! honest failure mode: an ill-conditioned system where the f32 factors
+//! cannot converge and the solver says so.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tgi::kernels::matrix::Matrix;
+use tgi::kernels::{lu, mixed};
+use tgi::power::sampler::ModeledSource;
+use tgi::power::{BackgroundSampler, NodePowerModel, UtilizationSample};
+
+fn metered<T>(work: impl FnOnce() -> T) -> (T, f64, f64) {
+    let source = Arc::new(
+        ModeledSource::new(NodePowerModel::fire_node())
+            .with_assumed(UtilizationSample::cpu_bound(1.0)),
+    );
+    let sampler = BackgroundSampler::start(source, Duration::from_millis(20));
+    let start = Instant::now();
+    let out = work();
+    let secs = start.elapsed().as_secs_f64();
+    let trace = sampler.stop();
+    (out, secs, trace.average_power().value() * secs)
+}
+
+fn main() {
+    let n = 512;
+    let a = Matrix::random(n, n, 2026);
+    let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+
+    let (x64, t64, e64) = metered(|| lu::solve(a.clone(), &b, 64).expect("non-singular"));
+    let (ir, tir, eir) =
+        metered(|| mixed::solve_refined(&a, &b, 64, 10).expect("non-singular"));
+
+    println!("dense solve, N = {n}:\n");
+    println!("{:<28} {:>9} {:>11} {:>12}", "method", "time (s)", "energy (J)", "residual");
+    let res64 = tgi::kernels::hpl::scaled_residual(&a, &x64, &b);
+    println!("{:<28} {:>9.3} {:>11.1} {:>12.3e}", "f64 LU", t64, e64, res64);
+    println!(
+        "{:<28} {:>9.3} {:>11.1} {:>12.3e}  ({} refinement sweeps)",
+        "f32 LU + refinement",
+        tir,
+        eir,
+        ir.scaled_residual,
+        ir.iterations
+    );
+    println!(
+        "\nenergy ratio: {:.2}x — and on hardware with 2x-wide f32 SIMD or tensor\n\
+         units the gap multiplies; both solutions pass HPL's residual test.",
+        e64 / eir.max(1e-9)
+    );
+
+    // The honest failure mode.
+    let h = Matrix::from_fn(12, 12, |i, j| 1.0 / (i + j + 1) as f64);
+    let bh = vec![1.0; 12];
+    let r = mixed::solve_refined(&h, &bh, 4, 25).expect("factorable");
+    println!(
+        "\nHilbert(12), κ ≈ 1e16: refinement reports converged = {} (residual {:.1e})\n\
+         — the solver refuses to silently return a wrong answer.",
+        r.converged, r.scaled_residual
+    );
+}

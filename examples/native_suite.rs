@@ -1,0 +1,70 @@
+//! Run the real benchmark kernels on *this* machine and compute its TGI.
+//!
+//! ```sh
+//! cargo run --release --example native_suite
+//! ```
+//!
+//! The kernels from `hpc-kernels` execute for real (LU solve, STREAM triad,
+//! file writes, plus the HPCC-style extensions) while a background sampler
+//! records modeled wall power — the role the paper's Watts Up? PRO plays.
+//! The machine is then scored against a laptop-scale reference.
+
+use tgi::prelude::*;
+use tgi::suite::native::{NativeDgemm, NativeFft, NativeGups, NativeHpl, NativeIozone, NativeStream};
+use tgi::suite::{Benchmark, BenchmarkSuite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sizes chosen to finish in seconds; scale them up for a serious run.
+    let suite = BenchmarkSuite::new()
+        .with(NativeHpl::new(768))
+        .with(NativeStream::new(1 << 21))
+        .with(NativeIozone::new(16 << 20));
+
+    println!("running the paper's three-benchmark suite natively...");
+    let measurements = suite.run_all()?;
+    for m in &measurements {
+        println!(
+            "  {:<8} perf={:<16} power={:<10} time={}",
+            m.id(),
+            m.performance().to_string(),
+            m.power().to_string(),
+            m.time()
+        );
+    }
+
+    // A fixed reference: a nominal laptop-class machine's suite results.
+    // (In practice the community would agree on one reference, as SPEC does.)
+    let reference = ReferenceSystem::builder("nominal-laptop")
+        .benchmark(Measurement::new("hpl", Perf::gflops(2.0), Watts::new(180.0), Seconds::new(60.0))?)
+        .benchmark(Measurement::new("stream", Perf::gbps(8.0), Watts::new(160.0), Seconds::new(30.0))?)
+        .benchmark(Measurement::new("iozone", Perf::mbps(400.0), Watts::new(150.0), Seconds::new(30.0))?)
+        .build()?;
+
+    for weighting in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
+        let tgi = Tgi::builder()
+            .reference(reference.clone())
+            .weighting(weighting.clone())
+            .measurements(measurements.iter().cloned())
+            .compute()?;
+        println!("TGI ({:<16}) = {:.4}", weighting.to_string(), tgi.value());
+    }
+
+    // The HPCC-style extension benchmarks (§II: TGI is not limited to three
+    // benchmarks) — report their raw energy efficiencies.
+    println!("\nextension benchmarks:");
+    let extensions: Vec<Box<dyn Benchmark>> = vec![
+        Box::new(NativeDgemm::new(256)),
+        Box::new(NativeFft::new(1 << 14)),
+        Box::new(NativeGups::new(16)),
+    ];
+    for b in &extensions {
+        let m = b.run()?;
+        println!(
+            "  {:<8} perf={:<16} EE={:.4e} (canonical units per watt)",
+            m.id(),
+            m.performance().to_string(),
+            m.energy_efficiency()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: compute The Green Index of a system in ~30 lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Follows the paper's four-step algorithm (§II): per-benchmark energy
+//! efficiency → relative efficiency against a reference system → weights →
+//! weighted sum.
+
+use tgi::prelude::*;
+
+fn main() -> Result<(), TgiError> {
+    // 1. Reference system measurements (performance, average power, time).
+    //    In a real deployment these come from running the suite once on the
+    //    agreed reference machine.
+    let reference = ReferenceSystem::builder("SystemG")
+        .benchmark(Measurement::new(
+            "hpl",
+            Perf::tflops(8.1),
+            Watts::new(30_000.0),
+            Seconds::new(7_200.0),
+        )?)
+        .benchmark(Measurement::new(
+            "stream",
+            Perf::gbps(828.0),
+            Watts::new(28_000.0),
+            Seconds::new(600.0),
+        )?)
+        .benchmark(Measurement::new(
+            "iozone",
+            Perf::mbps(462.0),
+            Watts::new(23_700.0),
+            Seconds::new(900.0),
+        )?)
+        .build()?;
+
+    // 2. The system under test (the paper's Fire cluster at full scale).
+    let fire_suite = vec![
+        Measurement::new("hpl", Perf::gflops(90.0), Watts::new(2_900.0), Seconds::new(1_400.0))?,
+        Measurement::new("stream", Perf::gbps(168.0), Watts::new(1_400.0), Seconds::new(750.0))?,
+        Measurement::new("iozone", Perf::mbps(341.0), Watts::new(1_150.0), Seconds::new(125.0))?,
+    ];
+
+    // 3–4. Weights + weighted sum. The arithmetic mean is the paper's
+    //      default; try `Weighting::Time` / `Energy` / `Power` as well.
+    let tgi = Tgi::builder()
+        .reference(reference)
+        .weighting(Weighting::Arithmetic)
+        .measurements(fire_suite)
+        .compute()?;
+
+    println!("TGI({} weights) vs {} = {:.4}\n", tgi.weighting(), tgi.reference_name(), tgi.value());
+    println!(
+        "{:<10} {:>14} {:>14} {:>10} {:>10}",
+        "benchmark", "EE", "EE(ref)", "REE", "weight"
+    );
+    for c in tgi.contributions() {
+        println!(
+            "{:<10} {:>14.4e} {:>14.4e} {:>10.4} {:>10.4}",
+            c.benchmark, c.energy_efficiency, c.reference_efficiency, c.ree, c.weight
+        );
+    }
+    if let Some(worst) = tgi.least_efficient() {
+        println!(
+            "\nleast-efficient subsystem: {} (REE {:.3}) — the paper expects TGI to be\nbound by this benchmark's behaviour",
+            worst.benchmark, worst.ree
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! How robust is a TGI ranking to the choice of weights?
+//!
+//! ```sh
+//! cargo run --example weight_robustness
+//! ```
+//!
+//! The paper makes weights user-assignable (§II advantage 1), which invites
+//! the question every procurement committee will ask: *would a different
+//! committee, with different weights, have bought the other machine?*
+//! `tgi-core`'s sensitivity module answers exactly: because TGI is linear
+//! in the weights, the smallest tilt toward any single benchmark that flips
+//! a comparison has a closed form — and if the winner Pareto-dominates, no
+//! tilt can flip it at all.
+
+use tgi::cluster::{ClusterSpec, ExecutionEngine, Workload};
+use tgi::core::sensitivity;
+use tgi::core::vector::EfficiencyVector;
+use tgi::prelude::*;
+
+fn tgi_of(reference: &ReferenceSystem, cluster: &ClusterSpec) -> (TgiResult, Vec<Measurement>) {
+    let measurements: Vec<Measurement> = ExecutionEngine::new(cluster.clone())
+        .run_suite(&Workload::fire_suite(), cluster.total_cores())
+        .into_iter()
+        .map(|r| r.measurement())
+        .collect();
+    let result = Tgi::builder()
+        .reference(reference.clone())
+        .measurements(measurements.iter().cloned())
+        .compute()
+        .expect("suite matches reference");
+    (result, measurements)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = tgi::harness::system_g_reference();
+    let fire = ClusterSpec::fire();
+    let gpu = ClusterSpec::fire_gpu();
+
+    let (fire_tgi, fire_ms) = tgi_of(&reference, &fire);
+    let (gpu_tgi, gpu_ms) = tgi_of(&reference, &gpu);
+
+    println!("TGI(Fire)     = {:.4}", fire_tgi.value());
+    println!("TGI(Fire-GPU) = {:.4}\n", gpu_tgi.value());
+
+    println!("weight gradients (∂TGI/∂W_i = REE_i):");
+    for (name, result) in [("Fire", &fire_tgi), ("Fire-GPU", &gpu_tgi)] {
+        let grad = sensitivity::weight_gradient(result);
+        let cells: Vec<String> =
+            grad.iter().map(|(b, g)| format!("{b}: {g:.3}")).collect();
+        println!("  {:<9} {}", name, cells.join("  "));
+    }
+
+    // Pareto view: does either system dominate?
+    let va = EfficiencyVector::from_suite(&reference, &fire_ms)?;
+    let vb = EfficiencyVector::from_suite(&reference, &gpu_ms)?;
+    println!("\nPareto comparison (Fire vs Fire-GPU): {:?}", va.dominance(&vb)?);
+
+    // The exact flip analysis.
+    let rob = sensitivity::compare("Fire", &fire_tgi, "Fire-GPU", &gpu_tgi)?;
+    println!("\nleader under equal weights: {} (gap {:.4})", rob.leader, rob.gap);
+    match rob.flip {
+        Some(flip) => println!(
+            "cheapest flip: move {:.1}% of the weight toward `{}` and the ranking inverts —\n\
+             a committee that values {} that much would buy the other machine.",
+            flip.epsilon * 100.0,
+            flip.benchmark,
+            flip.benchmark
+        ),
+        None => println!(
+            "no single-benchmark tilt can flip this ranking: the leader dominates."
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # tgi — The Green Index, end to end
+//!
+//! Facade crate re-exporting the full TGI reproduction stack:
+//!
+//! * [`core`] — the TGI metric itself (EE, REE, weights, means,
+//!   Pearson correlation, EDP alternative, rankings).
+//! * [`kernels`] — native benchmark kernels: HPL-style LU
+//!   solver, STREAM, an IOzone-style file benchmark, and HPCC-style
+//!   extensions (DGEMM, FFT, PTRANS, RandomAccess).
+//! * [`power`] — power-measurement substrate: meter trait, a
+//!   simulated Watts Up? PRO ES, component-level node power models, traces,
+//!   and a background sampler.
+//! * [`cluster`] — machine models for the paper's Fire and
+//!   SystemG clusters plus analytic scaling models for the scale sweeps.
+//! * [`suite`] — the uniform benchmark-suite layer gluing kernels,
+//!   meters, and the simulator to `tgi-core` measurements.
+//! * [`mpi`] — a thread-backed message-passing runtime with a
+//!   distributed block-cyclic HPL, the form the paper's benchmarks ran in.
+//! * [`harness`] — regenerates every figure and table of the
+//!   paper's evaluation.
+//!
+//! See `examples/quickstart.rs` for the 30-second tour.
+
+pub use cluster_sim as cluster;
+pub use mini_mpi as mpi;
+pub use hpc_kernels as kernels;
+pub use power_model as power;
+pub use tgi_core as core;
+pub use tgi_harness as harness;
+pub use tgi_suite as suite;
+
+pub use tgi_core::prelude;

@@ -1,0 +1,153 @@
+//! Cross-crate property tests: invariants of the TGI metric exercised with
+//! measurements produced by the cluster simulator (not hand-built fixtures).
+
+use proptest::prelude::*;
+use tgi::cluster::{ClusterSpec, ExecutionEngine, Workload};
+use tgi::prelude::*;
+
+fn engine() -> ExecutionEngine {
+    ExecutionEngine::new(ClusterSpec::fire())
+}
+
+fn reference() -> ReferenceSystem {
+    tgi::harness::system_g_reference()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// TGI under every builtin weighting lies within the hull of the REEs
+    /// for arbitrary (valid) process counts.
+    #[test]
+    fn tgi_within_ree_hull(procs in 1usize..=128) {
+        let reference = reference();
+        let runs = engine().run_suite(&Workload::fire_suite(), procs);
+        let measurements: Vec<Measurement> = runs.iter().map(|r| r.measurement()).collect();
+        for weighting in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
+            let tgi = Tgi::builder()
+                .reference(reference.clone())
+                .weighting(weighting)
+                .measurements(measurements.clone())
+                .compute()
+                .expect("valid suite");
+            let rees: Vec<f64> = tgi.contributions().iter().map(|c| c.ree).collect();
+            let lo = rees.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = rees.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(tgi.value() >= lo - 1e-9 && tgi.value() <= hi + 1e-9);
+        }
+    }
+
+    /// Contributions always sum to the TGI value and weights to one.
+    #[test]
+    fn decomposition_is_exact(procs in 1usize..=128) {
+        let reference = reference();
+        let runs = engine().run_suite(&Workload::fire_suite(), procs);
+        let measurements: Vec<Measurement> = runs.iter().map(|r| r.measurement()).collect();
+        let tgi = Tgi::builder()
+            .reference(reference)
+            .weighting(Weighting::Energy)
+            .measurements(measurements)
+            .compute()
+            .expect("valid suite");
+        let csum: f64 = tgi.contributions().iter().map(|c| c.contribution).sum();
+        let wsum: f64 = tgi.contributions().iter().map(|c| c.weight).sum();
+        prop_assert!((csum - tgi.value()).abs() < 1e-12 * tgi.value().abs().max(1.0));
+        prop_assert!((wsum - 1.0).abs() < 1e-9);
+    }
+
+    /// Monotonicity: improving one benchmark's performance (all else fixed)
+    /// never lowers TGI, for any non-degenerate weighting.
+    #[test]
+    fn improving_performance_never_hurts(procs in 8usize..=128, boost in 1.01..3.0f64) {
+        let reference = reference();
+        let runs = engine().run_suite(&Workload::fire_suite(), procs);
+        let base: Vec<Measurement> = runs.iter().map(|r| r.measurement()).collect();
+        let boosted: Vec<Measurement> = base
+            .iter()
+            .map(|m| {
+                if m.id() == "stream" {
+                    Measurement::new(
+                        m.id(),
+                        Perf::mbps(m.performance().as_mbps() * boost),
+                        m.power(),
+                        m.time(),
+                    )
+                    .expect("valid")
+                } else {
+                    m.clone()
+                }
+            })
+            .collect();
+        // Arithmetic weights: weight vector identical, so the comparison is clean.
+        let t0 = Tgi::builder()
+            .reference(reference.clone())
+            .measurements(base)
+            .compute()
+            .expect("valid")
+            .value();
+        let t1 = Tgi::builder()
+            .reference(reference)
+            .measurements(boosted)
+            .compute()
+            .expect("valid")
+            .value();
+        prop_assert!(t1 >= t0 - 1e-12, "boosting stream lowered TGI: {t0} -> {t1}");
+    }
+
+    /// Swapping system-under-test and reference inverts each REE: the
+    /// contribution REEs of (A vs B) are reciprocals of (B vs A).
+    #[test]
+    fn ree_reciprocity(procs in 8usize..=128) {
+        let g_ref = reference();
+        let runs = engine().run_suite(&Workload::fire_suite(), procs);
+        let fire: Vec<Measurement> = runs.iter().map(|r| r.measurement()).collect();
+
+        let forward = Tgi::builder()
+            .reference(g_ref.clone())
+            .measurements(fire.clone())
+            .compute()
+            .expect("valid");
+
+        let mut fire_ref = ReferenceSystem::builder("Fire");
+        for m in &fire {
+            fire_ref = fire_ref.benchmark(m.clone());
+        }
+        let fire_ref = fire_ref.build().expect("non-empty");
+        let g_suite: Vec<Measurement> = g_ref.iter().map(|(_, m)| m.clone()).collect();
+        let backward = Tgi::builder()
+            .reference(fire_ref)
+            .measurements(g_suite)
+            .compute()
+            .expect("valid");
+
+        for f in forward.contributions() {
+            let b = backward
+                .contribution(&f.benchmark)
+                .expect("same benchmark set");
+            prop_assert!((f.ree * b.ree - 1.0).abs() < 1e-9, "{}: {} * {}", f.benchmark, f.ree, b.ree);
+        }
+    }
+}
+
+#[test]
+fn ranking_is_consistent_with_pairwise_tgi() {
+    // If A's TGI > B's TGI, A must rank above B.
+    let reference = reference();
+    let mut ranking = Ranking::new();
+    let mut values = Vec::new();
+    for procs in [32usize, 64, 128] {
+        let runs = engine().run_suite(&Workload::fire_suite(), procs);
+        let tgi = Tgi::builder()
+            .reference(reference.clone())
+            .measurements(runs.iter().map(|r| r.measurement()))
+            .compute()
+            .expect("valid");
+        let name = format!("fire-{procs}");
+        values.push((name.clone(), tgi.value()));
+        ranking.add_result(name, tgi);
+    }
+    values.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (i, (name, _)) in values.iter().enumerate() {
+        assert_eq!(ranking.rank_of(name), Some(i + 1));
+    }
+}

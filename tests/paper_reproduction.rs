@@ -1,0 +1,165 @@
+//! End-to-end reproduction checks: every quantitative claim the paper makes
+//! that this repository reproduces, asserted in one place.
+//!
+//! See EXPERIMENTS.md for the paper-vs-measured discussion of each artifact.
+
+use tgi::harness::{
+    experiments, fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency,
+    fig5_tgi_arithmetic, fig6_tgi_weighted, system_g_reference,
+    table1_reference_performance, table2_pcc, FireSweep,
+};
+use tgi::prelude::*;
+
+fn fixtures() -> (FireSweep, ReferenceSystem) {
+    (FireSweep::run(), system_g_reference())
+}
+
+#[test]
+fn fire_cluster_hits_90_gflops_anchor() {
+    // §IV: "The cluster is capable of delivering 90 GFLOPS on the LINPACK
+    // benchmark."
+    let (sweep, _) = fixtures();
+    let full = sweep.points().last().expect("sweep non-empty");
+    let hpl = full
+        .measurements
+        .iter()
+        .find(|m| m.id() == "hpl")
+        .expect("hpl measured");
+    let gflops = hpl.performance().as_gflops();
+    assert!((gflops - 90.0).abs() < 2.0, "Fire HPL at 128 cores: {gflops}");
+}
+
+#[test]
+fn system_g_hits_table1_hpl_anchor() {
+    // Table I: HPL 8.1 TFLOPS on SystemG.
+    let reference = system_g_reference();
+    let hpl = reference.measurement("hpl").expect("hpl in reference");
+    let tflops = hpl.performance().value() / 1e12;
+    assert!((tflops - 8.1).abs() < 0.2, "SystemG HPL: {tflops} TFLOPS");
+}
+
+#[test]
+fn reference_system_scores_exactly_one() {
+    // SPEC-rating sanity: the reference measured against itself must have
+    // TGI = 1 under every weighting (every REE is 1, weights sum to 1).
+    let reference = system_g_reference();
+    let suite: Vec<Measurement> = reference.iter().map(|(_, m)| m.clone()).collect();
+    for weighting in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power]
+    {
+        let tgi = Tgi::builder()
+            .reference(reference.clone())
+            .weighting(weighting)
+            .measurements(suite.clone())
+            .compute()
+            .expect("self-comparison is valid");
+        assert!((tgi.value() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn all_five_figures_regenerate_with_eight_points() {
+    let (sweep, reference) = fixtures();
+    let figures = [
+        fig2_hpl_efficiency(&sweep),
+        fig3_stream_efficiency(&sweep),
+        fig4_iozone_efficiency(&sweep),
+        fig5_tgi_arithmetic(&sweep, &reference),
+    ];
+    for f in &figures {
+        assert_eq!(f.series.len(), 1, "{}", f.id);
+        assert_eq!(f.series[0].points.len(), 8, "{}", f.id);
+        assert!(f.series[0].ys().iter().all(|v| v.is_finite() && *v > 0.0), "{}", f.id);
+    }
+    let f6 = fig6_tgi_weighted(&sweep, &reference);
+    assert_eq!(f6.series.len(), 3);
+    for s in &f6.series {
+        assert_eq!(s.points.len(), 8);
+    }
+}
+
+#[test]
+fn tgi_tracks_iozone_most_closely_under_arithmetic_mean() {
+    // §IV-B: correlations of TGI(AM) with IOzone/Stream/HPL are .99/.96/.58:
+    // IOzone first, Stream close behind, HPL clearly lowest.
+    let (sweep, reference) = fixtures();
+    let pcc = experiments::pcc_for_weighting(&sweep, &reference, Weighting::Arithmetic);
+    let (io, st, hpl) = (pcc[0].1, pcc[1].1, pcc[2].1);
+    assert!(io > 0.95, "io {io}");
+    assert!(st > 0.90, "stream {st}");
+    assert!(hpl < st - 0.1 && hpl < io - 0.1, "hpl {hpl} must be clearly lowest");
+}
+
+#[test]
+fn energy_and_power_weights_favor_hpl() {
+    // §IV-B: "TGI using energy and power as weights show higher correlation
+    // with the energy efficiency of the HPL benchmark which is not a desired
+    // property."
+    let (sweep, reference) = fixtures();
+    for weighting in [Weighting::Energy, Weighting::Power] {
+        let label = weighting.label();
+        let pcc = experiments::pcc_for_weighting(&sweep, &reference, weighting);
+        let (io, st, hpl) = (pcc[0].1, pcc[1].1, pcc[2].1);
+        assert!(hpl > io && hpl > st, "{label}: io={io:.3} st={st:.3} hpl={hpl:.3}");
+        assert!(hpl > 0.9, "{label}: hpl correlation should be strong, got {hpl:.3}");
+    }
+}
+
+#[test]
+fn time_weights_behave_like_arithmetic_mean() {
+    // §IV-B: "TGI using time as weights shows similar correlation to
+    // individual benchmarks when compared to TGI using arithmetic mean."
+    let (sweep, reference) = fixtures();
+    let am = experiments::pcc_for_weighting(&sweep, &reference, Weighting::Arithmetic);
+    let time = experiments::pcc_for_weighting(&sweep, &reference, Weighting::Time);
+    for (a, t) in am.iter().zip(&time) {
+        assert_eq!(a.0, t.0);
+        assert!(
+            (a.1 - t.1).abs() < 0.15,
+            "{}: AM {:.3} vs time {:.3} should be similar",
+            a.0,
+            a.1,
+            t.1
+        );
+    }
+    // And the ordering matches: io & stream above hpl.
+    assert!(time[0].1 > time[2].1 && time[1].1 > time[2].1);
+}
+
+#[test]
+fn table1_and_table2_render_the_paper_layout() {
+    let (sweep, reference) = fixtures();
+    let t1 = table1_reference_performance(&reference);
+    assert_eq!(t1.headers, vec!["Benchmark", "Performance", "Power"]);
+    assert_eq!(t1.rows.len(), 3);
+    let t2 = table2_pcc(&sweep, &reference);
+    assert_eq!(t2.rows.len(), 3);
+    assert_eq!(
+        t2.rows.iter().map(|r| r[0].as_str()).collect::<Vec<_>>(),
+        vec!["IOzone", "Stream", "HPL"]
+    );
+    // CSV round-trip: every figure/table renders to parseable CSV.
+    let csv = t2.to_csv();
+    assert_eq!(csv.lines().count(), 4);
+    for line in csv.lines().skip(1) {
+        assert_eq!(line.split(',').count(), 5);
+    }
+}
+
+#[test]
+fn fixed_work_means_faster_runs_at_scale() {
+    // The sweep holds each benchmark's work fixed (§III framing), so every
+    // benchmark's wall time at 128 cores must be at most its 16-core time.
+    let (sweep, _) = fixtures();
+    let first = &sweep.points()[0];
+    let last = &sweep.points()[7];
+    for (a, b) in first.measurements.iter().zip(&last.measurements) {
+        assert_eq!(a.id(), b.id());
+        assert!(
+            b.time().value() <= a.time().value() * 1.05,
+            "{}: {} -> {}",
+            a.id(),
+            a.time(),
+            b.time()
+        );
+    }
+}
