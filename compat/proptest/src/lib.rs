@@ -1,0 +1,395 @@
+//! Offline shim for `proptest`: the `proptest!` macro, `Strategy` trait, and
+//! the strategies this workspace uses (numeric ranges, tuples,
+//! `collection::vec`, `prop_flat_map`/`prop_map`).
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! generator seeded by the test function's name, and failing cases are **not
+//! shrunk** — the assertion failure reports the raw inputs instead.
+
+/// Runner configuration; only the case count is honored.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation for the `proptest!` macro.
+
+    use super::ProptestConfig;
+
+    /// Drives case generation: a SplitMix64 stream seeded by the test name.
+    pub struct TestRunner {
+        cases: u32,
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// Builds a runner whose stream is a pure function of `test_name`.
+        pub fn new_deterministic(config: ProptestConfig, test_name: &str) -> Self {
+            let mut seed = 0xcbf29ce484222325u64; // FNV-1a
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            TestRunner { cases: config.cases, state: seed }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw from `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use super::test_runner::TestRunner;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Derives a new strategy from each generated value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Maps generated values through a function.
+        fn prop_map<B, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> B,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (self.f)(self.base.generate(runner)).generate(runner)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, B, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> B,
+    {
+        type Value = B;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (self.f)(self.base.generate(runner))
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            self.start + (self.end - self.start) * runner.next_unit_f64()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    assert!(span > 0, "cannot sample an empty range");
+                    (self.start as i128 + (runner.next_u64() % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            self.start() + (self.end() - self.start()) * runner.next_unit_f64()
+        }
+    }
+
+    macro_rules! int_range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                    (*self.start() as i128 + (runner.next_u64() % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_inclusive_strategy!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (self.0.generate(runner), self.1.generate(runner))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (self.0.generate(runner), self.1.generate(runner), self.2.generate(runner))
+        }
+    }
+
+    /// Reference to a strategy is itself a strategy (lets closures reuse one).
+    impl<S: Strategy> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (**self).generate(runner)
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+
+    /// Uniform over `{true, false}`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-bool strategy constant, as `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use std::ops::Range;
+
+    /// Vector lengths: a fixed size or a range of sizes.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// Uniformly drawn from `[start, end)`.
+        Span(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Span(r.start, r.end)
+        }
+    }
+
+    /// Strategy for vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy produced by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = match self.size {
+                SizeRange::Fixed(n) => n,
+                SizeRange::Span(lo, hi) => {
+                    assert!(hi > lo, "cannot sample an empty size range");
+                    lo + (runner.next_u64() % (hi - lo) as u64) as usize
+                }
+            };
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use super::strategy::{Just, Strategy};
+    pub use super::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Runs each property over generated cases.
+///
+/// Supports an optional leading `#![proptest_config(...)]`, then any number
+/// of `#[attr] fn name(bindings) { body }` items where bindings are
+/// `pattern in strategy` pairs. No shrinking is performed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new_deterministic(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let _ = case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut runner);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a property holds for the current case (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay within bounds.
+        #[test]
+        fn in_range(x in 0.25..0.75f64, n in 3usize..9) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        /// Tuple patterns destructure generated tuples.
+        #[test]
+        fn tuples((a, b) in (0.0..1.0f64, 1u64..5)) {
+            prop_assert!(a < 1.0);
+            prop_assert!((1..5).contains(&b));
+        }
+    }
+
+    proptest! {
+        /// `collection::vec` honors fixed and ranged sizes; flat_map chains.
+        #[test]
+        fn vec_sizes(
+            fixed in crate::collection::vec(0.0..1.0f64, 4),
+            ranged in crate::collection::vec(0.0..1.0f64, 1..6),
+            (xs, ys) in (2usize..8).prop_flat_map(|n| (
+                crate::collection::vec(0.0..1.0f64, n),
+                crate::collection::vec(0.0..1.0f64, n),
+            )),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((1..6).contains(&ranged.len()));
+            prop_assert_eq!(xs.len(), ys.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a =
+            crate::test_runner::TestRunner::new_deterministic(ProptestConfig::with_cases(1), "t");
+        let mut b =
+            crate::test_runner::TestRunner::new_deterministic(ProptestConfig::with_cases(1), "t");
+        assert_eq!((0.0..1.0f64).generate(&mut a), (0.0..1.0f64).generate(&mut b));
+    }
+}

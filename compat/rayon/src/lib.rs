@@ -1,0 +1,100 @@
+//! Offline shim for `rayon`: the parallel-iterator entry points used by the
+//! kernels (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`,
+//! `into_par_iter`) return **sequential** std iterators, so every downstream
+//! adaptor (`zip`, `enumerate`, `map`, `for_each`, …) is the std one.
+//!
+//! Kernels therefore stay correct but run single-threaded under this shim;
+//! real concurrency in this workspace uses `std::thread` directly (mini-MPI,
+//! the suite runner, the background power sampler).
+
+/// Number of threads rayon would use: the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs two closures (sequentially under this shim) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Anything iterable gains `into_par_iter`, yielding its sequential iterator.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// "Parallel" iterator over the collection (sequential here).
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Shared-slice entry points.
+pub trait ParallelSlice<T> {
+    /// "Parallel" iterator over shared references (sequential here).
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// "Parallel" iterator over `size`-element chunks (sequential here).
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(size)
+    }
+}
+
+/// Mutable-slice entry points.
+pub trait ParallelSliceMut<T> {
+    /// "Parallel" iterator over mutable references (sequential here).
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// "Parallel" iterator over mutable chunks (sequential here).
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(size)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude::*`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn entry_points_behave_like_std() {
+        let mut v = vec![1, 2, 3, 4];
+        assert_eq!(v.par_iter().sum::<i32>(), 10);
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(v, vec![2, 4, 6, 8]);
+        let chunks: Vec<usize> = v.par_chunks(2).map(|c| c.len()).collect();
+        assert_eq!(chunks, vec![2, 2]);
+        v.par_chunks_mut(3).for_each(|c| c[0] = 0);
+        assert_eq!(v[0], 0);
+        assert_eq!((0u64..5).into_par_iter().count(), 5);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

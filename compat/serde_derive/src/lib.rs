@@ -1,0 +1,616 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable in this offline environment).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - named-field structs, with `#[serde(default)]` / `#[serde(default = "path")]`
+//! - newtype and tuple structs (serialized transparently / as arrays)
+//! - unit structs (serialized as `null`)
+//! - unit-only enums (serialized as the variant name string)
+//! - externally tagged enums with unit, newtype and struct variants
+//! - internally tagged enums via `#[serde(tag = "...")]`, with optional
+//!   `#[serde(rename_all = "snake_case")]`
+//!
+//! Generics, lifetimes, and the wider serde attribute surface are not
+//! supported; unsupported input panics at compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` (`to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde shim: generated Serialize impl failed to parse")
+}
+
+/// Derives the shim's `serde::Deserialize` (`from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde shim: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    /// `#[serde(tag = "...")]`: internally tagged enum representation.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "...")]`: only `snake_case` is supported.
+    rename_all: Option<String>,
+}
+
+enum DefaultKind {
+    /// `#[serde(default)]` → `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` → `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: Option<DefaultKind>,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+
+    // Leading attributes and visibility, collecting container-level serde args.
+    let kind = loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    for (key, val) in serde_attr_args(g.stream()) {
+                        match key.as_str() {
+                            "tag" => attrs.tag = val,
+                            "rename_all" => attrs.rename_all = val,
+                            _ => {}
+                        }
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            other => panic!("serde shim: unsupported item token {other:?}"),
+        }
+    };
+    i += 1;
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic types are not supported (deriving for `{name}`)");
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            None => Shape::UnitStruct,
+            other => panic!("serde shim: unsupported struct body for `{name}`: {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim: expected enum body for `{name}`, got {other:?}"),
+        }
+    };
+
+    Item { name, attrs, shape }
+}
+
+/// Extracts `key` / `key = "value"` pairs from a `#[serde(...)]` attribute
+/// group (the group spans the outer brackets). Non-serde attributes yield
+/// nothing.
+fn serde_attr_args(attr_body: TokenStream) -> Vec<(String, Option<String>)> {
+    let toks: Vec<TokenTree> = attr_body.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut out = Vec::new();
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if let TokenTree::Ident(key) = &inner[j] {
+                    let key = key.to_string();
+                    let mut val = None;
+                    if let Some(TokenTree::Punct(eq)) = inner.get(j + 1) {
+                        if eq.as_char() == '=' {
+                            if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                                val = Some(unquote(&lit.to_string()));
+                                j += 2;
+                            }
+                        }
+                    }
+                    out.push((key, val));
+                }
+                j += 1;
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parses the fields of a named-field body (struct or struct variant).
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut default = None;
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                for (key, val) in serde_attr_args(g.stream()) {
+                    if key == "default" {
+                        default = Some(match val {
+                            Some(path) => DefaultKind::Path(path),
+                            None => DefaultKind::Std,
+                        });
+                    }
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = toks.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts fields of a tuple body by top-level commas (angle-bracket aware).
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tok in &toks {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Variant attributes (e.g. `#[default]` for derive(Default)) — skip.
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                if count_top_level_fields(g.stream()) != 1 {
+                    panic!("serde shim: only 1-field tuple variants are supported (`{name}`)");
+                }
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the separating comma.
+        while let Some(tok) = toks.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------------
+
+fn rename_variant(attrs: &ContainerAttrs, variant: &str) -> String {
+    match attrs.rename_all.as_deref() {
+        Some("snake_case") => to_snake_case(variant),
+        Some(other) => panic!("serde shim: rename_all = \"{other}\" is not supported"),
+        None => variant.to_string(),
+    }
+}
+
+fn to_snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{entries}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| gen_serialize_variant(name, &item.attrs, v))
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    \
+             fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_serialize_variant(enum_name: &str, attrs: &ContainerAttrs, v: &Variant) -> String {
+    let vname = &v.name;
+    let wire = rename_variant(attrs, vname);
+    match (&v.kind, &attrs.tag) {
+        (VariantKind::Unit, None) => format!(
+            "{enum_name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{wire}\")),"
+        ),
+        (VariantKind::Unit, Some(tag)) => format!(
+            "{enum_name}::{vname} => ::serde::Value::Object(::std::vec![\
+             (::std::string::String::from(\"{tag}\"), ::serde::Value::Str(::std::string::String::from(\"{wire}\")))]),"
+        ),
+        (VariantKind::Newtype, None) => format!(
+            "{enum_name}::{vname}(inner) => ::serde::Value::Object(::std::vec![\
+             (::std::string::String::from(\"{wire}\"), ::serde::Serialize::to_value(inner))]),"
+        ),
+        (VariantKind::Newtype, Some(_)) => {
+            panic!("serde shim: newtype variants are not supported with `tag` (`{enum_name}::{vname}`)")
+        }
+        (VariantKind::Struct(fields), tag) => {
+            let binders = fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                        f.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            match tag {
+                None => format!(
+                    "{enum_name}::{vname} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{wire}\"), ::serde::Value::Object(::std::vec![{entries}]))]),"
+                ),
+                Some(tag) => format!(
+                    "{enum_name}::{vname} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{tag}\"), ::serde::Value::Str(::std::string::String::from(\"{wire}\"))), {entries}]),"
+                ),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Expression rebuilding one named field from an `entries` slice binding.
+fn field_expr(type_name: &str, f: &Field) -> String {
+    let fname = &f.name;
+    let missing = match &f.default {
+        Some(DefaultKind::Std) => "::std::default::Default::default()".to_string(),
+        Some(DefaultKind::Path(path)) => format!("{path}()"),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::new(\
+             \"missing field `{fname}` in {type_name}\"))"
+        ),
+    };
+    format!(
+        "{fname}: match ::serde::Value::get_entry(entries, \"{fname}\") {{\n                \
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n                \
+             ::std::option::Option::None => {missing},\n            }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let field_exprs = fields
+                .iter()
+                .map(|f| field_expr(name, f))
+                .collect::<Vec<_>>()
+                .join(",\n            ");
+            format!(
+                "let entries = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected object for {name}\"))?;\n        \
+                 ::std::result::Result::Ok({name} {{\n            {field_exprs}\n        }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected array for {name}\"))?;\n        \
+                 if items.len() != {n} {{\n            \
+                 return ::std::result::Result::Err(::serde::DeError::new(\
+                 \"expected {n} elements for {name}\"));\n        }}\n        \
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => match &item.attrs.tag {
+            Some(tag) => gen_deserialize_tagged_enum(name, &item.attrs, variants, tag),
+            None => gen_deserialize_external_enum(name, &item.attrs, variants),
+        },
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    \
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        \
+             {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize_external_enum(
+    name: &str,
+    attrs: &ContainerAttrs,
+    variants: &[Variant],
+) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = rename_variant(attrs, vname);
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "\n                \"{wire}\" => ::std::result::Result::Ok({name}::{vname}),"
+                ));
+            }
+            VariantKind::Newtype => {
+                data_arms.push_str(&format!(
+                    "\n                    \"{wire}\" => ::std::result::Result::Ok(\
+                     {name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let field_exprs = fields
+                    .iter()
+                    .map(|f| field_expr(name, f))
+                    .collect::<Vec<_>>()
+                    .join(",\n            ");
+                data_arms.push_str(&format!(
+                    "\n                    \"{wire}\" => {{\n                        \
+                     let entries = inner.as_object().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected object body for {name}::{vname}\"))?;\n                        \
+                     ::std::result::Result::Ok({name}::{vname} {{\n            {field_exprs}\n        }})\n                    \
+                     }}"
+                ));
+            }
+        }
+    }
+    format!(
+        "if let ::std::option::Option::Some(s) = v.as_str() {{\n            \
+             return match s {{{unit_arms}\n                \
+             other => ::std::result::Result::Err(::serde::DeError::new(\
+             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n            }};\n        }}\n        \
+         if let ::std::option::Option::Some(outer) = v.as_object() {{\n            \
+             if outer.len() == 1 {{\n                \
+                 let (key, inner) = &outer[0];\n                \
+                 return match key.as_str() {{{data_arms}\n                    \
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n                }};\n            }}\n        }}\n        \
+         ::std::result::Result::Err(::serde::DeError::new(\"expected a {name} variant\"))"
+    )
+}
+
+fn gen_deserialize_tagged_enum(
+    name: &str,
+    attrs: &ContainerAttrs,
+    variants: &[Variant],
+    tag: &str,
+) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = rename_variant(attrs, vname);
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "\n            \"{wire}\" => ::std::result::Result::Ok({name}::{vname}),"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let field_exprs = fields
+                    .iter()
+                    .map(|f| field_expr(name, f))
+                    .collect::<Vec<_>>()
+                    .join(",\n            ");
+                arms.push_str(&format!(
+                    "\n            \"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{\n            {field_exprs}\n        }}),"
+                ));
+            }
+            VariantKind::Newtype => {
+                panic!(
+                    "serde shim: newtype variants are not supported with `tag` (`{name}::{vname}`)"
+                )
+            }
+        }
+    }
+    format!(
+        "let entries = v.as_object().ok_or_else(|| \
+         ::serde::DeError::new(\"expected object for {name}\"))?;\n        \
+         let tag = ::serde::Value::get_entry(entries, \"{tag}\")\n            \
+         .and_then(::serde::Value::as_str)\n            \
+         .ok_or_else(|| ::serde::DeError::new(\"missing `{tag}` tag for {name}\"))?;\n        \
+         match tag {{{arms}\n            \
+         other => ::std::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"unknown `{tag}` value `{{other}}` for {name}\"))),\n        }}"
+    )
+}

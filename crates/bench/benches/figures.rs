@@ -8,8 +8,8 @@ use std::hint::black_box;
 use std::sync::OnceLock;
 use tgi_core::ReferenceSystem;
 use tgi_harness::{
-    fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency,
-    fig5_tgi_arithmetic, fig6_tgi_weighted, system_g_reference, FireSweep,
+    fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency, fig5_tgi_arithmetic,
+    fig6_tgi_weighted, system_g_reference, FireSweep,
 };
 
 fn fixtures() -> &'static (FireSweep, ReferenceSystem) {

@@ -37,20 +37,21 @@ fn bench_sampling_rate(c: &mut Criterion) {
     }
     let mut wattsup = WattsUpPro::calibrated(7);
     let e = wattsup.record(&bursty, duration).energy().value();
-    println!("{:>11} {:>14.1} {:>9.2}%  (Watts Up? PRO, 1 Hz)", "1.00s*", e, (e - truth) / truth * 100.0);
+    println!(
+        "{:>11} {:>14.1} {:>9.2}%  (Watts Up? PRO, 1 Hz)",
+        "1.00s*",
+        e,
+        (e - truth) / truth * 100.0
+    );
 
     let mut group = c.benchmark_group("meter_recording");
     for interval in [0.1f64, 1.0] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(interval),
-            &interval,
-            |b, &interval| {
-                b.iter(|| {
-                    let mut meter = IdealMeter::new(interval);
-                    black_box(meter.record(&bursty, 60.0))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(interval), &interval, |b, &interval| {
+            b.iter(|| {
+                let mut meter = IdealMeter::new(interval);
+                black_box(meter.record(&bursty, 60.0))
+            })
+        });
     }
     group.bench_function("watts_up_pro_60s", |b| {
         b.iter(|| {
@@ -75,8 +76,7 @@ fn bench_pue_ablation(c: &mut Criterion) {
                     Some(c) => c.facility_power(m.power()),
                     None => m.power(),
                 };
-                Measurement::new(m.id(), m.performance().clone(), power, m.time())
-                    .expect("valid")
+                Measurement::new(m.id(), m.performance().clone(), power, m.time()).expect("valid")
             })
             .collect();
         Tgi::builder()
@@ -96,9 +96,7 @@ fn bench_pue_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pue");
     group.bench_function("it_only", |b| b.iter(|| black_box(compute_tgi(None))));
-    group.bench_function("facility_legacy", |b| {
-        b.iter(|| black_box(compute_tgi(Some(&legacy))))
-    });
+    group.bench_function("facility_legacy", |b| b.iter(|| black_box(compute_tgi(Some(&legacy)))));
     group.finish();
 }
 

@@ -4,9 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::OnceLock;
 use tgi_core::ReferenceSystem;
-use tgi_harness::{
-    system_g_reference, table1_reference_performance, table2_pcc, FireSweep,
-};
+use tgi_harness::{system_g_reference, table1_reference_performance, table2_pcc, FireSweep};
 
 fn fixtures() -> &'static (FireSweep, ReferenceSystem) {
     static FIX: OnceLock<(FireSweep, ReferenceSystem)> = OnceLock::new();
@@ -19,9 +17,7 @@ fn bench_table1(c: &mut Criterion) {
     // Table I's cost is the reference-suite run itself.
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
-    group.bench_function("systemg_reference_suite", |b| {
-        b.iter(|| black_box(system_g_reference()))
-    });
+    group.bench_function("systemg_reference_suite", |b| b.iter(|| black_box(system_g_reference())));
     group.bench_function("render", |b| {
         b.iter(|| black_box(table1_reference_performance(black_box(reference))))
     });

@@ -122,9 +122,10 @@ impl ExecutionEngine {
         let mut state = seed
             ^ (processes as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (workload.benchmark_id().len() as u64) << 32
-            ^ workload.benchmark_id().bytes().fold(0u64, |acc, b| {
-                acc.wrapping_mul(131).wrapping_add(b as u64)
-            });
+            ^ workload
+                .benchmark_id()
+                .bytes()
+                .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
         let mut next = || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
@@ -195,8 +196,7 @@ impl ExecutionEngine {
                 let ppn = processes as f64 / spec.nodes as f64;
                 // STREAM threads are memory-stalled: their effective CPU
                 // draw is a fraction of an FPU-saturated HPL process's.
-                let cpu =
-                    (spec.scaling.stream_cpu_factor * ppn / cores_per_node).min(1.0);
+                let cpu = (spec.scaling.stream_cpu_factor * ppn / cores_per_node).min(1.0);
                 let mem = scaling::saturation(ppn, spec.scaling.stream_k);
                 let util = UtilizationSample::new(cpu, mem, 0.0, 0.05);
                 (Perf::mbps(mbps), seconds, spec.nodes, util)
@@ -248,23 +248,20 @@ impl ExecutionEngine {
         let ground_truth = move |t: f64| {
             let active_fan = match &thermal {
                 Some(m) => {
-                    let temp = active_steady_c
-                        + (idle_steady_c - active_steady_c) * (-t / m.tau_s).exp();
+                    let temp =
+                        active_steady_c + (idle_steady_c - active_steady_c) * (-t / m.tau_s).exp();
                     m.fan_power(temp).value()
                 }
                 None => 0.0,
             };
-            Watts::new(
-                active_f * (active_w + active_fan) + idle_nodes * (idle_w + idle_fan_w),
-            )
+            Watts::new(active_f * (active_w + active_fan) + idle_nodes * (idle_w + idle_fan_w))
         };
 
         // Meter the run. For very long runs, stretch the sampling interval
         // to bound trace memory (and scale timestamps back afterwards).
         let mut meter = WattsUpPro::pdu(self.meter_serial);
         let native_interval = meter.spec().sample_interval_s;
-        let stride =
-            ((seconds / native_interval) / self.max_trace_samples as f64).ceil().max(1.0);
+        let stride = ((seconds / native_interval) / self.max_trace_samples as f64).ceil().max(1.0);
         let trace = if stride > 1.0 {
             let compressed = meter.record(&ground_truth, seconds / stride);
             let mut scaled = PowerTrace::new();
@@ -573,8 +570,7 @@ mod tests {
     fn dvfs_leaves_memory_and_io_performance_alone() {
         let full = fire_engine();
         let slow = ExecutionEngine::new(ClusterSpec::fire()).with_frequency_ratio(0.6);
-        for w in [Workload::Stream { total_bytes: 1e12 }, Workload::Iozone { total_bytes: 1e10 }]
-        {
+        for w in [Workload::Stream { total_bytes: 1e12 }, Workload::Iozone { total_bytes: 1e10 }] {
             let a = full.run(w, 64);
             let b = slow.run(w, 64);
             assert_eq!(a.performance, b.performance);
@@ -591,8 +587,8 @@ mod tests {
     #[test]
     fn gpu_cluster_speeds_up_hpl_at_higher_power() {
         let cpu_run = fire_engine().run(Workload::Hpl { n: 40_000 }, 128);
-        let gpu_run = ExecutionEngine::new(ClusterSpec::fire_gpu())
-            .run(Workload::Hpl { n: 40_000 }, 128);
+        let gpu_run =
+            ExecutionEngine::new(ClusterSpec::fire_gpu()).run(Workload::Hpl { n: 40_000 }, 128);
         // ~6× the performance…
         assert!(gpu_run.performance.as_gflops() > 5.0 * cpu_run.performance.as_gflops());
         // …at clearly higher wall power (16 Fermi boards at full tilt)…
@@ -610,8 +606,7 @@ mod tests {
     fn gpu_cluster_does_not_change_stream_or_iozone_performance() {
         let fire = fire_engine();
         let gpu = ExecutionEngine::new(ClusterSpec::fire_gpu());
-        for w in [Workload::Stream { total_bytes: 1e12 }, Workload::Iozone { total_bytes: 1e10 }]
-        {
+        for w in [Workload::Stream { total_bytes: 1e12 }, Workload::Iozone { total_bytes: 1e10 }] {
             let a = fire.run(w, 64);
             let b = gpu.run(w, 64);
             assert_eq!(a.performance, b.performance, "{:?}", a.benchmark);

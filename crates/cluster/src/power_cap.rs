@@ -44,9 +44,7 @@ pub fn run_capped(
 ) -> CappedRun {
     assert!(cap_watts > 0.0, "power cap must be positive");
     let power_at = |ratio: f64| {
-        ExecutionEngine::new(cluster.clone())
-            .with_frequency_ratio(ratio)
-            .run(workload, processes)
+        ExecutionEngine::new(cluster.clone()).with_frequency_ratio(ratio).run(workload, processes)
     };
 
     // Fast paths: unconstrained, or unsatisfiable.
@@ -109,8 +107,7 @@ mod tests {
         );
         // Performance degrades gracefully (linearly in the clock).
         assert!(
-            (capped.run.performance.as_gflops()
-                - full.performance.as_gflops() * capped.freq_ratio)
+            (capped.run.performance.as_gflops() - full.performance.as_gflops() * capped.freq_ratio)
                 .abs()
                 < 1e-6 * full.performance.as_gflops()
         );

@@ -78,11 +78,7 @@ pub fn saturation(ppn: f64, k: f64) -> f64 {
 /// Panics if `clients` is zero or exceeds the node count.
 pub fn io_mbps(spec: &ClusterSpec, clients: usize) -> f64 {
     assert!(clients > 0, "need at least one client");
-    assert!(
-        clients <= spec.nodes,
-        "cannot run {clients} clients on {} nodes",
-        spec.nodes
-    );
+    assert!(clients <= spec.nodes, "cannot run {clients} clients on {} nodes", spec.nodes);
     let fs = &spec.shared_fs;
     let ideal = (clients as f64 * fs.per_client_mbps).min(fs.server_cap_mbps);
     // Clients beyond the saturation point add contention, not throughput.
@@ -145,8 +141,7 @@ mod tests {
         // Diminishing returns: the second doubling gains less than the first.
         assert!(bw128 / bw64 < bw64 / bw16);
         // Never exceeds the sustainable ceiling.
-        let ceiling =
-            fire.node.mem_bandwidth_gbps * fire.scaling.stream_peak_fraction * 8.0 * 1e3;
+        let ceiling = fire.node.mem_bandwidth_gbps * fire.scaling.stream_peak_fraction * 8.0 * 1e3;
         assert!(bw128 < ceiling);
     }
 

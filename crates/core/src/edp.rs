@@ -66,8 +66,7 @@ mod tests {
     use crate::units::{Perf, Seconds, Watts};
 
     fn m(watts: f64, secs: f64) -> Measurement {
-        Measurement::new("b", Perf::gflops(1.0), Watts::new(watts), Seconds::new(secs))
-            .unwrap()
+        Measurement::new("b", Perf::gflops(1.0), Watts::new(watts), Seconds::new(secs)).unwrap()
     }
 
     #[test]
@@ -88,8 +87,7 @@ mod tests {
         let fast = m(100.0, 10.0);
         assert!(EnergyDelayProduct.evaluate(&fast) > EnergyDelayProduct.evaluate(&slow));
         assert!(
-            EnergyDelaySquaredProduct.evaluate(&fast)
-                > EnergyDelaySquaredProduct.evaluate(&slow)
+            EnergyDelaySquaredProduct.evaluate(&fast) > EnergyDelaySquaredProduct.evaluate(&slow)
         );
     }
 

@@ -20,6 +20,8 @@ pub enum TgiError {
     },
     /// The benchmark set was empty where at least one entry is required.
     EmptyBenchmarkSet,
+    /// A benchmark id was empty or otherwise malformed.
+    InvalidBenchmarkId(String),
     /// Two measurements in one suite share the same benchmark id.
     DuplicateBenchmark(String),
     /// The reference system has no entry for a benchmark in the suite.
@@ -60,16 +62,18 @@ impl fmt::Display for TgiError {
                 write!(f, "{quantity} must be a finite number")
             }
             TgiError::EmptyBenchmarkSet => write!(f, "benchmark set is empty"),
+            TgiError::InvalidBenchmarkId(detail) => {
+                write!(f, "invalid benchmark id: {detail}")
+            }
             TgiError::DuplicateBenchmark(id) => {
                 write!(f, "duplicate benchmark id `{id}` in suite")
             }
             TgiError::MissingReference(id) => {
                 write!(f, "reference system has no measurement for benchmark `{id}`")
             }
-            TgiError::WeightCountMismatch { weights, benchmarks } => write!(
-                f,
-                "got {weights} weights for {benchmarks} benchmarks; counts must match"
-            ),
+            TgiError::WeightCountMismatch { weights, benchmarks } => {
+                write!(f, "got {weights} weights for {benchmarks} benchmarks; counts must match")
+            }
             TgiError::InvalidWeights { sum } => {
                 write!(f, "weights must be non-negative and sum to 1, got sum {sum}")
             }
@@ -95,23 +99,15 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let cases: Vec<(TgiError, &str)> = vec![
-            (
-                TgiError::NonPositiveQuantity { quantity: "power", value: -1.0 },
-                "power",
-            ),
+            (TgiError::NonPositiveQuantity { quantity: "power", value: -1.0 }, "power"),
             (TgiError::NotFinite { quantity: "time" }, "time"),
             (TgiError::EmptyBenchmarkSet, "empty"),
+            (TgiError::InvalidBenchmarkId("id is empty".into()), "id is empty"),
             (TgiError::DuplicateBenchmark("hpl".into()), "hpl"),
             (TgiError::MissingReference("stream".into()), "stream"),
-            (
-                TgiError::WeightCountMismatch { weights: 2, benchmarks: 3 },
-                "2 weights",
-            ),
+            (TgiError::WeightCountMismatch { weights: 2, benchmarks: 3 }, "2 weights"),
             (TgiError::InvalidWeights { sum: 0.5 }, "0.5"),
-            (
-                TgiError::UnitMismatch { left: "GFLOPS".into(), right: "MB/s".into() },
-                "GFLOPS",
-            ),
+            (TgiError::UnitMismatch { left: "GFLOPS".into(), right: "MB/s".into() }, "GFLOPS"),
             (TgiError::DegenerateStatistic("zero variance"), "zero variance"),
             (TgiError::MissingReferenceSystem, "reference"),
         ];

@@ -59,8 +59,8 @@ pub mod error;
 pub mod means;
 pub mod measurement;
 pub mod ranking;
-pub mod repeats;
 pub mod reference;
+pub mod repeats;
 pub mod sensitivity;
 pub mod spec_rating;
 pub mod stats;
@@ -74,8 +74,8 @@ pub use efficiency::{EfficiencyMetric, EnergyEfficiency, PerfPerWatt};
 pub use error::TgiError;
 pub use measurement::Measurement;
 pub use ranking::{RankedSystem, Ranking};
-pub use repeats::{MeasurementSet, TgiWithUncertainty};
 pub use reference::{ReferenceSystem, ReferenceSystemBuilder};
+pub use repeats::{MeasurementSet, TgiWithUncertainty};
 pub use sensitivity::{FlipPoint, Robustness};
 pub use tgi::{BenchmarkContribution, MeanKind, Tgi, TgiBuilder, TgiResult};
 pub use units::{Joules, Perf, PerfUnit, Seconds, Watts};

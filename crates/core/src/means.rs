@@ -135,9 +135,7 @@ mod tests {
     fn weighted_arithmetic_equal_weights_matches_arithmetic() {
         let xs = [1.0, 5.0, 9.0];
         let ws = [1.0 / 3.0; 3];
-        assert!(
-            (weighted_arithmetic(&xs, &ws).unwrap() - arithmetic(&xs).unwrap()).abs() < 1e-9
-        );
+        assert!((weighted_arithmetic(&xs, &ws).unwrap() - arithmetic(&xs).unwrap()).abs() < 1e-9);
     }
 
     #[test]

@@ -37,9 +37,7 @@ impl Measurement {
         let time = Seconds::try_new(time.value())?;
         let id = id.into();
         if id.is_empty() {
-            return Err(TgiError::DuplicateBenchmark(String::from(
-                "<empty id not allowed>",
-            )));
+            return Err(TgiError::InvalidBenchmarkId(String::from("id is empty")));
         }
         let energy = power.over(time);
         Ok(Measurement { id, performance, power, time, energy })
@@ -90,8 +88,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn m(id: &str, gflops: f64, watts: f64, secs: f64) -> Measurement {
-        Measurement::new(id, Perf::gflops(gflops), Watts::new(watts), Seconds::new(secs))
-            .unwrap()
+        Measurement::new(id, Perf::gflops(gflops), Watts::new(watts), Seconds::new(secs)).unwrap()
     }
 
     #[test]
@@ -102,9 +99,7 @@ mod tests {
 
     #[test]
     fn with_energy_overrides() {
-        let meas = m("hpl", 90.0, 2000.0, 100.0)
-            .with_energy(Joules::new(123_456.0))
-            .unwrap();
+        let meas = m("hpl", 90.0, 2000.0, 100.0).with_energy(Joules::new(123_456.0)).unwrap();
         assert_eq!(meas.energy().value(), 123_456.0);
     }
 
@@ -122,16 +117,20 @@ mod tests {
 
     #[test]
     fn rejects_bad_power_and_time() {
-        assert!(Measurement::new("x", Perf::gflops(1.0), Watts::new(0.0), Seconds::new(1.0))
-            .is_err());
-        assert!(Measurement::new("x", Perf::gflops(1.0), Watts::new(1.0), Seconds::new(-2.0))
-            .is_err());
+        assert!(
+            Measurement::new("x", Perf::gflops(1.0), Watts::new(0.0), Seconds::new(1.0)).is_err()
+        );
+        assert!(
+            Measurement::new("x", Perf::gflops(1.0), Watts::new(1.0), Seconds::new(-2.0)).is_err()
+        );
     }
 
     #[test]
     fn rejects_empty_id() {
-        assert!(Measurement::new("", Perf::gflops(1.0), Watts::new(1.0), Seconds::new(1.0))
-            .is_err());
+        // Regression: this used to be misreported as DuplicateBenchmark.
+        let err = Measurement::new("", Perf::gflops(1.0), Watts::new(1.0), Seconds::new(1.0))
+            .unwrap_err();
+        assert!(matches!(err, TgiError::InvalidBenchmarkId(_)), "got {err:?}");
     }
 
     #[test]

@@ -249,8 +249,8 @@ mod tests {
             MeasurementSet::from_runs("a", (0..3).map(|_| m("a", 5.0, 500.0))).expect("valid"),
             MeasurementSet::from_runs("b", (0..3).map(|_| m("b", 10.0, 500.0))).expect("valid"),
         ];
-        let t = tgi_with_uncertainty(&reference(), &sets, Weighting::Arithmetic)
-            .expect("computable");
+        let t =
+            tgi_with_uncertainty(&reference(), &sets, Weighting::Arithmetic).expect("computable");
         assert_eq!(t.std_dev, 0.0);
         let (lo, hi) = t.interval95();
         assert_eq!(lo, hi);
@@ -286,8 +286,8 @@ mod tests {
             .expect("non-empty");
         let set = MeasurementSet::from_runs("a", [m("a", 1.0, 100.0), m("a", 3.0, 100.0)])
             .expect("valid");
-        let t =
-            tgi_with_uncertainty(&r, std::slice::from_ref(&set), Weighting::Arithmetic).expect("computable");
+        let t = tgi_with_uncertainty(&r, std::slice::from_ref(&set), Weighting::Arithmetic)
+            .expect("computable");
         let ref_ee = 10e9 / 1000.0;
         let expected = set.ee_std().expect("computable") / ref_ee;
         assert!((t.std_dev - expected).abs() < 1e-9 * expected);

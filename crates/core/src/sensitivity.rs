@@ -22,11 +22,7 @@ use serde::{Deserialize, Serialize};
 /// The gradient of TGI with respect to the weights: `∂TGI/∂W_i = REE_i`,
 /// keyed by benchmark. (Linear metric — the gradient *is* the REE vector.)
 pub fn weight_gradient(result: &TgiResult) -> Vec<(String, f64)> {
-    result
-        .contributions()
-        .iter()
-        .map(|c| (c.benchmark.clone(), c.ree))
-        .collect()
+    result.contributions().iter().map(|c| (c.benchmark.clone(), c.ree)).collect()
 }
 
 /// The smallest single-benchmark tilt that flips a comparison.
@@ -200,10 +196,7 @@ mod tests {
     fn tie_is_degenerate() {
         let a = result([10.0, 10.0, 10.0]);
         let b = result([10.0, 10.0, 10.0]);
-        assert!(matches!(
-            compare("A", &a, "B", &b),
-            Err(TgiError::DegenerateStatistic(_))
-        ));
+        assert!(matches!(compare("A", &a, "B", &b), Err(TgiError::DegenerateStatistic(_))));
     }
 
     #[test]
@@ -236,10 +229,8 @@ mod tests {
         let far = compare("A", &result([20.0, 20.0, 5.0]), "B", &b).expect("comparable");
         assert_eq!(close.leader, "A");
         assert_eq!(far.leader, "A");
-        let (ec, ef) = (
-            close.flip.expect("flip exists").epsilon,
-            far.flip.expect("flip exists").epsilon,
-        );
+        let (ec, ef) =
+            (close.flip.expect("flip exists").epsilon, far.flip.expect("flip exists").epsilon);
         assert!(ec < ef, "closer race must flip at a smaller tilt: {ec} vs {ef}");
     }
 }

@@ -47,8 +47,7 @@ pub fn suite_rating(pairs: &[TimingPair]) -> Result<f64, TgiError> {
     if pairs.is_empty() {
         return Err(TgiError::EmptyBenchmarkSet);
     }
-    let ratings: Result<Vec<f64>, TgiError> =
-        pairs.iter().map(|p| spec_rating(*p)).collect();
+    let ratings: Result<Vec<f64>, TgiError> = pairs.iter().map(|p| spec_rating(*p)).collect();
     crate::means::geometric(&ratings?)
 }
 

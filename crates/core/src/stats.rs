@@ -49,12 +49,7 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64, TgiError> {
     }
     let mx = mean(xs)?;
     let my = mean(ys)?;
-    Ok(xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum::<f64>()
-        / (xs.len() - 1) as f64)
+    Ok(xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / (xs.len() - 1) as f64)
 }
 
 /// Pearson correlation coefficient (Eq. 17 in the paper).
@@ -205,10 +200,7 @@ mod tests {
 
     fn paired_series() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
         (2usize..24).prop_flat_map(|n| {
-            (
-                proptest::collection::vec(-1e3..1e3f64, n),
-                proptest::collection::vec(-1e3..1e3f64, n),
-            )
+            (proptest::collection::vec(-1e3..1e3f64, n), proptest::collection::vec(-1e3..1e3f64, n))
         })
     }
 

@@ -307,11 +307,8 @@ mod tests {
 
     #[test]
     fn tgi_arithmetic_mean_matches_hand_computation() {
-        let result = Tgi::builder()
-            .reference(reference())
-            .measurements(fire_suite())
-            .compute()
-            .unwrap();
+        let result =
+            Tgi::builder().reference(reference()).measurements(fire_suite()).compute().unwrap();
 
         let ree_hpl = (90e9 / 2_900.0) / (8.1e12 / 26_000.0);
         let ree_stream = (80_000e6 / 2_500.0) / (1_600_000e6 / 24_000.0);
@@ -343,8 +340,7 @@ mod tests {
         // The reference measured against itself must yield TGI = 1 for every
         // weighting scheme, because every REE_i = 1 and Σ W_i = 1.
         let r = reference();
-        let self_suite: Vec<Measurement> =
-            r.iter().map(|(_, m)| m.clone()).collect();
+        let self_suite: Vec<Measurement> = r.iter().map(|(_, m)| m.clone()).collect();
         for w in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
             let result = Tgi::builder()
                 .reference(r.clone())
@@ -362,11 +358,8 @@ mod tests {
 
     #[test]
     fn least_efficient_identifies_min_ree() {
-        let result = Tgi::builder()
-            .reference(reference())
-            .measurements(fire_suite())
-            .compute()
-            .unwrap();
+        let result =
+            Tgi::builder().reference(reference()).measurements(fire_suite()).compute().unwrap();
         let min = result.least_efficient().unwrap();
         for c in result.contributions() {
             assert!(min.ree <= c.ree);
@@ -376,11 +369,7 @@ mod tests {
     #[test]
     fn missing_reference_benchmark_errors() {
         let extra = meas("fft", Perf::gflops(5.0), 2_000.0, 120.0);
-        let err = Tgi::builder()
-            .reference(reference())
-            .measurement(extra)
-            .compute()
-            .unwrap_err();
+        let err = Tgi::builder().reference(reference()).measurement(extra).compute().unwrap_err();
         assert!(matches!(err, TgiError::MissingReference(_)));
     }
 
@@ -410,11 +399,7 @@ mod tests {
     #[test]
     fn unit_mismatch_against_reference_errors() {
         let wrong = meas("hpl", Perf::mbps(100.0), 2_900.0, 1800.0);
-        let err = Tgi::builder()
-            .reference(reference())
-            .measurement(wrong)
-            .compute()
-            .unwrap_err();
+        let err = Tgi::builder().reference(reference()).measurement(wrong).compute().unwrap_err();
         assert!(matches!(err, TgiError::UnitMismatch { .. }));
     }
 
@@ -491,11 +476,8 @@ mod tests {
 
     #[test]
     fn custom_metric_edp_changes_value() {
-        let perf_w = Tgi::builder()
-            .reference(reference())
-            .measurements(fire_suite())
-            .compute()
-            .unwrap();
+        let perf_w =
+            Tgi::builder().reference(reference()).measurements(fire_suite()).compute().unwrap();
         let edp = Tgi::builder()
             .metric(EnergyDelayProduct)
             .reference(reference())
@@ -523,11 +505,8 @@ mod tests {
 
     #[test]
     fn display_summarizes_result() {
-        let result = Tgi::builder()
-            .reference(reference())
-            .measurements(fire_suite())
-            .compute()
-            .unwrap();
+        let result =
+            Tgi::builder().reference(reference()).measurements(fire_suite()).compute().unwrap();
         let text = result.to_string();
         assert!(text.starts_with("TGI = "));
         assert!(text.contains("arithmetic mean"));
@@ -539,11 +518,8 @@ mod tests {
 
     #[test]
     fn result_serde_round_trip() {
-        let result = Tgi::builder()
-            .reference(reference())
-            .measurements(fire_suite())
-            .compute()
-            .unwrap();
+        let result =
+            Tgi::builder().reference(reference()).measurements(fire_suite()).compute().unwrap();
         let json = serde_json::to_string(&result).unwrap();
         let back: TgiResult = serde_json::from_str(&json).unwrap();
         // Floats may lose a ULP through JSON; compare within tolerance.

@@ -58,9 +58,7 @@ impl EfficiencyVector {
     }
 
     /// Builds a vector directly from `(benchmark, REE)` pairs.
-    pub fn from_rees(
-        pairs: impl IntoIterator<Item = (String, f64)>,
-    ) -> Result<Self, TgiError> {
+    pub fn from_rees(pairs: impl IntoIterator<Item = (String, f64)>) -> Result<Self, TgiError> {
         let mut entries = BTreeMap::new();
         for (id, ree) in pairs {
             if !ree.is_finite() || ree <= 0.0 {
@@ -158,10 +156,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn vector(rees: &[(&str, f64)]) -> EfficiencyVector {
-        EfficiencyVector::from_rees(
-            rees.iter().map(|(id, r)| (id.to_string(), *r)),
-        )
-        .expect("valid")
+        EfficiencyVector::from_rees(rees.iter().map(|(id, r)| (id.to_string(), *r))).expect("valid")
     }
 
     #[test]
@@ -173,13 +168,9 @@ mod tests {
             )
             .build()
             .expect("non-empty");
-        let suite = vec![Measurement::new(
-            "hpl",
-            Perf::gflops(5.0),
-            Watts::new(250.0),
-            Seconds::new(60.0),
-        )
-        .expect("valid")];
+        let suite =
+            vec![Measurement::new("hpl", Perf::gflops(5.0), Watts::new(250.0), Seconds::new(60.0))
+                .expect("valid")];
         let v = EfficiencyVector::from_suite(&reference, &suite).expect("valid");
         // EE = 5e9/250 = 2e7; ref EE = 1e7 → REE = 2.
         assert!((v.get("hpl").expect("present") - 2.0).abs() < 1e-12);
@@ -228,11 +219,9 @@ mod tests {
         assert!(EfficiencyVector::from_rees(std::iter::empty()).is_err());
         assert!(EfficiencyVector::from_rees([("a".to_string(), -1.0)]).is_err());
         assert!(EfficiencyVector::from_rees([("a".to_string(), f64::NAN)]).is_err());
-        assert!(EfficiencyVector::from_rees([
-            ("a".to_string(), 1.0),
-            ("a".to_string(), 2.0)
-        ])
-        .is_err());
+        assert!(
+            EfficiencyVector::from_rees([("a".to_string(), 1.0), ("a".to_string(), 2.0)]).is_err()
+        );
     }
 
     #[test]

@@ -135,8 +135,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn m(id: &str, watts: f64, secs: f64) -> Measurement {
-        Measurement::new(id, Perf::gflops(1.0), Watts::new(watts), Seconds::new(secs))
-            .unwrap()
+        Measurement::new(id, Perf::gflops(1.0), Watts::new(watts), Seconds::new(secs)).unwrap()
     }
 
     fn suite() -> Vec<Measurement> {

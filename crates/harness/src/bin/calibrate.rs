@@ -44,8 +44,7 @@ fn main() {
     println!("\nTGI series:");
     for w in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
         let series = sweep.tgi_series(&reference, w.clone()).unwrap();
-        let vals: Vec<String> =
-            series.iter().map(|(_, r)| format!("{:.3}", r.value())).collect();
+        let vals: Vec<String> = series.iter().map(|(_, r)| format!("{:.3}", r.value())).collect();
         println!("  {:16} {}", w.label(), vals.join(" "));
     }
 

@@ -13,10 +13,9 @@
 
 use std::path::PathBuf;
 use tgi_harness::{
-    fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency,
-    fig5_tgi_arithmetic, fig6_tgi_weighted, system_g_reference,
-    table1_reference_performance, table2_pcc, ExperimentBundle, FigureData, FireSweep,
-    TableData,
+    fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency, fig5_tgi_arithmetic,
+    fig6_tgi_weighted, system_g_reference, table1_reference_performance, table2_pcc,
+    ExperimentBundle, FigureData, FireSweep, TableData,
 };
 
 fn main() {
@@ -136,10 +135,7 @@ fn main() {
     }
 
     if figures.is_empty() && tables.is_empty() {
-        eprintln!(
-            "unknown artifact(s) {:?}; expected fig2..fig6, table1, table2, all",
-            args
-        );
+        eprintln!("unknown artifact(s) {:?}; expected fig2..fig6, table1, table2, all", args);
         std::process::exit(2);
     }
 
@@ -151,8 +147,7 @@ fn main() {
     }
 
     if json_path.is_some() || md_path.is_some() {
-        let bundle =
-            ExperimentBundle::new(reference.name(), figures.clone(), tables.clone());
+        let bundle = ExperimentBundle::new(reference.name(), figures.clone(), tables.clone());
         if let Some(path) = json_path {
             if let Err(e) = bundle.write(&path) {
                 eprintln!("cannot write {}: {e}", path.display());

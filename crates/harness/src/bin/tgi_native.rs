@@ -7,15 +7,21 @@
 //! tgi-native --reference ref.json   # score against a saved reference
 //! tgi-native --save-reference ref.json   # save this run as the reference
 //! tgi-native --json out.json        # dump measurements as JSON
+//! tgi-native --repeats 3 --retries 2 --timeout 120 --keep-going \
+//!            --journal runs.jsonl   # resilient runner + JSONL journal
 //! ```
 //!
 //! Power comes from the background sampler over the modeled node (see
 //! `power-model`); on a machine with a real metering daemon, implement
 //! `PowerSource` against it and the rest of the pipeline is unchanged.
+//! Native benchmarks hold the exclusive meter token, so they serialize
+//! even under `--parallel`; the flag mainly helps mixed suites.
 
 use std::path::PathBuf;
+use std::time::Duration;
 use tgi_core::prelude::*;
-use tgi_suite::SuiteSpec;
+use tgi_harness::journal;
+use tgi_suite::{FailureMode, RunOutcome, SuiteRunner, SuiteSpec};
 
 struct Args {
     preset: String,
@@ -23,6 +29,12 @@ struct Args {
     reference: Option<PathBuf>,
     save_reference: Option<PathBuf>,
     json: Option<PathBuf>,
+    parallel: usize,
+    repeats: usize,
+    retries: usize,
+    timeout_secs: Option<f64>,
+    keep_going: bool,
+    journal: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +44,12 @@ fn parse_args() -> Args {
         reference: None,
         save_reference: None,
         json: None,
+        parallel: 1,
+        repeats: 1,
+        retries: 0,
+        timeout_secs: None,
+        keep_going: false,
+        journal: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -41,6 +59,12 @@ fn parse_args() -> Args {
                 std::process::exit(2);
             })
         };
+        fn parse<T: std::str::FromStr>(flag: &str, v: String) -> T {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got `{v}`");
+                std::process::exit(2);
+            })
+        }
         match a.as_str() {
             "--preset" => args.preset = value("--preset"),
             "--spec" => args.spec = Some(PathBuf::from(value("--spec"))),
@@ -49,6 +73,12 @@ fn parse_args() -> Args {
                 args.save_reference = Some(PathBuf::from(value("--save-reference")))
             }
             "--json" => args.json = Some(PathBuf::from(value("--json"))),
+            "--parallel" => args.parallel = parse("--parallel", value("--parallel")),
+            "--repeats" => args.repeats = parse("--repeats", value("--repeats")),
+            "--retries" => args.retries = parse("--retries", value("--retries")),
+            "--timeout" => args.timeout_secs = Some(parse("--timeout", value("--timeout"))),
+            "--keep-going" => args.keep_going = true,
+            "--journal" => args.journal = Some(PathBuf::from(value("--journal"))),
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -87,11 +117,55 @@ fn main() {
     let suite = spec.build();
     eprintln!("running {} benchmarks natively...", suite.len());
 
-    let measurements = match suite.run_all() {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("suite failed: {e}");
+    let runner = SuiteRunner::new()
+        .parallelism(args.parallel)
+        .repeats(args.repeats)
+        .retries(args.retries)
+        .timeout(args.timeout_secs.map(Duration::from_secs_f64))
+        .failure_mode(if args.keep_going {
+            FailureMode::CollectErrors
+        } else {
+            FailureMode::FailFast
+        });
+    let report = runner.run(&suite);
+
+    if let Some(path) = &args.journal {
+        match journal::append(path, &report) {
+            Ok(n) => eprintln!("journaled {n} records to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write journal {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    for entry in &report.entries {
+        match &entry.outcome {
+            RunOutcome::Failed(e) => eprintln!(
+                "FAILED {} (repeat {}, {} attempts): {e}",
+                entry.benchmark, entry.repeat, entry.attempts
+            ),
+            RunOutcome::Skipped => {
+                eprintln!("skipped {} (repeat {})", entry.benchmark, entry.repeat)
+            }
+            RunOutcome::Success(_) => {}
+        }
+    }
+
+    let measurements: Vec<Measurement> = if args.keep_going {
+        let ms: Vec<Measurement> = report.measurements().into_iter().cloned().collect();
+        if ms.is_empty() {
+            eprintln!("suite failed: no benchmark succeeded");
             std::process::exit(1);
+        }
+        ms
+    } else {
+        match report.into_result() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("suite failed: {e}");
+                std::process::exit(1);
+            }
         }
     };
 
@@ -111,8 +185,7 @@ fn main() {
     }
 
     if let Some(path) = &args.save_reference {
-        let json = serde_json::to_string_pretty(&measurements)
-            .expect("measurements serialize");
+        let json = serde_json::to_string_pretty(&measurements).expect("measurements serialize");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
@@ -121,8 +194,7 @@ fn main() {
     }
 
     if let Some(path) = &args.json {
-        let json = serde_json::to_string_pretty(&measurements)
-            .expect("measurements serialize");
+        let json = serde_json::to_string_pretty(&measurements).expect("measurements serialize");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
@@ -136,11 +208,10 @@ fn main() {
             eprintln!("cannot read {}: {e}", path.display());
             std::process::exit(1);
         });
-        let ref_measurements: Vec<Measurement> =
-            serde_json::from_str(&text).unwrap_or_else(|e| {
-                eprintln!("invalid reference {}: {e}", path.display());
-                std::process::exit(1);
-            });
+        let ref_measurements: Vec<Measurement> = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("invalid reference {}: {e}", path.display());
+            std::process::exit(1);
+        });
         let mut builder = ReferenceSystem::builder(
             path.file_stem().and_then(|s| s.to_str()).unwrap_or("reference"),
         );

@@ -61,13 +61,9 @@ fn parse_args() -> Args {
             "--cluster" => args.cluster = value("--cluster"),
             "--spec" => args.spec = Some(PathBuf::from(value("--spec"))),
             "--workload" => args.workload = value("--workload"),
-            "--procs" => {
-                args.procs = value("--procs").parse().unwrap_or_else(|_| usage())
-            }
+            "--procs" => args.procs = value("--procs").parse().unwrap_or_else(|_| usage()),
             "--dvfs" => args.dvfs = Some(value("--dvfs").parse().unwrap_or_else(|_| usage())),
-            "--noise" => {
-                args.noise = Some(value("--noise").parse().unwrap_or_else(|_| usage()))
-            }
+            "--noise" => args.noise = Some(value("--noise").parse().unwrap_or_else(|_| usage())),
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--thermal" => args.thermal = true,
             "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),

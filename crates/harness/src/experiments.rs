@@ -92,9 +92,8 @@ pub fn fig6_tgi_weighted(sweep: &FireSweep, reference: &ReferenceSystem) -> Figu
         (Weighting::Power, "Weights Using Power"),
         (Weighting::Energy, "Weights Using Energy"),
     ] {
-        let s = sweep
-            .tgi_series(reference, w)
-            .expect("sweep measurements match the reference suite");
+        let s =
+            sweep.tgi_series(reference, w).expect("sweep measurements match the reference suite");
         let pairs: Vec<(f64, f64)> = s.iter().map(|(x, r)| (*x, r.value())).collect();
         series.push(Series::from_pairs(label, &pairs));
     }
@@ -158,8 +157,7 @@ pub fn pcc_for_weighting(
     ["iozone", "stream", "hpl"]
         .iter()
         .map(|&b| {
-            let ee: Vec<f64> =
-                sweep.efficiency_series(b).iter().map(|&(_, y)| y).collect();
+            let ee: Vec<f64> = sweep.efficiency_series(b).iter().map(|&(_, y)| y).collect();
             let r = stats::pearson(&ee, &tgi).expect("non-degenerate sweep series");
             (b.to_string(), r)
         })

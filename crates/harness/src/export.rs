@@ -182,10 +182,7 @@ mod tests {
 
     #[test]
     fn malformed_json_rejected() {
-        assert!(matches!(
-            ExperimentBundle::from_json("{not json"),
-            Err(ExportError::Json(_))
-        ));
+        assert!(matches!(ExperimentBundle::from_json("{not json"), Err(ExportError::Json(_))));
     }
 
     #[test]

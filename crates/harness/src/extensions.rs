@@ -46,10 +46,7 @@ pub fn gpu_platform_comparison(reference: &ReferenceSystem) -> Result<TableData,
     let mut rows = Vec::new();
     for cluster in [ClusterSpec::fire(), ClusterSpec::fire_gpu()] {
         let measurements = run_suite(&cluster);
-        let hpl = measurements
-            .iter()
-            .find(|m| m.id() == "hpl")
-            .expect("suite contains hpl");
+        let hpl = measurements.iter().find(|m| m.id() == "hpl").expect("suite contains hpl");
         let mflops_per_w = hpl.energy_efficiency() / 1e6;
         let tgi = tgi_of(reference, &measurements, Weighting::Arithmetic)?;
         rows.push(vec![
@@ -74,12 +71,7 @@ pub fn gpu_platform_comparison(reference: &ReferenceSystem) -> Result<TableData,
     Ok(TableData {
         id: "ext-gpu".into(),
         title: "GPU platform extension: FLOPS/W vs TGI".into(),
-        headers: vec![
-            "System".into(),
-            "HPL GFLOPS".into(),
-            "MFLOPS/W".into(),
-            "TGI (AM)".into(),
-        ],
+        headers: vec!["System".into(), "HPL GFLOPS".into(), "MFLOPS/W".into(), "TGI (AM)".into()],
         rows,
     })
 }
@@ -126,20 +118,17 @@ pub fn more_systems_ranking(reference: &ReferenceSystem) -> Result<Ranking, TgiE
     gpu_low_io.shared_fs.server_cap_mbps /= 2.0;
 
     let mut ranking = Ranking::new();
-    for cluster in [ClusterSpec::fire(), ClusterSpec::fire_gpu(), ClusterSpec::sandy(), gpu_low_io] {
+    for cluster in [ClusterSpec::fire(), ClusterSpec::fire_gpu(), ClusterSpec::sandy(), gpu_low_io]
+    {
         let measurements = run_suite(&cluster);
-        let result = Tgi::builder()
-            .reference(reference.clone())
-            .measurements(measurements)
-            .compute()?;
+        let result =
+            Tgi::builder().reference(reference.clone()).measurements(measurements).compute()?;
         ranking.add_result(cluster.name.clone(), result);
     }
     // The reference itself always ranks at TGI = 1 by construction.
     let self_suite: Vec<Measurement> = reference.iter().map(|(_, m)| m.clone()).collect();
-    let self_result = Tgi::builder()
-        .reference(reference.clone())
-        .measurements(self_suite)
-        .compute()?;
+    let self_result =
+        Tgi::builder().reference(reference.clone()).measurements(self_suite).compute()?;
     ranking.add_result(reference.name().to_string(), self_result);
     Ok(ranking)
 }
@@ -252,8 +241,7 @@ mod tests {
         let reference = system_g_reference();
         let t = gpu_platform_comparison(&reference).unwrap();
         assert_eq!(t.rows.len(), 3);
-        let flops_gain: f64 =
-            t.rows[2][2].trim_end_matches('x').parse().expect("numeric");
+        let flops_gain: f64 = t.rows[2][2].trim_end_matches('x').parse().expect("numeric");
         let tgi_gain: f64 = t.rows[2][3].trim_end_matches('x').parse().expect("numeric");
         assert!(flops_gain > 2.0, "FLOPS/W gain {flops_gain}");
         // The headline finding: the same upgrade that multiplies FLOPS/W
@@ -291,19 +279,13 @@ mod tests {
         let reference = system_g_reference();
         for seed in [1u64, 2, 3] {
             let sweep = crate::sweep::FireSweep::run_noisy(0.01, seed);
-            let am = crate::experiments::pcc_for_weighting(
-                &sweep,
-                &reference,
-                Weighting::Arithmetic,
-            );
+            let am =
+                crate::experiments::pcc_for_weighting(&sweep, &reference, Weighting::Arithmetic);
             let (io, st, hpl) = (am[0].1, am[1].1, am[2].1);
             assert!(io > 0.85 && st > 0.85, "seed {seed}: io {io}, stream {st}");
             assert!(hpl < io && hpl < st, "seed {seed}: hpl {hpl} must be lowest");
-            for (weighting, name) in
-                [(Weighting::Energy, "energy"), (Weighting::Power, "power")]
-            {
-                let pcc =
-                    crate::experiments::pcc_for_weighting(&sweep, &reference, weighting);
+            for (weighting, name) in [(Weighting::Energy, "energy"), (Weighting::Power, "power")] {
+                let pcc = crate::experiments::pcc_for_weighting(&sweep, &reference, weighting);
                 assert!(
                     pcc[2].1 > pcc[0].1 && pcc[2].1 > pcc[1].1,
                     "seed {seed}, {name}: hpl must top the column: {pcc:?}"
@@ -350,11 +332,8 @@ mod tests {
         let reference = system_g_reference();
         let ranking = more_systems_ranking(&reference).unwrap();
         assert_eq!(ranking.len(), 5);
-        let sysg = ranking
-            .entries()
-            .iter()
-            .find(|e| e.name == "SystemG")
-            .expect("reference ranked");
+        let sysg =
+            ranking.entries().iter().find(|e| e.name == "SystemG").expect("reference ranked");
         assert!((sysg.tgi - 1.0).abs() < 1e-12);
         // A slower filesystem must not rank above the same machine with the
         // faster one.

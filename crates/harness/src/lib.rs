@@ -21,14 +21,14 @@
 pub mod experiments;
 pub mod export;
 pub mod extensions;
+pub mod journal;
 pub mod list;
 pub mod report;
 pub mod sweep;
 
 pub use experiments::{
-    fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency,
-    fig5_tgi_arithmetic, fig6_tgi_weighted, system_g_reference,
-    table1_reference_performance, table2_pcc,
+    fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency, fig5_tgi_arithmetic,
+    fig6_tgi_weighted, system_g_reference, table1_reference_performance, table2_pcc,
 };
 pub use export::ExperimentBundle;
 pub use report::{FigureData, Series, TableData};

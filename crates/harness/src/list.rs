@@ -35,10 +35,7 @@ pub struct Green500StyleList {
 
 impl Green500StyleList {
     /// Scores a set of clusters at full core count against `reference`.
-    pub fn build(
-        reference: &ReferenceSystem,
-        clusters: &[ClusterSpec],
-    ) -> Result<Self, TgiError> {
+    pub fn build(reference: &ReferenceSystem, clusters: &[ClusterSpec]) -> Result<Self, TgiError> {
         let mut systems = Vec::with_capacity(clusters.len());
         for cluster in clusters {
             let measurements: Vec<Measurement> = ExecutionEngine::new(cluster.clone())
@@ -46,10 +43,7 @@ impl Green500StyleList {
                 .into_iter()
                 .map(|r| r.measurement())
                 .collect();
-            let hpl = measurements
-                .iter()
-                .find(|m| m.id() == "hpl")
-                .expect("suite contains hpl");
+            let hpl = measurements.iter().find(|m| m.id() == "hpl").expect("suite contains hpl");
             let tgi = Tgi::builder()
                 .reference(reference.clone())
                 .measurements(measurements.iter().cloned())
@@ -88,9 +82,7 @@ impl Green500StyleList {
             .enumerate()
             .map(|(i, s)| {
                 let tgi_rank = i + 1;
-                let fw_rank = self
-                    .flops_per_watt_rank(&s.name)
-                    .expect("system is in its own list");
+                let fw_rank = self.flops_per_watt_rank(&s.name).expect("system is in its own list");
                 let movement = fw_rank as i64 - tgi_rank as i64;
                 let arrow = match movement.cmp(&0) {
                     std::cmp::Ordering::Greater => format!("▲{movement}"),
@@ -110,7 +102,10 @@ impl Green500StyleList {
             .collect();
         TableData {
             id: "green500-style".into(),
-            title: format!("System-wide list (TGI vs {}; Δ = movement vs FLOPS/W rank)", self.reference),
+            title: format!(
+                "System-wide list (TGI vs {}; Δ = movement vs FLOPS/W rank)",
+                self.reference
+            ),
             headers: vec![
                 "Rank".into(),
                 "System".into(),
@@ -143,8 +138,7 @@ mod tests {
     fn list() -> &'static Green500StyleList {
         static LIST: OnceLock<Green500StyleList> = OnceLock::new();
         LIST.get_or_init(|| {
-            Green500StyleList::build(&system_g_reference(), &builtin_fleet())
-                .expect("fleet scores")
+            Green500StyleList::build(&system_g_reference(), &builtin_fleet()).expect("fleet scores")
         })
     }
 
@@ -159,12 +153,7 @@ mod tests {
     #[test]
     fn gpu_system_moves_down_from_its_flops_per_watt_rank() {
         let l = list();
-        let gpu_tgi_rank = l
-            .systems
-            .iter()
-            .position(|s| s.name == "Fire-GPU")
-            .expect("listed")
-            + 1;
+        let gpu_tgi_rank = l.systems.iter().position(|s| s.name == "Fire-GPU").expect("listed") + 1;
         let gpu_fw_rank = l.flops_per_watt_rank("Fire-GPU").expect("listed");
         assert!(
             gpu_fw_rank < gpu_tgi_rank,

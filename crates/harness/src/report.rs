@@ -24,10 +24,7 @@ pub struct Series {
 impl Series {
     /// Builds a series from `(x, y)` pairs.
     pub fn from_pairs(name: impl Into<String>, pairs: &[(f64, f64)]) -> Self {
-        Series {
-            name: name.into(),
-            points: pairs.iter().map(|&(x, y)| Point { x, y }).collect(),
-        }
+        Series { name: name.into(), points: pairs.iter().map(|&(x, y)| Point { x, y }).collect() }
     }
 
     /// The y values in order.
@@ -70,17 +67,11 @@ impl FigureData {
         let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
         // Integer x axes (process/core counts) print without decimals;
         // fractional ones (clock ratios) keep two.
-        let integral_x = self
-            .series
-            .iter()
-            .flat_map(|s| &s.points)
-            .all(|p| (p.x - p.x.round()).abs() < 1e-9);
+        let integral_x =
+            self.series.iter().flat_map(|s| &s.points).all(|p| (p.x - p.x.round()).abs() < 1e-9);
         for i in 0..n {
-            let x = self
-                .series
-                .iter()
-                .find_map(|s| s.points.get(i).map(|p| p.x))
-                .unwrap_or(f64::NAN);
+            let x =
+                self.series.iter().find_map(|s| s.points.get(i).map(|p| p.x)).unwrap_or(f64::NAN);
             if integral_x {
                 let _ = write!(out, "{x:>12.0}");
             } else {
@@ -117,11 +108,8 @@ impl FigureData {
         let _ = writeln!(out);
         let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
         for i in 0..n {
-            let x = self
-                .series
-                .iter()
-                .find_map(|s| s.points.get(i).map(|p| p.x))
-                .unwrap_or(f64::NAN);
+            let x =
+                self.series.iter().find_map(|s| s.points.get(i).map(|p| p.x)).unwrap_or(f64::NAN);
             let _ = write!(out, "| {x} |");
             for s in &self.series {
                 match s.points.get(i) {
@@ -148,11 +136,8 @@ impl FigureData {
         let _ = writeln!(out);
         let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
         for i in 0..n {
-            let x = self
-                .series
-                .iter()
-                .find_map(|s| s.points.get(i).map(|p| p.x))
-                .unwrap_or(f64::NAN);
+            let x =
+                self.series.iter().find_map(|s| s.points.get(i).map(|p| p.x)).unwrap_or(f64::NAN);
             let _ = write!(out, "{x}");
             for s in &self.series {
                 match s.points.get(i) {

@@ -38,8 +38,7 @@ impl FireSweep {
     /// σ, deterministic per seed) — for robustness studies of the
     /// correlation results.
     pub fn run_noisy(sigma: f64, seed: u64) -> Self {
-        let engine =
-            ExecutionEngine::new(ClusterSpec::fire()).with_run_noise(sigma, seed);
+        let engine = ExecutionEngine::new(ClusterSpec::fire()).with_run_noise(sigma, seed);
         Self::run_on(engine, &Workload::fire_suite(), &FIRE_CORE_COUNTS)
     }
 

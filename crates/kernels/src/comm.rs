@@ -197,10 +197,7 @@ mod tests {
         large.messages_per_rank = 64;
         let bw_small = run(small).ring_bytes_per_sec;
         let bw_large = run(large).ring_bytes_per_sec;
-        assert!(
-            bw_large > bw_small * 5.0,
-            "large {bw_large} should dwarf small {bw_small}"
-        );
+        assert!(bw_large > bw_small * 5.0, "large {bw_large} should dwarf small {bw_small}");
     }
 
     #[test]

@@ -61,8 +61,7 @@ pub fn inverse_norm1_estimate(lu: &Matrix, piv: &[usize]) -> f64 {
         let y = solve_factored(lu, piv, &x);
         estimate = y.iter().map(|v| v.abs()).sum();
         // ξ = sign(y)
-        let xi: Vec<f64> =
-            y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let xi: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
         // z = A⁻ᵀ ξ
         let z = solve_transposed_factored(lu, piv, &xi);
         // Convergence: max |z_j| ≤ zᵀx means the current estimate is a

@@ -134,8 +134,7 @@ pub fn benchmark(n: usize, repetitions: usize, seed: u64) -> FftResult {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
     };
-    let original: Vec<Complex64> =
-        (0..n).map(|_| Complex64::new(next(), next())).collect();
+    let original: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
 
     let mut data = original.clone();
     let start = Instant::now();
@@ -145,11 +144,8 @@ pub fn benchmark(n: usize, repetitions: usize, seed: u64) -> FftResult {
     }
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
 
-    let max_roundtrip_error = data
-        .iter()
-        .zip(&original)
-        .map(|(a, b)| (*a - *b).abs())
-        .fold(0.0, f64::max);
+    let max_roundtrip_error =
+        data.iter().zip(&original).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
 
     // 2 transforms per repetition.
     let flops = 2.0 * repetitions as f64 * fft_flops(n);

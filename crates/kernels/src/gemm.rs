@@ -32,42 +32,39 @@ pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     let b_data = b.as_slice();
     let c_rows = c.rows();
     // Parallelize over columns of C; each task owns one contiguous column.
-    c.as_mut_slice()
-        .par_chunks_mut(c_rows)
-        .enumerate()
-        .for_each(|(j, c_col)| {
-            // Scale C column by beta once.
-            if beta == 0.0 {
-                c_col.fill(0.0);
-            } else if beta != 1.0 {
-                for v in c_col.iter_mut() {
-                    *v *= beta;
-                }
+    c.as_mut_slice().par_chunks_mut(c_rows).enumerate().for_each(|(j, c_col)| {
+        // Scale C column by beta once.
+        if beta == 0.0 {
+            c_col.fill(0.0);
+        } else if beta != 1.0 {
+            for v in c_col.iter_mut() {
+                *v *= beta;
             }
-            let b_col = &b_data[j * k..(j + 1) * k];
-            // Blocked sweep over the shared dimension and rows.
-            let mut p0 = 0;
-            while p0 < k {
-                let pb = KC.min(k - p0);
-                let mut i0 = 0;
-                while i0 < m {
-                    let ib = MC.min(m - i0);
-                    for p in p0..p0 + pb {
-                        let factor = alpha * b_col[p];
-                        if factor == 0.0 {
-                            continue;
-                        }
-                        let a_col = &a_data[p * m + i0..p * m + i0 + ib];
-                        let c_chunk = &mut c_col[i0..i0 + ib];
-                        for (cv, av) in c_chunk.iter_mut().zip(a_col) {
-                            *cv += factor * av;
-                        }
+        }
+        let b_col = &b_data[j * k..(j + 1) * k];
+        // Blocked sweep over the shared dimension and rows.
+        let mut p0 = 0;
+        while p0 < k {
+            let pb = KC.min(k - p0);
+            let mut i0 = 0;
+            while i0 < m {
+                let ib = MC.min(m - i0);
+                for p in p0..p0 + pb {
+                    let factor = alpha * b_col[p];
+                    if factor == 0.0 {
+                        continue;
                     }
-                    i0 += ib;
+                    let a_col = &a_data[p * m + i0..p * m + i0 + ib];
+                    let c_chunk = &mut c_col[i0..i0 + ib];
+                    for (cv, av) in c_chunk.iter_mut().zip(a_col) {
+                        *cv += factor * av;
+                    }
                 }
-                p0 += pb;
+                i0 += ib;
             }
-        });
+            p0 += pb;
+        }
+    });
 }
 
 /// Naive triple-loop reference multiply (correctness oracle and ablation

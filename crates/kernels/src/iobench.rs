@@ -76,7 +76,7 @@ pub struct IoBenchConfig {
 impl Default for IoBenchConfig {
     fn default() -> Self {
         IoBenchConfig {
-            file_size: 64 << 20, // 64 MiB
+            file_size: 64 << 20,   // 64 MiB
             record_size: 64 << 10, // 64 KiB, an IOzone sweet spot
             dir: None,
             operations: vec![IoOperation::Write],
@@ -123,9 +123,7 @@ pub struct IoBenchResult {
 impl IoBenchResult {
     /// Throughput of the write test in MB/s (decimal) — the paper's metric.
     pub fn write_mbps(&self) -> f64 {
-        self.timing(IoOperation::Write)
-            .map(|t| t.bytes_per_sec / 1e6)
-            .unwrap_or(0.0)
+        self.timing(IoOperation::Write).map(|t| t.bytes_per_sec / 1e6).unwrap_or(0.0)
     }
 
     /// Timing for a specific operation, if it was configured.
@@ -170,18 +168,14 @@ pub fn run(config: &IoBenchConfig) -> Result<IoBenchResult, IoBenchError> {
         return Err(IoBenchError::InvalidConfig("record size must be positive".into()));
     }
     if config.record_size as u64 > config.file_size {
-        return Err(IoBenchError::InvalidConfig(
-            "record size must not exceed file size".into(),
-        ));
+        return Err(IoBenchError::InvalidConfig("record size must not exceed file size".into()));
     }
     if config.operations.is_empty() {
         return Err(IoBenchError::InvalidConfig("no operations configured".into()));
     }
     // Reads require the file to exist: the op list must start with a write.
     if !matches!(config.operations.first(), Some(IoOperation::Write)) {
-        return Err(IoBenchError::InvalidConfig(
-            "operation list must start with a write".into(),
-        ));
+        return Err(IoBenchError::InvalidConfig("operation list must start with a write".into()));
     }
 
     let dir = config.dir.clone().unwrap_or_else(std::env::temp_dir);
@@ -202,8 +196,7 @@ fn scratch_path(dir: &Path) -> PathBuf {
 fn run_at(path: &Path, config: &IoBenchConfig) -> Result<IoBenchResult, IoBenchError> {
     // A patterned record; IOzone writes non-zero data to defeat
     // compression/dedup on smart filesystems.
-    let record: Vec<u8> =
-        (0..config.record_size).map(|i| (i % 251) as u8 ^ 0x5A).collect();
+    let record: Vec<u8> = (0..config.record_size).map(|i| (i % 251) as u8 ^ 0x5A).collect();
     let records = config.file_size / config.record_size as u64;
     let tail = (config.file_size % config.record_size as u64) as usize;
 
@@ -421,11 +414,7 @@ mod tests {
         let config = IoBenchConfig {
             file_size: 128 << 10,
             record_size: 8 << 10,
-            operations: vec![
-                IoOperation::Write,
-                IoOperation::RandomWrite,
-                IoOperation::RandomRead,
-            ],
+            operations: vec![IoOperation::Write, IoOperation::RandomWrite, IoOperation::RandomRead],
             fsync: false,
             dir: None,
         };
@@ -452,11 +441,7 @@ mod tests {
 
     #[test]
     fn missing_timing_returns_none_and_zero_mbps() {
-        let r = IoBenchResult {
-            operations: vec![],
-            file_size: 1,
-            record_size: 1,
-        };
+        let r = IoBenchResult { operations: vec![], file_size: 1, record_size: 1 };
         assert!(r.timing(IoOperation::Write).is_none());
         assert_eq!(r.write_mbps(), 0.0);
     }

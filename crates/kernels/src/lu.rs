@@ -363,7 +363,13 @@ mod tests {
                 let mut s = 0.0;
                 let kmax = i.min(j);
                 for k in 0..=kmax {
-                    let l = if i == k { 1.0 } else if i > k { lu[(i, k)] } else { 0.0 };
+                    let l = if i == k {
+                        1.0
+                    } else if i > k {
+                        lu[(i, k)]
+                    } else {
+                        0.0
+                    };
                     let u = if k <= j { lu[(k, j)] } else { 0.0 };
                     s += l * u;
                 }

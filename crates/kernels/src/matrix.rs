@@ -148,9 +148,7 @@ impl Matrix {
 
     /// One norm: maximum absolute column sum.
     pub fn norm_one(&self) -> f64 {
-        (0..self.cols)
-            .map(|j| self.col(j).iter().map(|v| v.abs()).sum::<f64>())
-            .fold(0.0, f64::max)
+        (0..self.cols).map(|j| self.col(j).iter().map(|v| v.abs()).sum::<f64>()).fold(0.0, f64::max)
     }
 
     /// Frobenius norm.
@@ -165,11 +163,7 @@ impl Matrix {
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 

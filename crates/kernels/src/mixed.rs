@@ -173,9 +173,7 @@ impl LuF32 {
 fn scaled_residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     let ax = a.matvec(x);
     let r: Vec<f64> = ax.iter().zip(b).map(|(p, q)| p - q).collect();
-    let denom = f64::EPSILON
-        * (a.norm_inf() * vec_norm_inf(x) + vec_norm_inf(b))
-        * a.rows() as f64;
+    let denom = f64::EPSILON * (a.norm_inf() * vec_norm_inf(x) + vec_norm_inf(b)) * a.rows() as f64;
     vec_norm_inf(&r) / denom
 }
 

@@ -44,28 +44,25 @@ pub fn transpose_add(src: &Matrix, add: &Matrix, dst: &mut Matrix) {
         rest = tail;
     }
 
-    slabs
-        .into_par_iter()
-        .zip(col_tiles)
-        .for_each(|(slab, j0)| {
-            let width = TILE.min(m - j0);
-            // Within the slab, sweep row-tiles of dst.
-            let mut i0 = 0;
-            while i0 < n {
-                let height = TILE.min(n - i0);
-                for dj in 0..width {
-                    let src_row = j0 + dj; // dst column j0+dj = src row j0+dj
-                    let dst_col = &mut slab[dj * dst_rows..(dj + 1) * dst_rows];
-                    let add_col = &add_data[(j0 + dj) * dst_rows..(j0 + dj + 1) * dst_rows];
-                    for di in 0..height {
-                        let src_col_idx = i0 + di; // dst row index = src column
-                        let v = src_data[src_row + src_col_idx * m];
-                        dst_col[i0 + di] = v + add_col[i0 + di];
-                    }
+    slabs.into_par_iter().zip(col_tiles).for_each(|(slab, j0)| {
+        let width = TILE.min(m - j0);
+        // Within the slab, sweep row-tiles of dst.
+        let mut i0 = 0;
+        while i0 < n {
+            let height = TILE.min(n - i0);
+            for dj in 0..width {
+                let src_row = j0 + dj; // dst column j0+dj = src row j0+dj
+                let dst_col = &mut slab[dj * dst_rows..(dj + 1) * dst_rows];
+                let add_col = &add_data[(j0 + dj) * dst_rows..(j0 + dj + 1) * dst_rows];
+                for di in 0..height {
+                    let src_col_idx = i0 + di; // dst row index = src column
+                    let v = src_data[src_row + src_col_idx * m];
+                    dst_col[i0 + di] = v + add_col[i0 + di];
                 }
-                i0 += height;
             }
-        });
+            i0 += height;
+        }
+    });
 }
 
 /// Bytes moved by one transpose-add of an `m×n` source: read src + read add

@@ -113,11 +113,7 @@ pub fn run(config: GupsConfig) -> GupsResult {
             check[idx] ^= ai;
         }
     }
-    let errors = table
-        .iter()
-        .zip(&check)
-        .filter(|(t, c)| t.load(Ordering::Relaxed) != **c)
-        .count();
+    let errors = table.iter().zip(&check).filter(|(t, c)| t.load(Ordering::Relaxed) != **c).count();
     let error_fraction = errors as f64 / size as f64;
 
     GupsResult {

@@ -119,10 +119,7 @@ impl StreamResult {
     /// Panics if the kernel is missing (cannot happen for results produced
     /// by [`run`]).
     pub fn timing(&self, kernel: StreamKernel) -> &KernelTiming {
-        self.kernels
-            .iter()
-            .find(|k| k.kernel == kernel)
-            .expect("all four kernels present")
+        self.kernels.iter().find(|k| k.kernel == kernel).expect("all four kernels present")
     }
 }
 

@@ -74,16 +74,11 @@ impl Communicator {
     }
 
     fn recv_raw(&mut self, src: usize, tag: u64) -> Payload {
-        if let Some(pos) =
-            self.pending.iter().position(|e| e.src == src && e.tag == tag)
-        {
+        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
             return self.pending.swap_remove(pos).payload;
         }
         loop {
-            let env = self
-                .inbox
-                .recv()
-                .expect("world torn down while a rank was still receiving");
+            let env = self.inbox.recv().expect("world torn down while a rank was still receiving");
             if env.src == src && env.tag == tag {
                 return env.payload;
             }
@@ -144,7 +139,12 @@ impl Communicator {
     }
 
     /// Broadcasts `data` from `root` to every rank; returns the data.
-    pub fn broadcast_f64(&mut self, root: usize, generation: u64, data: Option<&[f64]>) -> Vec<f64> {
+    pub fn broadcast_f64(
+        &mut self,
+        root: usize,
+        generation: u64,
+        data: Option<&[f64]>,
+    ) -> Vec<f64> {
         let tag = INTERNAL | (generation << 8) | 2;
         if self.rank == root {
             let data = data.expect("root must supply the broadcast data");
@@ -253,10 +253,7 @@ impl Communicator {
     // same generation. Groups operating concurrently must be disjoint.
 
     fn group_pos(&self, group: &[usize]) -> usize {
-        group
-            .iter()
-            .position(|&r| r == self.rank)
-            .expect("caller must be a member of the group")
+        group.iter().position(|&r| r == self.rank).expect("caller must be a member of the group")
     }
 
     /// Broadcast within a group from `root` (a world rank inside `group`).
@@ -586,14 +583,9 @@ mod tests {
     fn group_broadcast_stays_within_group() {
         // Two disjoint groups broadcast concurrently with the same generation.
         let out = World::run(4, |comm| {
-            let group: Vec<usize> =
-                if comm.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+            let group: Vec<usize> = if comm.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
             let root = group[0];
-            let data = if comm.rank() == root {
-                Some(vec![root as f64 * 10.0])
-            } else {
-                None
-            };
+            let data = if comm.rank() == root { Some(vec![root as f64 * 10.0]) } else { None };
             comm.broadcast_f64_among(&group, root, 0, data.as_deref())
         });
         assert_eq!(out[0], vec![0.0]);
@@ -606,8 +598,7 @@ mod tests {
     fn group_maxloc_and_sum() {
         let out = World::run(6, |comm| {
             // Groups by parity: {0,2,4} and {1,3,5}.
-            let group: Vec<usize> =
-                (0..6).filter(|r| r % 2 == comm.rank() % 2).collect();
+            let group: Vec<usize> = (0..6).filter(|r| r % 2 == comm.rank() % 2).collect();
             let maxloc = comm.allreduce_max_loc_among(&group, 0, comm.rank() as f64, 7);
             let sum = comm.allreduce_sum_among(&group, 1, &[1.0, comm.rank() as f64]);
             (maxloc, sum)

@@ -99,9 +99,8 @@ pub fn run(comm: &mut Communicator, config: DistributedHplConfig) -> Distributed
     // ⇒ same matrix), then keep only the local columns. The reference HPL
     // generates per-process too (its generator is replicated by design).
     let full = Matrix::random(n, n, config.seed);
-    let b: Vec<f64> = Matrix::random(n, 1, config.seed.wrapping_add(0x9E37_79B9))
-        .as_slice()
-        .to_vec();
+    let b: Vec<f64> =
+        Matrix::random(n, 1, config.seed.wrapping_add(0x9E37_79B9)).as_slice().to_vec();
 
     let my_cols = layout.global_cols(comm.rank());
     let mut local = vec![0.0f64; my_cols.len() * n];
@@ -150,8 +149,7 @@ fn factor(comm: &mut Communicator, layout: Layout, local: &mut [f64]) -> Vec<usi
         };
 
         // --- Broadcast pivots and the factored panel. ---
-        let block_piv =
-            comm.broadcast_usize(owner, generation, block_piv.as_deref());
+        let block_piv = comm.broadcast_usize(owner, generation, block_piv.as_deref());
         piv[k0..k0 + kb].copy_from_slice(&block_piv);
         let panel = comm.broadcast_f64(owner, generation, panel.as_deref());
         let ld = n - k0;
@@ -256,8 +254,7 @@ fn factor_panel(
     let ld = n - k0;
     let mut panel = vec![0.0f64; ld * kb];
     for c in 0..kb {
-        panel[c * ld..(c + 1) * ld]
-            .copy_from_slice(&local[(lc0 + c) * n + k0..(lc0 + c + 1) * n]);
+        panel[c * ld..(c + 1) * ld].copy_from_slice(&local[(lc0 + c) * n + k0..(lc0 + c + 1) * n]);
     }
     (panel, piv)
 }
@@ -395,9 +392,8 @@ mod tests {
 
         // Shared-memory oracle on the same problem.
         let a = Matrix::random(n, n, config.seed);
-        let b: Vec<f64> = Matrix::random(n, 1, config.seed.wrapping_add(0x9E37_79B9))
-            .as_slice()
-            .to_vec();
+        let b: Vec<f64> =
+            Matrix::random(n, 1, config.seed.wrapping_add(0x9E37_79B9)).as_slice().to_vec();
         let x_ref = lu::solve(a, &b, 32).expect("non-singular");
         for (xd, xr) in out[0].x.iter().zip(&x_ref) {
             assert!((xd - xr).abs() < 1e-8, "{xd} vs {xr}");
@@ -434,9 +430,7 @@ mod tests {
     fn distributed_matches_shared_for_various_ranks() {
         let n = 48;
         let a = Matrix::random(n, n, 21);
-        let b: Vec<f64> = Matrix::random(n, 1, 21u64.wrapping_add(0x9E37_79B9))
-            .as_slice()
-            .to_vec();
+        let b: Vec<f64> = Matrix::random(n, 1, 21u64.wrapping_add(0x9E37_79B9)).as_slice().to_vec();
         let x_ref = lu::solve(a, &b, 8).expect("non-singular");
         for ranks in [1usize, 2, 4] {
             let out = run_world(n, 8, ranks, 21);

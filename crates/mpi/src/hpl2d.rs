@@ -115,19 +115,14 @@ impl Grid {
 pub fn run(comm: &mut Communicator, config: Grid2dConfig) -> Grid2dResult {
     assert!(config.n > 0, "problem order must be positive");
     assert!(config.block_size > 0, "block size must be positive");
-    assert_eq!(
-        comm.size(),
-        config.p * config.q,
-        "world size must equal p*q"
-    );
+    assert_eq!(comm.size(), config.p * config.q, "world size must equal p*q");
     let (pr, pc) = Grid::coords_of(comm.rank(), config.p);
     let grid = Grid { n: config.n, nb: config.block_size, p: config.p, q: config.q, pr, pc };
 
     // Replicated problem generation (HPL's generator is replicated too).
     let full = Matrix::random(config.n, config.n, config.seed);
-    let b: Vec<f64> = Matrix::random(config.n, 1, config.seed.wrapping_add(0x9E37_79B9))
-        .as_slice()
-        .to_vec();
+    let b: Vec<f64> =
+        Matrix::random(config.n, 1, config.seed.wrapping_add(0x9E37_79B9)).as_slice().to_vec();
 
     // Local storage: my rows × my cols, column-major.
     let rows = grid.my_global_rows();
@@ -248,8 +243,11 @@ fn factor(
 
         // ---- Phase 2: publish pivots; apply swaps outside the panel. ----
         let head = col_group[0];
-        let block_piv =
-            comm.broadcast_usize(head, gen + 500, if comm.rank() == head { Some(&block_piv) } else { None });
+        let block_piv = comm.broadcast_usize(
+            head,
+            gen + 500,
+            if comm.rank() == head { Some(&block_piv) } else { None },
+        );
         piv[k0..k0 + kb].copy_from_slice(&block_piv);
 
         let outside_cols: Vec<usize> = cols
@@ -303,12 +301,8 @@ fn factor(
         };
 
         // Trailing local columns (global col ≥ k0+kb).
-        let trailing_cols: Vec<usize> = cols
-            .iter()
-            .enumerate()
-            .filter(|(_, &gj)| gj >= k0 + kb)
-            .map(|(lc, _)| lc)
-            .collect();
+        let trailing_cols: Vec<usize> =
+            cols.iter().enumerate().filter(|(_, &gj)| gj >= k0 + kb).map(|(lc, _)| lc).collect();
 
         // U12: on process row pr_k, solve L11·u = a(k0..k0+kb, c) per column.
         let mut u12 = vec![0.0f64; kb * trailing_cols.len()];
@@ -346,12 +340,8 @@ fn factor(
 
         // ---- Phase 4: broadcast L21 along process rows; local GEMM. ----
         // My trailing rows (global row ≥ k0+kb).
-        let trailing_rows: Vec<usize> = rows
-            .iter()
-            .enumerate()
-            .filter(|(_, &gi)| gi >= k0 + kb)
-            .map(|(lr, _)| lr)
-            .collect();
+        let trailing_rows: Vec<usize> =
+            rows.iter().enumerate().filter(|(_, &gi)| gi >= k0 + kb).map(|(lr, _)| lr).collect();
         let my_row_group = grid.row_group(grid.pr);
         let l21_root = grid.rank_of(grid.pr, pc_k);
         let l21 = {
@@ -390,11 +380,7 @@ fn factor(
 
 /// Local indices of the panel's columns (on the owning process column).
 fn panel_local_cols(_grid: &Grid, cols: &[usize], k0: usize, kb: usize) -> Vec<usize> {
-    cols.iter()
-        .enumerate()
-        .filter(|(_, &gj)| gj >= k0 && gj < k0 + kb)
-        .map(|(lc, _)| lc)
-        .collect()
+    cols.iter().enumerate().filter(|(_, &gj)| gj >= k0 && gj < k0 + kb).map(|(lc, _)| lc).collect()
 }
 
 /// Swaps global rows `ga` and `gb` across the given local columns, within
@@ -582,9 +568,7 @@ mod tests {
         let out = run_grid(n, 8, 1, 1, 5);
         assert!(out[0].passed, "residual {}", out[0].scaled_residual);
         let a = Matrix::random(n, n, 5);
-        let b: Vec<f64> = Matrix::random(n, 1, 5u64.wrapping_add(0x9E37_79B9))
-            .as_slice()
-            .to_vec();
+        let b: Vec<f64> = Matrix::random(n, 1, 5u64.wrapping_add(0x9E37_79B9)).as_slice().to_vec();
         let x_ref = lu::solve(a, &b, 8).expect("non-singular");
         for (xd, xr) in out[0].x.iter().zip(&x_ref) {
             assert!((xd - xr).abs() < 1e-8, "{xd} vs {xr}");

@@ -209,8 +209,7 @@ mod tests {
             assert!((0.985..=1.015).contains(&g));
         }
         // Not all devices identical.
-        let unique: std::collections::BTreeSet<u64> =
-            gains.iter().map(|g| g.to_bits()).collect();
+        let unique: std::collections::BTreeSet<u64> = gains.iter().map(|g| g.to_bits()).collect();
         assert!(unique.len() > 1);
     }
 
@@ -232,8 +231,7 @@ mod tests {
     fn varying_load_tracked() {
         let mut meter = WattsUpPro::calibrated(5);
         // Step from 100 W to 300 W at t=5.
-        let trace =
-            meter.record(&|t| Watts::new(if t < 5.0 { 100.0 } else { 300.0 }), 10.0);
+        let trace = meter.record(&|t| Watts::new(if t < 5.0 { 100.0 } else { 300.0 }), 10.0);
         let early = trace.samples()[2].watts;
         let late = trace.samples()[8].watts;
         assert!((early - 100.0).abs() < 2.0);

@@ -106,8 +106,8 @@ impl NodePowerModel {
     /// A GPU node for the §VI platform extension: a Fire-class host with
     /// two Fermi-class compute boards and a beefier PSU.
     pub fn gpu_node() -> Self {
-        let mut node = NodePowerModel::fire_node()
-            .with_accelerator(AcceleratorPower::fermi_class(2));
+        let mut node =
+            NodePowerModel::fire_node().with_accelerator(AcceleratorPower::fermi_class(2));
         node.psu = PsuEfficiency::bronze(1400.0);
         node
     }
@@ -206,8 +206,7 @@ mod tests {
         assert!(gpu.peak_wall_power().value() > cpu_only.peak_wall_power().value() + 350.0);
         // Accelerator utilization is what moves GPU power.
         let host_busy = gpu.wall_power(UtilizationSample::cpu_bound(1.0));
-        let both_busy =
-            gpu.wall_power(UtilizationSample::cpu_bound(1.0).with_accelerator(1.0));
+        let both_busy = gpu.wall_power(UtilizationSample::cpu_bound(1.0).with_accelerator(1.0));
         assert!(both_busy.value() > host_busy.value() + 300.0);
     }
 

@@ -53,9 +53,7 @@ struct CpuTimeState {
 impl ModeledSource {
     /// Creates a source for the given node model.
     pub fn new(model: NodePowerModel) -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get() as f64)
-            .unwrap_or(1.0);
+        let cores = std::thread::available_parallelism().map(|n| n.get() as f64).unwrap_or(1.0);
         ModeledSource {
             model,
             state: Mutex::new(CpuTimeState {
@@ -161,10 +159,8 @@ mod tests {
 
     #[test]
     fn constant_source_sampled() {
-        let sampler = BackgroundSampler::start(
-            Arc::new(ConstantSource(250.0)),
-            Duration::from_millis(10),
-        );
+        let sampler =
+            BackgroundSampler::start(Arc::new(ConstantSource(250.0)), Duration::from_millis(10));
         std::thread::sleep(Duration::from_millis(80));
         let trace = sampler.stop();
         assert!(trace.len() >= 3, "expected several samples, got {}", trace.len());
@@ -173,10 +169,8 @@ mod tests {
 
     #[test]
     fn trace_covers_elapsed_time() {
-        let sampler = BackgroundSampler::start(
-            Arc::new(ConstantSource(100.0)),
-            Duration::from_millis(5),
-        );
+        let sampler =
+            BackgroundSampler::start(Arc::new(ConstantSource(100.0)), Duration::from_millis(5));
         std::thread::sleep(Duration::from_millis(50));
         let trace = sampler.stop();
         assert!(trace.duration().value() >= 0.045);
@@ -184,10 +178,8 @@ mod tests {
 
     #[test]
     fn immediate_stop_still_yields_trace() {
-        let sampler = BackgroundSampler::start(
-            Arc::new(ConstantSource(100.0)),
-            Duration::from_millis(500),
-        );
+        let sampler =
+            BackgroundSampler::start(Arc::new(ConstantSource(100.0)), Duration::from_millis(500));
         let trace = sampler.stop();
         assert!(trace.len() >= 2); // initial + final sample
     }
@@ -218,8 +210,7 @@ mod tests {
     #[test]
     fn modeled_source_rises_under_load() {
         let src = Arc::new(
-            ModeledSource::new(NodePowerModel::fire_node())
-                .with_assumed(UtilizationSample::IDLE),
+            ModeledSource::new(NodePowerModel::fire_node()).with_assumed(UtilizationSample::IDLE),
         );
         // First reading establishes a baseline window.
         let _ = src.power_now();

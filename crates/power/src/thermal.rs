@@ -151,8 +151,7 @@ mod tests {
         let p_late = trace.samples()[trace.len() - 1].watts;
         assert!(p_late > p_early, "power warm-up: {p_early} -> {p_late}");
         // And converges near the analytic steady state.
-        let steady = model()
-            .steady_temp(node.dc_power(UtilizationSample::cpu_bound(1.0)));
+        let steady = model().steady_temp(node.dc_power(UtilizationSample::cpu_bound(1.0)));
         assert!((t_late - steady).abs() < 2.0, "late {t_late} vs steady {steady}");
     }
 

@@ -97,17 +97,22 @@ impl PowerTrace {
 
     /// Minimum sampled power (0 for an empty trace).
     pub fn min_power(&self) -> Watts {
-        Watts::new(
-            self.samples.iter().map(|s| s.watts).fold(f64::INFINITY, f64::min).min(f64::MAX),
-        )
+        if self.samples.is_empty() {
+            return Watts::new(0.0);
+        }
+        Watts::new(self.samples.iter().map(|s| s.watts).fold(f64::INFINITY, f64::min))
     }
 
     /// Concatenates another trace, shifting its timestamps to start at this
     /// trace's end.
+    ///
+    /// # Panics
+    /// Panics under the same invariants as [`PowerTrace::push`]: the shifted
+    /// samples must keep timestamps non-decreasing and values finite.
     pub fn extend_shifted(&mut self, other: &PowerTrace) {
         let offset = self.samples.last().map(|s| s.t).unwrap_or(0.0);
         for s in &other.samples {
-            self.samples.push(PowerSample { t: offset + s.t, watts: s.watts });
+            self.push(offset + s.t, Watts::new(s.watts));
         }
     }
 }
@@ -157,6 +162,9 @@ mod tests {
         assert_eq!(t.energy().value(), 0.0);
         assert_eq!(t.duration().value(), 0.0);
         assert_eq!(t.average_power().value(), 0.0);
+        // Regression: this used to report f64::MAX.
+        assert_eq!(t.min_power().value(), 0.0);
+        assert_eq!(t.peak_power().value(), 0.0);
     }
 
     #[test]
@@ -176,6 +184,18 @@ mod tests {
         assert_eq!(a.samples()[3].t, 15.0);
         // Energy: 1000 J + 1000 J + transition trapezoid (0 s wide) = 2000 J.
         assert!((a.energy().value() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn extend_shifted_validates_samples() {
+        // Regression: extend_shifted used to push into `samples` directly,
+        // so a trace that bypassed `push` validation (e.g. deserialized from
+        // JSON) could smuggle invalid samples into a clean trace.
+        let bad: PowerTrace =
+            serde_json::from_str(r#"{"samples":[{"t":0.0,"watts":-25.0}]}"#).unwrap();
+        let mut clean = trace(&[(0.0, 100.0)]);
+        clean.extend_shifted(&bad);
     }
 
     #[test]

@@ -72,18 +72,17 @@ pub fn from_log(text: &str) -> Result<PowerTrace, LogError> {
         if content.is_empty() || (idx == 0 && content.eq_ignore_ascii_case("seconds,watts")) {
             continue;
         }
-        let (ts, ws) = content.split_once(',').ok_or_else(|| LogError::Malformed {
-            line,
-            content: content.to_string(),
-        })?;
-        let t: f64 = ts.trim().parse().map_err(|_| LogError::Malformed {
-            line,
-            content: content.to_string(),
-        })?;
-        let w: f64 = ws.trim().parse().map_err(|_| LogError::Malformed {
-            line,
-            content: content.to_string(),
-        })?;
+        let (ts, ws) = content
+            .split_once(',')
+            .ok_or_else(|| LogError::Malformed { line, content: content.to_string() })?;
+        let t: f64 = ts
+            .trim()
+            .parse()
+            .map_err(|_| LogError::Malformed { line, content: content.to_string() })?;
+        let w: f64 = ws
+            .trim()
+            .parse()
+            .map_err(|_| LogError::Malformed { line, content: content.to_string() })?;
         if !t.is_finite() || t < 0.0 {
             return Err(LogError::Invalid { line, reason: "timestamp not finite/non-negative" });
         }
@@ -146,12 +145,9 @@ mod tests {
 
     #[test]
     fn malformed_lines_rejected_with_position() {
-        for (text, bad_line) in [
-            ("0,100\ngarbage\n", 2),
-            ("0,100\n1;200\n", 2),
-            ("abc,100\n", 1),
-            ("0,watts\n", 1),
-        ] {
+        for (text, bad_line) in
+            [("0,100\ngarbage\n", 2), ("0,100\n1;200\n", 2), ("abc,100\n", 1), ("0,watts\n", 1)]
+        {
             match from_log(text) {
                 Err(LogError::Malformed { line, .. }) => assert_eq!(line, bad_line, "{text}"),
                 other => panic!("expected Malformed for {text:?}, got {other:?}"),
@@ -161,22 +157,15 @@ mod tests {
 
     #[test]
     fn invalid_values_rejected() {
-        assert!(matches!(
-            from_log("0,100\n0.5,-5\n"),
-            Err(LogError::Invalid { line: 2, .. })
-        ));
-        assert!(matches!(
-            from_log("1,100\n0.5,100\n"),
-            Err(LogError::Invalid { line: 2, .. })
-        ));
+        assert!(matches!(from_log("0,100\n0.5,-5\n"), Err(LogError::Invalid { line: 2, .. })));
+        assert!(matches!(from_log("1,100\n0.5,100\n"), Err(LogError::Invalid { line: 2, .. })));
         assert!(matches!(from_log("-1,100\n"), Err(LogError::Invalid { line: 1, .. })));
         assert!(matches!(from_log("0,inf\n"), Err(LogError::Invalid { line: 1, .. })));
     }
 
     #[test]
     fn file_round_trip() {
-        let path = std::env::temp_dir()
-            .join(format!("tgi_meter_log_{}.csv", std::process::id()));
+        let path = std::env::temp_dir().join(format!("tgi_meter_log_{}.csv", std::process::id()));
         let t = trace(&[(0.0, 250.0), (1.0, 260.0)]);
         write_log(&t, &path).expect("writable");
         let back = read_log(&path).expect("readable");

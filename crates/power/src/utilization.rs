@@ -104,10 +104,7 @@ impl UtilizationProfile {
     /// # Panics
     /// Panics on a non-finite or negative duration.
     pub fn push(&mut self, duration_s: f64, load: UtilizationSample) {
-        assert!(
-            duration_s.is_finite() && duration_s >= 0.0,
-            "phase duration must be non-negative"
-        );
+        assert!(duration_s.is_finite() && duration_s >= 0.0, "phase duration must be non-negative");
         self.phases.push(Phase { duration_s, load });
     }
 

@@ -18,6 +18,32 @@ pub enum SuiteError {
     Metric(tgi_core::TgiError),
     /// Filesystem error during an I/O benchmark.
     Io(std::io::Error),
+    /// The benchmark exceeded its wall-clock budget and was abandoned.
+    Timeout {
+        /// Benchmark id.
+        benchmark: String,
+        /// The budget that was exceeded, in seconds.
+        seconds: f64,
+    },
+    /// The benchmark panicked while running.
+    Panicked {
+        /// Benchmark id.
+        benchmark: String,
+        /// Panic payload, when it was a string.
+        detail: String,
+    },
+}
+
+impl SuiteError {
+    /// Whether retrying the same benchmark could plausibly succeed.
+    ///
+    /// Only I/O errors are considered transient (a busy scratch disk, an
+    /// interrupted filesystem call). Validation failures, kernel errors,
+    /// metric errors, panics, and timeouts are deterministic for a given
+    /// configuration, so retrying would only repeat the cost.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SuiteError::Io(_))
+    }
 }
 
 impl std::fmt::Display for SuiteError {
@@ -29,6 +55,15 @@ impl std::fmt::Display for SuiteError {
             SuiteError::Kernel(msg) => write!(f, "kernel error: {msg}"),
             SuiteError::Metric(e) => write!(f, "metric error: {e}"),
             SuiteError::Io(e) => write!(f, "I/O error: {e}"),
+            SuiteError::Timeout { benchmark, seconds } => {
+                write!(
+                    f,
+                    "benchmark `{benchmark}` exceeded its {seconds} s timeout and was abandoned"
+                )
+            }
+            SuiteError::Panicked { benchmark, detail } => {
+                write!(f, "benchmark `{benchmark}` panicked: {detail}")
+            }
         }
     }
 }
@@ -47,8 +82,23 @@ impl From<std::io::Error> for SuiteError {
     }
 }
 
+/// A benchmark run's measurement plus meter metadata for run reports.
+#[derive(Debug, Clone)]
+pub struct BenchmarkOutput {
+    /// The validated measurement.
+    pub measurement: Measurement,
+    /// Number of power-trace samples the meter collected (0 when the
+    /// benchmark has no sampled meter, e.g. simulated runs).
+    pub trace_samples: usize,
+}
+
 /// A benchmark that yields one measurement per run.
-pub trait Benchmark {
+///
+/// `Send + Sync` is required so the suite runner can execute benchmarks on
+/// worker threads and abandon hung attempts. Implementors must provide at
+/// least one of [`Benchmark::run`] or [`Benchmark::run_detailed`] — each has
+/// a default implementation in terms of the other.
+pub trait Benchmark: Send + Sync {
     /// Stable identifier, matching reference-system keys (`"hpl"`, …).
     fn id(&self) -> &str;
 
@@ -56,7 +106,24 @@ pub trait Benchmark {
     fn subsystem(&self) -> &'static str;
 
     /// Executes the benchmark and returns its measurement.
-    fn run(&self) -> Result<Measurement, SuiteError>;
+    fn run(&self) -> Result<Measurement, SuiteError> {
+        self.run_detailed().map(|o| o.measurement)
+    }
+
+    /// Executes the benchmark, additionally reporting meter metadata.
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
+        self.run().map(|measurement| BenchmarkOutput { measurement, trace_samples: 0 })
+    }
+
+    /// Whether this benchmark needs exclusive use of the power meter.
+    ///
+    /// Metered native benchmarks return `true`: concurrent native runs
+    /// would perturb each other's sampled power (one wall meter per node,
+    /// as in the paper's setup), so the runner serializes them. Simulated
+    /// benchmarks are pure computation and may fan out freely.
+    fn exclusive_meter(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -73,12 +140,7 @@ mod tests {
             "none"
         }
         fn run(&self) -> Result<Measurement, SuiteError> {
-            Ok(Measurement::new(
-                "dummy",
-                Perf::gflops(1.0),
-                Watts::new(100.0),
-                Seconds::new(1.0),
-            )?)
+            Ok(Measurement::new("dummy", Perf::gflops(1.0), Watts::new(100.0), Seconds::new(1.0))?)
         }
     }
 
@@ -106,8 +168,7 @@ mod tests {
     fn error_conversions() {
         let t: SuiteError = tgi_core::TgiError::EmptyBenchmarkSet.into();
         assert!(matches!(t, SuiteError::Metric(_)));
-        let io: SuiteError =
-            std::io::Error::other("x").into();
+        let io: SuiteError = std::io::Error::other("x").into();
         assert!(matches!(io, SuiteError::Io(_)));
     }
 }

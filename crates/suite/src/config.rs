@@ -8,8 +8,8 @@
 
 use crate::benchmark::Benchmark;
 use crate::native::{
-    NativeComm, NativeDgemm, NativeDistributedHpl, NativeFft, NativeGups, NativeHpl,
-    NativeIozone, NativePtrans, NativeStream,
+    NativeComm, NativeDgemm, NativeDistributedHpl, NativeFft, NativeGups, NativeHpl, NativeIozone,
+    NativePtrans, NativeStream,
 };
 use crate::suite::BenchmarkSuite;
 use serde::{Deserialize, Serialize};
@@ -191,9 +191,8 @@ mod tests {
 
     #[test]
     fn distributed_hpl_spec_builds() {
-        let spec = SuiteSpec {
-            benchmarks: vec![BenchmarkSpec::DistributedHpl { n: 64, ranks: 2 }],
-        };
+        let spec =
+            SuiteSpec { benchmarks: vec![BenchmarkSpec::DistributedHpl { n: 64, ranks: 2 }] };
         let suite = spec.build();
         assert_eq!(suite.ids(), vec!["hpl"]);
         let ms = suite.run_all().expect("runs");

@@ -24,10 +24,12 @@
 pub mod benchmark;
 pub mod config;
 pub mod native;
+pub mod runner;
 pub mod simulated;
 pub mod suite;
 
-pub use benchmark::{Benchmark, SuiteError};
+pub use benchmark::{Benchmark, BenchmarkOutput, SuiteError};
 pub use config::{BenchmarkSpec, SuiteSpec};
+pub use runner::{BenchmarkReport, FailureMode, RunOutcome, RunRecord, RunReport, SuiteRunner};
 pub use simulated::SimulatedBenchmark;
 pub use suite::BenchmarkSuite;

@@ -10,11 +10,11 @@
 //! FFT, PTRANS, RandomAccess) are provided — §II: TGI is "neither limited by
 //! the metrics used in each benchmark nor by the number of benchmarks".
 
-use crate::benchmark::{Benchmark, SuiteError};
+use crate::benchmark::{Benchmark, BenchmarkOutput, SuiteError};
 use hpc_kernels::{comm, fft, gemm, hpl, iobench, ptrans, random_access, stream};
 use power_model::sampler::{BackgroundSampler, ModeledSource};
 use power_model::utilization::UtilizationSample;
-use power_model::NodePowerModel;
+use power_model::{NodePowerModel, PowerSource};
 use std::sync::Arc;
 use std::time::Duration;
 use tgi_core::{Joules, Measurement, Perf, Seconds, Watts};
@@ -23,29 +23,53 @@ use tgi_core::{Joules, Measurement, Perf, Seconds, Watts};
 /// second-scale kernels still collect several samples).
 const SAMPLE_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Aggregates one metered run: reported power/time/energy plus the number of
+/// power-trace samples the background sampler collected.
+struct Metered {
+    power: Watts,
+    time: Seconds,
+    energy: Joules,
+    trace_samples: usize,
+}
+
 fn metered<T>(
     model: &NodePowerModel,
     assumed: UtilizationSample,
     work: impl FnOnce() -> T,
-) -> (T, Watts, Seconds, Joules) {
+) -> (T, Metered) {
     let source = Arc::new(ModeledSource::new(model.clone()).with_assumed(assumed));
-    let sampler = BackgroundSampler::start(source, SAMPLE_INTERVAL);
+    let sampler = BackgroundSampler::start(Arc::clone(&source) as _, SAMPLE_INTERVAL);
     let start = std::time::Instant::now();
     let out = work();
     let elapsed = start.elapsed().as_secs_f64().max(1e-6);
     let trace = sampler.stop();
-    let avg = trace.average_power();
-    (out, avg, Seconds::new(elapsed), Joules::new(avg.value() * elapsed))
+    let (power, energy) = derive_power_energy(&trace, source.as_ref(), elapsed);
+    (out, Metered { power, time: Seconds::new(elapsed), energy, trace_samples: trace.len() })
 }
 
-fn to_measurement(
-    id: &str,
-    perf: Perf,
-    power: Watts,
-    time: Seconds,
-    energy: Joules,
-) -> Result<Measurement, SuiteError> {
-    Ok(Measurement::new(id, perf, power, time)?.with_energy(energy)?)
+/// Derives reported power and energy from a sampled trace.
+///
+/// Energy is the trapezoidal integral of the trace, matching how the paper
+/// integrates wall-meter logs. A kernel finishing inside one sampling
+/// interval can leave a trace spanning zero time; in that case fall back to
+/// an immediate source sample over the wall-clock window so power and energy
+/// stay non-degenerate.
+fn derive_power_energy(
+    trace: &power_model::PowerTrace,
+    source: &dyn PowerSource,
+    elapsed: f64,
+) -> (Watts, Joules) {
+    if trace.duration().value() > 0.0 {
+        (trace.average_power(), trace.energy())
+    } else {
+        let now = source.power_now();
+        (now, Joules::new(now.value() * elapsed))
+    }
+}
+
+fn to_output(id: &str, perf: Perf, m: &Metered) -> Result<BenchmarkOutput, SuiteError> {
+    let measurement = Measurement::new(id, perf, m.power, m.time)?.with_energy(m.energy)?;
+    Ok(BenchmarkOutput { measurement, trace_samples: m.trace_samples })
 }
 
 /// HPL on this machine: blocked LU solve with residual validation.
@@ -71,8 +95,11 @@ impl Benchmark for NativeHpl {
     fn subsystem(&self) -> &'static str {
         "cpu"
     }
-    fn run(&self) -> Result<Measurement, SuiteError> {
-        let (result, power, time, energy) =
+    fn exclusive_meter(&self) -> bool {
+        true
+    }
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
+        let (result, meter) =
             metered(&self.model, UtilizationSample::cpu_bound(1.0), || hpl::run(self.config));
         let result = result.map_err(|e| SuiteError::Kernel(e.to_string()))?;
         if !result.passed {
@@ -81,7 +108,7 @@ impl Benchmark for NativeHpl {
                 detail: format!("scaled residual {} > 16", result.scaled_residual),
             });
         }
-        to_measurement("hpl", Perf::gflops(result.gflops), power, time, energy)
+        to_output("hpl", Perf::gflops(result.gflops), &meter)
     }
 }
 
@@ -111,18 +138,19 @@ impl Benchmark for NativeStream {
     fn subsystem(&self) -> &'static str {
         "memory"
     }
-    fn run(&self) -> Result<Measurement, SuiteError> {
-        let (result, power, time, energy) =
-            metered(&self.model, UtilizationSample::memory_bound(1.0), || {
-                stream::run(self.config)
-            });
+    fn exclusive_meter(&self) -> bool {
+        true
+    }
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
+        let (result, meter) =
+            metered(&self.model, UtilizationSample::memory_bound(1.0), || stream::run(self.config));
         if !result.validated {
             return Err(SuiteError::ValidationFailed {
                 benchmark: "stream".into(),
                 detail: format!("results check error {}", result.max_relative_error),
             });
         }
-        to_measurement("stream", Perf::mbps(result.triad_mbps()), power, time, energy)
+        to_output("stream", Perf::mbps(result.triad_mbps()), &meter)
     }
 }
 
@@ -152,13 +180,14 @@ impl Benchmark for NativeIozone {
     fn subsystem(&self) -> &'static str {
         "io"
     }
-    fn run(&self) -> Result<Measurement, SuiteError> {
-        let (result, power, time, energy) =
-            metered(&self.model, UtilizationSample::io_bound(1.0), || {
-                iobench::run(&self.config)
-            });
+    fn exclusive_meter(&self) -> bool {
+        true
+    }
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
+        let (result, meter) =
+            metered(&self.model, UtilizationSample::io_bound(1.0), || iobench::run(&self.config));
         let result = result.map_err(|e| SuiteError::Kernel(e.to_string()))?;
-        to_measurement("iozone", Perf::mbps(result.write_mbps()), power, time, energy)
+        to_output("iozone", Perf::mbps(result.write_mbps()), &meter)
     }
 }
 
@@ -185,13 +214,14 @@ impl Benchmark for NativeDgemm {
     fn subsystem(&self) -> &'static str {
         "cpu"
     }
-    fn run(&self) -> Result<Measurement, SuiteError> {
+    fn exclusive_meter(&self) -> bool {
+        true
+    }
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
         let n = self.n;
-        let (result, power, time, energy) =
-            metered(&self.model, UtilizationSample::cpu_bound(1.0), || {
-                gemm::benchmark(n, 0xD6E3)
-            });
-        to_measurement("dgemm", Perf::gflops(result.gflops), power, time, energy)
+        let (result, meter) =
+            metered(&self.model, UtilizationSample::cpu_bound(1.0), || gemm::benchmark(n, 0xD6E3));
+        to_output("dgemm", Perf::gflops(result.gflops), &meter)
     }
 }
 
@@ -220,19 +250,21 @@ impl Benchmark for NativeFft {
     fn subsystem(&self) -> &'static str {
         "cpu+memory"
     }
-    fn run(&self) -> Result<Measurement, SuiteError> {
+    fn exclusive_meter(&self) -> bool {
+        true
+    }
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
         let (n, reps) = (self.n, self.repetitions);
-        let (result, power, time, energy) =
-            metered(&self.model, UtilizationSample::cpu_bound(0.9), || {
-                fft::benchmark(n, reps, 0xFF7)
-            });
+        let (result, meter) = metered(&self.model, UtilizationSample::cpu_bound(0.9), || {
+            fft::benchmark(n, reps, 0xFF7)
+        });
         if result.max_roundtrip_error > 1e-6 {
             return Err(SuiteError::ValidationFailed {
                 benchmark: "fft".into(),
                 detail: format!("round-trip error {}", result.max_roundtrip_error),
             });
         }
-        to_measurement("fft", Perf::gflops(result.gflops), power, time, energy)
+        to_output("fft", Perf::gflops(result.gflops), &meter)
     }
 }
 
@@ -259,19 +291,15 @@ impl Benchmark for NativePtrans {
     fn subsystem(&self) -> &'static str {
         "memory"
     }
-    fn run(&self) -> Result<Measurement, SuiteError> {
+    fn exclusive_meter(&self) -> bool {
+        true
+    }
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
         let n = self.n;
-        let (result, power, time, energy) =
-            metered(&self.model, UtilizationSample::memory_bound(0.9), || {
-                ptrans::benchmark(n, 0x974A)
-            });
-        to_measurement(
-            "ptrans",
-            Perf::mbps(result.bytes_per_sec / 1e6),
-            power,
-            time,
-            energy,
-        )
+        let (result, meter) = metered(&self.model, UtilizationSample::memory_bound(0.9), || {
+            ptrans::benchmark(n, 0x974A)
+        });
+        to_output("ptrans", Perf::mbps(result.bytes_per_sec / 1e6), &meter)
     }
 }
 
@@ -301,25 +329,21 @@ impl Benchmark for NativeGups {
     fn subsystem(&self) -> &'static str {
         "memory"
     }
-    fn run(&self) -> Result<Measurement, SuiteError> {
+    fn exclusive_meter(&self) -> bool {
+        true
+    }
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
         let config = self.config;
-        let (result, power, time, energy) =
-            metered(&self.model, UtilizationSample::memory_bound(0.8), || {
-                random_access::run(config)
-            });
+        let (result, meter) = metered(&self.model, UtilizationSample::memory_bound(0.8), || {
+            random_access::run(config)
+        });
         if !result.passed {
             return Err(SuiteError::ValidationFailed {
                 benchmark: "gups".into(),
                 detail: format!("error fraction {}", result.error_fraction),
             });
         }
-        to_measurement(
-            "gups",
-            Perf::new(result.gups, tgi_core::PerfUnit::Gups)?,
-            power,
-            time,
-            energy,
-        )
+        to_output("gups", Perf::new(result.gups, tgi_core::PerfUnit::Gups)?, &meter)
     }
 }
 
@@ -353,12 +377,14 @@ impl Benchmark for NativeDistributedHpl {
     fn subsystem(&self) -> &'static str {
         "cpu"
     }
-    fn run(&self) -> Result<Measurement, SuiteError> {
+    fn exclusive_meter(&self) -> bool {
+        true
+    }
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
         let (config, ranks) = (self.config, self.ranks);
-        let (results, power, time, energy) =
-            metered(&self.model, UtilizationSample::cpu_bound(1.0), || {
-                mini_mpi::World::run(ranks, move |comm| mini_mpi::hpl::run(comm, config))
-            });
+        let (results, meter) = metered(&self.model, UtilizationSample::cpu_bound(1.0), || {
+            mini_mpi::World::run(ranks, move |comm| mini_mpi::hpl::run(comm, config))
+        });
         let rank0 = &results[0];
         if !rank0.passed {
             return Err(SuiteError::ValidationFailed {
@@ -366,7 +392,7 @@ impl Benchmark for NativeDistributedHpl {
                 detail: format!("scaled residual {} > 16", rank0.scaled_residual),
             });
         }
-        to_measurement("hpl", Perf::gflops(rank0.gflops), power, time, energy)
+        to_output("hpl", Perf::gflops(rank0.gflops), &meter)
     }
 }
 
@@ -396,19 +422,14 @@ impl Benchmark for NativeComm {
     fn subsystem(&self) -> &'static str {
         "network"
     }
-    fn run(&self) -> Result<Measurement, SuiteError> {
+    fn exclusive_meter(&self) -> bool {
+        true
+    }
+    fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
         let config = self.config;
-        let (result, power, time, energy) =
-            metered(&self.model, UtilizationSample::new(0.3, 0.2, 0.0, 0.9), || {
-                comm::run(config)
-            });
-        to_measurement(
-            "comm",
-            Perf::mbps(result.ring_mbps()),
-            power,
-            time,
-            energy,
-        )
+        let (result, meter) =
+            metered(&self.model, UtilizationSample::new(0.3, 0.2, 0.0, 0.9), || comm::run(config));
+        to_output("comm", Perf::mbps(result.ring_mbps()), &meter)
     }
 }
 
@@ -488,6 +509,35 @@ mod tests {
         assert_eq!(m.id(), "comm");
         assert_eq!(b.subsystem(), "network");
         assert!(m.performance().as_mbps() > 0.0);
+    }
+
+    #[test]
+    fn zero_span_trace_falls_back_to_immediate_sample() {
+        // Regression: a kernel finishing inside one sampling interval can
+        // leave a trace spanning zero time. Energy used to be derived from
+        // that trace's zero average power, so fast kernels reported zero
+        // power and failed measurement validation.
+        let model = NodePowerModel::fire_node();
+        let source = ModeledSource::new(model).with_assumed(UtilizationSample::cpu_bound(1.0));
+        let empty = power_model::PowerTrace::new();
+        let (power, energy) = derive_power_energy(&empty, &source, 0.02);
+        assert!(power.value() > 0.0, "fallback sample must be positive");
+        assert!((energy.value() - power.value() * 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_is_trace_integral_not_avg_times_wall() {
+        // Regression: the seed derived energy as average_power × wall
+        // elapsed. For this ramp trace the trapezoid gives 1500 J; the old
+        // formula with a 20 s wall window would report 3000 J.
+        let model = NodePowerModel::fire_node();
+        let source = ModeledSource::new(model).with_assumed(UtilizationSample::cpu_bound(1.0));
+        let mut trace = power_model::PowerTrace::new();
+        trace.push(0.0, Watts::new(100.0));
+        trace.push(10.0, Watts::new(200.0));
+        let (power, energy) = derive_power_energy(&trace, &source, 20.0);
+        assert!((power.value() - 150.0).abs() < 1e-9);
+        assert!((energy.value() - 1500.0).abs() < 1e-9);
     }
 
     #[test]

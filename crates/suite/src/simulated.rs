@@ -85,9 +85,8 @@ mod tests {
         let a = SimulatedBenchmark::with_engine(engine.clone(), Workload::Hpl { n: 10_000 }, 32)
             .run()
             .unwrap();
-        let b = SimulatedBenchmark::with_engine(engine, Workload::Hpl { n: 10_000 }, 32)
-            .run()
-            .unwrap();
+        let b =
+            SimulatedBenchmark::with_engine(engine, Workload::Hpl { n: 10_000 }, 32).run().unwrap();
         assert_eq!(a.power().value(), b.power().value());
     }
 }

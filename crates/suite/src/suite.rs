@@ -7,12 +7,18 @@
 //! reproduction.
 
 use crate::benchmark::{Benchmark, SuiteError};
+use crate::runner::SuiteRunner;
+use std::sync::Arc;
 use tgi_core::{Measurement, ReferenceSystem};
 
 /// An ordered collection of benchmarks.
+///
+/// Benchmarks are stored as `Arc<dyn Benchmark>` so the [`SuiteRunner`]
+/// can hand them to worker and attempt threads; the `with`/`push`
+/// construction API is unchanged.
 #[derive(Default)]
 pub struct BenchmarkSuite {
-    benchmarks: Vec<Box<dyn Benchmark>>,
+    benchmarks: Vec<Arc<dyn Benchmark>>,
 }
 
 impl BenchmarkSuite {
@@ -23,13 +29,13 @@ impl BenchmarkSuite {
 
     /// Adds a benchmark (builder style).
     pub fn with(mut self, b: impl Benchmark + 'static) -> Self {
-        self.benchmarks.push(Box::new(b));
+        self.benchmarks.push(Arc::new(b));
         self
     }
 
     /// Adds a boxed benchmark.
     pub fn push(&mut self, b: Box<dyn Benchmark>) {
-        self.benchmarks.push(b);
+        self.benchmarks.push(Arc::from(b));
     }
 
     /// Number of benchmarks.
@@ -47,16 +53,22 @@ impl BenchmarkSuite {
         self.benchmarks.iter().map(|b| b.id()).collect()
     }
 
+    /// The benchmarks themselves, in order (used by the runner).
+    pub fn benchmarks(&self) -> &[Arc<dyn Benchmark>] {
+        &self.benchmarks
+    }
+
     /// Runs every benchmark in order, failing fast on the first error.
+    ///
+    /// Compatibility wrapper over a sequential, single-shot
+    /// [`SuiteRunner`]; use the runner directly for parallelism,
+    /// retries, timeouts, or a full [`RunReport`](crate::runner::RunReport).
     pub fn run_all(&self) -> Result<Vec<Measurement>, SuiteError> {
-        self.benchmarks.iter().map(|b| b.run()).collect()
+        SuiteRunner::new().run(self).into_result()
     }
 
     /// Runs the suite and builds a reference system from the results.
-    pub fn run_as_reference(
-        &self,
-        name: impl Into<String>,
-    ) -> Result<ReferenceSystem, SuiteError> {
+    pub fn run_as_reference(&self, name: impl Into<String>) -> Result<ReferenceSystem, SuiteError> {
         let mut builder = ReferenceSystem::builder(name);
         for m in self.run_all()? {
             builder = builder.benchmark(m);
@@ -119,9 +131,7 @@ mod tests {
 
     #[test]
     fn fails_fast_on_error() {
-        let suite = BenchmarkSuite::new()
-            .with(Fixed { id: "a", gflops: 1.0 })
-            .with(Failing);
+        let suite = BenchmarkSuite::new().with(Fixed { id: "a", gflops: 1.0 }).with(Failing);
         assert!(suite.run_all().is_err());
     }
 

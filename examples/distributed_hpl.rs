@@ -47,12 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (p, q) in [(1usize, 1usize), (2, 2), (1, 4), (4, 1)] {
         let config = Grid2dConfig { n: 192, block_size: 16, p, q, seed: 9 };
         let out = World::run(p * q, move |comm| run2d(comm, config)).remove(0);
-        let max_dx = out
-            .x
-            .iter()
-            .zip(&reference.x)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_dx =
+            out.x.iter().zip(&reference.x).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         println!("{:>5}x{:<2} {:>12.3e} {:>18.3e}", p, q, out.scaled_residual, max_dx);
         assert!(out.passed);
     }

@@ -17,8 +17,13 @@ fn suite(label: &str, speed: f64, watts: f64) -> Vec<Measurement> {
     // `speed` scales performance up and time down; `watts` is average draw.
     let t = |base: f64| Seconds::new(base / speed);
     vec![
-        Measurement::new(format!("hpl{}", ""), Perf::gflops(90.0 * speed), Watts::new(watts), t(1400.0))
-            .unwrap_or_else(|e| panic!("{label} hpl: {e}")),
+        Measurement::new(
+            format!("hpl{}", ""),
+            Perf::gflops(90.0 * speed),
+            Watts::new(watts),
+            t(1400.0),
+        )
+        .unwrap_or_else(|e| panic!("{label} hpl: {e}")),
         Measurement::new("stream", Perf::gbps(160.0 * speed), Watts::new(watts * 0.9), t(700.0))
             .unwrap_or_else(|e| panic!("{label} stream: {e}")),
         Measurement::new("iozone", Perf::mbps(300.0 * speed), Watts::new(watts * 0.8), t(400.0))
@@ -28,15 +33,32 @@ fn suite(label: &str, speed: f64, watts: f64) -> Vec<Measurement> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = ReferenceSystem::builder("reference")
-        .benchmark(Measurement::new("hpl", Perf::gflops(90.0), Watts::new(2900.0), Seconds::new(1400.0))?)
-        .benchmark(Measurement::new("stream", Perf::gbps(160.0), Watts::new(2600.0), Seconds::new(700.0))?)
-        .benchmark(Measurement::new("iozone", Perf::mbps(300.0), Watts::new(2300.0), Seconds::new(400.0))?)
+        .benchmark(Measurement::new(
+            "hpl",
+            Perf::gflops(90.0),
+            Watts::new(2900.0),
+            Seconds::new(1400.0),
+        )?)
+        .benchmark(Measurement::new(
+            "stream",
+            Perf::gbps(160.0),
+            Watts::new(2600.0),
+            Seconds::new(700.0),
+        )?)
+        .benchmark(Measurement::new(
+            "iozone",
+            Perf::mbps(300.0),
+            Watts::new(2300.0),
+            Seconds::new(400.0),
+        )?)
         .build()?;
 
     // Sprinter: 1.8× the speed at 2.4× the power.
     // Marathoner: 0.8× the speed at 0.5× the power.
-    let systems =
-        [("sprinter", suite("sprinter", 1.8, 7000.0)), ("marathoner", suite("marathoner", 0.8, 1450.0))];
+    let systems = [
+        ("sprinter", suite("sprinter", 1.8, 7000.0)),
+        ("marathoner", suite("marathoner", 0.8, 1450.0)),
+    ];
 
     println!("{:<12} {:>12} {:>12} {:>12}", "system", "perf/W", "1/EDP", "1/ED2P");
     for (name, measurements) in &systems {

@@ -57,10 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flops_per_watt_ranking.add(name.clone(), hpl.energy_efficiency() / 1e6);
 
         // TGI across the whole suite.
-        let result = Tgi::builder()
-            .reference(reference.clone())
-            .measurements(measurements)
-            .compute()?;
+        let result =
+            Tgi::builder().reference(reference.clone()).measurements(measurements).compute()?;
         tgi_ranking.add_result(name, result);
     }
 

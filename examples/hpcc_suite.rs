@@ -14,7 +14,7 @@
 //! decomposition is visible.
 
 use tgi::prelude::*;
-use tgi::suite::SuiteSpec;
+use tgi::suite::{SuiteRunner, SuiteSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = SuiteSpec::hpcc_style();
@@ -23,7 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reference: this machine's own first pass (SPEC-style self-reference;
     // swap in a community reference file via `tgi-native --reference`).
     let reference = spec.build().run_as_reference("first-pass")?;
-    let measurements = spec.build().run_all()?;
+    // Second pass through the resilient runner: one retry for transient
+    // I/O errors, and a report that records attempts per benchmark.
+    let report = SuiteRunner::new().retries(1).run(&spec.build());
+    let attempts: usize = report.entries.iter().map(|e| e.attempts).sum();
+    let measurements = report.into_result()?;
+    println!("second pass took {attempts} attempts across {} tests\n", measurements.len());
 
     println!(
         "{:<8} {:>12} {:>18} {:>12} {:>14}",
@@ -41,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let tgi = Tgi::builder()
-        .reference(reference)
-        .measurements(measurements)
-        .compute()?;
+    let tgi = Tgi::builder().reference(reference).measurements(measurements).compute()?;
     println!("\nTGI over all seven tests = {:.4} (second pass vs first pass)", tgi.value());
     println!("\nper-test decomposition (weight × REE = contribution):");
     for c in tgi.contributions() {
@@ -54,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if let Some(worst) = tgi.least_efficient() {
-        println!("\nleast-repeatable subsystem this run: {} (REE {:.3})", worst.benchmark, worst.ree);
+        println!(
+            "\nleast-repeatable subsystem this run: {} (REE {:.3})",
+            worst.benchmark, worst.ree
+        );
     }
     Ok(())
 }

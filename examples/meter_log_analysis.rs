@@ -33,11 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("tgi_example_meter.csv");
     trace_io::write_log(&trace, &path)?;
     let reloaded = trace_io::read_log(&path)?;
-    println!(
-        "archived {} samples to {} and reloaded them\n",
-        reloaded.len(),
-        path.display()
-    );
+    println!("archived {} samples to {} and reloaded them\n", reloaded.len(), path.display());
 
     println!("energy   : {}", reloaded.energy());
     println!("average  : {}", reloaded.average_power());
@@ -47,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ndetected phases (threshold 25 W):");
     for phase in analysis::segment_phases(&reloaded, Watts::new(25.0)) {
-        println!(
-            "  {:>6.1}s – {:>6.1}s  at {:>6.1} W",
-            phase.start_s, phase.end_s, phase.mean_w
-        );
+        println!("  {:>6.1}s – {:>6.1}s  at {:>6.1} W", phase.start_s, phase.end_s, phase.mean_w);
     }
     println!(
         "\nThe segmentation recovers the job's compute/memory/io/idle structure\n\

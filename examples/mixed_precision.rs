@@ -38,8 +38,7 @@ fn main() {
     let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
 
     let (x64, t64, e64) = metered(|| lu::solve(a.clone(), &b, 64).expect("non-singular"));
-    let (ir, tir, eir) =
-        metered(|| mixed::solve_refined(&a, &b, 64, 10).expect("non-singular"));
+    let (ir, tir, eir) = metered(|| mixed::solve_refined(&a, &b, 64, 10).expect("non-singular"));
 
     println!("dense solve, N = {n}:\n");
     println!("{:<28} {:>9} {:>11} {:>12}", "method", "time (s)", "energy (J)", "residual");
@@ -47,11 +46,7 @@ fn main() {
     println!("{:<28} {:>9.3} {:>11.1} {:>12.3e}", "f64 LU", t64, e64, res64);
     println!(
         "{:<28} {:>9.3} {:>11.1} {:>12.3e}  ({} refinement sweeps)",
-        "f32 LU + refinement",
-        tir,
-        eir,
-        ir.scaled_residual,
-        ir.iterations
+        "f32 LU + refinement", tir, eir, ir.scaled_residual, ir.iterations
     );
     println!(
         "\nenergy ratio: {:.2}x — and on hardware with 2x-wide f32 SIMD or tensor\n\

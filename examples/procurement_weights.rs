@@ -49,12 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("I/O-heavy genomics", vec![0.15, 0.15, 0.70]),
     ];
 
-    println!(
-        "{:<24} {:>14} {:>14}",
-        "application profile",
-        "Candidate-A",
-        "Candidate-B"
-    );
+    println!("{:<24} {:>14} {:>14}", "application profile", "Candidate-A", "Candidate-B");
     for (profile, weights) in &profiles {
         let mut scores = Vec::new();
         for (_, measurements) in &candidates {
@@ -66,10 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scores.push(tgi.value());
         }
         let winner = if scores[0] > scores[1] { "A" } else { "B" };
-        println!(
-            "{:<24} {:>14.4} {:>14.4}   -> pick {winner}",
-            profile, scores[0], scores[1]
-        );
+        println!("{:<24} {:>14.4} {:>14.4}   -> pick {winner}", profile, scores[0], scores[1]);
     }
 
     println!("\nSame machines, same measurements — the weights encode what the buyer runs.");

@@ -51,10 +51,7 @@ fn main() -> Result<(), TgiError> {
         .compute()?;
 
     println!("TGI({} weights) vs {} = {:.4}\n", tgi.weighting(), tgi.reference_name(), tgi.value());
-    println!(
-        "{:<10} {:>14} {:>14} {:>10} {:>10}",
-        "benchmark", "EE", "EE(ref)", "REE", "weight"
-    );
+    println!("{:<10} {:>14} {:>14} {:>10} {:>10}", "benchmark", "EE", "EE(ref)", "REE", "weight");
     for c in tgi.contributions() {
         println!(
             "{:<10} {:>14.4e} {:>14.4e} {:>10.4} {:>10.4}",

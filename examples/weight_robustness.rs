@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("weight gradients (∂TGI/∂W_i = REE_i):");
     for (name, result) in [("Fire", &fire_tgi), ("Fire-GPU", &gpu_tgi)] {
         let grad = sensitivity::weight_gradient(result);
-        let cells: Vec<String> =
-            grad.iter().map(|(b, g)| format!("{b}: {g:.3}")).collect();
+        let cells: Vec<String> = grad.iter().map(|(b, g)| format!("{b}: {g:.3}")).collect();
         println!("  {:<9} {}", name, cells.join("  "));
     }
 
@@ -66,9 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             flip.benchmark,
             flip.benchmark
         ),
-        None => println!(
-            "no single-benchmark tilt can flip this ranking: the leader dominates."
-        ),
+        None => println!("no single-benchmark tilt can flip this ranking: the leader dominates."),
     }
     Ok(())
 }

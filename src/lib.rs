@@ -22,8 +22,8 @@
 //! See `examples/quickstart.rs` for the 30-second tour.
 
 pub use cluster_sim as cluster;
-pub use mini_mpi as mpi;
 pub use hpc_kernels as kernels;
+pub use mini_mpi as mpi;
 pub use power_model as power;
 pub use tgi_core as core;
 pub use tgi_harness as harness;

@@ -58,9 +58,8 @@ fn hpcc_style_spec_runs_seven_benchmarks() {
 
 #[test]
 fn distributed_stream_and_io_through_minimpi() {
-    let stream_out = World::run(2, |comm| {
-        dist::stream(comm, tgi::kernels::stream::StreamConfig::small())
-    });
+    let stream_out =
+        World::run(2, |comm| dist::stream(comm, tgi::kernels::stream::StreamConfig::small()));
     assert!(stream_out[0].aggregate_triad_mbps > stream_out[0].local_triad_mbps * 0.99);
 
     let io_out = World::run(2, |comm| dist::io_write(comm, 128 << 10));
@@ -166,8 +165,7 @@ fn experiment_bundle_round_trips_through_disk() {
             extensions::gpu_platform_comparison(&reference).expect("runs"),
         ],
     );
-    let path = std::env::temp_dir()
-        .join(format!("tgi_it_bundle_{}.json", std::process::id()));
+    let path = std::env::temp_dir().join(format!("tgi_it_bundle_{}.json", std::process::id()));
     bundle.write(&path).expect("writable");
     let back = ExperimentBundle::read(&path).expect("readable");
     assert_eq!(bundle, back);

@@ -12,8 +12,7 @@ fn solve_and_residual(a: &Matrix, nb: usize) -> f64 {
     let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
     let x = lu::solve(a.clone(), &b, nb).expect("non-singular");
     let ax = a.matvec(&x);
-    let r: Vec<f64> =
-        ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+    let r: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
     let scale = a.norm_inf() * vec_norm_inf(&x) + vec_norm_inf(&b);
     vec_norm_inf(&r) / scale.max(1e-300)
 }
@@ -101,10 +100,7 @@ fn tridiagonal_system_exact() {
     let x = lu::solve(a.clone(), &b, 16).expect("non-singular");
     for (i, xi) in x.iter().enumerate() {
         let expected = (i + 1) as f64 * (n - i) as f64 / 2.0;
-        assert!(
-            (xi - expected).abs() < 1e-9 * expected,
-            "x[{i}] = {xi}, expected {expected}"
-        );
+        assert!((xi - expected).abs() < 1e-9 * expected, "x[{i}] = {xi}, expected {expected}");
     }
 }
 
@@ -134,14 +130,12 @@ fn fft_shift_theorem_holds() {
     // x[t-s] ⇔ X[k]·e^{-2πiks/n}.
     let n = 128;
     let s = 5usize;
-    let signal: Vec<Complex64> = (0..n)
-        .map(|t| Complex64::new(((t * t) % 23) as f64 / 23.0 - 0.5, 0.0))
-        .collect();
+    let signal: Vec<Complex64> =
+        (0..n).map(|t| Complex64::new(((t * t) % 23) as f64 / 23.0 - 0.5, 0.0)).collect();
     let mut spectrum = signal.clone();
     fft::fft(&mut spectrum, Direction::Forward);
 
-    let shifted: Vec<Complex64> =
-        (0..n).map(|t| signal[(t + n - s) % n]).collect();
+    let shifted: Vec<Complex64> = (0..n).map(|t| signal[(t + n - s) % n]).collect();
     let mut shifted_spectrum = shifted;
     fft::fft(&mut shifted_spectrum, Direction::Forward);
 

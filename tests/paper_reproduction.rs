@@ -5,8 +5,8 @@
 
 use tgi::harness::{
     experiments, fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency,
-    fig5_tgi_arithmetic, fig6_tgi_weighted, system_g_reference,
-    table1_reference_performance, table2_pcc, FireSweep,
+    fig5_tgi_arithmetic, fig6_tgi_weighted, system_g_reference, table1_reference_performance,
+    table2_pcc, FireSweep,
 };
 use tgi::prelude::*;
 
@@ -20,11 +20,7 @@ fn fire_cluster_hits_90_gflops_anchor() {
     // benchmark."
     let (sweep, _) = fixtures();
     let full = sweep.points().last().expect("sweep non-empty");
-    let hpl = full
-        .measurements
-        .iter()
-        .find(|m| m.id() == "hpl")
-        .expect("hpl measured");
+    let hpl = full.measurements.iter().find(|m| m.id() == "hpl").expect("hpl measured");
     let gflops = hpl.performance().as_gflops();
     assert!((gflops - 90.0).abs() < 2.0, "Fire HPL at 128 cores: {gflops}");
 }
@@ -44,8 +40,7 @@ fn reference_system_scores_exactly_one() {
     // TGI = 1 under every weighting (every REE is 1, weights sum to 1).
     let reference = system_g_reference();
     let suite: Vec<Measurement> = reference.iter().map(|(_, m)| m.clone()).collect();
-    for weighting in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power]
-    {
+    for weighting in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
         let tgi = Tgi::builder()
             .reference(reference.clone())
             .weighting(weighting)

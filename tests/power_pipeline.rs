@@ -6,8 +6,8 @@ use std::time::Duration;
 use tgi::power::meter::IdealMeter;
 use tgi::power::sampler::ConstantSource;
 use tgi::power::{
-    BackgroundSampler, CoolingModel, MeterSpec, NodePowerModel, PowerMeter,
-    UtilizationProfile, UtilizationSample, WattsUpPro,
+    BackgroundSampler, CoolingModel, MeterSpec, NodePowerModel, PowerMeter, UtilizationProfile,
+    UtilizationSample, WattsUpPro,
 };
 use tgi::prelude::*;
 
@@ -30,10 +30,7 @@ fn profile_through_model_through_meter_to_energy() {
     let mut meter = WattsUpPro::new(77);
     let trace = meter.record(&ground_truth, profile.duration_s());
     let measured = trace.energy().value();
-    assert!(
-        (measured - truth).abs() < 0.05 * truth,
-        "measured {measured} vs truth {truth}"
-    );
+    assert!((measured - truth).abs() < 0.05 * truth, "measured {measured} vs truth {truth}");
     // The trace also yields a valid tgi-core measurement.
     let m = Measurement::new(
         "phase-workload",
@@ -67,20 +64,13 @@ fn one_hz_meter_underestimates_bursty_energy_fine_meter_does_not() {
 
 #[test]
 fn background_sampler_feeds_measurement_pipeline() {
-    let sampler = BackgroundSampler::start(
-        Arc::new(ConstantSource(222.0)),
-        Duration::from_millis(5),
-    );
+    let sampler =
+        BackgroundSampler::start(Arc::new(ConstantSource(222.0)), Duration::from_millis(5));
     std::thread::sleep(Duration::from_millis(40));
     let trace = sampler.stop();
     assert!((trace.average_power().value() - 222.0).abs() < 1e-9);
-    let m = Measurement::new(
-        "sampled",
-        Perf::mbps(100.0),
-        trace.average_power(),
-        trace.duration(),
-    )
-    .expect("valid");
+    let m = Measurement::new("sampled", Perf::mbps(100.0), trace.average_power(), trace.duration())
+        .expect("valid");
     assert!(m.power().value() > 0.0);
 }
 
@@ -112,12 +102,8 @@ fn facility_tgi_is_lower_than_it_tgi() {
         .compute()
         .expect("valid")
         .value();
-    let tgi_fac = Tgi::builder()
-        .reference(reference)
-        .measurement(facility)
-        .compute()
-        .expect("valid")
-        .value();
+    let tgi_fac =
+        Tgi::builder().reference(reference).measurement(facility).compute().expect("valid").value();
     assert!((tgi_fac - tgi_it / 1.5).abs() < 1e-12);
 }
 
