@@ -1,0 +1,506 @@
+//! Genuinely parallel indexed iterators over slices, chunks, ranges,
+//! and vectors, with the adaptors the kernels use (`zip`, `enumerate`,
+//! `map`) and parallel consumers (`for_each`, `sum`, `count`,
+//! `collect`).
+//!
+//! Every iterator here is an exact-length *splittable producer*: it
+//! knows its length and can split itself at an index into two disjoint
+//! halves. Consumers drive a producer by recursively splitting it (to a
+//! budget of ~4 leaves per pool thread) and running the two halves via
+//! [`crate::join`]; each leaf then drains sequentially through a plain
+//! std iterator, so the innermost loops stay as vectorizable as the
+//! sequential code. Mutable producers (`par_iter_mut`,
+//! `par_chunks_mut`) split with `split_at_mut`, so every task owns a
+//! disjoint `&mut` region — determinism for kernels like GEMM and
+//! PTRANS falls out of that ownership, not of scheduling order.
+
+use crate::pool::{join, split_budget};
+
+// ---------------------------------------------------------------------------
+// The core trait.
+// ---------------------------------------------------------------------------
+
+/// An exact-length, splittable, sequentially-drainable parallel
+/// iterator. This single trait plays the role of rayon's
+/// `ParallelIterator`/`IndexedParallelIterator` pair: everything the
+/// kernels parallelize over is indexed.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator one leaf drains through.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Exact number of items left.
+    fn len(&self) -> usize;
+
+    /// Whether no items are left.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// The sequential form of this iterator (one leaf's work).
+    fn into_seq_iter(self) -> Self::SeqIter;
+
+    // --- adaptors -------------------------------------------------------
+
+    /// Pairs items positionally with another parallel iterable.
+    fn zip<B: IntoParallelIterator>(self, other: B) -> Zip<Self, B::Iter> {
+        Zip { a: self, b: other.into_par_iter() }
+    }
+
+    /// Attaches each item's index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: 0, inner: self }
+    }
+
+    /// Transforms each item through `f`.
+    ///
+    /// `f` must be `Clone` because splitting hands a copy to each half
+    /// (closures capturing only `Copy`/`Clone`/by-ref state qualify).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    // --- consumers ------------------------------------------------------
+
+    /// Consumes every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive_for_each(self, &f, split_budget());
+    }
+
+    /// Sums the items in parallel (associativity-tolerant: exact for
+    /// integers; for floats the split points, not the schedule,
+    /// determine rounding, so results are reproducible per pool size).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        drive_map_reduce(self, &|leaf: Self::SeqIter| leaf.sum::<S>(), split_budget())
+            .into_iter()
+            .sum()
+    }
+
+    /// Counts the items (trivially `len`, kept for API parity).
+    fn count(self) -> usize {
+        self.len()
+    }
+
+    /// Collects into any `FromIterator` collection, preserving order.
+    /// The per-leaf work runs on the pool; the final gather is serial.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let leaves =
+            drive_map_reduce(self, &|leaf: Self::SeqIter| leaf.collect::<Vec<_>>(), split_budget());
+        leaves.into_iter().flatten().collect()
+    }
+}
+
+/// Recursive splitter for `for_each`: splits while budget remains and
+/// there is more than one item, running halves through the pool.
+fn drive_for_each<P, F>(p: P, f: &F, budget: usize)
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) + Sync + Send,
+{
+    if budget == 0 || p.len() <= 1 {
+        p.into_seq_iter().for_each(f);
+    } else {
+        let mid = p.len() / 2;
+        let (left, right) = p.split_at(mid);
+        join(|| drive_for_each(left, f, budget - 1), || drive_for_each(right, f, budget - 1));
+    }
+}
+
+/// Recursive splitter that folds each leaf through `f` and returns the
+/// per-leaf results in order (the caller reduces them).
+fn drive_map_reduce<P, F, T>(p: P, f: &F, budget: usize) -> Vec<T>
+where
+    P: ParallelIterator,
+    F: Fn(P::SeqIter) -> T + Sync + Send,
+    T: Send,
+{
+    if budget == 0 || p.len() <= 1 {
+        vec![f(p.into_seq_iter())]
+    } else {
+        let mid = p.len() / 2;
+        let (left, right) = p.split_at(mid);
+        let (mut l, r) = join(
+            || drive_map_reduce(left, f, budget - 1),
+            || drive_map_reduce(right, f, budget - 1),
+        );
+        l.extend(r);
+        l
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits (the prelude surface).
+// ---------------------------------------------------------------------------
+
+/// Types convertible into a parallel iterator (`Vec`, ranges, and every
+/// parallel iterator itself).
+pub trait IntoParallelIterator {
+    /// Element type of the resulting iterator.
+    type Item: Send;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Shared-slice entry points (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksIter { slice: self, size }
+    }
+}
+
+/// Mutable-slice entry points (`par_iter_mut`, `par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksIterMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksIterMut { slice: self, size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Producers.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&T` items of a slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (SliceIter { slice: l }, SliceIter { slice: r })
+    }
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut T` items of a slice.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: l }, SliceIterMut { slice: r })
+    }
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over shared chunks of a slice.
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(elems);
+        (ChunksIter { slice: l, size: self.size }, ChunksIter { slice: r, size: self.size })
+    }
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice. Each chunk is a
+/// disjoint `&mut [T]`, so concurrent tasks can never alias.
+pub struct ChunksIterMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksIterMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(elems);
+        (ChunksIterMut { slice: l, size: self.size }, ChunksIterMut { slice: r, size: self.size })
+    }
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_iter_impl {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type SeqIter = std::ops::Range<$t>;
+            fn len(&self) -> usize {
+                if self.end > self.start { (self.end - self.start) as usize } else { 0 }
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + (index as $t).min(self.end.saturating_sub(self.start));
+                (
+                    RangeIter { start: self.start, end: mid },
+                    RangeIter { start: mid, end: self.end },
+                )
+            }
+            fn into_seq_iter(self) -> Self::SeqIter {
+                self.start..self.end
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+
+range_iter_impl!(u32, u64, usize, i32, i64, isize);
+
+/// Parallel iterator over owned `Vec` items (splitting allocates via
+/// `split_off`; fine at dispatch granularity).
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, VecIter { vec: tail })
+    }
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self.into() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptors.
+// ---------------------------------------------------------------------------
+
+/// Positional pairing of two parallel iterators (length = shorter).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.a.into_seq_iter().zip(self.b.into_seq_iter())
+    }
+}
+
+/// Index-attaching adaptor.
+pub struct Enumerate<A> {
+    base: usize,
+    inner: A,
+}
+
+impl<A: ParallelIterator> ParallelIterator for Enumerate<A> {
+    type Item = (usize, A::Item);
+    type SeqIter = EnumerateSeq<A::SeqIter>;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (Enumerate { base: self.base, inner: l }, Enumerate { base: self.base + index, inner: r })
+    }
+    fn into_seq_iter(self) -> Self::SeqIter {
+        EnumerateSeq { next: self.base, inner: self.inner.into_seq_iter() }
+    }
+}
+
+/// Sequential drain of [`Enumerate`]: like `std`'s `enumerate` but
+/// starting from the split-adjusted base index.
+pub struct EnumerateSeq<I> {
+    next: usize,
+    inner: I,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+/// Mapping adaptor; the closure is cloned into each split half.
+pub struct Map<A, F> {
+    inner: A,
+    f: F,
+}
+
+impl<A, R, F> ParallelIterator for Map<A, F>
+where
+    A: ParallelIterator,
+    R: Send,
+    F: Fn(A::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    type SeqIter = std::iter::Map<A::SeqIter, F>;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (Map { inner: l, f: self.f.clone() }, Map { inner: r, f: self.f })
+    }
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.inner.into_seq_iter().map(self.f)
+    }
+}
+
+// Identity conversions so adaptor chains (`a.par_iter().zip(b.par_iter()
+// .zip(c.par_iter()))`) type-check: every producer/adaptor is itself an
+// `IntoParallelIterator`.
+macro_rules! identity_into_par_iter {
+    ($(($($gen:tt)*) $ty:ty [$($bound:tt)*]),* $(,)?) => {$(
+        impl<$($gen)*> IntoParallelIterator for $ty
+        where
+            $($bound)*
+        {
+            type Item = <$ty as ParallelIterator>::Item;
+            type Iter = $ty;
+            fn into_par_iter(self) -> Self {
+                self
+            }
+        }
+    )*};
+}
+
+identity_into_par_iter! {
+    ('a, T) SliceIter<'a, T> [T: Sync],
+    ('a, T) SliceIterMut<'a, T> [T: Send],
+    ('a, T) ChunksIter<'a, T> [T: Sync],
+    ('a, T) ChunksIterMut<'a, T> [T: Send],
+    (A, B) Zip<A, B> [A: ParallelIterator, B: ParallelIterator],
+    (A) Enumerate<A> [A: ParallelIterator],
+    (T) VecIter<T> [T: Send],
+}
+
+impl<A, R, F> IntoParallelIterator for Map<A, F>
+where
+    A: ParallelIterator,
+    R: Send,
+    F: Fn(A::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    type Iter = Map<A, F>;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+macro_rules! identity_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> Self {
+                self
+            }
+        }
+    )*};
+}
+
+identity_range_into_par_iter!(u32, u64, usize, i32, i64, isize);

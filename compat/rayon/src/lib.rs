@@ -1,78 +1,59 @@
-//! Offline shim for `rayon`: the parallel-iterator entry points used by the
-//! kernels (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`,
-//! `into_par_iter`) return **sequential** std iterators, so every downstream
-//! adaptor (`zip`, `enumerate`, `map`, `for_each`, …) is the std one.
+//! Offline shim for `rayon`: a **real multi-threaded parallel backend**
+//! built on `std::thread` only (no registry dependencies).
 //!
-//! Kernels therefore stay correct but run single-threaded under this shim;
-//! real concurrency in this workspace uses `std::thread` directly (mini-MPI,
-//! the suite runner, the background power sampler).
+//! Earlier revisions of this shim aliased every `par_*` entry point to
+//! a sequential std iterator; the kernels compiled but silently ran
+//! single-threaded. This version executes them on a genuine
+//! work-sharing thread pool:
+//!
+//! * a **global, lazily-initialized pool** sized by
+//!   `std::thread::available_parallelism()` and overridable with the
+//!   `TGI_NUM_THREADS` environment variable (`TGI_NUM_THREADS=1`
+//!   guarantees fully sequential execution — no worker threads are
+//!   spawned at all);
+//! * splittable indexed parallel iterators — [`prelude::ParallelSlice`]
+//!   (`par_iter`, `par_chunks`), [`prelude::ParallelSliceMut`]
+//!   (`par_iter_mut`, `par_chunks_mut`),
+//!   [`prelude::IntoParallelIterator`] over ranges, `Vec`s and arrays —
+//!   with `zip`/`enumerate`/`map` adaptors and
+//!   `for_each`/`sum`/`count`/`collect` consumers;
+//! * a real [`join`] with work-stealing waits (a blocked joiner
+//!   executes other queued jobs, so nested joins cannot deadlock);
+//! * explicit pools via [`ThreadPoolBuilder`]/[`ThreadPool::install`],
+//!   which the kernel oracle tests use to pin 1-, 2- and N-thread runs
+//!   inside one process.
+//!
+//! Mutable iterators split via `split_at_mut`, so every parallel task
+//! owns a disjoint `&mut` region: kernels whose tasks write disjoint
+//! output chunks (GEMM, PTRANS, the LU trailing update) produce
+//! bit-identical results at every thread count.
 
-/// Number of threads rayon would use: the machine's available parallelism.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
+mod iter;
+mod pool;
 
-/// Runs two closures (sequentially under this shim) and returns both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// Anything iterable gains `into_par_iter`, yielding its sequential iterator.
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// "Parallel" iterator over the collection (sequential here).
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
-    }
-}
-
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-/// Shared-slice entry points.
-pub trait ParallelSlice<T> {
-    /// "Parallel" iterator over shared references (sequential here).
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    /// "Parallel" iterator over `size`-element chunks (sequential here).
-    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(size)
-    }
-}
-
-/// Mutable-slice entry points.
-pub trait ParallelSliceMut<T> {
-    /// "Parallel" iterator over mutable references (sequential here).
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    /// "Parallel" iterator over mutable chunks (sequential here).
-    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
-    }
-    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(size)
-    }
-}
+pub use iter::{
+    ChunksIter, ChunksIterMut, Enumerate, IntoParallelIterator, Map, ParallelIterator,
+    ParallelSlice, ParallelSliceMut, RangeIter, SliceIter, SliceIterMut, VecIter, Zip,
+};
+pub use pool::{
+    current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder, NUM_THREADS_ENV,
+};
 
 pub mod prelude {
     //! Glob-import surface matching `rayon::prelude::*`.
-    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use crate::iter::{
+        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(n: usize) -> super::ThreadPool {
+        super::ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn entry_points_behave_like_std() {
@@ -96,5 +77,150 @@ mod tests {
     #[test]
     fn thread_count_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let p = pool(3);
+        assert_eq!(p.current_num_threads(), 3);
+        p.install(|| assert_eq!(super::current_num_threads(), 3));
+        let p1 = pool(1);
+        p1.install(|| assert_eq!(super::current_num_threads(), 1));
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        for threads in [1, 2, 4] {
+            pool(threads).install(|| {
+                let n = 10_000usize;
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                (0..n).into_par_iter().for_each(|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            });
+        }
+    }
+
+    #[test]
+    fn mutable_chunks_partition_exactly() {
+        for threads in [1, 2, 4] {
+            pool(threads).install(|| {
+                let mut v = vec![0u64; 1003];
+                v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+                    for x in chunk.iter_mut() {
+                        *x = i as u64 + 1;
+                    }
+                });
+                for (k, &x) in v.iter().enumerate() {
+                    assert_eq!(x, (k / 10) as u64 + 1);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn zip_of_zip_matches_sequential() {
+        let a: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..2000).map(|i| 2.0 * i as f64).collect();
+        let mut c = vec![0.0f64; 2000];
+        pool(4).install(|| {
+            c.par_iter_mut()
+                .zip(a.par_iter().zip(b.par_iter()))
+                .for_each(|(c, (a, b))| *c = a + 3.0 * b);
+        });
+        for i in 0..2000 {
+            assert_eq!(c[i], a[i] + 3.0 * b[i]);
+        }
+    }
+
+    #[test]
+    fn map_sum_collect_agree_with_std() {
+        let v: Vec<u64> = (0..5000).collect();
+        let expected: u64 = v.iter().map(|x| x * 2).sum();
+        pool(4).install(|| {
+            let doubled: Vec<u64> = v.par_iter().map(|x| *x * 2).collect();
+            assert_eq!(doubled.iter().sum::<u64>(), expected);
+            assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(v.par_iter().map(|x| *x * 2).sum::<u64>(), expected);
+        });
+    }
+
+    #[test]
+    fn nested_join_computes_fibonacci() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = super::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        for threads in [1, 2, 4, 8] {
+            pool(threads).install(|| assert_eq!(fib(18), 2584));
+        }
+    }
+
+    /// The ISSUE's deadlock stress: hammer the pool with deeply nested
+    /// joins and many small `for_each` dispatches concurrently.
+    #[test]
+    fn stress_nested_joins_and_small_dispatches() {
+        let p = pool(4);
+        p.install(|| {
+            let total = AtomicUsize::new(0);
+            (0..64usize).into_par_iter().for_each(|_| {
+                // Each task itself runs a nested parallel dispatch.
+                let local: usize = (0..100usize).into_par_iter().map(|i| i).sum();
+                assert_eq!(local, 4950);
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 64);
+            // Many tiny dispatches in a row (dispatch overhead path).
+            for _ in 0..200 {
+                let mut v = [0u32; 7];
+                v.par_iter_mut().for_each(|x| *x += 1);
+                assert_eq!(v.iter().sum::<u32>(), 7);
+            }
+        });
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_caller() {
+        let p = pool(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                (0..100usize).into_par_iter().for_each(|i| {
+                    if i == 57 {
+                        panic!("boom at 57");
+                    }
+                });
+            })
+        }));
+        let err = caught.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("boom"), "got {msg:?}");
+        // The pool must still be usable afterwards.
+        p.install(|| {
+            assert_eq!((0..10usize).into_par_iter().sum::<usize>(), 45);
+        });
+    }
+
+    #[test]
+    fn empty_and_single_item_iterators() {
+        pool(4).install(|| {
+            let empty: Vec<u32> = vec![];
+            empty.par_iter().for_each(|_| panic!("no items"));
+            assert_eq!((0u32..0).into_par_iter().count(), 0);
+            let one = [41u32];
+            assert_eq!(one.par_iter().map(|x| x + 1).sum::<u32>(), 42);
+        });
+    }
+
+    #[test]
+    fn enumerate_indices_are_global_after_splits() {
+        pool(4).install(|| {
+            let v = vec![7u8; 513];
+            let idx: Vec<usize> = v.par_iter().enumerate().map(|(i, _)| i).collect();
+            assert_eq!(idx, (0..513).collect::<Vec<_>>());
+        });
     }
 }

@@ -1,0 +1,115 @@
+//! Kernel throughput baseline: measures the native kernels at 1 thread and
+//! at the machine's full thread count, and writes `BENCH_kernels.json` at
+//! the repository root (override the path with `TGI_BENCH_OUT`).
+//!
+//! The committed JSON is the perf baseline for the parallel backend: GFLOPS
+//! for DGEMM and HPL, STREAM Triad MB/s, and GUPS, plus the N-thread/1-thread
+//! speedup per kernel. Numbers are honest for the machine that produced
+//! them — `machine.available_parallelism` records how many cores that was.
+
+use hpc_kernels::stream::StreamConfig;
+use hpc_kernels::{gemm, hpl, random_access, stream};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Problem sizes: big enough to exercise the blocking/parallel paths,
+/// small enough that the bench smoke-runs in CI.
+const GEMM_N: usize = 512;
+const HPL_N: usize = 512;
+const STREAM_ELEMS: usize = 1 << 21;
+const GUPS_LOG2: u32 = 16;
+
+#[derive(Serialize)]
+struct Machine {
+    available_parallelism: usize,
+}
+
+#[derive(Serialize)]
+struct KernelRun {
+    threads: usize,
+    gemm_n: usize,
+    gemm_gflops: f64,
+    hpl_n: usize,
+    hpl_gflops: f64,
+    stream_elems: usize,
+    stream_triad_mbps: f64,
+    gups_log2_table: u32,
+    gups: f64,
+}
+
+#[derive(Serialize)]
+struct Speedup {
+    gemm: f64,
+    hpl: f64,
+    stream_triad: f64,
+    gups: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    machine: Machine,
+    runs: Vec<KernelRun>,
+    speedup_n_over_1: Speedup,
+}
+
+fn measure(threads: usize) -> KernelRun {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+    pool.install(|| {
+        let g = gemm::benchmark(GEMM_N, 7);
+        let h = hpl::run(hpl::HplConfig::new(HPL_N)).expect("non-singular HPL system");
+        assert!(h.passed, "HPL residual check failed");
+        let s = stream::run(StreamConfig { array_size: STREAM_ELEMS, ntimes: 3 });
+        assert!(s.validated, "STREAM results check failed");
+        let r = random_access::run(random_access::GupsConfig::new(GUPS_LOG2));
+        assert!(r.passed, "GUPS verification failed");
+        KernelRun {
+            threads,
+            gemm_n: GEMM_N,
+            gemm_gflops: g.gflops,
+            hpl_n: HPL_N,
+            hpl_gflops: h.gflops,
+            stream_elems: STREAM_ELEMS,
+            stream_triad_mbps: s.triad_mbps(),
+            gups_log2_table: GUPS_LOG2,
+            gups: r.gups,
+        }
+    })
+}
+
+fn output_path() -> PathBuf {
+    if let Ok(p) = std::env::var("TGI_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    // crates/bench/ → repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_kernels.json")
+}
+
+fn main() {
+    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("kernel_throughput: measuring at 1 and {n_threads} thread(s)");
+
+    let one = measure(1);
+    let many = if n_threads > 1 { measure(n_threads) } else { measure(1) };
+    let speedup = Speedup {
+        gemm: many.gemm_gflops / one.gemm_gflops,
+        hpl: many.hpl_gflops / one.hpl_gflops,
+        stream_triad: many.stream_triad_mbps / one.stream_triad_mbps,
+        gups: many.gups / one.gups,
+    };
+    for run in [&one, &many] {
+        eprintln!(
+            "  threads={}: gemm {:.3} GFLOPS, hpl {:.3} GFLOPS, triad {:.1} MB/s, {:.5} GUPS",
+            run.threads, run.gemm_gflops, run.hpl_gflops, run.stream_triad_mbps, run.gups
+        );
+    }
+
+    let baseline = Baseline {
+        machine: Machine { available_parallelism: n_threads },
+        runs: vec![one, many],
+        speedup_n_over_1: speedup,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    let path = output_path();
+    std::fs::write(&path, json + "\n").expect("baseline file writable");
+    eprintln!("kernel_throughput: wrote {}", path.display());
+}

@@ -8,6 +8,10 @@
 //! * `benches/tables.rs` — Tables I and II.
 //! * `benches/kernels.rs` — the native kernels (HPL, STREAM, IOzone-style,
 //!   DGEMM, FFT, PTRANS, GUPS) at several sizes.
+//! * `benches/kernel_throughput.rs` — the parallel-backend perf baseline:
+//!   runs DGEMM/HPL/STREAM/GUPS at 1 thread and at the machine's full
+//!   thread count and writes `BENCH_kernels.json` at the repo root (path
+//!   overridable with `TGI_BENCH_OUT`), including N-over-1 speedups.
 //! * `benches/lu_ablation.rs` — blocked vs unblocked LU, block-size sweep.
 //! * `benches/metric.rs` — tgi-core microbenchmarks (TGI computation,
 //!   Pearson correlation, means).

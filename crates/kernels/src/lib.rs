@@ -19,9 +19,18 @@
 //! * [`mixed`] — f32 LU + f64 iterative refinement (the HPL-AI energy
 //!   technique), with honest convergence reporting.
 //!
-//! All kernels are multi-threaded via rayon and report the same metrics the
-//! original benchmarks report (GFLOPS, MB/s, GUPS), with explicit work
-//! accounting so power and energy models can reuse the numbers.
+//! All kernels are multi-threaded via the in-tree `rayon` shim, which runs
+//! a real work-sharing thread pool sized by `available_parallelism()` and
+//! overridable with the `TGI_NUM_THREADS` environment variable
+//! (`TGI_NUM_THREADS=1` pins every kernel to fully sequential execution).
+//! Parallel tasks write disjoint `&mut` output chunks, so GEMM, PTRANS and
+//! the LU trailing update are bit-identical at every thread count. Kernels
+//! report the same metrics the original benchmarks report (GFLOPS, MB/s,
+//! GUPS), with explicit work accounting so power and energy models can
+//! reuse the numbers; the [`timing`] helpers repeat tiny problems until the
+//! clock resolves, so no benchmark ever reports `inf`. Because each kernel
+//! may now use the whole machine, the suite runner executes metered items
+//! exclusively (see `tgi-suite`) rather than overlapping them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +48,7 @@ pub mod mixed;
 pub mod ptrans;
 pub mod random_access;
 pub mod stream;
+pub mod timing;
 
 pub use comm::{CommConfig, CommResult};
 pub use complex::Complex64;

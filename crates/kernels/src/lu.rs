@@ -138,7 +138,7 @@ pub fn factor_blocked(a: &mut Matrix, nb: usize) -> Result<Vec<usize>, SingularM
             }
         }
 
-        // --- Triangular solve + trailing update, fused per column. ---
+        // --- Triangular solve + trailing GEMM update. ---
         if k0 + kb < n {
             // Snapshot the panel: L11 (kb×kb unit lower) and L21 ((n-k0-kb)×kb),
             // stored column-major with leading dimension (n - k0).
@@ -149,31 +149,57 @@ pub fn factor_blocked(a: &mut Matrix, nb: usize) -> Result<Vec<usize>, SingularM
                 col.copy_from_slice(&src[k0..n]);
             }
 
+            // Pack L21 once into MR-row micro-panels (zero-padded),
+            // shared read-only by every trailing-update task.
+            use crate::gemm::micro::{self, MR, NR};
+            let l21_rows = ld - kb;
+            let mut l21pack: Vec<f64> = Vec::new();
+            micro::pack_a(&panel, ld, kb, l21_rows, 0, kb, &mut l21pack);
+            let l21pack = &l21pack;
+            let panel = &panel;
+
+            // Fan out over NR-column chunks of the trailing matrix: the
+            // same widened grain as DGEMM, so small trailing updates pay
+            // per-block rather than per-column dispatch overhead. Each
+            // chunk is a disjoint &mut slab of whole columns, so the
+            // update is deterministic at every thread count.
             let rows = a.rows();
             let trailing = &mut a.as_mut_slice()[(k0 + kb) * rows..];
-            trailing.par_chunks_mut(rows).for_each(|col| {
-                // y = L11⁻¹ · A12[:, j]  (unit lower triangular solve, in place)
-                for k in 0..kb {
-                    let y_k = col[k0 + k];
-                    if y_k == 0.0 {
-                        continue;
-                    }
-                    let lcol = &panel[k * ld..(k + 1) * ld];
-                    for i in k + 1..kb {
-                        col[k0 + i] -= lcol[i] * y_k;
+            trailing.par_chunks_mut(NR * rows).for_each(|chunk| {
+                let ncols = chunk.len() / rows;
+                // y = L11⁻¹ · A12[:, j] per column (unit lower solve).
+                for col in chunk.chunks_exact_mut(rows) {
+                    for k in 0..kb {
+                        let y_k = col[k0 + k];
+                        if y_k == 0.0 {
+                            continue;
+                        }
+                        let lcol = &panel[k * ld..k * ld + kb];
+                        for i in k + 1..kb {
+                            col[k0 + i] -= lcol[i] * y_k;
+                        }
                     }
                 }
-                // A22[:, j] -= L21 · y
-                for k in 0..kb {
-                    let y_k = col[k0 + k];
-                    if y_k == 0.0 {
-                        continue;
+                // A22[:, 0..ncols] -= L21 · Y via the register-blocked
+                // microkernel (alpha = −1), reading Y straight out of
+                // the solved rows of this chunk.
+                let mut ysliver = [0.0f64; DEFAULT_BLOCK * NR];
+                let mut yheap;
+                let ybuf: &mut [f64] = if kb * NR <= ysliver.len() {
+                    &mut ysliver[..kb * NR]
+                } else {
+                    yheap = vec![0.0f64; kb * NR];
+                    &mut yheap
+                };
+                for (p, dst) in ybuf.chunks_exact_mut(NR).enumerate() {
+                    for (j, d) in dst.iter_mut().enumerate() {
+                        *d = if j < ncols { chunk[j * rows + k0 + p] } else { 0.0 };
                     }
-                    let lcol = &panel[k * ld + kb..(k + 1) * ld];
-                    let dst = &mut col[k0 + kb..];
-                    for (d, l) in dst.iter_mut().zip(lcol) {
-                        *d -= l * y_k;
-                    }
+                }
+                for (r, lp) in l21pack.chunks_exact(MR * kb).enumerate() {
+                    let row0 = k0 + kb + r * MR;
+                    let mr_eff = MR.min(k0 + kb + l21_rows - row0);
+                    micro::kernel(lp, ybuf, kb, -1.0, chunk, rows, row0, mr_eff, ncols);
                 }
             });
         }

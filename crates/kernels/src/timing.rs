@@ -1,0 +1,94 @@
+//! Timer-resolution-aware benchmark timing.
+//!
+//! On tiny problem sizes a single kernel invocation can complete below
+//! the clock's resolution, which used to make `elapsed ≈ 0` and the
+//! reported GFLOPS/bandwidth `inf`. The helpers here repeat the kernel
+//! until the accumulated wall time is measurable and clamp the mean to
+//! a floor of one nanosecond, so every benchmark reports a finite,
+//! minimum-resolution result.
+
+use std::time::Instant;
+
+/// Repeat a benchmark body until at least this much wall time has
+/// accumulated (or [`MAX_TIMING_REPS`] is hit).
+pub const MIN_TIMED_SECONDS: f64 = 5e-3;
+
+/// Hard cap on timing repetitions, so a pathologically fast body
+/// cannot spin forever.
+pub const MAX_TIMING_REPS: u32 = 10_000;
+
+/// Smallest mean-per-repetition the timers will report (1 ns): the
+/// divide-by-zero guard for clocks that cannot resolve the body at all.
+pub const TIMER_FLOOR_SECONDS: f64 = 1e-9;
+
+/// Runs `body` repeatedly until the total elapsed time reaches
+/// [`MIN_TIMED_SECONDS`] (capped at [`MAX_TIMING_REPS`] repetitions).
+///
+/// Returns `(repetitions, mean_seconds_per_repetition)`; the mean is
+/// clamped to [`TIMER_FLOOR_SECONDS`], so it is always positive and
+/// finite.
+pub fn time_until_resolved(mut body: impl FnMut()) -> (u32, f64) {
+    let start = Instant::now();
+    let mut reps = 0u32;
+    let total = loop {
+        body();
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= MIN_TIMED_SECONDS || reps >= MAX_TIMING_REPS {
+            break elapsed;
+        }
+    };
+    (reps, (total / reps as f64).max(TIMER_FLOOR_SECONDS))
+}
+
+/// Like [`time_until_resolved`], but each repetition times only the
+/// span measured by `body` itself (which returns per-call seconds).
+/// Used when per-repetition setup (e.g. cloning the input matrix)
+/// must stay outside the timed region.
+pub fn time_until_resolved_excluding_setup(mut body: impl FnMut() -> f64) -> (u32, f64) {
+    let mut total = 0.0;
+    let mut reps = 0u32;
+    loop {
+        total += body();
+        reps += 1;
+        if total >= MIN_TIMED_SECONDS || reps >= MAX_TIMING_REPS {
+            break;
+        }
+    }
+    (reps, (total / reps as f64).max(TIMER_FLOOR_SECONDS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_zero_body_reports_finite_positive_mean() {
+        let (reps, mean) = time_until_resolved(|| {});
+        assert!(reps >= 1);
+        assert!(mean.is_finite() && mean > 0.0);
+    }
+
+    #[test]
+    fn slow_body_runs_once() {
+        let (reps, mean) = time_until_resolved(|| {
+            std::thread::sleep(std::time::Duration::from_millis(6));
+        });
+        assert_eq!(reps, 1);
+        assert!(mean >= MIN_TIMED_SECONDS);
+    }
+
+    #[test]
+    fn setup_excluding_variant_counts_only_reported_spans() {
+        let (reps, mean) = time_until_resolved_excluding_setup(|| 2e-3);
+        assert_eq!(reps, 3, "2 ms spans need 3 reps to reach 5 ms");
+        assert!((mean - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_span_body_hits_rep_cap_and_floor() {
+        let (reps, mean) = time_until_resolved_excluding_setup(|| 0.0);
+        assert_eq!(reps, MAX_TIMING_REPS);
+        assert_eq!(mean, TIMER_FLOOR_SECONDS);
+    }
+}

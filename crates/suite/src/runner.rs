@@ -16,11 +16,16 @@
 //!   from a shared queue; results land in per-item slots, so report
 //!   order is deterministic regardless of scheduling.
 //! * A benchmark whose [`Benchmark::exclusive_meter`] returns `true`
-//!   (all metered native benchmarks) runs while the worker holds the
-//!   runner's single meter token, so at most one metered run samples
-//!   power at a time — concurrent metered runs would perturb each
-//!   other's trace, since the paper's setup has one wall meter per
-//!   node. Simulated and cluster benchmarks fan out freely.
+//!   (all metered native benchmarks) runs **fully exclusively**: its
+//!   worker takes the write side of the runner's meter lock while every
+//!   other item holds the read side, so a metered run overlaps with
+//!   nothing — not even non-metered items. Concurrent metered runs
+//!   would perturb each other's power trace (the paper's setup has one
+//!   wall meter per node), and the native kernels are genuinely
+//!   multi-threaded through the `rayon` shim (`TGI_NUM_THREADS`), so a
+//!   metered kernel uses the whole machine: any concurrent item would
+//!   both distort its sampled draw and steal its cores. Simulated and
+//!   cluster benchmarks fan out freely among themselves.
 //! * Each attempt runs on its own thread. If it exceeds the configured
 //!   timeout the attempt is *abandoned* (the thread is detached, not
 //!   killed — Rust has no safe thread cancellation) and reported as
@@ -41,7 +46,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -137,7 +142,8 @@ impl SuiteRunner {
             items.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
-        let meter = Mutex::new(());
+        // Write side = metered item (exclusive machine), read side = everyone else.
+        let meter = RwLock::new(());
 
         let workers = self.parallelism.min(items.len().max(1));
         std::thread::scope(|scope| {
@@ -180,16 +186,28 @@ impl SuiteRunner {
         &self,
         bench: &Arc<dyn Benchmark>,
         repeat: usize,
-        meter: &Mutex<()>,
+        meter: &RwLock<()>,
     ) -> BenchmarkReport {
         let started = Instant::now();
         let mut attempts = 0;
         let outcome = loop {
             attempts += 1;
-            let guard =
-                bench.exclusive_meter().then(|| meter.lock().expect("meter token poisoned"));
+            // Metered items take the write lock (run alone on the whole
+            // machine); everything else shares the read lock so it can
+            // overlap with other non-metered items but never with a
+            // metered one.
+            let write_guard;
+            let read_guard;
+            if bench.exclusive_meter() {
+                write_guard = Some(meter.write().expect("meter lock poisoned"));
+                read_guard = None;
+            } else {
+                write_guard = None;
+                read_guard = Some(meter.read().expect("meter lock poisoned"));
+            }
             let result = self.attempt(bench);
-            drop(guard);
+            drop(write_guard);
+            drop(read_guard);
             match result {
                 Ok(output) => break RunOutcome::Success(output),
                 Err(e) if e.is_transient() && attempts <= self.retries => {
@@ -666,6 +684,58 @@ mod tests {
         let report = SuiteRunner::new().parallelism(4).run(&suite);
         assert!(report.all_succeeded());
         assert!(!overlap.load(Ordering::SeqCst), "metered runs overlapped");
+    }
+
+    #[test]
+    fn metered_benchmarks_overlap_with_nothing() {
+        /// Tracks concurrent runners; a metered run must see zero others
+        /// in flight (metered *or* not) for its whole duration.
+        struct Tracked {
+            id: &'static str,
+            metered: bool,
+            active: Arc<AtomicUsize>,
+            violated: Arc<AtomicBool>,
+        }
+        impl Benchmark for Tracked {
+            fn id(&self) -> &str {
+                self.id
+            }
+            fn subsystem(&self) -> &'static str {
+                "test"
+            }
+            fn exclusive_meter(&self) -> bool {
+                self.metered
+            }
+            fn run(&self) -> Result<Measurement, SuiteError> {
+                let others = self.active.fetch_add(1, Ordering::SeqCst);
+                if self.metered && others > 0 {
+                    self.violated.store(true, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                if self.metered && self.active.load(Ordering::SeqCst) > 1 {
+                    self.violated.store(true, Ordering::SeqCst);
+                }
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                Ok(meas(self.id, 1.0))
+            }
+        }
+
+        let active = Arc::new(AtomicUsize::new(0));
+        let violated = Arc::new(AtomicBool::new(false));
+        let mut suite = BenchmarkSuite::new();
+        for (id, metered) in
+            [("sim1", false), ("hpl", true), ("sim2", false), ("stream", true), ("sim3", false)]
+        {
+            suite.push(Box::new(Tracked {
+                id,
+                metered,
+                active: Arc::clone(&active),
+                violated: Arc::clone(&violated),
+            }));
+        }
+        let report = SuiteRunner::new().parallelism(5).run(&suite);
+        assert!(report.all_succeeded());
+        assert!(!violated.load(Ordering::SeqCst), "a metered run overlapped with another item");
     }
 
     #[test]
