@@ -204,6 +204,54 @@ mod tests {
         });
     }
 
+    /// Regression: a panic in the *inline* half of `join` must not
+    /// unwind while the spawned half is still queued or running on a
+    /// worker (the StackJob lives in the unwinding frame). Hammer the
+    /// race with spawned halves of varying cost so the panic lands both
+    /// before and after a worker steals the job.
+    #[test]
+    fn panicking_inline_half_of_join_is_memory_safe() {
+        let p = pool(4);
+        for round in 0..300usize {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.install(|| {
+                    super::join(
+                        || panic!("inline boom"),
+                        move || {
+                            // Touch memory so a use-after-free has teeth
+                            // under sanitizers; vary the duration to
+                            // race the steal both ways.
+                            let v: Vec<usize> = (0..(round % 64) * 16).collect();
+                            std::hint::black_box(v.iter().sum::<usize>())
+                        },
+                    )
+                })
+            }));
+            let err = caught.expect_err("inline panic must propagate");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+            assert!(msg.contains("inline boom"), "got {msg:?}");
+        }
+        // The pool must still be usable afterwards.
+        p.install(|| assert_eq!((0..10usize).into_par_iter().sum::<usize>(), 45));
+    }
+
+    /// When both halves panic, the inline half's payload propagates and
+    /// the spawned half's payload is discarded — without aborting the
+    /// process via a double panic.
+    #[test]
+    fn both_join_halves_panicking_propagates_inline_payload() {
+        let p = pool(2);
+        for _ in 0..50 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.install(|| super::join(|| panic!("left"), || panic!("right")))
+            }));
+            let err = caught.expect_err("panic must propagate");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "left", "the inline half's payload wins");
+        }
+        p.install(|| assert_eq!((0..10usize).into_par_iter().sum::<usize>(), 45));
+    }
+
     #[test]
     fn empty_and_single_item_iterators() {
         pool(4).install(|| {

@@ -16,9 +16,10 @@
 //!   (every waiter makes global progress).
 //! * Jobs borrow stack data from their spawner. The single `unsafe`
 //!   surface of this crate is the lifetime erasure in [`JobRef`]; it is
-//!   sound because the spawner never returns from `join` until the
-//!   job's latch is set, so the borrowed frame outlives every access
-//!   (the same argument rayon itself makes).
+//!   sound because the spawner never leaves `join` — by return **or by
+//!   unwind** — until the job is reclaimed from the queue or its latch
+//!   is set, so the borrowed frame outlives every access (the same
+//!   argument rayon itself makes).
 //! * The pool size comes from `TGI_NUM_THREADS` (if set to a positive
 //!   integer) or `std::thread::available_parallelism()`. A size of 1
 //!   spawns no workers at all: every entry point degenerates to plain
@@ -27,14 +28,18 @@
 //! Panics inside a job are caught on the worker, carried back through
 //! the latch, and resumed on the thread that owns the join — a panic in
 //! a kernel closure therefore unwinds the caller exactly as the
-//! sequential shim did, and never kills a pool worker.
+//! sequential shim did, and never kills a pool worker. A panic in the
+//! *inline* half of a join first reclaims (or waits out) the spawned
+//! half before unwinding, so no worker is ever left holding a pointer
+//! into a dead frame.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread;
+use std::time::Duration;
 
 /// Environment variable overriding the global pool size.
 pub const NUM_THREADS_ENV: &str = "TGI_NUM_THREADS";
@@ -128,8 +133,11 @@ impl Registry {
     }
 
     /// Removes `job` from the queue if nobody has claimed it yet.
+    ///
+    /// Poison-tolerant: this runs on `join`'s unwind path, where a
+    /// second panic would abort the process.
     fn try_reclaim(&self, job: &JobRef) -> bool {
-        let mut shared = self.shared.lock().expect("pool queue poisoned");
+        let mut shared = self.shared.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(pos) = shared.queue.iter().position(|j| std::ptr::eq(j.data, job.data)) {
             shared.queue.remove(pos);
             true
@@ -199,10 +207,21 @@ const PENDING: u8 = 0;
 const EXECUTING: u8 = 1;
 const DONE: u8 = 2;
 
+/// How long a waiter parks on a job's completion condvar before
+/// re-checking the queue for newly injected jobs it could help with.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+/// How many `yield_now` spins a waiter burns before parking: short jobs
+/// usually finish within a few quanta, and parking costs a syscall.
+const SPINS_BEFORE_PARK: u32 = 8;
+
 /// A job whose closure and result live on the spawning thread's stack.
 struct StackJob<F, R> {
     func: Mutex<Option<F>>,
     result: Mutex<Option<thread::Result<R>>>,
+    /// Signalled (with `state` already DONE, under the `result` lock)
+    /// when the job finishes, so waiters can park instead of spinning.
+    done: Condvar,
     state: AtomicU8,
 }
 
@@ -215,6 +234,7 @@ where
         StackJob {
             func: Mutex::new(Some(func)),
             result: Mutex::new(None),
+            done: Condvar::new(),
             state: AtomicU8::new(PENDING),
         }
     }
@@ -238,8 +258,14 @@ where
             return;
         };
         let outcome = panic::catch_unwind(AssertUnwindSafe(f));
-        *job.result.lock().expect("job result poisoned") = Some(outcome);
+        // DONE is stored while the result lock is held: a waiter that
+        // observes !DONE under the same lock is therefore guaranteed to
+        // receive the notify below — no lost wakeup.
+        let mut slot = job.result.lock().expect("job result poisoned");
+        *slot = Some(outcome);
         job.state.store(DONE, Ordering::Release);
+        drop(slot);
+        job.done.notify_all();
     }
 
     fn run_inline(&self) -> R {
@@ -247,28 +273,60 @@ where
         f()
     }
 
-    /// Waits for a spawned job, executing other queued jobs meanwhile.
+    /// Waits for a spawned job, executing other queued jobs meanwhile;
+    /// propagates the job's result or panic to the caller.
     fn wait_helping(&self, registry: &Registry) -> R {
-        loop {
-            match self.state.load(Ordering::Acquire) {
-                DONE => {
-                    let outcome = self
-                        .result
-                        .lock()
-                        .expect("job result poisoned")
-                        .take()
-                        .expect("done job has a result");
-                    match outcome {
-                        Ok(r) => return r,
-                        Err(payload) => panic::resume_unwind(payload),
+        self.help_until_done(registry);
+        let outcome =
+            self.result.lock().expect("job result poisoned").take().expect("done job has a result");
+        match outcome {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Waits for a spawned job while the caller is already unwinding:
+    /// blocks until no worker can still touch this frame, then discards
+    /// the job's result — including any panic payload, since the
+    /// caller's own panic is the one being propagated. Poison-tolerant
+    /// throughout: a second panic here would abort the process.
+    fn wait_quiet(&self, registry: &Registry) {
+        self.help_until_done(registry);
+        let _ = self.result.lock().unwrap_or_else(PoisonError::into_inner).take();
+    }
+
+    /// Drives the pool until this job reaches DONE. While the job is
+    /// pending or running elsewhere the caller helps by executing other
+    /// queued jobs; once the queue drains it briefly yields, then parks
+    /// on the completion condvar (with a short timeout so newly
+    /// injected jobs still get helped) instead of burning a core on an
+    /// unbounded yield-spin.
+    fn help_until_done(&self, registry: &Registry) {
+        let mut idle_spins = 0u32;
+        while self.state.load(Ordering::Acquire) != DONE {
+            match registry.try_pop() {
+                // Helping: run someone else's job while we wait.
+                // SAFETY: see JobRef.
+                Some(job) => {
+                    idle_spins = 0;
+                    unsafe { (job.execute)(job.data) }
+                }
+                None if idle_spins < SPINS_BEFORE_PARK => {
+                    idle_spins += 1;
+                    thread::yield_now();
+                }
+                None => {
+                    let guard = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+                    // Re-check under the lock: execute() sets DONE while
+                    // holding it, so seeing !DONE here guarantees the
+                    // notify has not fired yet.
+                    if self.state.load(Ordering::Acquire) != DONE {
+                        let _ = self
+                            .done
+                            .wait_timeout(guard, PARK_TIMEOUT)
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                 }
-                _ => match registry.try_pop() {
-                    // Helping: run someone else's job while we wait.
-                    // SAFETY: see JobRef.
-                    Some(job) => unsafe { (job.execute)(job.data) },
-                    None => thread::yield_now(),
-                },
             }
         }
     }
@@ -293,7 +351,21 @@ where
     }
     let job_b = StackJob::new(b);
     registry.inject(job_b.as_job_ref());
-    let ra = a();
+    // Panic safety: if `a` unwinds while job_b is still queued or
+    // running on a worker, the unwind would deallocate the StackJob in
+    // this frame while that worker can still reach it through its
+    // JobRef (use-after-free). Catch the panic, make the job
+    // unreachable — reclaim it from the queue, or wait for the worker
+    // to finish with it — and only then resume unwinding.
+    let ra = match panic::catch_unwind(AssertUnwindSafe(a)) {
+        Ok(ra) => ra,
+        Err(payload) => {
+            if !registry.try_reclaim(&job_b.as_job_ref()) {
+                job_b.wait_quiet(&registry);
+            }
+            panic::resume_unwind(payload);
+        }
+    };
     let rb = if registry.try_reclaim(&job_b.as_job_ref()) {
         job_b.run_inline()
     } else {

@@ -10,8 +10,11 @@
 //! * each `MC×KC` block of A is **packed** into contiguous `MR`-row
 //!   micro-panels (zero-padded at the fringe) so the inner loops read
 //!   unit-stride memory regardless of the leading dimension;
-//! * each task packs the `KC×NR` sliver of B it consumes into a small
-//!   stack buffer, then drives an `MR×NR` **register-blocked
+//! * each `KC`-deep panel of B is **packed once** into contiguous
+//!   `KC×NR` slivers (in parallel over column blocks) and shared
+//!   read-only by every `MC` row block — the slivers depend only on the
+//!   panel and column block, so repacking them per row block would be
+//!   pure waste; each task then drives an `MR×NR` **register-blocked
 //!   microkernel**: `MR·NR` accumulators live in registers across the
 //!   whole `KC` sweep and touch C only once per block;
 //! * work is dispatched over `NR`-column chunks of C (not single
@@ -162,9 +165,20 @@ pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
 
     use micro::{MR, NR};
     let mut apack: Vec<f64> = Vec::new();
+    let mut bpack: Vec<f64> = Vec::new();
+    let nblocks = n.div_ceil(NR);
     let mut p0 = 0;
     while p0 < k {
         let pb = KC.min(k - p0);
+        // Pack every KC×NR sliver of this B panel once, in parallel:
+        // the slivers depend only on (p0, jb), so all MC row blocks
+        // below share them read-only instead of repacking per task.
+        bpack.clear();
+        bpack.resize(nblocks * pb * NR, 0.0);
+        bpack.par_chunks_mut(pb * NR).enumerate().for_each(|(jb, sliver)| {
+            micro::pack_b_sliver(b_data, k, p0, pb, jb * NR, NR.min(n - jb * NR), sliver);
+        });
+        let bpack = &bpack;
         let mut i0 = 0;
         while i0 < m {
             let ib = MC.min(m - i0);
@@ -175,22 +189,11 @@ pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
             // disjoint &mut slab of whole columns.
             c_data.par_chunks_mut(NR * c_rows).enumerate().for_each(|(jb, c_chunk)| {
                 let nr_eff = c_chunk.len() / c_rows;
-                let mut bsliver = [0.0f64; KC * NR];
-                micro::pack_b_sliver(b_data, k, p0, pb, jb * NR, nr_eff, &mut bsliver[..pb * NR]);
+                let bsliver = &bpack[jb * pb * NR..(jb + 1) * pb * NR];
                 for (r, ap) in apack.chunks_exact(MR * pb).enumerate() {
                     let row0 = i0 + r * MR;
                     let mr_eff = MR.min(i0 + ib - row0);
-                    micro::kernel(
-                        ap,
-                        &bsliver[..pb * NR],
-                        pb,
-                        alpha,
-                        c_chunk,
-                        c_rows,
-                        row0,
-                        mr_eff,
-                        nr_eff,
-                    );
+                    micro::kernel(ap, bsliver, pb, alpha, c_chunk, c_rows, row0, mr_eff, nr_eff);
                 }
             });
             i0 += ib;
