@@ -1,0 +1,371 @@
+//! Trace-analytics baseline: indexed SoA trace queries vs naive rescans,
+//! written to `BENCH_trace.json` at the repository root (override the path
+//! with `TGI_BENCH_OUT`, the trace length with `TGI_TRACE_BENCH_SAMPLES`).
+//!
+//! The committed JSON documents the streaming-analytics engine's win: batch
+//! and per-push ingest rates, O(log n) `energy_between` vs a full-scan
+//! integration, the O(n) two-pointer `moving_average` vs the O(n·w)
+//! definition, selection-based percentiles vs a full sort per query, and
+//! parallel fleet summarization at 1 vs N threads. Every naive reference is
+//! implemented here, independent of the library's prefix index, and the
+//! bench asserts the two paths agree before it trusts a timing.
+
+use power_model::{analysis, PowerTrace, TraceSet};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+use tgi_core::Watts;
+
+#[derive(Serialize)]
+struct Machine {
+    available_parallelism: usize,
+}
+
+#[derive(Serialize)]
+struct Ingest {
+    push_samples_per_sec: f64,
+    batch_samples_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct EnergyBetween {
+    indexed_ns_per_query: f64,
+    naive_ns_per_query: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct MovingAverage {
+    window_s: f64,
+    indexed_ms: f64,
+    naive_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Percentile {
+    selection_us_per_query: f64,
+    full_sort_us_per_query: f64,
+    cached_ns_per_query: f64,
+    speedup_selection_over_sort: f64,
+}
+
+#[derive(Serialize)]
+struct Fleet {
+    nodes: usize,
+    summarize_ms_1_thread: f64,
+    summarize_ms_n_threads: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    machine: Machine,
+    samples: usize,
+    ingest: Ingest,
+    energy_between: EnergyBetween,
+    moving_average: MovingAverage,
+    percentile: Percentile,
+    fleet: Fleet,
+}
+
+/// Deterministic pseudo-random stream (SplitMix-style LCG).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_unit(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A wall-meter-like trace: ~1 Hz cadence with jitter, wandering power.
+fn synth_columns(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = Lcg(0x7261CE);
+    let mut times = Vec::with_capacity(n);
+    let mut watts = Vec::with_capacity(n);
+    let mut t = 0.0;
+    let mut w = 250.0;
+    for _ in 0..n {
+        t += 0.9 + 0.2 * rng.next_unit();
+        w = (w + 10.0 * (rng.next_unit() - 0.5)).clamp(80.0, 450.0);
+        times.push(t);
+        watts.push(w);
+    }
+    (times, watts)
+}
+
+/// Naive full-scan windowed energy: interpolated piecewise-linear integral.
+fn naive_energy_between(times: &[f64], watts: &[f64], a: f64, b: f64) -> f64 {
+    let a = a.max(times[0]);
+    let b = b.min(times[times.len() - 1]);
+    if b <= a {
+        return 0.0;
+    }
+    let interp = |lo: usize, t: f64| -> f64 {
+        let (t0, t1) = (times[lo], times[lo + 1]);
+        if t1 == t0 {
+            watts[lo + 1]
+        } else {
+            watts[lo] + (watts[lo + 1] - watts[lo]) * (t - t0) / (t1 - t0)
+        }
+    };
+    let mut e = 0.0;
+    for i in 1..times.len() {
+        let lo = times[i - 1].max(a);
+        let hi = times[i].min(b);
+        if hi > lo {
+            e += 0.5 * (interp(i - 1, lo) + interp(i - 1, hi)) * (hi - lo);
+        }
+    }
+    e
+}
+
+/// Naive O(n·w) centered moving average.
+fn naive_moving_average(times: &[f64], watts: &[f64], window_s: f64) -> Vec<f64> {
+    let half = window_s / 2.0;
+    let n = times.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (mut sum, mut count) = (0.0, 0usize);
+        let mut j = i;
+        loop {
+            if times[i] - times[j] > half {
+                break;
+            }
+            sum += watts[j];
+            count += 1;
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        let mut j = i + 1;
+        while j < n && times[j] - times[i] <= half {
+            sum += watts[j];
+            count += 1;
+            j += 1;
+        }
+        out.push(sum / count as f64);
+    }
+    out
+}
+
+/// Naive full-sort percentile with linear interpolation.
+fn naive_percentile(watts: &[f64], p: f64) -> f64 {
+    let mut sorted = watts.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+}
+
+fn output_path() -> PathBuf {
+    if let Ok(p) = std::env::var("TGI_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    // crates/bench/ → repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_trace.json")
+}
+
+fn main() {
+    let n: usize = std::env::var("TGI_TRACE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let n_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    eprintln!("trace_analytics: {n} samples, {n_threads} thread(s) available");
+
+    let (times, watts) = synth_columns(n);
+
+    // Ingest: validated per-sample pushes vs one batch call.
+    let start = Instant::now();
+    let mut pushed = PowerTrace::with_capacity(n);
+    for (&t, &w) in times.iter().zip(&watts) {
+        pushed.push(t, Watts::new(w));
+    }
+    let push_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let mut batched = PowerTrace::with_capacity(n);
+    batched.extend_from_slices(&times, &watts);
+    let batch_secs = start.elapsed().as_secs_f64();
+    assert_eq!(batched.energy().value(), pushed.energy().value(), "ingest paths must agree");
+    let trace = batched;
+
+    // Windowed energy: agree on a probe set, then time each path at a
+    // query count matched to its cost.
+    let span = times[n - 1] - times[0];
+    let windows: Vec<(f64, f64)> = {
+        let mut rng = Lcg(0xE6E7);
+        (0..200)
+            .map(|_| {
+                let a = times[0] + rng.next_unit() * span;
+                let b = (a + rng.next_unit() * span * 0.2).min(times[n - 1]);
+                (a, b)
+            })
+            .collect()
+    };
+    for &(a, b) in windows.iter().take(25) {
+        let fast = trace.energy_between(a, b).value();
+        let slow = naive_energy_between(&times, &watts, a, b);
+        assert!(
+            (fast - slow).abs() <= 1e-7 * slow.abs().max(1.0),
+            "energy_between disagrees on [{a}, {b}]: {fast} vs {slow}"
+        );
+    }
+    let naive_queries = 50.min(windows.len());
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for &(a, b) in windows.iter().cycle().take(naive_queries) {
+        sink += naive_energy_between(&times, &watts, a, b);
+    }
+    let naive_ns = start.elapsed().as_nanos() as f64 / naive_queries as f64;
+    let indexed_queries = 200_000;
+    let start = Instant::now();
+    for &(a, b) in windows.iter().cycle().take(indexed_queries) {
+        sink -= trace.energy_between(a, b).value();
+    }
+    let indexed_ns = start.elapsed().as_nanos() as f64 / indexed_queries as f64;
+    assert!(sink.is_finite());
+    let energy_between = EnergyBetween {
+        indexed_ns_per_query: indexed_ns,
+        naive_ns_per_query: naive_ns,
+        speedup: naive_ns / indexed_ns,
+    };
+
+    // Moving average: one full pass each, same window. The window is sized
+    // relative to the span (~0.2% ≈ 2000 samples at 1e6) so the naive
+    // O(n·w) cost is clearly separated from the indexed O(n) pass.
+    let window_s = (span * 2e-3).max(3.0);
+    let start = Instant::now();
+    let smooth = analysis::moving_average(&trace, window_s);
+    let ma_indexed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let reference = naive_moving_average(&times, &watts, window_s);
+    let ma_naive_ms = start.elapsed().as_secs_f64() * 1e3;
+    for i in (0..n).step_by((n / 64).max(1)) {
+        let (a, b) = (smooth.sample(i).watts, reference[i]);
+        assert!((a - b).abs() <= 1e-7 * b.abs().max(1.0), "moving_average disagrees at {i}");
+    }
+    let moving_average = MovingAverage {
+        window_s,
+        indexed_ms: ma_indexed_ms,
+        naive_ms: ma_naive_ms,
+        speedup: ma_naive_ms / ma_indexed_ms,
+    };
+
+    // Percentiles: selection per query vs full sort per query vs the cache.
+    let ps = [5.0, 25.0, 50.0, 75.0, 95.0, 99.0];
+    let start = Instant::now();
+    let mut sel_sink = 0.0;
+    for &p in &ps {
+        sel_sink += analysis::try_percentile(&trace, p).unwrap().value();
+    }
+    let selection_us = start.elapsed().as_secs_f64() * 1e6 / ps.len() as f64;
+    let start = Instant::now();
+    let mut sort_sink = 0.0;
+    for &p in &ps {
+        sort_sink += naive_percentile(&watts, p);
+    }
+    let sort_us = start.elapsed().as_secs_f64() * 1e6 / ps.len() as f64;
+    assert!((sel_sink - sort_sink).abs() <= 1e-7 * sort_sink.abs().max(1.0));
+    let cache = PercentileCacheTimed::build(&trace);
+    let percentile = Percentile {
+        selection_us_per_query: selection_us,
+        full_sort_us_per_query: sort_us,
+        cached_ns_per_query: cache.ns_per_query,
+        speedup_selection_over_sort: sort_us / selection_us,
+    };
+
+    // Fleet: split the trace over 8 nodes, summarize at 1 and N threads.
+    let nodes = 8;
+    let per = n / nodes;
+    let mut set = TraceSet::new();
+    for i in 0..nodes {
+        let (lo, hi) = (i * per, ((i + 1) * per).min(n));
+        let mut node = PowerTrace::with_capacity(hi - lo);
+        node.extend_from_slices(&times[lo..hi], &watts[lo..hi]);
+        set.push(format!("node{i}"), node);
+    }
+    let one_pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let start = Instant::now();
+    let s1 = one_pool.install(|| set.summarize());
+    let fleet_ms_1 = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let sn = set.summarize();
+    let fleet_ms_n = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(s1.total_samples, sn.total_samples);
+    assert!((s1.total_energy_j - sn.total_energy_j).abs() <= 1e-9 * sn.total_energy_j.abs());
+    let fleet =
+        Fleet { nodes, summarize_ms_1_thread: fleet_ms_1, summarize_ms_n_threads: fleet_ms_n };
+
+    eprintln!(
+        "  ingest: push {:.2e}/s, batch {:.2e}/s",
+        n as f64 / push_secs,
+        n as f64 / batch_secs
+    );
+    eprintln!(
+        "  energy_between: indexed {:.0} ns vs naive {:.0} ns ({:.0}x)",
+        energy_between.indexed_ns_per_query,
+        energy_between.naive_ns_per_query,
+        energy_between.speedup
+    );
+    eprintln!(
+        "  moving_average ({:.1} s window): {:.1} ms vs {:.1} ms ({:.0}x)",
+        window_s, moving_average.indexed_ms, moving_average.naive_ms, moving_average.speedup
+    );
+    eprintln!(
+        "  percentile: selection {:.0} us vs sort {:.0} us; cached {:.0} ns",
+        percentile.selection_us_per_query,
+        percentile.full_sort_us_per_query,
+        percentile.cached_ns_per_query
+    );
+    eprintln!("  fleet summarize: {fleet_ms_1:.1} ms at 1 thread, {fleet_ms_n:.1} ms at N");
+
+    // The indexed paths must never lose to the naive ones; at full size the
+    // acceptance bar is 10x.
+    assert!(energy_between.speedup >= 1.0, "energy_between slower than naive");
+    assert!(moving_average.speedup >= 1.0, "moving_average slower than naive");
+    if n >= 1_000_000 {
+        assert!(energy_between.speedup >= 10.0, "energy_between below the 10x bar");
+        assert!(moving_average.speedup >= 10.0, "moving_average below the 10x bar");
+    }
+
+    let baseline = Baseline {
+        machine: Machine { available_parallelism: n_threads },
+        samples: n,
+        ingest: Ingest {
+            push_samples_per_sec: n as f64 / push_secs,
+            batch_samples_per_sec: n as f64 / batch_secs,
+        },
+        energy_between,
+        moving_average,
+        percentile,
+        fleet,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    let path = output_path();
+    std::fs::write(&path, json + "\n").expect("baseline file writable");
+    eprintln!("trace_analytics: wrote {}", path.display());
+}
+
+/// Times the [`analysis::PercentileCache`]: one build, then repeated O(1)
+/// queries.
+struct PercentileCacheTimed {
+    ns_per_query: f64,
+}
+
+impl PercentileCacheTimed {
+    fn build(trace: &PowerTrace) -> Self {
+        let cache = analysis::PercentileCache::new(trace);
+        let queries = 100_000;
+        let mut rng = Lcg(0xCAC4E);
+        let start = Instant::now();
+        let mut sink = 0.0;
+        for _ in 0..queries {
+            sink += cache.percentile(rng.next_unit() * 100.0).unwrap().value();
+        }
+        assert!(sink.is_finite());
+        PercentileCacheTimed { ns_per_query: start.elapsed().as_nanos() as f64 / queries as f64 }
+    }
+}

@@ -264,10 +264,11 @@ impl ExecutionEngine {
         let stride = ((seconds / native_interval) / self.max_trace_samples as f64).ceil().max(1.0);
         let trace = if stride > 1.0 {
             let compressed = meter.record(&ground_truth, seconds / stride);
-            let mut scaled = PowerTrace::new();
-            for s in compressed.samples() {
-                scaled.push(s.t * stride, Watts::new(s.watts));
-            }
+            // Stretch the timestamps back in one batch ingest: a single
+            // validation pass instead of per-sample re-checks.
+            let times: Vec<f64> = compressed.times().iter().map(|t| t * stride).collect();
+            let mut scaled = PowerTrace::with_capacity(times.len());
+            scaled.extend_from_slices(&times, compressed.watts());
             scaled
         } else {
             meter.record(&ground_truth, seconds)
@@ -292,6 +293,17 @@ impl ExecutionEngine {
     pub fn run_suite(&self, workloads: &[Workload], processes: usize) -> Vec<SimulatedRun> {
         workloads.iter().map(|w| self.run(*w, processes)).collect()
     }
+}
+
+/// Collects the metered traces of several simulated runs into a labeled
+/// [`power_model::TraceSet`] (labels are `benchmark@processes`), ready for
+/// parallel fleet analysis: aggregate energy, idle floor, window queries.
+pub fn fleet_trace_set(runs: &[SimulatedRun]) -> power_model::TraceSet {
+    power_model::TraceSet::from_entries(
+        runs.iter()
+            .map(|r| (format!("{}@{}", r.benchmark, r.processes), r.trace.clone()))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -421,6 +433,21 @@ mod tests {
         let runs = engine.run_suite(&Workload::fire_suite(), 64);
         let ids: Vec<&str> = runs.iter().map(|r| r.benchmark.as_str()).collect();
         assert_eq!(ids, vec!["hpl", "stream", "iozone"]);
+    }
+
+    #[test]
+    fn fleet_trace_set_labels_and_totals() {
+        let engine = fire_engine();
+        let runs = engine.run_suite(&Workload::fire_suite(), 64);
+        let set = fleet_trace_set(&runs);
+        assert_eq!(set.len(), 3);
+        assert!(set.get("hpl@64").is_some());
+        assert!(set.get("stream@64").is_some());
+        let expected: f64 = runs.iter().map(|r| r.trace.energy().value()).sum();
+        assert!((set.total_energy().value() - expected).abs() < 1e-6 * expected.max(1.0));
+        let summary = set.summarize();
+        assert_eq!(summary.nodes.len(), 3);
+        assert!(summary.peak_node_w > 0.0);
     }
 
     #[test]

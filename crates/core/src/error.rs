@@ -50,6 +50,21 @@ pub enum TgiError {
     DegenerateStatistic(&'static str),
     /// The TGI builder was finalized without a reference system.
     MissingReferenceSystem,
+    /// A power trace was empty where at least one sample is required
+    /// (percentiles, idle estimation, phase segmentation).
+    EmptyTrace,
+    /// A parameter fell outside its valid range (e.g. a percentile rank
+    /// outside `[0, 100]`).
+    OutOfRange {
+        /// Which parameter was invalid (e.g. `"percentile"`).
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound of the valid range.
+        lo: f64,
+        /// Inclusive upper bound of the valid range.
+        hi: f64,
+    },
 }
 
 impl fmt::Display for TgiError {
@@ -86,6 +101,10 @@ impl fmt::Display for TgiError {
             TgiError::MissingReferenceSystem => {
                 write!(f, "TGI computation requires a reference system")
             }
+            TgiError::EmptyTrace => write!(f, "power trace is empty"),
+            TgiError::OutOfRange { quantity, value, lo, hi } => {
+                write!(f, "{quantity} {value} out of range [{lo}, {hi}]")
+            }
         }
     }
 }
@@ -110,6 +129,11 @@ mod tests {
             (TgiError::UnitMismatch { left: "GFLOPS".into(), right: "MB/s".into() }, "GFLOPS"),
             (TgiError::DegenerateStatistic("zero variance"), "zero variance"),
             (TgiError::MissingReferenceSystem, "reference"),
+            (TgiError::EmptyTrace, "empty"),
+            (
+                TgiError::OutOfRange { quantity: "percentile", value: 150.0, lo: 0.0, hi: 100.0 },
+                "out of range",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

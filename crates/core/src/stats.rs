@@ -103,6 +103,30 @@ fn ranks(xs: &[f64]) -> Result<Vec<f64>, TgiError> {
     Ok(ranks)
 }
 
+/// The `p`-th percentile (0–100) of `values` by linear interpolation between
+/// order statistics, selected in place.
+///
+/// Uses `select_nth_unstable` (expected O(n)) instead of a full sort, so a
+/// single percentile query over a long power trace does not pay O(n log n).
+/// The slice is reordered arbitrarily around the selected rank; callers that
+/// need many percentiles of the same data should sort once and index instead.
+pub fn percentile_interpolated(values: &mut [f64], p: f64) -> Result<f64, TgiError> {
+    if values.is_empty() {
+        return Err(TgiError::DegenerateStatistic("percentile of an empty sample"));
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(TgiError::OutOfRange { quantity: "percentile", value: p, lo: 0.0, hi: 100.0 });
+    }
+    validate_series(values)?;
+    let rank = p / 100.0 * (values.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let frac = rank - lo as f64;
+    let (_, &mut lo_v, rest) = values.select_nth_unstable_by(lo, f64::total_cmp);
+    // The next order statistic is the minimum of the right partition.
+    let hi_v = if frac > 0.0 { rest.iter().copied().fold(f64::INFINITY, f64::min) } else { lo_v };
+    Ok(lo_v + (hi_v - lo_v) * frac)
+}
+
 /// Ordinary least-squares fit `y = slope·x + intercept`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
@@ -196,6 +220,52 @@ mod tests {
         assert!((fit.slope - 2.0).abs() < 1e-12);
         assert!((fit.intercept - 1.0).abs() < 1e-12);
         assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolated_matches_sorted_definition() {
+        let base = [50.0, 10.0, 40.0, 30.0, 20.0];
+        assert_eq!(percentile_interpolated(&mut base.clone(), 0.0).unwrap(), 10.0);
+        assert_eq!(percentile_interpolated(&mut base.clone(), 100.0).unwrap(), 50.0);
+        assert_eq!(percentile_interpolated(&mut base.clone(), 50.0).unwrap(), 30.0);
+        assert_eq!(percentile_interpolated(&mut base.clone(), 25.0).unwrap(), 20.0);
+        // Interpolation between order statistics.
+        let v = percentile_interpolated(&mut [0.0, 100.0], 30.0).unwrap();
+        assert!((v - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolated_rejects_bad_input() {
+        assert!(matches!(
+            percentile_interpolated(&mut [], 50.0),
+            Err(TgiError::DegenerateStatistic(_))
+        ));
+        assert!(matches!(
+            percentile_interpolated(&mut [1.0], 101.0),
+            Err(TgiError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            percentile_interpolated(&mut [1.0, f64::NAN], 50.0),
+            Err(TgiError::NotFinite { .. })
+        ));
+    }
+
+    proptest! {
+        /// The selection-based percentile agrees with the full-sort definition.
+        #[test]
+        fn prop_percentile_matches_full_sort(
+            xs in proptest::collection::vec(-1e3..1e3f64, 1..64),
+            p in 0.0..100.0f64,
+        ) {
+            let mut sorted = xs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let rank = p / 100.0 * (sorted.len() - 1) as f64;
+            let (lo, frac) = (rank.floor() as usize, rank.fract());
+            let expect = sorted[lo]
+                + (sorted[(rank.ceil()) as usize] - sorted[lo]) * frac;
+            let got = percentile_interpolated(&mut xs.clone(), p).unwrap();
+            prop_assert!((got - expect).abs() < 1e-9, "p={p}: {got} vs {expect}");
+        }
     }
 
     fn paired_series() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {

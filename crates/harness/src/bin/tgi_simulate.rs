@@ -147,7 +147,7 @@ fn main() {
     println!("  efficiency  : {:.4e} (canonical units per watt)", run.energy_efficiency());
 
     if let Some(path) = &args.trace {
-        if let Err(e) = trace_io::write_log(&run.trace, path) {
+        if let Err(e) = trace_io::write_log_file(&run.trace, path) {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
         }

@@ -3,61 +3,213 @@
 //! A wall meter produces a long 1 Hz trace per run; turning that into the
 //! numbers a study reports (baseline idle draw, phase boundaries, stable
 //! averages) is part of the measurement methodology. These helpers work on
-//! [`PowerTrace`] and are deliberately dependency-free.
+//! [`PowerTrace`] and exploit its prefix index so every pass is a single
+//! O(n) scan (or better):
+//!
+//! * [`percentile`] / [`try_percentile`] — expected O(n) via
+//!   `select_nth_unstable` (no full sort per query); [`PercentileCache`]
+//!   sorts once for O(1) repeated queries.
+//! * [`moving_average`] — two-pointer sliding window over the prefix sums,
+//!   O(n) total instead of O(n·w).
+//! * [`sliding_max`] / [`sliding_min`] — monotonic-deque sliding extrema,
+//!   O(n) total.
+//! * [`segment_phases`] — single pass; per-phase means and energies come
+//!   from prefix-sum differences, so each phase costs O(1) on top of the
+//!   scan.
+//!
+//! The panicking entry points ([`percentile`], [`estimate_idle`]) are kept
+//! for ergonomic use in tests and binaries; library code should prefer the
+//! `try_` variants, which route [`TgiError`] instead of asserting.
 
 use crate::trace::PowerTrace;
-use tgi_core::Watts;
+use std::collections::VecDeque;
+use tgi_core::{stats, TgiError, Watts};
 
 /// The `p`-th percentile (0–100) of the sampled power values, by linear
-/// interpolation between order statistics.
+/// interpolation between order statistics. Expected O(n) (selection, not a
+/// full sort).
+///
+/// Returns [`TgiError::EmptyTrace`] for an empty trace and
+/// [`TgiError::OutOfRange`] for `p` outside `[0, 100]`.
+pub fn try_percentile(trace: &PowerTrace, p: f64) -> Result<Watts, TgiError> {
+    if trace.is_empty() {
+        return Err(TgiError::EmptyTrace);
+    }
+    let mut values = trace.watts().to_vec();
+    stats::percentile_interpolated(&mut values, p).map(Watts::new)
+}
+
+/// Panicking convenience wrapper around [`try_percentile`].
 ///
 /// # Panics
 /// Panics if the trace is empty or `p` is outside `[0, 100]`.
 pub fn percentile(trace: &PowerTrace, p: f64) -> Watts {
-    assert!(!trace.is_empty(), "percentile of an empty trace");
-    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-    let mut values: Vec<f64> = trace.samples().iter().map(|s| s.watts).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("power samples are finite"));
-    let rank = p / 100.0 * (values.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    Watts::new(values[lo] + (values[hi] - values[lo]) * frac)
+    match try_percentile(trace, p) {
+        Ok(w) => w,
+        Err(e) => panic!("percentile of power trace: {e}"),
+    }
 }
 
 /// Estimated idle (baseline) draw: the 5th percentile — robust to the run
 /// occupying most of the trace.
+///
+/// Returns [`TgiError::EmptyTrace`] for an empty trace.
+pub fn try_estimate_idle(trace: &PowerTrace) -> Result<Watts, TgiError> {
+    try_percentile(trace, 5.0)
+}
+
+/// Panicking convenience wrapper around [`try_estimate_idle`].
+///
+/// # Panics
+/// Panics if the trace is empty.
 pub fn estimate_idle(trace: &PowerTrace) -> Watts {
-    percentile(trace, 5.0)
+    match try_estimate_idle(trace) {
+        Ok(w) => w,
+        Err(e) => panic!("idle estimate of power trace: {e}"),
+    }
+}
+
+/// A reusable sorted view of a trace's power values: O(n log n) to build,
+/// O(1) per percentile query afterwards. Worth it from the second query on —
+/// fleet reports ask each trace for idle, median, p95 and p99 in one go.
+#[derive(Debug, Clone)]
+pub struct PercentileCache {
+    sorted: Vec<f64>,
+}
+
+impl PercentileCache {
+    /// Sorts the trace's power column once.
+    pub fn new(trace: &PowerTrace) -> Self {
+        let mut sorted = trace.watts().to_vec();
+        sorted.sort_by(f64::total_cmp);
+        PercentileCache { sorted }
+    }
+
+    /// Number of cached samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when built from an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `p`-th percentile (0–100) by linear interpolation — O(1).
+    pub fn percentile(&self, p: f64) -> Result<Watts, TgiError> {
+        if self.sorted.is_empty() {
+            return Err(TgiError::EmptyTrace);
+        }
+        if !(0.0..=100.0).contains(&p) {
+            return Err(TgiError::OutOfRange {
+                quantity: "percentile",
+                value: p,
+                lo: 0.0,
+                hi: 100.0,
+            });
+        }
+        let rank = p / 100.0 * (self.sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Ok(Watts::new(self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac))
+    }
+
+    /// The 5th-percentile idle estimate — O(1).
+    pub fn idle(&self) -> Result<Watts, TgiError> {
+        self.percentile(5.0)
+    }
 }
 
 /// A centered moving average with the given time window; timestamps are
-/// preserved.
+/// preserved. O(n): the window edges are two monotone pointers and window
+/// sums are prefix-sum differences.
+///
+/// # Panics
+/// Panics on a non-positive window.
 pub fn moving_average(trace: &PowerTrace, window_s: f64) -> PowerTrace {
     assert!(window_s > 0.0, "window must be positive");
-    let samples = trace.samples();
-    let mut out = PowerTrace::new();
-    for (i, s) in samples.iter().enumerate() {
-        let half = window_s / 2.0;
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        // Trace lengths here are small (≤ tens of thousands); the simple
-        // two-sided scan keeps the window exact at the edges.
-        for other in samples[..i].iter().rev() {
-            if s.t - other.t > half {
+    let times = trace.times();
+    let cum = trace.prefix_watts();
+    let half = window_s / 2.0;
+    let n = times.len();
+    let mut out = PowerTrace::with_capacity(n);
+    let (mut lo, mut hi) = (0usize, 0usize);
+    for i in 0..n {
+        while times[i] - times[lo] > half {
+            lo += 1;
+        }
+        if hi < i {
+            hi = i;
+        }
+        while hi + 1 < n && times[hi + 1] - times[i] <= half {
+            hi += 1;
+        }
+        let sum = cum[hi] - if lo > 0 { cum[lo - 1] } else { 0.0 };
+        out.push_unvalidated(times[i], sum / (hi - lo + 1) as f64);
+    }
+    out
+}
+
+/// Sliding maximum over a centered time window — O(n) via a monotonic
+/// deque. The paper's burst analysis wants "how high did power spike around
+/// each instant" without an O(n·w) rescan.
+///
+/// # Panics
+/// Panics on a non-positive window.
+pub fn sliding_max(trace: &PowerTrace, window_s: f64) -> PowerTrace {
+    sliding_extremum(trace, window_s, |new, old| new >= old)
+}
+
+/// Sliding minimum over a centered time window — O(n) via a monotonic
+/// deque.
+///
+/// # Panics
+/// Panics on a non-positive window.
+pub fn sliding_min(trace: &PowerTrace, window_s: f64) -> PowerTrace {
+    sliding_extremum(trace, window_s, |new, old| new <= old)
+}
+
+/// Shared monotonic-deque sweep. `supersedes(new, old)` says whether a newly
+/// entering value makes an older queued value irrelevant (`>=` for max,
+/// `<=` for min). Every index enters and leaves the deque at most once.
+fn sliding_extremum(
+    trace: &PowerTrace,
+    window_s: f64,
+    supersedes: impl Fn(f64, f64) -> bool,
+) -> PowerTrace {
+    assert!(window_s > 0.0, "window must be positive");
+    let times = trace.times();
+    let watts = trace.watts();
+    let half = window_s / 2.0;
+    let n = times.len();
+    let mut out = PowerTrace::with_capacity(n);
+    let mut deque: VecDeque<usize> = VecDeque::new();
+    let (mut lo, mut hi) = (0usize, 0usize);
+    for i in 0..n {
+        while hi < n && times[hi] - times[i] <= half {
+            while let Some(&back) = deque.back() {
+                if supersedes(watts[hi], watts[back]) {
+                    deque.pop_back();
+                } else {
+                    break;
+                }
+            }
+            deque.push_back(hi);
+            hi += 1;
+        }
+        while times[i] - times[lo] > half {
+            lo += 1;
+        }
+        while let Some(&front) = deque.front() {
+            if front < lo {
+                deque.pop_front();
+            } else {
                 break;
             }
-            sum += other.watts;
-            count += 1;
         }
-        for other in &samples[i..] {
-            if other.t - s.t > half {
-                break;
-            }
-            sum += other.watts;
-            count += 1;
-        }
-        out.push(s.t, Watts::new(sum / count as f64));
+        let best = *deque.front().expect("window always contains sample i");
+        out.push_unvalidated(times[i], watts[best]);
     }
     out
 }
@@ -71,28 +223,41 @@ pub struct PowerPhase {
     pub end_s: f64,
     /// Mean power during the phase.
     pub mean_w: f64,
+    /// Trapezoidal energy over `[start_s, end_s]`, from the trace's prefix
+    /// index. Phase energies tile the trace: they sum to the total energy.
+    pub energy_j: f64,
 }
 
 /// Segments a trace into phases by splitting wherever consecutive samples
-/// jump by more than `threshold` watts. Adjacent samples inside a phase are
-/// averaged.
+/// jump by more than `threshold` watts. One O(n) pass; each phase's mean
+/// and energy are O(1) prefix-index differences.
 ///
 /// # Panics
 /// Panics on an empty trace or a non-positive threshold.
 pub fn segment_phases(trace: &PowerTrace, threshold: Watts) -> Vec<PowerPhase> {
     assert!(!trace.is_empty(), "cannot segment an empty trace");
     assert!(threshold.value() > 0.0, "threshold must be positive");
-    let samples = trace.samples();
+    let times = trace.times();
+    let watts = trace.watts();
+    let cum_w = trace.prefix_watts();
+    let cum_e = trace.prefix_energy();
+    let n = times.len();
     let mut phases = Vec::new();
     let mut start = 0usize;
-    for i in 1..=samples.len() {
-        let boundary = i == samples.len()
-            || (samples[i].watts - samples[i - 1].watts).abs() > threshold.value();
+    for i in 1..=n {
+        let boundary = i == n || (watts[i] - watts[i - 1]).abs() > threshold.value();
         if boundary {
-            let slice = &samples[start..i];
-            let mean = slice.iter().map(|s| s.watts).sum::<f64>() / slice.len() as f64;
-            let end = if i < samples.len() { samples[i].t } else { slice[slice.len() - 1].t };
-            phases.push(PowerPhase { start_s: slice[0].t, end_s: end, mean_w: mean });
+            let sum = cum_w[i - 1] - if start > 0 { cum_w[start - 1] } else { 0.0 };
+            let mean = sum / (i - start) as f64;
+            // The phase owns the bridge trapezoid up to the next phase's
+            // first sample, so phase energies sum to the trace total.
+            let (end, end_idx) = if i < n { (times[i], i) } else { (times[i - 1], i - 1) };
+            phases.push(PowerPhase {
+                start_s: times[start],
+                end_s: end,
+                mean_w: mean,
+                energy_j: cum_e[end_idx] - cum_e[start],
+            });
             start = i;
         }
     }
@@ -149,6 +314,39 @@ mod tests {
     }
 
     #[test]
+    fn try_variants_return_errors_instead_of_panicking() {
+        assert!(matches!(
+            try_percentile(&PowerTrace::new(), 50.0),
+            Err(tgi_core::TgiError::EmptyTrace)
+        ));
+        assert!(matches!(
+            try_estimate_idle(&PowerTrace::new()),
+            Err(tgi_core::TgiError::EmptyTrace)
+        ));
+        let t = trace(&[(0.0, 100.0)]);
+        assert!(matches!(try_percentile(&t, 150.0), Err(tgi_core::TgiError::OutOfRange { .. })));
+        assert_eq!(try_percentile(&t, 50.0).unwrap().value(), 100.0);
+    }
+
+    #[test]
+    fn percentile_cache_matches_direct_queries() {
+        let t = step_trace();
+        let cache = PercentileCache::new(&t);
+        assert_eq!(cache.len(), t.len());
+        for p in [0.0, 5.0, 25.0, 50.0, 77.7, 95.0, 100.0] {
+            let direct = percentile(&t, p).value();
+            let cached = cache.percentile(p).unwrap().value();
+            assert!((direct - cached).abs() < 1e-12, "p={p}: {direct} vs {cached}");
+        }
+        assert!((cache.idle().unwrap().value() - estimate_idle(&t).value()).abs() < 1e-12);
+        assert!(matches!(cache.percentile(-1.0), Err(tgi_core::TgiError::OutOfRange { .. })));
+        assert!(matches!(
+            PercentileCache::new(&PowerTrace::new()).idle(),
+            Err(tgi_core::TgiError::EmptyTrace)
+        ));
+    }
+
+    #[test]
     fn idle_estimate_finds_baseline() {
         let idle = estimate_idle(&step_trace()).value();
         assert!((idle - 100.0).abs() < 1e-9);
@@ -159,12 +357,34 @@ mod tests {
         let smoothed = moving_average(&step_trace(), 3.0);
         assert_eq!(smoothed.len(), step_trace().len());
         // Mid-plateau values are unchanged; the edge at t=10 is blended.
-        let mid_low = smoothed.samples()[5].watts;
-        let mid_high = smoothed.samples()[15].watts;
+        let mid_low = smoothed.sample(5).watts;
+        let mid_high = smoothed.sample(15).watts;
         assert!((mid_low - 100.0).abs() < 1e-9);
         assert!((mid_high - 300.0).abs() < 1e-9);
-        let edge = smoothed.samples()[10].watts;
+        let edge = smoothed.sample(10).watts;
         assert!(edge > 100.0 && edge < 300.0);
+    }
+
+    #[test]
+    fn sliding_extrema_track_the_envelope() {
+        let t = step_trace();
+        let hi = sliding_max(&t, 3.0);
+        let lo = sliding_min(&t, 3.0);
+        assert_eq!(hi.len(), t.len());
+        assert_eq!(lo.len(), t.len());
+        // Mid-plateau: max == min == the plateau level.
+        assert_eq!(hi.sample(5).watts, 100.0);
+        assert_eq!(lo.sample(5).watts, 100.0);
+        assert_eq!(hi.sample(15).watts, 300.0);
+        // At the step edge the max window already sees the new plateau and
+        // the min window still sees the old one.
+        assert_eq!(hi.sample(9).watts, 300.0);
+        assert_eq!(lo.sample(10).watts, 100.0);
+        // Envelope ordering everywhere.
+        for i in 0..t.len() {
+            assert!(lo.sample(i).watts <= t.sample(i).watts);
+            assert!(t.sample(i).watts <= hi.sample(i).watts);
+        }
     }
 
     #[test]
@@ -177,6 +397,19 @@ mod tests {
         assert_eq!(phases[0].start_s, 0.0);
         assert_eq!(phases[1].start_s, 10.0);
         assert_eq!(phases[2].start_s, 20.0);
+    }
+
+    #[test]
+    fn phase_energies_tile_the_trace() {
+        let t = step_trace();
+        let phases = segment_phases(&t, Watts::new(50.0));
+        let total: f64 = phases.iter().map(|p| p.energy_j).sum();
+        assert!((total - t.energy().value()).abs() < 1e-9, "{total}");
+        // Each phase energy matches the indexed window query over its span.
+        for p in &phases {
+            let direct = t.energy_between(p.start_s, p.end_s).value();
+            assert!((p.energy_j - direct).abs() < 1e-9, "{p:?} vs {direct}");
+        }
     }
 
     #[test]
@@ -206,7 +439,8 @@ mod tests {
             prop_assert!(percentile(&t, 100.0).value() <= max + 1e-9);
         }
 
-        /// Smoothing never escapes the value range, and phases tile the trace.
+        /// Smoothing never escapes the value range, phases tile the trace in
+        /// both time and energy, and the sliding extrema bracket the signal.
         #[test]
         fn prop_smoothing_bounded_phases_tile(
             powers in proptest::collection::vec(1.0..1000.0f64, 2..64),
@@ -218,8 +452,13 @@ mod tests {
             }
             let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = powers.iter().cloned().fold(0.0, f64::max);
-            for s in moving_average(&t, window).samples() {
+            for s in moving_average(&t, window).iter() {
                 prop_assert!(s.watts >= min - 1e-9 && s.watts <= max + 1e-9);
+            }
+            let (smax, smin) = (sliding_max(&t, window), sliding_min(&t, window));
+            for i in 0..t.len() {
+                prop_assert!(smin.sample(i).watts <= t.sample(i).watts);
+                prop_assert!(smax.sample(i).watts >= t.sample(i).watts);
             }
             let phases = segment_phases(&t, Watts::new(10.0));
             prop_assert!(!phases.is_empty());
@@ -227,6 +466,9 @@ mod tests {
             for w in phases.windows(2) {
                 prop_assert!((w[0].end_s - w[1].start_s).abs() < 1e-9);
             }
+            let tiled: f64 = phases.iter().map(|p| p.energy_j).sum();
+            prop_assert!((tiled - t.energy().value()).abs()
+                < 1e-9 * t.energy().value().max(1.0));
         }
     }
 }

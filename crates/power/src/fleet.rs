@@ -1,0 +1,243 @@
+//! Fleet-level trace analytics: many per-node traces analyzed in parallel.
+//!
+//! A cluster run produces one wall-meter trace per node (or per benchmark);
+//! the numbers a study reports — total fleet energy, aggregate idle floor,
+//! peak concurrent draw — are reductions over all of them. [`TraceSet`]
+//! holds labeled [`PowerTrace`]s and computes per-node summaries and fleet
+//! aggregates with `rayon` (the workspace's real work-sharing pool), so a
+//! 1000-node fleet summarizes in per-node-trace time divided by the core
+//! count. Per-node results are collected in input order, so summaries are
+//! deterministic at every `TGI_NUM_THREADS` setting.
+
+use crate::analysis::PercentileCache;
+use crate::trace::PowerTrace;
+use rayon::prelude::*;
+use serde::Serialize;
+use tgi_core::{Joules, Watts};
+
+/// A labeled collection of per-node power traces.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    entries: Vec<(String, PowerTrace)>,
+}
+
+/// Summary statistics for one node's trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeSummary {
+    /// The node/benchmark label supplied at insert time.
+    pub label: String,
+    /// Number of samples in the trace.
+    pub samples: usize,
+    /// Trace duration, seconds.
+    pub duration_s: f64,
+    /// Trapezoidal energy, joules.
+    pub energy_j: f64,
+    /// Time-weighted average power, watts.
+    pub average_w: f64,
+    /// Peak sampled power, watts.
+    pub peak_w: f64,
+    /// Minimum sampled power, watts.
+    pub min_w: f64,
+    /// Estimated idle (5th percentile) power, watts; 0 for an empty trace.
+    pub idle_w: f64,
+    /// Median (50th percentile) power, watts; 0 for an empty trace.
+    pub median_w: f64,
+    /// 95th percentile power, watts; 0 for an empty trace.
+    pub p95_w: f64,
+}
+
+/// Fleet-wide aggregates over every node in a [`TraceSet`].
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetSummary {
+    /// Per-node summaries, in insertion order.
+    pub nodes: Vec<NodeSummary>,
+    /// Total samples across the fleet.
+    pub total_samples: usize,
+    /// Sum of per-node energies, joules.
+    pub total_energy_j: f64,
+    /// Longest single-node trace duration, seconds.
+    pub max_duration_s: f64,
+    /// Highest single-node peak, watts.
+    pub peak_node_w: f64,
+    /// Sum of per-node peaks — an upper bound on simultaneous draw, watts.
+    pub peak_aggregate_w: f64,
+    /// Sum of per-node time-weighted averages, watts.
+    pub average_aggregate_w: f64,
+    /// Sum of per-node idle estimates — the fleet's baseline floor, watts.
+    pub idle_aggregate_w: f64,
+}
+
+fn summarize_node(label: &str, trace: &PowerTrace) -> NodeSummary {
+    // One sort services idle/median/p95 (the cache is O(1) per query).
+    let cache = PercentileCache::new(trace);
+    let pct = |p: f64| cache.percentile(p).map(|w| w.value()).unwrap_or(0.0);
+    NodeSummary {
+        label: label.to_string(),
+        samples: trace.len(),
+        duration_s: trace.duration().value(),
+        energy_j: trace.energy().value(),
+        average_w: trace.average_power().value(),
+        peak_w: trace.peak_power().value(),
+        min_w: trace.min_power().value(),
+        idle_w: pct(5.0),
+        median_w: pct(50.0),
+        p95_w: pct(95.0),
+    }
+}
+
+impl TraceSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        TraceSet::default()
+    }
+
+    /// Builds a set from `(label, trace)` pairs.
+    pub fn from_entries(entries: Vec<(String, PowerTrace)>) -> Self {
+        TraceSet { entries }
+    }
+
+    /// Adds a labeled trace.
+    pub fn push(&mut self, label: impl Into<String>, trace: PowerTrace) {
+        self.entries.push((label.into(), trace));
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the set holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates the labeled traces in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PowerTrace)> {
+        self.entries.iter().map(|(l, t)| (l.as_str(), t))
+    }
+
+    /// The trace with the given label, if present (first match).
+    pub fn get(&self, label: &str) -> Option<&PowerTrace> {
+        self.entries.iter().find(|(l, _)| l == label).map(|(_, t)| t)
+    }
+
+    /// Total fleet energy: sum of per-node O(1) energy queries.
+    pub fn total_energy(&self) -> Joules {
+        Joules::new(self.entries.iter().map(|(_, t)| t.energy().value()).sum())
+    }
+
+    /// Highest peak across all nodes — O(nodes), each node query O(1).
+    pub fn peak_power(&self) -> Watts {
+        Watts::new(self.entries.iter().map(|(_, t)| t.peak_power().value()).fold(0.0, f64::max))
+    }
+
+    /// Fleet energy inside `[t0, t1]` (each node clamped to its own span):
+    /// parallel O(log n) indexed window queries per node.
+    pub fn energy_between(&self, t0: f64, t1: f64) -> Joules {
+        Joules::new(
+            self.entries
+                .par_iter()
+                .map(|(_, t)| t.energy_between(t0, t1).value())
+                .collect::<Vec<f64>>()
+                .iter()
+                .sum(),
+        )
+    }
+
+    /// Summarizes every node in parallel and reduces the fleet aggregates.
+    pub fn summarize(&self) -> FleetSummary {
+        let nodes: Vec<NodeSummary> =
+            self.entries.par_iter().map(|(l, t)| summarize_node(l, t)).collect();
+        let mut summary = FleetSummary {
+            total_samples: nodes.iter().map(|n| n.samples).sum(),
+            total_energy_j: nodes.iter().map(|n| n.energy_j).sum(),
+            max_duration_s: nodes.iter().map(|n| n.duration_s).fold(0.0, f64::max),
+            peak_node_w: nodes.iter().map(|n| n.peak_w).fold(0.0, f64::max),
+            peak_aggregate_w: nodes.iter().map(|n| n.peak_w).sum(),
+            average_aggregate_w: nodes.iter().map(|n| n.average_w).sum(),
+            idle_aggregate_w: nodes.iter().map(|n| n.idle_w).sum(),
+            nodes,
+        };
+        // Guard against an empty fleet producing -0.0 style noise.
+        if summary.nodes.is_empty() {
+            summary.total_energy_j = 0.0;
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(points: &[(f64, f64)]) -> PowerTrace {
+        let mut t = PowerTrace::new();
+        for &(time, w) in points {
+            t.push(time, Watts::new(w));
+        }
+        t
+    }
+
+    fn fleet() -> TraceSet {
+        let mut set = TraceSet::new();
+        set.push("node0", trace(&[(0.0, 100.0), (10.0, 100.0)]));
+        set.push("node1", trace(&[(0.0, 200.0), (5.0, 300.0), (10.0, 200.0)]));
+        set.push("node2", trace(&[(0.0, 50.0), (20.0, 50.0)]));
+        set
+    }
+
+    #[test]
+    fn aggregates_sum_per_node_queries() {
+        let set = fleet();
+        assert_eq!(set.len(), 3);
+        // 1000 + 2500 + 1000 J.
+        assert!((set.total_energy().value() - 4500.0).abs() < 1e-9);
+        assert_eq!(set.peak_power().value(), 300.0);
+        // Window [0, 10]: node2 contributes only its first 10 s (500 J).
+        assert!((set.energy_between(0.0, 10.0).value() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_is_deterministic_and_ordered() {
+        let set = fleet();
+        let s = set.summarize();
+        assert_eq!(s.nodes.len(), 3);
+        assert_eq!(s.nodes[0].label, "node0");
+        assert_eq!(s.nodes[2].label, "node2");
+        assert_eq!(s.total_samples, 7);
+        assert!((s.total_energy_j - set.total_energy().value()).abs() < 1e-9);
+        assert_eq!(s.max_duration_s, 20.0);
+        assert_eq!(s.peak_node_w, 300.0);
+        assert!((s.peak_aggregate_w - 450.0).abs() < 1e-9);
+        assert!((s.idle_aggregate_w - s.nodes.iter().map(|n| n.idle_w).sum::<f64>()).abs() < 1e-12);
+        // Repeated runs agree exactly (parallel collect preserves order).
+        let again = set.summarize();
+        assert!((again.total_energy_j - s.total_energy_j).abs() == 0.0);
+    }
+
+    #[test]
+    fn empty_and_lookup_behavior() {
+        let set = TraceSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.total_energy().value(), 0.0);
+        assert_eq!(set.peak_power().value(), 0.0);
+        let s = set.summarize();
+        assert!(s.nodes.is_empty());
+        assert_eq!(s.total_energy_j, 0.0);
+        let set = fleet();
+        assert!(set.get("node1").is_some());
+        assert!(set.get("missing").is_none());
+        assert_eq!(set.iter().count(), 3);
+    }
+
+    #[test]
+    fn empty_trace_in_fleet_reports_zeroes() {
+        let mut set = fleet();
+        set.push("empty", PowerTrace::new());
+        let s = set.summarize();
+        let empty = &s.nodes[3];
+        assert_eq!(empty.samples, 0);
+        assert_eq!(empty.idle_w, 0.0);
+        assert_eq!(empty.energy_j, 0.0);
+    }
+}

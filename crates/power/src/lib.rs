@@ -15,10 +15,19 @@
 //! * [`meter`] — the [`meter::PowerMeter`] trait and the simulated
 //!   [`meter::WattsUpPro`] (1 Hz sampling, 0.1 W quantization, calibrated
 //!   accuracy noise) — the code path a real meter would plug into.
-//! * [`trace`] — time-stamped power traces with trapezoidal energy
-//!   integration.
-//! * [`analysis`] — trace post-processing: percentiles, idle estimation,
-//!   smoothing, phase segmentation.
+//! * [`trace`] — time-stamped power traces stored as struct-of-arrays with
+//!   an incrementally maintained prefix index: total energy / average /
+//!   peak / min are O(1), and arbitrary `[t0, t1]` energy windows are
+//!   O(log n) after an O(1)-amortized push.
+//! * [`trace_io`] — streaming meter-log I/O: logs parse line-by-line from
+//!   any [`std::io::BufRead`] and write through any [`std::io::Write`]
+//!   without materializing the file in memory.
+//! * [`analysis`] — single-pass trace post-processing: percentiles
+//!   (selection-based, with a reusable sorted cache), idle estimation,
+//!   two-pointer moving averages, monotonic-deque sliding extrema, and
+//!   phase segmentation with per-phase energy from the prefix index.
+//! * [`fleet`] — many labeled traces summarized in parallel over the
+//!   workspace thread pool ([`fleet::TraceSet`]).
 //! * [`sampler`] — a background thread that samples a live power source
 //!   while a native benchmark runs.
 //! * [`cooling`] — the PUE/cooling extension the paper lists as advantage
@@ -31,6 +40,7 @@ pub mod accelerator;
 pub mod analysis;
 pub mod components;
 pub mod cooling;
+pub mod fleet;
 pub mod meter;
 pub mod node;
 pub mod psu;
@@ -41,8 +51,10 @@ pub mod trace_io;
 pub mod utilization;
 
 pub use accelerator::AcceleratorPower;
+pub use analysis::PercentileCache;
 pub use components::{BaseboardPower, CpuPower, DiskPower, MemoryPower, NicPower};
 pub use cooling::CoolingModel;
+pub use fleet::{FleetSummary, NodeSummary, TraceSet};
 pub use meter::{MeterSpec, PowerMeter, WattsUpPro};
 pub use node::NodePowerModel;
 pub use psu::PsuEfficiency;

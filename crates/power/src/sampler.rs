@@ -129,7 +129,9 @@ impl BackgroundSampler {
         assert!(interval > Duration::ZERO, "sampling interval must be positive");
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let handle = std::thread::spawn(move || {
-            let mut trace = PowerTrace::new();
+            // Pre-size all four SoA columns; typical native runs take a few
+            // seconds at millisecond intervals.
+            let mut trace = PowerTrace::with_capacity(256);
             let start = Instant::now();
             trace.push(0.0, source.power_now());
             loop {

@@ -1,11 +1,29 @@
-//! Time-stamped power traces and energy integration.
+//! Time-stamped power traces: indexed struct-of-arrays storage with
+//! O(1)/O(log n) energy queries.
 //!
 //! A real Watts Up? logger produces a sequence of `(time, watts)` samples;
-//! energy is the integral of power over time. [`PowerTrace`] stores samples
-//! and integrates with the trapezoidal rule, which is exact for the
-//! piecewise-linear interpolation of the samples.
+//! energy is the integral of power over time, integrated with the
+//! trapezoidal rule (exact for the piecewise-linear interpolation of the
+//! samples). Deployments ingest long high-rate telemetry streams and query
+//! them constantly, so [`PowerTrace`] is an *analytics structure*, not a
+//! plain vector:
+//!
+//! * samples are stored as parallel `times`/`watts` arrays
+//!   (struct-of-arrays), so scans touch only the column they need;
+//! * a prefix index is maintained incrementally on every append:
+//!   `cum_energy[i]` is the trapezoidal energy of samples `0..=i` and
+//!   `cum_watts[i]` is the running sum of the first `i + 1` power values,
+//!   alongside running peak/min watts;
+//! * [`PowerTrace::energy`], [`PowerTrace::average_power`],
+//!   [`PowerTrace::peak_power`] and [`PowerTrace::min_power`] are O(1);
+//!   [`PowerTrace::energy_between`], [`PowerTrace::power_at`] and
+//!   [`PowerTrace::window`] are O(log n) binary searches over the index.
+//!
+//! `cum_energy` is accumulated in sample order with exactly the operations
+//! the naive trapezoid loop performs, so `energy()` is bit-identical to a
+//! from-scratch integration of the same samples.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use tgi_core::{Joules, Seconds, Watts};
 
 /// One power sample.
@@ -17,19 +35,57 @@ pub struct PowerSample {
     pub watts: f64,
 }
 
-/// A sequence of power samples with monotonically non-decreasing timestamps.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// A sequence of power samples with monotonically non-decreasing timestamps,
+/// stored as struct-of-arrays with an incrementally maintained prefix index.
+#[derive(Debug, Clone)]
 pub struct PowerTrace {
-    samples: Vec<PowerSample>,
+    times: Vec<f64>,
+    watts: Vec<f64>,
+    /// `cum_energy[i]` = trapezoidal energy over samples `0..=i` (so
+    /// `cum_energy[0] == 0` and `cum_energy.last()` is the total energy).
+    cum_energy: Vec<f64>,
+    /// `cum_watts[i]` = `watts[0] + … + watts[i]`, accumulated in order.
+    cum_watts: Vec<f64>,
+    /// Running maximum power (0 until the first sample, matching the old
+    /// `fold(0.0, f64::max)` semantics for non-negative watts).
+    peak_w: f64,
+    /// Running minimum power (+∞ until the first sample).
+    min_w: f64,
+}
+
+impl Default for PowerTrace {
+    fn default() -> Self {
+        PowerTrace::new()
+    }
+}
+
+impl PartialEq for PowerTrace {
+    fn eq(&self, other: &Self) -> bool {
+        // The index and running extrema are functions of the samples.
+        self.times == other.times && self.watts == other.watts
+    }
 }
 
 impl PowerTrace {
     /// An empty trace.
     pub fn new() -> Self {
-        PowerTrace::default()
+        PowerTrace::with_capacity(0)
     }
 
-    /// Appends a sample.
+    /// An empty trace with room for `n` samples (telemetry ingest paths
+    /// know their cadence and duration up front).
+    pub fn with_capacity(n: usize) -> Self {
+        PowerTrace {
+            times: Vec::with_capacity(n),
+            watts: Vec::with_capacity(n),
+            cum_energy: Vec::with_capacity(n),
+            cum_watts: Vec::with_capacity(n),
+            peak_w: 0.0,
+            min_w: f64::INFINITY,
+        }
+    }
+
+    /// Appends a sample and extends the prefix index — O(1) amortized.
     ///
     /// # Panics
     /// Panics if `t` precedes the previous sample or any value is not
@@ -38,69 +94,281 @@ impl PowerTrace {
         assert!(t.is_finite() && t >= 0.0, "sample time must be finite and non-negative");
         let w = watts.value();
         assert!(w.is_finite() && w >= 0.0, "power must be finite and non-negative");
-        if let Some(last) = self.samples.last() {
-            assert!(t >= last.t, "sample times must be non-decreasing");
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "sample times must be non-decreasing");
         }
-        self.samples.push(PowerSample { t, watts: w });
+        self.append(t, w);
     }
 
-    /// The samples in order.
-    pub fn samples(&self) -> &[PowerSample] {
-        &self.samples
+    /// Appends a pre-validated sample (ingest paths that have already
+    /// checked the invariants line-by-line, e.g. the meter-log parser).
+    pub(crate) fn push_unvalidated(&mut self, t: f64, w: f64) {
+        self.append(t, w);
+    }
+
+    /// Appends a sample and maintains the index. No validation.
+    fn append(&mut self, t: f64, w: f64) {
+        let (ce, cw) = match self.times.last() {
+            Some(&lt) => {
+                let dt = t - lt;
+                let prev_w = *self.watts.last().expect("columns stay in lockstep");
+                (
+                    self.cum_energy.last().unwrap() + 0.5 * (prev_w + w) * dt,
+                    self.cum_watts.last().unwrap() + w,
+                )
+            }
+            None => (0.0, w),
+        };
+        self.times.push(t);
+        self.watts.push(w);
+        self.cum_energy.push(ce);
+        self.cum_watts.push(cw);
+        self.peak_w = self.peak_w.max(w);
+        self.min_w = self.min_w.min(w);
+    }
+
+    /// Batch-ingests parallel `times`/`watts` columns: one tight validation
+    /// pass over the input, then a straight append (no per-sample `push`
+    /// re-validation against the growing trace).
+    ///
+    /// # Panics
+    /// Panics under the same invariants as [`PowerTrace::push`], or if the
+    /// slices have different lengths.
+    pub fn extend_from_slices(&mut self, times: &[f64], watts: &[f64]) {
+        assert_eq!(times.len(), watts.len(), "times and watts must have equal lengths");
+        let mut last = self.times.last().copied().unwrap_or(f64::NEG_INFINITY);
+        for (&t, &w) in times.iter().zip(watts) {
+            assert!(t.is_finite() && t >= 0.0, "sample time must be finite and non-negative");
+            assert!(w.is_finite() && w >= 0.0, "power must be finite and non-negative");
+            assert!(t >= last, "sample times must be non-decreasing");
+            last = t;
+        }
+        self.reserve(times.len());
+        for (&t, &w) in times.iter().zip(watts) {
+            self.append(t, w);
+        }
+    }
+
+    /// Reserves room for `n` more samples across all columns.
+    pub fn reserve(&mut self, n: usize) {
+        self.times.reserve(n);
+        self.watts.reserve(n);
+        self.cum_energy.reserve(n);
+        self.cum_watts.reserve(n);
+    }
+
+    /// Builds a trace from already-materialized columns without validating
+    /// invariants (deserialization keeps the historical behavior of
+    /// accepting whatever the archive contains; queries assume invariants).
+    fn from_soa_unchecked(times: Vec<f64>, watts: Vec<f64>) -> Self {
+        let mut trace = PowerTrace::with_capacity(times.len());
+        for (&t, &w) in times.iter().zip(&watts) {
+            trace.append(t, w);
+        }
+        trace
+    }
+
+    /// The sample timestamps, in seconds from trace start.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The sampled power values, in watts.
+    pub fn watts(&self) -> &[f64] {
+        &self.watts
+    }
+
+    /// The prefix-energy index: `prefix_energy()[i]` is the trapezoidal
+    /// energy of samples `0..=i`. Exposed for analysis code and tests that
+    /// verify the index invariant.
+    pub fn prefix_energy(&self) -> &[f64] {
+        &self.cum_energy
+    }
+
+    /// The inclusive prefix sums of the power column (crate-internal: the
+    /// analysis module differences these for O(1) window means).
+    pub(crate) fn prefix_watts(&self) -> &[f64] {
+        &self.cum_watts
+    }
+
+    /// The `i`-th sample.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn sample(&self, i: usize) -> PowerSample {
+        PowerSample { t: self.times[i], watts: self.watts[i] }
+    }
+
+    /// Iterates the samples in order without materializing them.
+    pub fn iter(&self) -> impl Iterator<Item = PowerSample> + '_ {
+        self.times.iter().zip(&self.watts).map(|(&t, &w)| PowerSample { t, watts: w })
+    }
+
+    /// Materializes the samples as an array-of-structs `Vec` (compatibility
+    /// accessor; allocates — hot paths should use [`PowerTrace::times`] /
+    /// [`PowerTrace::watts`] or [`PowerTrace::iter`]).
+    pub fn samples(&self) -> Vec<PowerSample> {
+        self.iter().collect()
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.times.len()
     }
 
     /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.times.is_empty()
     }
 
-    /// Trace duration: time between the first and last sample.
+    /// First and last sample timestamps, when the trace is non-empty.
+    pub fn time_bounds(&self) -> Option<(f64, f64)> {
+        match (self.times.first(), self.times.last()) {
+            (Some(&a), Some(&b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Trace duration: time between the first and last sample. O(1).
     pub fn duration(&self) -> Seconds {
-        match (self.samples.first(), self.samples.last()) {
-            (Some(a), Some(b)) => Seconds::new(b.t - a.t),
-            _ => Seconds::new(0.0),
+        match self.time_bounds() {
+            Some((a, b)) => Seconds::new(b - a),
+            None => Seconds::new(0.0),
         }
     }
 
-    /// Total energy by trapezoidal integration.
+    /// Total energy by trapezoidal integration — O(1) from the prefix
+    /// index, bit-identical to integrating the samples from scratch.
     pub fn energy(&self) -> Joules {
-        let mut e = 0.0;
-        for w in self.samples.windows(2) {
-            let dt = w[1].t - w[0].t;
-            e += 0.5 * (w[0].watts + w[1].watts) * dt;
-        }
-        Joules::new(e)
+        Joules::new(self.cum_energy.last().copied().unwrap_or(0.0))
     }
 
-    /// Time-weighted average power (energy / duration). Falls back to the
-    /// plain sample mean when the trace spans zero time.
+    /// Time-weighted average power (energy / duration) — O(1). Falls back
+    /// to the plain sample mean when the trace spans zero time.
     pub fn average_power(&self) -> Watts {
         let d = self.duration().value();
         if d > 0.0 {
             Watts::new(self.energy().value() / d)
-        } else if !self.samples.is_empty() {
-            Watts::new(self.samples.iter().map(|s| s.watts).sum::<f64>() / self.len() as f64)
+        } else if let Some(&total) = self.cum_watts.last() {
+            Watts::new(total / self.len() as f64)
         } else {
             Watts::new(0.0)
         }
     }
 
-    /// Peak sampled power.
+    /// Peak sampled power — O(1).
     pub fn peak_power(&self) -> Watts {
-        Watts::new(self.samples.iter().map(|s| s.watts).fold(0.0, f64::max))
+        Watts::new(if self.is_empty() { 0.0 } else { self.peak_w })
     }
 
-    /// Minimum sampled power (0 for an empty trace).
+    /// Minimum sampled power (0 for an empty trace) — O(1).
     pub fn min_power(&self) -> Watts {
-        if self.samples.is_empty() {
-            return Watts::new(0.0);
+        Watts::new(if self.is_empty() { 0.0 } else { self.min_w })
+    }
+
+    /// Cumulative trapezoidal energy from the trace start to time `t`,
+    /// assuming a non-empty trace and `first <= t <= last`.
+    fn cum_energy_at(&self, t: f64) -> f64 {
+        // Greatest index whose timestamp is <= t; duplicates resolve to the
+        // last of the group, so the partial segment below has dt > 0.
+        let i = self.times.partition_point(|&x| x <= t) - 1;
+        let base = self.cum_energy[i];
+        if t <= self.times[i] {
+            return base;
         }
-        Watts::new(self.samples.iter().map(|s| s.watts).fold(f64::INFINITY, f64::min))
+        let dt = t - self.times[i];
+        let seg = self.times[i + 1] - self.times[i];
+        let w_t = self.watts[i] + (self.watts[i + 1] - self.watts[i]) * (dt / seg);
+        base + 0.5 * (self.watts[i] + w_t) * dt
+    }
+
+    /// Trapezoidal energy over `[t0, t1]` (clamped to the trace span) —
+    /// O(log n) from the prefix index. Returns 0 for an empty trace or an
+    /// empty clamped interval.
+    ///
+    /// # Panics
+    /// Panics if either bound is NaN (infinities clamp to the trace span).
+    pub fn energy_between(&self, t0: f64, t1: f64) -> Joules {
+        assert!(!t0.is_nan() && !t1.is_nan(), "window bounds must not be NaN");
+        let (first, last) = match self.time_bounds() {
+            Some(b) => b,
+            None => return Joules::new(0.0),
+        };
+        let a = t0.max(first);
+        let b = t1.min(last);
+        if b <= a {
+            return Joules::new(0.0);
+        }
+        Joules::new(self.cum_energy_at(b) - self.cum_energy_at(a))
+    }
+
+    /// Time-weighted average power over `[t0, t1]` (clamped to the trace
+    /// span) — O(log n). A zero-width clamped window reports the
+    /// interpolated instantaneous power at that point; a window entirely
+    /// outside the trace reports 0.
+    pub fn average_power_between(&self, t0: f64, t1: f64) -> Watts {
+        assert!(!t0.is_nan() && !t1.is_nan(), "window bounds must not be NaN");
+        let (first, last) = match self.time_bounds() {
+            Some(b) => b,
+            None => return Watts::new(0.0),
+        };
+        let a = t0.max(first);
+        let b = t1.min(last);
+        if b > a {
+            Watts::new((self.cum_energy_at(b) - self.cum_energy_at(a)) / (b - a))
+        } else if b == a {
+            self.power_at(a).unwrap_or_else(|| Watts::new(0.0))
+        } else {
+            Watts::new(0.0)
+        }
+    }
+
+    /// Linearly interpolated instantaneous power at time `t` — O(log n).
+    /// `None` outside the trace span (or for an empty trace).
+    pub fn power_at(&self, t: f64) -> Option<Watts> {
+        let (first, last) = self.time_bounds()?;
+        if t.is_nan() || t < first || t > last {
+            return None;
+        }
+        let i = self.times.partition_point(|&x| x <= t) - 1;
+        if t <= self.times[i] {
+            return Some(Watts::new(self.watts[i]));
+        }
+        let seg = self.times[i + 1] - self.times[i];
+        let frac = (t - self.times[i]) / seg;
+        Some(Watts::new(self.watts[i] + (self.watts[i + 1] - self.watts[i]) * frac))
+    }
+
+    /// The sub-trace covering `[t0, t1]` (clamped to the trace span), with
+    /// linearly interpolated boundary samples so that
+    /// `window(t0, t1).energy() == energy_between(t0, t1)` — O(log n + k)
+    /// for k samples in the window.
+    pub fn window(&self, t0: f64, t1: f64) -> PowerTrace {
+        assert!(!t0.is_nan() && !t1.is_nan(), "window bounds must not be NaN");
+        let (first, last) = match self.time_bounds() {
+            Some(b) => b,
+            None => return PowerTrace::new(),
+        };
+        let a = t0.max(first);
+        let b = t1.min(last);
+        if b < a {
+            return PowerTrace::new();
+        }
+        let lo = self.times.partition_point(|&x| x < a);
+        let hi = self.times.partition_point(|&x| x <= b);
+        let mut out = PowerTrace::with_capacity(hi.saturating_sub(lo) + 2);
+        if lo == hi || self.times[lo] > a {
+            // `a` falls strictly inside a segment: open with an
+            // interpolated sample (`a >= first` guarantees `lo > 0`).
+            out.append(a, self.power_at(a).expect("a is in range").value());
+        }
+        for i in lo..hi {
+            out.append(self.times[i], self.watts[i]);
+        }
+        if out.time_bounds().map(|(_, end)| end < b).unwrap_or(true) {
+            out.append(b, self.power_at(b).expect("b is in range").value());
+        }
+        out
     }
 
     /// Concatenates another trace, shifting its timestamps to start at this
@@ -110,10 +378,39 @@ impl PowerTrace {
     /// Panics under the same invariants as [`PowerTrace::push`]: the shifted
     /// samples must keep timestamps non-decreasing and values finite.
     pub fn extend_shifted(&mut self, other: &PowerTrace) {
-        let offset = self.samples.last().map(|s| s.t).unwrap_or(0.0);
-        for s in &other.samples {
+        let offset = self.times.last().copied().unwrap_or(0.0);
+        self.reserve(other.len());
+        for s in other.iter() {
             self.push(offset + s.t, Watts::new(s.watts));
         }
+    }
+}
+
+// The archived JSON shape is `{"samples":[{"t":..,"watts":..}]}` — the
+// array-of-structs layout the trace used to store directly. Hand-written
+// (de)serialization keeps that wire format stable over the SoA layout, so
+// existing journals and regression fixtures keep parsing. Deserialization
+// does not validate invariants (matching the old derived impl); the index
+// is rebuilt from whatever the archive contains.
+impl Serialize for PowerTrace {
+    fn to_value(&self) -> Value {
+        let samples: Vec<Value> = self.iter().map(|s| s.to_value()).collect();
+        Value::Object(vec![("samples".to_string(), Value::Array(samples))])
+    }
+}
+
+impl Deserialize for PowerTrace {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let samples = v.get("samples").ok_or_else(|| DeError::new("missing field `samples`"))?;
+        let arr = samples.as_array().ok_or_else(|| DeError::new("`samples` must be an array"))?;
+        let mut times = Vec::with_capacity(arr.len());
+        let mut watts = Vec::with_capacity(arr.len());
+        for entry in arr {
+            let s = PowerSample::from_value(entry)?;
+            times.push(s.t);
+            watts.push(s.watts);
+        }
+        Ok(PowerTrace::from_soa_unchecked(times, watts))
     }
 }
 
@@ -128,6 +425,17 @@ mod tests {
             t.push(time, Watts::new(w));
         }
         t
+    }
+
+    /// Naive trapezoid over the full trace — the reference the index must
+    /// reproduce bit-for-bit.
+    fn naive_energy(t: &PowerTrace) -> f64 {
+        let mut e = 0.0;
+        for i in 1..t.len() {
+            let dt = t.times()[i] - t.times()[i - 1];
+            e += 0.5 * (t.watts()[i - 1] + t.watts()[i]) * dt;
+        }
+        e
     }
 
     #[test]
@@ -165,6 +473,9 @@ mod tests {
         // Regression: this used to report f64::MAX.
         assert_eq!(t.min_power().value(), 0.0);
         assert_eq!(t.peak_power().value(), 0.0);
+        assert_eq!(t.energy_between(0.0, 100.0).value(), 0.0);
+        assert!(t.power_at(0.0).is_none());
+        assert!(t.window(0.0, 1.0).is_empty());
     }
 
     #[test]
@@ -175,13 +486,114 @@ mod tests {
     }
 
     #[test]
+    fn prefix_index_matches_naive_integration() {
+        let t = trace(&[(0.0, 80.0), (1.5, 250.0), (2.0, 120.0), (7.0, 90.0), (7.0, 300.0)]);
+        assert_eq!(t.energy().value(), naive_energy(&t));
+        // Invariant: prefix_energy()[i] is the energy of the first i+1 samples.
+        for i in 0..t.len() {
+            let head = trace(
+                &t.times()[..=i]
+                    .iter()
+                    .zip(&t.watts()[..=i])
+                    .map(|(&a, &b)| (a, b))
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(t.prefix_energy()[i], head.energy().value());
+        }
+    }
+
+    #[test]
+    fn energy_between_subintervals() {
+        // 100 W flat from 0..10: any window's energy is 100 * width.
+        let t = trace(&[(0.0, 100.0), (4.0, 100.0), (10.0, 100.0)]);
+        assert!((t.energy_between(0.0, 10.0).value() - 1000.0).abs() < 1e-9);
+        assert!((t.energy_between(2.0, 3.0).value() - 100.0).abs() < 1e-9);
+        assert!((t.energy_between(3.5, 7.25).value() - 375.0).abs() < 1e-9);
+        // Clamping: out-of-range bounds behave like the trace span.
+        assert!((t.energy_between(-5.0, 50.0).value() - 1000.0).abs() < 1e-9);
+        assert_eq!(t.energy_between(7.0, 3.0).value(), 0.0);
+        assert_eq!(t.energy_between(12.0, 15.0).value(), 0.0);
+        // Additivity: windows that tile the span sum to the total.
+        let parts = t.energy_between(0.0, 3.3).value()
+            + t.energy_between(3.3, 8.1).value()
+            + t.energy_between(8.1, 10.0).value();
+        assert!((parts - t.energy().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_between_interpolates_ramps() {
+        // Ramp 0→100 W over 10 s. Energy in [0, 5] = ∫ 10t dt = 125 J.
+        let t = trace(&[(0.0, 0.0), (10.0, 100.0)]);
+        assert!((t.energy_between(0.0, 5.0).value() - 125.0).abs() < 1e-9);
+        assert!((t.energy_between(5.0, 10.0).value() - 375.0).abs() < 1e-9);
+        assert!((t.average_power_between(0.0, 5.0).value() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_at_interpolates() {
+        let t = trace(&[(0.0, 0.0), (10.0, 100.0)]);
+        assert_eq!(t.power_at(0.0).unwrap().value(), 0.0);
+        assert!((t.power_at(2.5).unwrap().value() - 25.0).abs() < 1e-12);
+        assert_eq!(t.power_at(10.0).unwrap().value(), 100.0);
+        assert!(t.power_at(-0.1).is_none());
+        assert!(t.power_at(10.1).is_none());
+    }
+
+    #[test]
+    fn window_preserves_energy_and_bounds() {
+        let t = trace(&[(0.0, 50.0), (2.0, 150.0), (5.0, 100.0), (9.0, 220.0)]);
+        let w = t.window(1.0, 6.5);
+        assert_eq!(w.time_bounds(), Some((1.0, 6.5)));
+        assert!((w.energy().value() - t.energy_between(1.0, 6.5).value()).abs() < 1e-9);
+        // Boundary samples are interpolated.
+        assert!((w.sample(0).watts - 100.0).abs() < 1e-9);
+        // Exact-boundary windows reuse the stored samples.
+        let exact = t.window(2.0, 5.0);
+        assert_eq!(exact.len(), 2);
+        assert_eq!(exact.sample(0).watts, 150.0);
+        // A zero-width window is a single interpolated sample.
+        let point = t.window(3.0, 3.0);
+        assert_eq!(point.len(), 1);
+        assert!((point.sample(0).watts - t.power_at(3.0).unwrap().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_from_slices_matches_pushes() {
+        let times = [0.0, 1.0, 1.0, 2.5];
+        let watts = [100.0, 140.0, 90.0, 120.0];
+        let mut batched = trace(&[(0.0, 80.0)]);
+        batched.extend_from_slices(&times, &watts);
+        let mut pushed = trace(&[(0.0, 80.0)]);
+        for (&t, &w) in times.iter().zip(&watts) {
+            pushed.push(t, Watts::new(w));
+        }
+        assert_eq!(batched, pushed);
+        assert_eq!(batched.energy().value(), pushed.energy().value());
+        assert_eq!(batched.prefix_energy(), pushed.prefix_energy());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn extend_from_slices_validates_order() {
+        let mut t = trace(&[(5.0, 100.0)]);
+        t.extend_from_slices(&[4.0], &[100.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn extend_from_slices_validates_lengths() {
+        let mut t = PowerTrace::new();
+        t.extend_from_slices(&[0.0, 1.0], &[100.0]);
+    }
+
+    #[test]
     fn extend_shifted_concatenates() {
         let mut a = trace(&[(0.0, 100.0), (10.0, 100.0)]);
         let b = trace(&[(0.0, 200.0), (5.0, 200.0)]);
         a.extend_shifted(&b);
         assert_eq!(a.len(), 4);
-        assert_eq!(a.samples()[2].t, 10.0);
-        assert_eq!(a.samples()[3].t, 15.0);
+        assert_eq!(a.sample(2).t, 10.0);
+        assert_eq!(a.sample(3).t, 15.0);
         // Energy: 1000 J + 1000 J + transition trapezoid (0 s wide) = 2000 J.
         assert!((a.energy().value() - 2000.0).abs() < 1e-9);
     }
@@ -199,6 +611,26 @@ mod tests {
     }
 
     #[test]
+    fn serde_round_trips_legacy_shape() {
+        let t = trace(&[(0.0, 100.0), (1.0, 150.5), (2.0, 120.25)]);
+        let json = serde_json::to_string(&t).unwrap();
+        // The wire format is still the array-of-structs layout.
+        assert!(json.contains("\"samples\""), "{json}");
+        assert!(json.contains("\"t\""), "{json}");
+        assert!(json.contains("\"watts\""), "{json}");
+        let back: PowerTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        // The prefix index is rebuilt on deserialization.
+        assert_eq!(back.prefix_energy(), t.prefix_energy());
+        assert_eq!(back.peak_power().value(), t.peak_power().value());
+    }
+
+    #[test]
+    fn serde_rejects_missing_samples_field() {
+        assert!(serde_json::from_str::<PowerTrace>(r#"{"nope":[]}"#).is_err());
+    }
+
+    #[test]
     #[should_panic(expected = "non-decreasing")]
     fn out_of_order_push_panics() {
         let mut t = trace(&[(5.0, 100.0)]);
@@ -213,7 +645,8 @@ mod tests {
     }
 
     proptest! {
-        /// Energy is within [min·T, max·T] for any trace.
+        /// Energy is within [min·T, max·T] for any trace, and the O(1)
+        /// indexed total matches the naive integration bit-for-bit.
         #[test]
         fn prop_energy_bounds(
             powers in proptest::collection::vec(1.0..1000.0f64, 2..32),
@@ -227,6 +660,7 @@ mod tests {
             let lo = powers.iter().cloned().fold(f64::INFINITY, f64::min) * dur;
             let hi = powers.iter().cloned().fold(0.0, f64::max) * dur;
             let e = t.energy().value();
+            prop_assert_eq!(e, naive_energy(&t));
             prop_assert!(e >= lo - 1e-6);
             prop_assert!(e <= hi + 1e-6);
             // average power equals energy / duration by construction
@@ -245,6 +679,28 @@ mod tests {
                 t2.push(i as f64, Watts::new(2.0 * w));
             }
             prop_assert!((t2.energy().value() - 2.0 * t1.energy().value()).abs() < 1e-6);
+        }
+
+        /// Splitting the span at any interior point conserves energy, and
+        /// window() agrees with energy_between().
+        #[test]
+        fn prop_energy_between_additive(
+            powers in proptest::collection::vec(1.0..1000.0f64, 2..32),
+            split in 0.0..1.0f64,
+        ) {
+            let mut t = PowerTrace::new();
+            for (i, &w) in powers.iter().enumerate() {
+                t.push(i as f64, Watts::new(w));
+            }
+            let (first, last) = t.time_bounds().unwrap();
+            let mid = first + split * (last - first);
+            let a = t.energy_between(first, mid).value();
+            let b = t.energy_between(mid, last).value();
+            let total = t.energy().value();
+            prop_assert!((a + b - total).abs() < 1e-9 * total.max(1.0),
+                "{a} + {b} != {total}");
+            let w = t.window(first, mid);
+            prop_assert!((w.energy().value() - a).abs() < 1e-9 * total.max(1.0));
         }
     }
 }

@@ -4,10 +4,16 @@
 //! line; studies archive those CSVs. This module round-trips
 //! [`PowerTrace`]s through that format, with strict parsing (a corrupted
 //! log should fail loudly, not silently skew an energy number).
+//!
+//! Both directions stream: [`write_log`] emits lines into any
+//! [`io::Write`] through a `BufWriter` (no whole-file `String` is built),
+//! and [`from_reader`] parses line-by-line from any [`BufRead`]. Each
+//! parsed line is validated once here — with a line number for the error —
+//! and then appended without the trace re-checking the same invariants.
 
 use crate::trace::PowerTrace;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
-use tgi_core::Watts;
 
 /// Errors while parsing a meter log.
 #[derive(Debug)]
@@ -52,66 +58,100 @@ impl From<std::io::Error> for LogError {
     }
 }
 
-/// Serializes a trace as `seconds,watts` lines with a header.
-pub fn to_log(trace: &PowerTrace) -> String {
-    let mut out = String::from("seconds,watts\n");
-    for s in trace.samples() {
-        out.push_str(&format!("{},{}\n", s.t, s.watts));
+/// Streams a trace as `seconds,watts` lines with a header into `writer`,
+/// buffering internally.
+pub fn write_log<W: Write>(trace: &PowerTrace, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(b"seconds,watts\n")?;
+    for (t, p) in trace.times().iter().zip(trace.watts()) {
+        writeln!(w, "{t},{p}")?;
     }
-    out
+    w.flush()
 }
 
-/// Parses a meter log. Accepts an optional `seconds,watts` header and blank
-/// lines; rejects anything else.
+/// Serializes a trace as `seconds,watts` lines with a header. Thin wrapper
+/// over [`write_log`] into an in-memory buffer.
+pub fn to_log(trace: &PowerTrace) -> String {
+    let mut buf = Vec::with_capacity(16 * trace.len() + 16);
+    write_log(trace, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("meter logs are ASCII")
+}
+
+/// Parses and validates one log line, appending the sample on success. The
+/// trace does not re-validate: this is the single validation pass.
+fn parse_line(
+    trace: &mut PowerTrace,
+    last_t: &mut f64,
+    line: usize,
+    raw: &str,
+) -> Result<(), LogError> {
+    let content = raw.trim();
+    if content.is_empty() || (line == 1 && content.eq_ignore_ascii_case("seconds,watts")) {
+        return Ok(());
+    }
+    let (ts, ws) = content
+        .split_once(',')
+        .ok_or_else(|| LogError::Malformed { line, content: content.to_string() })?;
+    let t: f64 = ts
+        .trim()
+        .parse()
+        .map_err(|_| LogError::Malformed { line, content: content.to_string() })?;
+    let w: f64 = ws
+        .trim()
+        .parse()
+        .map_err(|_| LogError::Malformed { line, content: content.to_string() })?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(LogError::Invalid { line, reason: "timestamp not finite/non-negative" });
+    }
+    if t < *last_t {
+        return Err(LogError::Invalid { line, reason: "timestamps went backwards" });
+    }
+    if !w.is_finite() || w < 0.0 {
+        return Err(LogError::Invalid { line, reason: "power not finite/non-negative" });
+    }
+    *last_t = t;
+    trace.push_unvalidated(t, w);
+    Ok(())
+}
+
+/// Parses a meter log from text. Accepts an optional `seconds,watts` header
+/// and blank lines; rejects anything else.
 pub fn from_log(text: &str) -> Result<PowerTrace, LogError> {
     let mut trace = PowerTrace::new();
     let mut last_t = f64::NEG_INFINITY;
     for (idx, raw) in text.lines().enumerate() {
-        let line = idx + 1;
-        let content = raw.trim();
-        if content.is_empty() || (idx == 0 && content.eq_ignore_ascii_case("seconds,watts")) {
-            continue;
-        }
-        let (ts, ws) = content
-            .split_once(',')
-            .ok_or_else(|| LogError::Malformed { line, content: content.to_string() })?;
-        let t: f64 = ts
-            .trim()
-            .parse()
-            .map_err(|_| LogError::Malformed { line, content: content.to_string() })?;
-        let w: f64 = ws
-            .trim()
-            .parse()
-            .map_err(|_| LogError::Malformed { line, content: content.to_string() })?;
-        if !t.is_finite() || t < 0.0 {
-            return Err(LogError::Invalid { line, reason: "timestamp not finite/non-negative" });
-        }
-        if t < last_t {
-            return Err(LogError::Invalid { line, reason: "timestamps went backwards" });
-        }
-        if !w.is_finite() || w < 0.0 {
-            return Err(LogError::Invalid { line, reason: "power not finite/non-negative" });
-        }
-        last_t = t;
-        trace.push(t, Watts::new(w));
+        parse_line(&mut trace, &mut last_t, idx + 1, raw)?;
+    }
+    Ok(trace)
+}
+
+/// Streams a meter log out of any buffered reader without materializing the
+/// whole file, line-validating as it goes.
+pub fn from_reader<R: BufRead>(reader: R) -> Result<PowerTrace, LogError> {
+    let mut trace = PowerTrace::new();
+    let mut last_t = f64::NEG_INFINITY;
+    for (idx, line) in reader.lines().enumerate() {
+        parse_line(&mut trace, &mut last_t, idx + 1, &line?)?;
     }
     Ok(trace)
 }
 
 /// Writes a trace to a log file.
-pub fn write_log(trace: &PowerTrace, path: &Path) -> Result<(), LogError> {
-    Ok(std::fs::write(path, to_log(trace))?)
+pub fn write_log_file(trace: &PowerTrace, path: &Path) -> Result<(), LogError> {
+    Ok(write_log(trace, std::fs::File::create(path)?)?)
 }
 
-/// Reads a trace from a log file.
+/// Reads a trace from a log file through a `BufReader` (long telemetry
+/// archives never sit fully in memory).
 pub fn read_log(path: &Path) -> Result<PowerTrace, LogError> {
-    from_log(&std::fs::read_to_string(path)?)
+    from_reader(BufReader::new(std::fs::File::open(path)?))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use tgi_core::Watts;
 
     fn trace(points: &[(f64, f64)]) -> PowerTrace {
         let mut t = PowerTrace::new();
@@ -127,7 +167,18 @@ mod tests {
         let back = from_log(&to_log(&t)).expect("well-formed");
         assert_eq!(back.len(), 3);
         assert!((back.energy().value() - t.energy().value()).abs() < 1e-9);
-        assert_eq!(back.samples()[1].watts, 150.5);
+        assert_eq!(back.sample(1).watts, 150.5);
+    }
+
+    #[test]
+    fn streamed_writer_and_reader_round_trip() {
+        let t = trace(&[(0.0, 250.0), (0.5, 245.5), (1.5, 251.0)]);
+        let mut buf = Vec::new();
+        write_log(&t, &mut buf).expect("in-memory write");
+        assert_eq!(String::from_utf8(buf.clone()).unwrap(), to_log(&t));
+        let back = from_reader(buf.as_slice()).expect("streamed read");
+        assert_eq!(back, t);
+        assert_eq!(back.prefix_energy(), t.prefix_energy());
     }
 
     #[test]
@@ -167,7 +218,7 @@ mod tests {
     fn file_round_trip() {
         let path = std::env::temp_dir().join(format!("tgi_meter_log_{}.csv", std::process::id()));
         let t = trace(&[(0.0, 250.0), (1.0, 260.0)]);
-        write_log(&t, &path).expect("writable");
+        write_log_file(&t, &path).expect("writable");
         let back = read_log(&path).expect("readable");
         assert_eq!(back.len(), 2);
         std::fs::remove_file(&path).expect("cleanup");
@@ -192,7 +243,7 @@ mod tests {
             }
             let back = from_log(&to_log(&t)).expect("round trip");
             prop_assert_eq!(back.len(), t.len());
-            for (a, b) in back.samples().iter().zip(t.samples()) {
+            for (a, b) in back.iter().zip(t.iter()) {
                 prop_assert!((a.t - b.t).abs() < 1e-12);
                 prop_assert!((a.watts - b.watts).abs() < 1e-12);
             }

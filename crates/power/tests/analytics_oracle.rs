@@ -1,0 +1,275 @@
+//! Property-test oracle: the indexed analytics paths must agree with naive
+//! reference implementations (written out in full here, independent of the
+//! library's prefix-index machinery) to within 1e-9, and exactly where the
+//! design guarantees bit-identical accumulation. Run under
+//! `TGI_NUM_THREADS=1` and `TGI_NUM_THREADS=4` in CI so the parallel fleet
+//! reductions are covered at both pool shapes.
+
+use power_model::{analysis, trace_io, PercentileCache, PowerTrace, TraceSet};
+use proptest::prelude::*;
+use tgi_core::Watts;
+
+/// Relative-or-absolute closeness at the oracle tolerance.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn build(dts: &[f64], watts: &[f64]) -> PowerTrace {
+    let mut trace = PowerTrace::new();
+    let mut t = 0.0;
+    for (dt, &w) in dts.iter().zip(watts) {
+        t += dt;
+        trace.push(t, Watts::new(w));
+    }
+    trace
+}
+
+/// Naive sequential trapezoid integration over the full trace.
+fn naive_energy(times: &[f64], watts: &[f64]) -> f64 {
+    let mut e = 0.0;
+    for i in 1..times.len() {
+        e += 0.5 * (watts[i - 1] + watts[i]) * (times[i] - times[i - 1]);
+    }
+    e
+}
+
+/// Naive linear interpolation of power at time `t` (t within the span).
+fn naive_power_at(times: &[f64], watts: &[f64], t: f64) -> f64 {
+    let i = times.partition_point(|&x| x <= t);
+    if i == 0 {
+        return watts[0];
+    }
+    if i == times.len() {
+        return watts[times.len() - 1];
+    }
+    let (t0, t1) = (times[i - 1], times[i]);
+    if t1 == t0 {
+        return watts[i];
+    }
+    watts[i - 1] + (watts[i] - watts[i - 1]) * (t - t0) / (t1 - t0)
+}
+
+/// Naive windowed energy: clamp `[a, b]` to the span and integrate the
+/// piecewise-linear power segment by segment.
+fn naive_energy_between(times: &[f64], watts: &[f64], a: f64, b: f64) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    let a = a.max(times[0]);
+    let b = b.min(times[times.len() - 1]);
+    if b <= a {
+        return 0.0;
+    }
+    let mut e = 0.0;
+    for i in 1..times.len() {
+        let lo = times[i - 1].max(a);
+        let hi = times[i].min(b);
+        if hi > lo {
+            let w0 = naive_power_at(times, watts, lo);
+            let w1 = naive_power_at(times, watts, hi);
+            e += 0.5 * (w0 + w1) * (hi - lo);
+        }
+    }
+    e
+}
+
+/// Naive O(n·w) centered moving average: arithmetic mean of every sample
+/// within `half` seconds of sample `i`.
+fn naive_moving_average(times: &[f64], watts: &[f64], window_s: f64) -> Vec<f64> {
+    let half = window_s / 2.0;
+    (0..times.len())
+        .map(|i| {
+            let members: Vec<f64> = (0..times.len())
+                .filter(|&j| (times[j] - times[i]).abs() <= half)
+                .map(|j| watts[j])
+                .collect();
+            members.iter().sum::<f64>() / members.len() as f64
+        })
+        .collect()
+}
+
+/// Naive sorted-array percentile with linear interpolation.
+fn naive_percentile(watts: &[f64], p: f64) -> f64 {
+    let mut sorted = watts.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+}
+
+/// Non-decreasing timestamps (duplicates allowed) with bounded powers,
+/// generated as (dt, watts) pairs.
+fn arb_trace() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    proptest::collection::vec((0.0..1.5f64, 0.0..1000.0f64), 1..160)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    /// Total energy is bit-identical to the naive sequential trapezoid sum
+    /// (the prefix index accumulates in the same order), and the O(1)
+    /// average/peak/min agree with full scans.
+    #[test]
+    fn prop_scalar_queries_match_naive((dts, watts) in arb_trace()) {
+        let trace = build(&dts, &watts);
+        let e = naive_energy(trace.times(), trace.watts());
+        prop_assert_eq!(trace.energy().value(), e, "energy must be bit-identical");
+        let dur = trace.times()[trace.len() - 1] - trace.times()[0];
+        if dur > 0.0 {
+            prop_assert!(close(trace.average_power().value(), e / dur));
+        }
+        let peak = watts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = watts.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(trace.peak_power().value(), peak);
+        prop_assert_eq!(trace.min_power().value(), min);
+    }
+
+    /// Indexed O(log n) window energies agree with segment-by-segment naive
+    /// integration, for windows inside, straddling, and outside the span.
+    #[test]
+    fn prop_energy_between_matches_naive(
+        (dts, watts) in arb_trace(),
+        a_frac in -0.3..1.3f64,
+        b_frac in -0.3..1.3f64,
+    ) {
+        let trace = build(&dts, &watts);
+        let (first, last) = trace.time_bounds().unwrap();
+        let span = (last - first).max(1.0);
+        let a = first + a_frac * span;
+        let b = first + b_frac * span;
+        let naive = naive_energy_between(trace.times(), trace.watts(), a, b);
+        prop_assert!(
+            close(trace.energy_between(a, b).value(), naive),
+            "window [{}, {}]: indexed {} vs naive {}",
+            a, b, trace.energy_between(a, b).value(), naive
+        );
+        // The materialized window trace integrates to the same energy.
+        let window = trace.window(a, b);
+        prop_assert!(close(window.energy().value(), naive));
+    }
+
+    /// The two-pointer moving average equals the O(n·w) definition.
+    #[test]
+    fn prop_moving_average_matches_naive(
+        (dts, watts) in arb_trace(),
+        window_s in 0.1..20.0f64,
+    ) {
+        let trace = build(&dts, &watts);
+        let fast = analysis::moving_average(&trace, window_s);
+        let naive = naive_moving_average(trace.times(), trace.watts(), window_s);
+        prop_assert_eq!(fast.len(), naive.len());
+        for (i, &expect) in naive.iter().enumerate() {
+            prop_assert!(
+                close(fast.sample(i).watts, expect),
+                "sample {}: fast {} vs naive {}", i, fast.sample(i).watts, expect
+            );
+        }
+    }
+
+    /// The monotonic-deque sliding extrema equal the rescan definition
+    /// exactly (no arithmetic, so no tolerance).
+    #[test]
+    fn prop_sliding_extrema_match_naive(
+        (dts, watts) in arb_trace(),
+        window_s in 0.1..20.0f64,
+    ) {
+        let trace = build(&dts, &watts);
+        let maxes = analysis::sliding_max(&trace, window_s);
+        let mins = analysis::sliding_min(&trace, window_s);
+        let half = window_s / 2.0;
+        let times = trace.times();
+        let w = trace.watts();
+        for i in 0..trace.len() {
+            let in_window = (0..trace.len()).filter(|&j| (times[j] - times[i]).abs() <= half);
+            let expect_max =
+                in_window.clone().map(|j| w[j]).fold(f64::NEG_INFINITY, f64::max);
+            let expect_min = in_window.map(|j| w[j]).fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(maxes.sample(i).watts, expect_max);
+            prop_assert_eq!(mins.sample(i).watts, expect_min);
+        }
+    }
+
+    /// Selection-based percentiles and the sorted cache both match the
+    /// full-sort reference.
+    #[test]
+    fn prop_percentiles_match_full_sort(
+        (dts, watts) in arb_trace(),
+        p in 0.0..=100.0f64,
+    ) {
+        let trace = build(&dts, &watts);
+        let expect = naive_percentile(trace.watts(), p);
+        let direct = analysis::try_percentile(&trace, p).unwrap().value();
+        prop_assert!(close(direct, expect), "selection {} vs sort {}", direct, expect);
+        let cache = PercentileCache::new(&trace);
+        let cached = cache.percentile(p).unwrap().value();
+        prop_assert!(close(cached, expect), "cache {} vs sort {}", cached, expect);
+    }
+
+    /// Batch ingest builds exactly the same trace — samples and the whole
+    /// prefix index — as one-at-a-time validated pushes.
+    #[test]
+    fn prop_batch_ingest_equals_pushes((dts, watts) in arb_trace()) {
+        let pushed = build(&dts, &watts);
+        let mut batched = PowerTrace::with_capacity(dts.len());
+        batched.extend_from_slices(pushed.times(), pushed.watts());
+        prop_assert_eq!(&batched, &pushed);
+        prop_assert_eq!(batched.prefix_energy(), pushed.prefix_energy());
+        prop_assert_eq!(batched.energy().value(), pushed.energy().value());
+        prop_assert_eq!(batched.peak_power(), pushed.peak_power());
+        prop_assert_eq!(batched.min_power(), pushed.min_power());
+    }
+
+    /// Phase energies tile the trace: they sum to the total energy.
+    #[test]
+    fn prop_phase_energies_tile_total((dts, watts) in arb_trace()) {
+        let trace = build(&dts, &watts);
+        let phases = analysis::segment_phases(&trace, Watts::new(50.0));
+        let total: f64 = phases.iter().map(|p| p.energy_j).sum();
+        prop_assert!(close(total, trace.energy().value()));
+    }
+
+    /// The SoA trace round-trips through both wire formats: the serde
+    /// sample-object JSON shape and the meter-log CSV.
+    #[test]
+    fn prop_wire_round_trips((dts, watts) in arb_trace()) {
+        let trace = build(&dts, &watts);
+        let json = serde_json::to_string(&trace).unwrap();
+        prop_assert!(json.contains("\"samples\""));
+        let back: PowerTrace = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &trace);
+        prop_assert_eq!(back.energy().value(), trace.energy().value());
+        let csv = trace_io::from_log(&trace_io::to_log(&trace)).unwrap();
+        prop_assert_eq!(csv.len(), trace.len());
+        prop_assert!(close(csv.energy().value(), trace.energy().value()));
+    }
+
+    /// Parallel fleet reductions agree with naive per-trace sums at the
+    /// current `TGI_NUM_THREADS` (CI runs this file at 1 and 4 threads).
+    #[test]
+    fn prop_fleet_totals_match_naive(
+        traces in proptest::collection::vec(arb_trace(), 1..8),
+        a_frac in 0.0..1.0f64,
+        b_frac in 0.0..1.0f64,
+    ) {
+        let mut set = TraceSet::new();
+        let mut naive_total = 0.0;
+        let mut span_hi = 0.0f64;
+        for (i, (dts, watts)) in traces.iter().enumerate() {
+            let trace = build(dts, watts);
+            naive_total += naive_energy(trace.times(), trace.watts());
+            span_hi = span_hi.max(trace.time_bounds().unwrap().1);
+            set.push(format!("node{i}"), trace);
+        }
+        prop_assert!(close(set.total_energy().value(), naive_total));
+        let summary = set.summarize();
+        prop_assert!(close(summary.total_energy_j, naive_total));
+        prop_assert_eq!(summary.nodes.len(), traces.len());
+
+        let (a, b) = (a_frac * span_hi, b_frac * span_hi);
+        let naive_window: f64 = set
+            .iter()
+            .map(|(_, t)| naive_energy_between(t.times(), t.watts(), a, b))
+            .sum();
+        prop_assert!(close(set.energy_between(a, b).value(), naive_window));
+    }
+}

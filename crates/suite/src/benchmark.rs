@@ -1,5 +1,6 @@
 //! The uniform benchmark interface.
 
+use power_model::PowerTrace;
 use tgi_core::Measurement;
 
 /// Errors from running a suite benchmark.
@@ -90,6 +91,22 @@ pub struct BenchmarkOutput {
     /// Number of power-trace samples the meter collected (0 when the
     /// benchmark has no sampled meter, e.g. simulated runs).
     pub trace_samples: usize,
+    /// The sampled power trace itself, when the benchmark was metered.
+    /// Carried so run reports can answer window/percentile queries against
+    /// the indexed trace instead of only the scalar measurement.
+    pub trace: Option<PowerTrace>,
+}
+
+impl BenchmarkOutput {
+    /// An output with no meter trace (simulated benchmarks).
+    pub fn unmetered(measurement: Measurement) -> Self {
+        BenchmarkOutput { measurement, trace_samples: 0, trace: None }
+    }
+
+    /// An output carrying the sampled meter trace.
+    pub fn metered(measurement: Measurement, trace: PowerTrace) -> Self {
+        BenchmarkOutput { measurement, trace_samples: trace.len(), trace: Some(trace) }
+    }
 }
 
 /// A benchmark that yields one measurement per run.
@@ -112,7 +129,7 @@ pub trait Benchmark: Send + Sync {
 
     /// Executes the benchmark, additionally reporting meter metadata.
     fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
-        self.run().map(|measurement| BenchmarkOutput { measurement, trace_samples: 0 })
+        self.run().map(BenchmarkOutput::unmetered)
     }
 
     /// Whether this benchmark needs exclusive use of the power meter.

@@ -23,13 +23,13 @@ use tgi_core::{Joules, Measurement, Perf, Seconds, Watts};
 /// second-scale kernels still collect several samples).
 const SAMPLE_INTERVAL: Duration = Duration::from_millis(50);
 
-/// Aggregates one metered run: reported power/time/energy plus the number of
-/// power-trace samples the background sampler collected.
+/// Aggregates one metered run: reported power/time/energy plus the sampled
+/// power trace the background sampler collected.
 struct Metered {
     power: Watts,
     time: Seconds,
     energy: Joules,
-    trace_samples: usize,
+    trace: power_model::PowerTrace,
 }
 
 fn metered<T>(
@@ -44,7 +44,7 @@ fn metered<T>(
     let elapsed = start.elapsed().as_secs_f64().max(1e-6);
     let trace = sampler.stop();
     let (power, energy) = derive_power_energy(&trace, source.as_ref(), elapsed);
-    (out, Metered { power, time: Seconds::new(elapsed), energy, trace_samples: trace.len() })
+    (out, Metered { power, time: Seconds::new(elapsed), energy, trace })
 }
 
 /// Derives reported power and energy from a sampled trace.
@@ -69,7 +69,7 @@ fn derive_power_energy(
 
 fn to_output(id: &str, perf: Perf, m: &Metered) -> Result<BenchmarkOutput, SuiteError> {
     let measurement = Measurement::new(id, perf, m.power, m.time)?.with_energy(m.energy)?;
-    Ok(BenchmarkOutput { measurement, trace_samples: m.trace_samples })
+    Ok(BenchmarkOutput::metered(measurement, m.trace.clone()))
 }
 
 /// HPL on this machine: blocked LU solve with residual validation.

@@ -402,6 +402,22 @@ impl RunReport {
         self.entries.iter().map(|e| e.record()).collect()
     }
 
+    /// Collects the meter traces of every successful metered item into a
+    /// [`power_model::TraceSet`] labeled `benchmark#repeat`, ready for
+    /// parallel fleet analysis (aggregate energy, idle floor, window
+    /// queries). Unmetered and failed items contribute nothing.
+    pub fn trace_set(&self) -> power_model::TraceSet {
+        let mut set = power_model::TraceSet::new();
+        for entry in &self.entries {
+            if let RunOutcome::Success(output) = &entry.outcome {
+                if let Some(trace) = &output.trace {
+                    set.push(format!("{}#{}", entry.benchmark, entry.repeat), trace.clone());
+                }
+            }
+        }
+        set
+    }
+
     /// Collapses the report into `run_all`-style results: every
     /// measurement in order, or the first failure.
     pub fn into_result(self) -> Result<Vec<Measurement>, SuiteError> {
@@ -736,6 +752,36 @@ mod tests {
         let report = SuiteRunner::new().parallelism(5).run(&suite);
         assert!(report.all_succeeded());
         assert!(!violated.load(Ordering::SeqCst), "a metered run overlapped with another item");
+    }
+
+    #[test]
+    fn trace_set_collects_metered_traces() {
+        struct WithTrace;
+        impl Benchmark for WithTrace {
+            fn id(&self) -> &str {
+                "metered"
+            }
+            fn subsystem(&self) -> &'static str {
+                "test"
+            }
+            fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
+                let mut t = power_model::PowerTrace::new();
+                t.push(0.0, Watts::new(100.0));
+                t.push(1.0, Watts::new(100.0));
+                Ok(BenchmarkOutput::metered(meas("metered", 1.0), t))
+            }
+        }
+        let suite = BenchmarkSuite::new().with(WithTrace).with(Fixed { id: "plain", gflops: 1.0 });
+        let report = SuiteRunner::new().repeats(2).run(&suite);
+        assert_eq!(report.entries.len(), 4);
+        let set = report.trace_set();
+        assert_eq!(set.len(), 2, "only metered successes carry traces");
+        assert!(set.get("metered#0").is_some());
+        assert!(set.get("metered#1").is_some());
+        assert!((set.total_energy().value() - 200.0).abs() < 1e-9);
+        let summary = set.summarize();
+        assert_eq!(summary.nodes.len(), 2);
+        assert_eq!(summary.total_samples, 4);
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Archive and reload, as a study would.
     let path = std::env::temp_dir().join("tgi_example_meter.csv");
-    trace_io::write_log(&trace, &path)?;
+    trace_io::write_log_file(&trace, &path)?;
     let reloaded = trace_io::read_log(&path)?;
     println!("archived {} samples to {} and reloaded them\n", reloaded.len(), path.display());
 
