@@ -21,6 +21,9 @@ use power_model::meter::{PowerMeter, WattsUpPro};
 use power_model::trace::PowerTrace;
 use power_model::utilization::UtilizationSample;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use tgi_core::{Measurement, Perf, Seconds, Watts};
 
 /// Outcome of one simulated benchmark run.
@@ -295,6 +298,97 @@ impl ExecutionEngine {
     }
 }
 
+/// Cache key for one `run_suite` invocation: the process count plus each
+/// workload's benchmark id and exact problem size. Fractional sizes are
+/// keyed by their IEEE bit pattern (`f64::to_bits`), so equal workloads hit
+/// and nearly-equal ones don't — no tolerance surprises in `Eq`/`Hash`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SuiteKey {
+    processes: usize,
+    workloads: Vec<(&'static str, u64)>,
+}
+
+impl SuiteKey {
+    fn new(workloads: &[Workload], processes: usize) -> Self {
+        let workloads = workloads
+            .iter()
+            .map(|w| {
+                let size = match w {
+                    Workload::Hpl { n } => *n as u64,
+                    Workload::Stream { total_bytes } | Workload::Iozone { total_bytes } => {
+                        total_bytes.to_bits()
+                    }
+                };
+                (w.benchmark_id(), size)
+            })
+            .collect();
+        SuiteKey { processes, workloads }
+    }
+}
+
+/// An [`ExecutionEngine`] that memoizes [`ExecutionEngine::run_suite`] per
+/// (workload set, process count).
+///
+/// Grid sweeps evaluate many (weighting × mean) cells over the *same*
+/// simulated measurements; the simulation is by far the expensive part, so
+/// caching it lets those axes reuse runs instead of re-running cluster-sim.
+/// Results are shared via `Arc`, and the cache is behind a `Mutex`, so one
+/// `MemoizedEngine` can serve many threads (`&self` everywhere). Simulation
+/// happens *outside* the lock: two threads missing on the same key may race
+/// and simulate twice, but the engine is deterministic, so both produce
+/// identical runs and the first insert wins.
+#[derive(Debug)]
+pub struct MemoizedEngine {
+    engine: ExecutionEngine,
+    cache: Mutex<HashMap<SuiteKey, Arc<Vec<SimulatedRun>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl MemoizedEngine {
+    /// Wraps an engine with an empty cache.
+    pub fn new(engine: ExecutionEngine) -> Self {
+        MemoizedEngine {
+            engine,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped engine (uncached access, cluster spec, …).
+    pub fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+
+    /// Runs the suite at one process count, returning the cached runs when
+    /// this (workload set, process count) has been simulated before.
+    ///
+    /// # Panics
+    /// As [`ExecutionEngine::run`]: `processes` must be in
+    /// `1..=total_cores`.
+    pub fn run_suite(&self, workloads: &[Workload], processes: usize) -> Arc<Vec<SimulatedRun>> {
+        let key = SuiteKey::new(workloads, processes);
+        if let Some(cached) = self.cache.lock().expect("suite cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let runs = Arc::new(self.engine.run_suite(workloads, processes));
+        Arc::clone(self.cache.lock().expect("suite cache poisoned").entry(key).or_insert(runs))
+    }
+
+    /// Number of `run_suite` calls served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of `run_suite` calls that had to simulate.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// Collects the metered traces of several simulated runs into a labeled
 /// [`power_model::TraceSet`] (labels are `benchmark@processes`), ready for
 /// parallel fleet analysis: aggregate energy, idle floor, window queries.
@@ -448,6 +542,35 @@ mod tests {
         let summary = set.summarize();
         assert_eq!(summary.nodes.len(), 3);
         assert!(summary.peak_node_w > 0.0);
+    }
+
+    #[test]
+    fn memoized_engine_caches_per_workloads_and_processes() {
+        let memo = MemoizedEngine::new(fire_engine());
+        let suite = Workload::fire_suite();
+        let a = memo.run_suite(&suite, 64);
+        assert_eq!((memo.hits(), memo.misses()), (0, 1));
+        let b = memo.run_suite(&suite, 64);
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        // Cached result is the same allocation, and equals a fresh run.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, fire_engine().run_suite(&suite, 64));
+        // A different process count is a distinct key…
+        let c = memo.run_suite(&suite, 32);
+        assert_eq!((memo.hits(), memo.misses()), (1, 2));
+        assert!(!Arc::ptr_eq(&a, &c));
+        // …and so is a different workload size at the same count.
+        let resized = vec![Workload::Hpl { n: 20_000 }];
+        memo.run_suite(&resized, 64);
+        assert_eq!((memo.hits(), memo.misses()), (1, 3));
+        memo.run_suite(&resized, 64);
+        assert_eq!((memo.hits(), memo.misses()), (2, 3));
+    }
+
+    #[test]
+    fn memoized_engine_exposes_wrapped_engine() {
+        let memo = MemoizedEngine::new(fire_engine());
+        assert_eq!(memo.engine().cluster().total_cores(), 128);
     }
 
     #[test]

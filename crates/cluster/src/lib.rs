@@ -28,7 +28,7 @@ pub mod scaling;
 pub mod spec;
 pub mod workload;
 
-pub use execution::{fleet_trace_set, ExecutionEngine, SimulatedRun};
+pub use execution::{fleet_trace_set, ExecutionEngine, MemoizedEngine, SimulatedRun};
 pub use power_cap::{run_capped, CappedRun};
 pub use spec::{ClusterSpec, InterconnectSpec, NodeSpec, SharedFsSpec};
 pub use workload::Workload;

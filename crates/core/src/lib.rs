@@ -56,6 +56,7 @@
 pub mod edp;
 pub mod efficiency;
 pub mod error;
+pub mod evaluator;
 pub mod means;
 pub mod measurement;
 pub mod ranking;
@@ -72,6 +73,7 @@ pub mod weights;
 pub use edp::{EnergyDelayProduct, EnergyDelaySquaredProduct};
 pub use efficiency::{EfficiencyMetric, EnergyEfficiency, PerfPerWatt};
 pub use error::TgiError;
+pub use evaluator::{EvalScratch, TgiEvaluator};
 pub use measurement::Measurement;
 pub use ranking::{RankedSystem, Ranking};
 pub use reference::{ReferenceSystem, ReferenceSystemBuilder};
@@ -87,6 +89,7 @@ pub mod prelude {
     pub use crate::edp::{EnergyDelayProduct, EnergyDelaySquaredProduct};
     pub use crate::efficiency::{EfficiencyMetric, EnergyEfficiency, PerfPerWatt};
     pub use crate::error::TgiError;
+    pub use crate::evaluator::{EvalScratch, TgiEvaluator};
     pub use crate::means;
     pub use crate::measurement::Measurement;
     pub use crate::ranking::{RankedSystem, Ranking};

@@ -21,8 +21,11 @@ use serde::{Deserialize, Serialize};
 
 /// The gradient of TGI with respect to the weights: `∂TGI/∂W_i = REE_i`,
 /// keyed by benchmark. (Linear metric — the gradient *is* the REE vector.)
-pub fn weight_gradient(result: &TgiResult) -> Vec<(String, f64)> {
-    result.contributions().iter().map(|c| (c.benchmark.clone(), c.ree)).collect()
+///
+/// Benchmark names are borrowed from the result — no per-call `String`
+/// clones, so this is cheap enough to call inside sweep loops.
+pub fn weight_gradient(result: &TgiResult) -> Vec<(&str, f64)> {
+    result.contributions().iter().map(|c| (c.benchmark.as_str(), c.ree)).collect()
 }
 
 /// The smallest single-benchmark tilt that flips a comparison.
@@ -143,6 +146,8 @@ mod tests {
         let r = result([20.0, 10.0, 5.0]);
         let g = weight_gradient(&r);
         assert_eq!(g.len(), 3);
+        // Names are borrowed from the result, in suite order.
+        assert_eq!(g.iter().map(|(b, _)| *b).collect::<Vec<_>>(), vec!["cpu", "mem", "io"]);
         assert!((g[0].1 - 2.0).abs() < 1e-12);
         assert!((g[1].1 - 1.0).abs() < 1e-12);
         assert!((g[2].1 - 0.5).abs() < 1e-12);

@@ -10,14 +10,18 @@
 //!
 //! The result retains every intermediate quantity per benchmark so reports
 //! (and the paper's Table II analysis) can inspect the decomposition.
+//!
+//! `compute()` delegates to [`crate::evaluator::TgiEvaluator`], the batch
+//! evaluation engine — the builder is the one-shot convenience wrapper, and
+//! both paths produce bit-identical values by construction.
 
 use crate::efficiency::{EfficiencyMetric, PerfPerWatt};
 use crate::error::TgiError;
+use crate::evaluator::TgiEvaluator;
 use crate::measurement::Measurement;
 use crate::reference::ReferenceSystem;
 use crate::weights::Weighting;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// The central-tendency measure used to combine the weighted REEs.
 ///
@@ -121,62 +125,17 @@ impl<M: EfficiencyMetric> TgiBuilder<M> {
     }
 
     /// Runs the four-step TGI algorithm.
+    ///
+    /// Internally this builds a one-shot [`TgiEvaluator`] — repeated
+    /// computations against the same reference should construct the
+    /// evaluator once and reuse it.
     pub fn compute(self) -> Result<TgiResult, TgiError> {
         let reference = self.reference.ok_or(TgiError::MissingReferenceSystem)?;
-        if self.measurements.is_empty() {
-            return Err(TgiError::EmptyBenchmarkSet);
-        }
-        let mut seen = BTreeSet::new();
-        for m in &self.measurements {
-            if !seen.insert(m.id().to_string()) {
-                return Err(TgiError::DuplicateBenchmark(m.id().to_string()));
-            }
-        }
-
-        let weights = self.weighting.weights_for(&self.measurements)?;
-
-        let mut contributions = Vec::with_capacity(self.measurements.len());
-        for (i, m) in self.measurements.iter().enumerate() {
-            // Step 1: EE_i under the configured metric.
-            let ee = self.metric.evaluate(m);
-            // Step 2: REE_i. For the default perf/W metric this includes the
-            // unit check; for custom metrics we divide raw metric values.
-            let ref_meas = reference
-                .measurement(m.id())
-                .ok_or_else(|| TgiError::MissingReference(m.id().to_string()))?;
-            // Unit compatibility is enforced for all metrics.
-            m.performance().ratio(ref_meas.performance())?;
-            let ref_ee = self.metric.evaluate(ref_meas);
-            let ree = ee / ref_ee;
-            // Steps 3–4 (the additive `contribution` is meaningful for the
-            // arithmetic mean; the other means aggregate below).
-            let w = weights.get(i);
-            let contribution = w * ree;
-            contributions.push(BenchmarkContribution {
-                benchmark: m.id().to_string(),
-                energy_efficiency: ee,
-                reference_efficiency: ref_ee,
-                ree,
-                weight: w,
-                contribution,
-            });
-        }
-
-        let rees: Vec<f64> = contributions.iter().map(|c| c.ree).collect();
-        let ws: Vec<f64> = contributions.iter().map(|c| c.weight).collect();
-        let tgi = match self.mean {
-            MeanKind::Arithmetic => contributions.iter().map(|c| c.contribution).sum(),
-            MeanKind::Geometric => crate::means::weighted_geometric(&rees, &ws)?,
-            MeanKind::Harmonic => crate::means::weighted_harmonic(&rees, &ws)?,
-        };
-
-        Ok(TgiResult {
-            value: tgi,
-            weighting: self.weighting,
-            mean: self.mean,
-            reference_name: reference.name().to_string(),
-            contributions,
-        })
+        TgiEvaluator::with_metric(&reference, self.metric).evaluate_result(
+            &self.measurements,
+            &self.weighting,
+            self.mean,
+        )
     }
 }
 
@@ -237,6 +196,19 @@ pub struct TgiResult {
 }
 
 impl TgiResult {
+    /// Assembles a result from already-computed parts (the evaluator's
+    /// exit point — fields stay private so results can only come from a
+    /// real computation or deserialization).
+    pub(crate) fn from_parts(
+        value: f64,
+        weighting: Weighting,
+        mean: MeanKind,
+        reference_name: String,
+        contributions: Vec<BenchmarkContribution>,
+    ) -> Self {
+        TgiResult { value, weighting, mean, reference_name, contributions }
+    }
+
     /// The Green Index (Eq. 4).
     pub fn value(&self) -> f64 {
         self.value

@@ -50,14 +50,30 @@ impl Weighting {
     /// assert_eq!(w.as_slice(), &[0.25, 0.75]);
     /// ```
     pub fn weights_for(&self, suite: &[Measurement]) -> Result<WeightSet, TgiError> {
+        let mut weights = Vec::with_capacity(suite.len());
+        self.weights_into(suite, &mut weights)?;
+        Ok(WeightSet { weights })
+    }
+
+    /// Computes the normalized weight vector into a caller-provided buffer.
+    ///
+    /// `out` is cleared first; on success it holds one weight per suite
+    /// entry, in suite order — the same values, from the same sequence of
+    /// floating-point operations, as [`Weighting::weights_for`]. With a
+    /// warm buffer (capacity ≥ suite length) the happy path performs no
+    /// heap allocation, which is what makes the batch evaluator's
+    /// per-evaluation cost allocation-free. On error `out` holds garbage
+    /// and must not be read.
+    pub fn weights_into(&self, suite: &[Measurement], out: &mut Vec<f64>) -> Result<(), TgiError> {
+        out.clear();
         if suite.is_empty() {
             return Err(TgiError::EmptyBenchmarkSet);
         }
-        let raw: Vec<f64> = match self {
-            Weighting::Arithmetic => vec![1.0; suite.len()],
-            Weighting::Time => suite.iter().map(|m| m.time().value()).collect(),
-            Weighting::Energy => suite.iter().map(|m| m.energy().value()).collect(),
-            Weighting::Power => suite.iter().map(|m| m.power().value()).collect(),
+        match self {
+            Weighting::Arithmetic => out.resize(suite.len(), 1.0),
+            Weighting::Time => out.extend(suite.iter().map(|m| m.time().value())),
+            Weighting::Energy => out.extend(suite.iter().map(|m| m.energy().value())),
+            Weighting::Power => out.extend(suite.iter().map(|m| m.power().value())),
             Weighting::Custom(ws) => {
                 if ws.len() != suite.len() {
                     return Err(TgiError::WeightCountMismatch {
@@ -72,14 +88,18 @@ impl Weighting {
                 if (sum - 1.0).abs() > 1e-9 {
                     return Err(TgiError::InvalidWeights { sum });
                 }
-                return Ok(WeightSet { weights: ws.clone() });
+                out.extend_from_slice(ws);
+                return Ok(());
             }
-        };
-        let total: f64 = raw.iter().sum();
+        }
+        let total: f64 = out.iter().sum();
         if !(total.is_finite()) || total <= 0.0 {
             return Err(TgiError::InvalidWeights { sum: total });
         }
-        Ok(WeightSet { weights: raw.into_iter().map(|w| w / total).collect() })
+        for w in out.iter_mut() {
+            *w /= total;
+        }
+        Ok(())
     }
 
     /// Short label used in reports and figure legends.
@@ -208,6 +228,35 @@ mod tests {
     #[test]
     fn empty_suite_errors() {
         assert!(Weighting::Arithmetic.weights_for(&[]).is_err());
+    }
+
+    #[test]
+    fn weights_into_matches_weights_for_bitwise_and_reuses_buffer() {
+        let s = suite();
+        let mut buf = Vec::new();
+        for w in [
+            Weighting::Arithmetic,
+            Weighting::Time,
+            Weighting::Energy,
+            Weighting::Power,
+            Weighting::Custom(vec![0.5, 0.3, 0.2]),
+        ] {
+            w.weights_into(&s, &mut buf).unwrap();
+            let ws = w.weights_for(&s).unwrap();
+            assert_eq!(buf.len(), ws.len());
+            for (a, b) in buf.iter().zip(ws.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{w}");
+            }
+        }
+        // Error paths reject the same inputs as `weights_for`…
+        assert!(Weighting::Time.weights_into(&[], &mut buf).is_err());
+        assert!(matches!(
+            Weighting::Custom(vec![0.5]).weights_into(&s, &mut buf),
+            Err(TgiError::WeightCountMismatch { .. })
+        ));
+        // …and leave the buffer reusable afterwards.
+        Weighting::Arithmetic.weights_into(&s, &mut buf).unwrap();
+        assert_eq!(buf.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Proof of the evaluator's zero-allocation contract: after warm-up, the
+//! batch evaluation paths perform **no heap allocation at all**, measured
+//! by a counting global allocator wrapping the system one.
+//!
+//! Single `#[test]` on purpose — the Rust test harness runs tests on
+//! multiple threads, and a concurrent test's allocations would show up in
+//! the global counter as false positives.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tgi_core::evaluator::{EvalScratch, TgiEvaluator};
+use tgi_core::{MeanKind, Measurement, Perf, ReferenceSystem, Seconds, Watts, Weighting};
+
+/// System allocator with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates directly to `System`, only adding a counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn measurement(id: &str, perf: f64, watts: f64, secs: f64) -> Measurement {
+    Measurement::new(id, Perf::gflops(perf), Watts::new(watts), Seconds::new(secs))
+        .expect("valid quantities")
+}
+
+#[test]
+fn warm_evaluation_does_not_allocate() {
+    let ids = ["cpu", "io", "mem", "net", "fpu", "ram", "ssd", "nic"];
+    let mut builder = ReferenceSystem::builder("ref");
+    for (i, id) in ids.iter().enumerate() {
+        builder = builder.benchmark(measurement(id, 10.0 + i as f64, 1000.0, 60.0));
+    }
+    let reference = builder.build().expect("non-empty");
+    let suite: Vec<Measurement> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| measurement(id, 7.0 + 1.3 * i as f64, 800.0 + 10.0 * i as f64, 55.0))
+        .collect();
+
+    let evaluator = TgiEvaluator::new(&reference);
+    let weightings = [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power];
+    let means = [MeanKind::Arithmetic, MeanKind::Geometric, MeanKind::Harmonic];
+    let mut scratch = EvalScratch::with_capacity(suite.len());
+    let mut cells = Vec::with_capacity(weightings.len() * means.len());
+
+    // Warm-up: every (weighting, mean) cell once, so scratch buffers reach
+    // their steady-state capacities.
+    let mut warm = 0.0;
+    for w in &weightings {
+        for &m in &means {
+            warm += evaluator.evaluate_into(&suite, w, m, &mut scratch).expect("valid suite");
+        }
+    }
+    evaluator
+        .evaluate_cells_into(&suite, &weightings, &means, &mut scratch, &mut cells)
+        .expect("valid suite");
+
+    // Measured region: repeat the same work many times; the counter must
+    // not move at all.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut hot = 0.0;
+    for round in 0..100 {
+        let w = &weightings[round % weightings.len()];
+        let m = means[round % means.len()];
+        hot += evaluator.evaluate_into(&suite, w, m, &mut scratch).expect("valid suite");
+        evaluator
+            .evaluate_cells_into(&suite, &weightings, &means, &mut scratch, &mut cells)
+            .expect("valid suite");
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(warm.is_finite() && hot.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "warm TgiEvaluator::evaluate_into / evaluate_cells_into must not heap-allocate"
+    );
+}

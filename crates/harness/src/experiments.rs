@@ -3,7 +3,7 @@
 use crate::report::{FigureData, Series, TableData};
 use crate::sweep::FireSweep;
 use cluster_sim::{ClusterSpec, ExecutionEngine, Workload};
-use tgi_core::{stats, Measurement, ReferenceSystem, Weighting};
+use tgi_core::{stats, MeanKind, Measurement, ReferenceSystem, Weighting};
 
 /// Builds the SystemG reference system by running the full-scale reference
 /// experiments (1024 cores): the reproduction of Table I's data collection.
@@ -70,10 +70,11 @@ pub fn fig4_iozone_efficiency(sweep: &FireSweep) -> FigureData {
 
 /// Figure 5: TGI using the arithmetic mean vs number of cores on Fire.
 pub fn fig5_tgi_arithmetic(sweep: &FireSweep, reference: &ReferenceSystem) -> FigureData {
-    let series = sweep
-        .tgi_series(reference, Weighting::Arithmetic)
+    let values = sweep
+        .tgi_values(reference, &Weighting::Arithmetic, MeanKind::Arithmetic)
         .expect("sweep measurements match the reference suite");
-    let pairs: Vec<(f64, f64)> = series.iter().map(|(x, r)| (*x, r.value())).collect();
+    let pairs: Vec<(f64, f64)> =
+        sweep.points().iter().zip(&values).map(|(p, &v)| (p.cores as f64, v)).collect();
     FigureData {
         id: "fig5".into(),
         title: "TGI using Arithmetic Mean".into(),
@@ -92,9 +93,11 @@ pub fn fig6_tgi_weighted(sweep: &FireSweep, reference: &ReferenceSystem) -> Figu
         (Weighting::Power, "Weights Using Power"),
         (Weighting::Energy, "Weights Using Energy"),
     ] {
-        let s =
-            sweep.tgi_series(reference, w).expect("sweep measurements match the reference suite");
-        let pairs: Vec<(f64, f64)> = s.iter().map(|(x, r)| (*x, r.value())).collect();
+        let values = sweep
+            .tgi_values(reference, &w, MeanKind::Arithmetic)
+            .expect("sweep measurements match the reference suite");
+        let pairs: Vec<(f64, f64)> =
+            sweep.points().iter().zip(&values).map(|(p, &v)| (p.cores as f64, v)).collect();
         series.push(Series::from_pairs(label, &pairs));
     }
     FigureData {
@@ -149,11 +152,8 @@ pub fn pcc_for_weighting(
     weighting: Weighting,
 ) -> Vec<(String, f64)> {
     let tgi: Vec<f64> = sweep
-        .tgi_series(reference, weighting)
-        .expect("sweep measurements match the reference suite")
-        .iter()
-        .map(|(_, r)| r.value())
-        .collect();
+        .tgi_values(reference, &weighting, MeanKind::Arithmetic)
+        .expect("sweep measurements match the reference suite");
     ["iozone", "stream", "hpl"]
         .iter()
         .map(|&b| {

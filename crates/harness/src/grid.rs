@@ -1,0 +1,476 @@
+//! Parallel (cluster × cores × weighting × mean) TGI grid sweeps.
+//!
+//! The paper's artifacts are one-dimensional slices of a larger question:
+//! how does TGI move across *clusters*, *scales*, *weighting schemes*, and
+//! *mean kinds* at once? [`GridSweep`] evaluates that full grid:
+//!
+//! * **Simulation is memoized** per (workload set, process count) through
+//!   [`cluster_sim::MemoizedEngine`], so the weighting and mean axes reuse
+//!   simulated measurements instead of re-running cluster-sim — and
+//!   repeated [`GridSweep::run`] calls on the same sweep reuse them too.
+//! * **(cluster, cores) points run in parallel** over the rayon shim; each
+//!   point then scores all weighting × mean cells with one
+//!   [`TgiEvaluator::evaluate_cells_into`] call, which resolves the
+//!   reference and computes the REE vector once per point.
+//! * The result is a structure-of-arrays [`GridTable`] — one flat `f64`
+//!   row-major value block plus its axis labels — ready for
+//!   [`crate::report`] rendering, CSV export, and serde.
+//!
+//! Every cell is bit-identical to the equivalent
+//! `Tgi::builder().….compute()` call (see `tgi_core::evaluator`).
+
+use crate::report::{FigureData, Series, TableData};
+use cluster_sim::{ClusterSpec, ExecutionEngine, MemoizedEngine, Workload};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use tgi_core::evaluator::{EvalScratch, TgiEvaluator};
+use tgi_core::{MeanKind, ReferenceSystem, TgiError, Weighting};
+
+/// One cluster axis entry: a labeled, memoizing engine plus the workload
+/// set it runs at every core count.
+#[derive(Debug)]
+struct GridCluster {
+    label: String,
+    engine: MemoizedEngine,
+    workloads: Vec<Workload>,
+}
+
+/// A configurable (cluster × cores × weighting × mean) TGI sweep.
+///
+/// Build the axes with the chaining methods, then call [`GridSweep::run`]
+/// — any number of times; simulations are cached across runs.
+///
+/// ```no_run
+/// use cluster_sim::ClusterSpec;
+/// use tgi_harness::{system_g_reference, GridSweep};
+/// use tgi_core::{MeanKind, Weighting};
+///
+/// let sweep = GridSweep::new()
+///     .cluster("Fire", ClusterSpec::fire())
+///     .cluster("Fire-GPU", ClusterSpec::fire_gpu())
+///     .cores(&[64, 128])
+///     .weightings(&[Weighting::Arithmetic, Weighting::Time])
+///     .means(&[MeanKind::Arithmetic, MeanKind::Geometric]);
+/// let table = sweep.run(&system_g_reference()).unwrap();
+/// println!("{}", table.table_at("Fire", 128).unwrap().to_text());
+/// ```
+#[derive(Debug, Default)]
+pub struct GridSweep {
+    clusters: Vec<GridCluster>,
+    cores: Vec<usize>,
+    weightings: Vec<Weighting>,
+    means: Vec<MeanKind>,
+}
+
+impl GridSweep {
+    /// An empty sweep; populate every axis before running.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a cluster running the paper's Fire workload set on a default
+    /// engine. Use [`GridSweep::cluster_with`] for custom engines or
+    /// workload sets.
+    pub fn cluster(self, label: impl Into<String>, spec: ClusterSpec) -> Self {
+        self.cluster_with(label, ExecutionEngine::new(spec), Workload::fire_suite())
+    }
+
+    /// Adds a cluster with a pre-configured engine (noise, DVFS, meter
+    /// serial) and an explicit workload set. Workload benchmark ids must
+    /// match the reference system handed to [`GridSweep::run`].
+    pub fn cluster_with(
+        mut self,
+        label: impl Into<String>,
+        engine: ExecutionEngine,
+        workloads: Vec<Workload>,
+    ) -> Self {
+        self.clusters.push(GridCluster {
+            label: label.into(),
+            engine: MemoizedEngine::new(engine),
+            workloads,
+        });
+        self
+    }
+
+    /// Sets the core-count axis.
+    pub fn cores(mut self, cores: &[usize]) -> Self {
+        self.cores = cores.to_vec();
+        self
+    }
+
+    /// Sets the weighting axis.
+    pub fn weightings(mut self, weightings: &[Weighting]) -> Self {
+        self.weightings = weightings.to_vec();
+        self
+    }
+
+    /// Sets the mean axis.
+    pub fn means(mut self, means: &[MeanKind]) -> Self {
+        self.means = means.to_vec();
+        self
+    }
+
+    /// The paper's study axes: the four §III weighting schemes and all
+    /// three mean kinds.
+    pub fn paper_axes(self) -> Self {
+        self.weightings(&[
+            Weighting::Arithmetic,
+            Weighting::Time,
+            Weighting::Energy,
+            Weighting::Power,
+        ])
+        .means(&[MeanKind::Arithmetic, MeanKind::Geometric, MeanKind::Harmonic])
+    }
+
+    /// Simulation cache statistics, summed over all clusters, as
+    /// `(hits, misses)`. After the first [`GridSweep::run`], misses equals
+    /// clusters × cores; every later run only adds hits.
+    pub fn memo_stats(&self) -> (usize, usize) {
+        self.clusters.iter().fold((0, 0), |(h, m), c| (h + c.engine.hits(), m + c.engine.misses()))
+    }
+
+    /// Evaluates the full grid against `reference`, in parallel over the
+    /// (cluster, cores) points.
+    ///
+    /// Errors if any axis is empty, if a core count is invalid for one of
+    /// the clusters, or if an evaluation fails (missing reference entry,
+    /// unit mismatch, invalid custom weights, …).
+    pub fn run(&self, reference: &ReferenceSystem) -> Result<GridTable, TgiError> {
+        if self.clusters.is_empty()
+            || self.cores.is_empty()
+            || self.weightings.is_empty()
+            || self.means.is_empty()
+        {
+            return Err(TgiError::DegenerateStatistic("every grid axis needs at least one entry"));
+        }
+        for c in &self.clusters {
+            let total = c.engine.engine().cluster().total_cores();
+            for &cores in &self.cores {
+                if cores == 0 || cores > total {
+                    return Err(TgiError::OutOfRange {
+                        quantity: "grid core count",
+                        value: cores as f64,
+                        lo: 1.0,
+                        hi: total as f64,
+                    });
+                }
+            }
+        }
+
+        let evaluator = TgiEvaluator::new(reference);
+        let n_cores = self.cores.len();
+        let cells_per_point = self.weightings.len() * self.means.len();
+        let points: Vec<Result<Vec<f64>, TgiError>> = (0..self.clusters.len() * n_cores)
+            .into_par_iter()
+            .map(|t| {
+                let cluster = &self.clusters[t / n_cores];
+                let cores = self.cores[t % n_cores];
+                let runs = cluster.engine.run_suite(&cluster.workloads, cores);
+                let measurements: Vec<_> = runs.iter().map(|r| r.measurement()).collect();
+                let mut scratch = EvalScratch::with_capacity(measurements.len());
+                let mut cells = Vec::with_capacity(cells_per_point);
+                evaluator.evaluate_cells_into(
+                    &measurements,
+                    &self.weightings,
+                    &self.means,
+                    &mut scratch,
+                    &mut cells,
+                )?;
+                Ok(cells)
+            })
+            .collect();
+
+        let mut values = Vec::with_capacity(points.len() * cells_per_point);
+        for point in points {
+            values.extend(point?);
+        }
+        Ok(GridTable {
+            reference_name: reference.name().to_string(),
+            clusters: self.clusters.iter().map(|c| c.label.clone()).collect(),
+            cores: self.cores.clone(),
+            weightings: self.weightings.clone(),
+            means: self.means.clone(),
+            values,
+        })
+    }
+}
+
+/// Structure-of-arrays result of a [`GridSweep`]: the axis labels plus one
+/// flat row-major value block (`[cluster][cores][weighting][mean]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridTable {
+    reference_name: String,
+    clusters: Vec<String>,
+    cores: Vec<usize>,
+    weightings: Vec<Weighting>,
+    means: Vec<MeanKind>,
+    values: Vec<f64>,
+}
+
+impl GridTable {
+    /// Name of the reference system the grid was normalized against.
+    pub fn reference_name(&self) -> &str {
+        &self.reference_name
+    }
+
+    /// Cluster labels, in sweep order.
+    pub fn clusters(&self) -> &[String] {
+        &self.clusters
+    }
+
+    /// The core-count axis.
+    pub fn cores(&self) -> &[usize] {
+        &self.cores
+    }
+
+    /// The weighting axis.
+    pub fn weightings(&self) -> &[Weighting] {
+        &self.weightings
+    }
+
+    /// The mean axis.
+    pub fn means(&self) -> &[MeanKind] {
+        &self.means
+    }
+
+    /// The flat value block, row-major `[cluster][cores][weighting][mean]`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the grid has no cells (cannot occur via [`GridSweep::run`]).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn index(&self, cluster: usize, cores: usize, weighting: usize, mean: usize) -> usize {
+        ((cluster * self.cores.len() + cores) * self.weightings.len() + weighting)
+            * self.means.len()
+            + mean
+    }
+
+    /// The TGI value of one cell, by axis indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range on its axis.
+    pub fn value(&self, cluster: usize, cores: usize, weighting: usize, mean: usize) -> f64 {
+        assert!(cluster < self.clusters.len(), "cluster index {cluster} out of range");
+        assert!(cores < self.cores.len(), "cores index {cores} out of range");
+        assert!(weighting < self.weightings.len(), "weighting index {weighting} out of range");
+        assert!(mean < self.means.len(), "mean index {mean} out of range");
+        self.values[self.index(cluster, cores, weighting, mean)]
+    }
+
+    fn cluster_index(&self, label: &str) -> Option<usize> {
+        self.clusters.iter().position(|c| c == label)
+    }
+
+    /// The TGI-vs-cores series for one (cluster, weighting, mean) — the
+    /// Figure 5/6 shape.
+    pub fn series(&self, cluster: &str, weighting: usize, mean: usize) -> Option<Series> {
+        let c = self.cluster_index(cluster)?;
+        let pairs: Vec<(f64, f64)> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(k, &cores)| (cores as f64, self.value(c, k, weighting, mean)))
+            .collect();
+        Some(Series::from_pairs(
+            format!(
+                "{cluster} ({}, {})",
+                self.weightings[weighting].label(),
+                self.means[mean].label()
+            ),
+            &pairs,
+        ))
+    }
+
+    /// A figure with one TGI-vs-cores series per cluster, for a fixed
+    /// (weighting, mean) cell.
+    pub fn figure(&self, weighting: usize, mean: usize) -> FigureData {
+        let series = self
+            .clusters
+            .iter()
+            .map(|label| self.series(label, weighting, mean).expect("label from own axis"))
+            .collect();
+        FigureData {
+            id: "grid".into(),
+            title: format!(
+                "TGI vs cores ({} weights, {} mean, vs {})",
+                self.weightings[weighting].label(),
+                self.means[mean].label(),
+                self.reference_name
+            ),
+            x_label: "cores".into(),
+            y_label: "Green Index".into(),
+            series,
+        }
+    }
+
+    /// The weighting × mean table for one cluster at one core count, ready
+    /// for text/CSV/Markdown rendering.
+    pub fn table_at(&self, cluster: &str, cores: usize) -> Option<TableData> {
+        let c = self.cluster_index(cluster)?;
+        let k = self.cores.iter().position(|&x| x == cores)?;
+        let mut headers = vec!["weighting".to_string()];
+        headers.extend(self.means.iter().map(|m| m.label().to_string()));
+        let rows = self
+            .weightings
+            .iter()
+            .enumerate()
+            .map(|(w, weighting)| {
+                let mut row = vec![weighting.label().to_string()];
+                row.extend((0..self.means.len()).map(|m| format!("{:.4}", self.value(c, k, w, m))));
+                row
+            })
+            .collect();
+        Some(TableData {
+            id: format!("grid-{cluster}-{cores}"),
+            title: format!("TGI of {cluster} at {cores} cores (vs {})", self.reference_name),
+            headers,
+            rows,
+        })
+    }
+
+    /// Long-format CSV: one `cluster,cores,weighting,mean,tgi` row per cell.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cluster,cores,weighting,mean,tgi\n");
+        for (c, cluster) in self.clusters.iter().enumerate() {
+            for (k, &cores) in self.cores.iter().enumerate() {
+                for (w, weighting) in self.weightings.iter().enumerate() {
+                    for (m, mean) in self.means.iter().enumerate() {
+                        out.push_str(&format!(
+                            "{cluster},{cores},{},{},{}\n",
+                            weighting.label().replace(' ', "_"),
+                            mean.label(),
+                            self.value(c, k, w, m)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::system_g_reference;
+    use tgi_core::Tgi;
+
+    fn small_sweep() -> GridSweep {
+        GridSweep::new()
+            .cluster("Fire", ClusterSpec::fire())
+            .cores(&[64, 128])
+            .weightings(&[Weighting::Arithmetic, Weighting::Energy])
+            .means(&[MeanKind::Arithmetic, MeanKind::Geometric])
+    }
+
+    #[test]
+    fn grid_cells_match_the_builder_bitwise() {
+        let sweep = small_sweep();
+        let reference = system_g_reference();
+        let table = sweep.run(&reference).unwrap();
+        assert_eq!(table.len(), 2 * 2 * 2);
+
+        let engine = ExecutionEngine::new(ClusterSpec::fire());
+        for (k, &cores) in table.cores().iter().enumerate() {
+            let measurements: Vec<_> = engine
+                .run_suite(&Workload::fire_suite(), cores)
+                .into_iter()
+                .map(|r| r.measurement())
+                .collect();
+            for (w, weighting) in table.weightings().iter().enumerate() {
+                for (m, &mean) in table.means().iter().enumerate() {
+                    let expected = Tgi::builder()
+                        .reference(reference.clone())
+                        .weighting(weighting.clone())
+                        .mean(mean)
+                        .measurements(measurements.iter().cloned())
+                        .compute()
+                        .unwrap()
+                        .value();
+                    assert_eq!(
+                        table.value(0, k, w, m).to_bits(),
+                        expected.to_bits(),
+                        "cores={cores} {weighting} {}",
+                        mean.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulations_are_memoized_across_runs() {
+        let sweep = small_sweep();
+        let reference = system_g_reference();
+        let first = sweep.run(&reference).unwrap();
+        let (h1, m1) = sweep.memo_stats();
+        assert_eq!(m1, 2, "one simulation per (cluster, cores) point");
+        assert_eq!(h1, 0);
+        let second = sweep.run(&reference).unwrap();
+        let (h2, m2) = sweep.memo_stats();
+        assert_eq!(m2, 2, "second run re-simulates nothing");
+        assert_eq!(h2, 2);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn empty_axes_and_bad_cores_are_rejected() {
+        let reference = system_g_reference();
+        let no_axes = GridSweep::new().cluster("Fire", ClusterSpec::fire());
+        assert!(matches!(no_axes.run(&reference), Err(TgiError::DegenerateStatistic(_))));
+
+        let oversubscribed = GridSweep::new()
+            .cluster("Fire", ClusterSpec::fire())
+            .cores(&[256])
+            .weightings(&[Weighting::Arithmetic])
+            .means(&[MeanKind::Arithmetic]);
+        assert!(matches!(
+            oversubscribed.run(&reference),
+            Err(TgiError::OutOfRange { quantity: "grid core count", .. })
+        ));
+    }
+
+    #[test]
+    fn renders_series_figure_table_and_csv() {
+        let table = small_sweep().run(&system_g_reference()).unwrap();
+        let s = table.series("Fire", 0, 0).unwrap();
+        assert_eq!(s.xs(), vec![64.0, 128.0]);
+        assert!(table.series("Nope", 0, 0).is_none());
+
+        let fig = table.figure(1, 1);
+        assert_eq!(fig.series.len(), 1);
+        assert!(fig.title.contains("energy-weighted"));
+        assert!(fig.title.contains("geometric"));
+
+        let t = table.table_at("Fire", 128).unwrap();
+        assert_eq!(t.headers, vec!["weighting", "arithmetic", "geometric"]);
+        assert_eq!(t.rows.len(), 2);
+        assert!(table.table_at("Fire", 7).is_none());
+
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 1 + table.len());
+        assert!(csv.lines().nth(1).unwrap().starts_with("Fire,64,arithmetic_mean,arithmetic,"));
+    }
+
+    #[test]
+    fn grid_table_serde_round_trips() {
+        let table = small_sweep().run(&system_g_reference()).unwrap();
+        let json = serde_json::to_string(&table).unwrap();
+        let back: GridTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.clusters(), table.clusters());
+        assert_eq!(back.cores(), table.cores());
+        assert_eq!(back.len(), table.len());
+        for (a, b) in back.values().iter().zip(table.values()) {
+            assert!((a - b).abs() < 1e-12 * b.abs().max(1.0));
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!
 //! [`sweep`] runs the underlying Fire core-count sweep once and shares it
 //! across figures; [`report`] renders figures/tables as text and CSV.
+//! [`grid`] generalizes the sweep to a full (cluster × cores × weighting ×
+//! mean) study evaluated in parallel with memoized cluster simulations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@
 pub mod experiments;
 pub mod export;
 pub mod extensions;
+pub mod grid;
 pub mod journal;
 pub mod list;
 pub mod report;
@@ -31,5 +34,6 @@ pub use experiments::{
     fig6_tgi_weighted, system_g_reference, table1_reference_performance, table2_pcc,
 };
 pub use export::ExperimentBundle;
+pub use grid::{GridSweep, GridTable};
 pub use report::{FigureData, Series, TableData};
 pub use sweep::FireSweep;

@@ -7,7 +7,8 @@
 //! one set of runs (as the paper's did).
 
 use cluster_sim::{ClusterSpec, ExecutionEngine, Workload};
-use tgi_core::{Measurement, ReferenceSystem, Tgi, TgiResult, Weighting};
+use tgi_core::evaluator::{EvalScratch, TgiEvaluator};
+use tgi_core::{MeanKind, Measurement, ReferenceSystem, TgiResult, Weighting};
 
 /// The paper's Fire sweep: 16…128 cores in steps of 16 (one core-per-node
 /// granularity step per point on the 8-node cluster).
@@ -82,22 +83,50 @@ impl FireSweep {
             .collect()
     }
 
-    /// TGI at every sweep point under a weighting scheme.
+    /// TGI at every sweep point under a weighting scheme, with full
+    /// per-benchmark contribution breakdowns.
+    ///
+    /// One [`TgiEvaluator`] serves the whole series — the reference is
+    /// resolved once, and no measurements or weightings are cloned per
+    /// point. Values are bit-identical to the `Tgi::builder` path.
     pub fn tgi_series(
         &self,
         reference: &ReferenceSystem,
         weighting: Weighting,
     ) -> Result<Vec<(f64, TgiResult)>, tgi_core::TgiError> {
+        let evaluator = TgiEvaluator::new(reference);
+        let mut scratch = EvalScratch::default();
         self.points
             .iter()
             .map(|p| {
-                Tgi::builder()
-                    .reference(reference.clone())
-                    .weighting(weighting.clone())
-                    .measurements(p.measurements.iter().cloned())
-                    .compute()
+                evaluator
+                    .evaluate_result_with(
+                        &p.measurements,
+                        &weighting,
+                        MeanKind::Arithmetic,
+                        &mut scratch,
+                    )
                     .map(|r| (p.cores as f64, r))
             })
+            .collect()
+    }
+
+    /// Bare TGI values at every sweep point — the allocation-light path for
+    /// correlation studies that only need the scalar (Table II).
+    ///
+    /// Bitwise-identical to mapping [`FireSweep::tgi_series`] results
+    /// through [`TgiResult::value`], without building contribution vectors.
+    pub fn tgi_values(
+        &self,
+        reference: &ReferenceSystem,
+        weighting: &Weighting,
+        mean: MeanKind,
+    ) -> Result<Vec<f64>, tgi_core::TgiError> {
+        let evaluator = TgiEvaluator::new(reference);
+        let mut scratch = EvalScratch::default();
+        self.points
+            .iter()
+            .map(|p| evaluator.evaluate_into(&p.measurements, weighting, mean, &mut scratch))
             .collect()
     }
 }
@@ -136,6 +165,22 @@ mod tests {
         let series = sweep.tgi_series(&reference, Weighting::Arithmetic).unwrap();
         assert_eq!(series.len(), 8);
         assert!(series.iter().all(|(_, r)| r.value() > 0.0));
+    }
+
+    #[test]
+    fn tgi_values_match_tgi_series_bitwise() {
+        let sweep = FireSweep::run();
+        let reference = system_g_reference();
+        for weighting in
+            [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power]
+        {
+            let series = sweep.tgi_series(&reference, weighting.clone()).unwrap();
+            let values = sweep.tgi_values(&reference, &weighting, MeanKind::Arithmetic).unwrap();
+            assert_eq!(series.len(), values.len());
+            for ((_, r), v) in series.iter().zip(&values) {
+                assert_eq!(r.value().to_bits(), v.to_bits(), "{weighting}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! The full TGI study grid in one shot: Fire vs Fire-GPU, every weighting
+//! scheme × every mean kind, across the paper's core-count sweep.
+//!
+//! ```sh
+//! cargo run --release --example tgi_grid
+//! ```
+//!
+//! Figures 5/6 and Table II each slice one axis of the same underlying
+//! question. `GridSweep` evaluates the whole (cluster × cores × weighting
+//! × mean) grid at once: cluster simulations are memoized per
+//! (workload set, cores), the (cluster, cores) points run in parallel, and
+//! every cell is bit-identical to the equivalent `Tgi::builder` call.
+
+use tgi::cluster::ClusterSpec;
+use tgi::harness::sweep::FIRE_CORE_COUNTS;
+use tgi::harness::{system_g_reference, GridSweep};
+
+fn main() {
+    let sweep = GridSweep::new()
+        .cluster("Fire", ClusterSpec::fire())
+        .cluster("Fire-GPU", ClusterSpec::fire_gpu())
+        .cores(&FIRE_CORE_COUNTS)
+        .paper_axes();
+
+    let reference = system_g_reference();
+    let table = sweep.run(&reference).expect("grid evaluates against SystemG");
+    let (hits, misses) = sweep.memo_stats();
+    println!(
+        "{} cells = {} clusters x {} core counts x {} weightings x {} means \
+         ({misses} simulations run, {hits} memo hits)\n",
+        table.len(),
+        table.clusters().len(),
+        table.cores().len(),
+        table.weightings().len(),
+        table.means().len(),
+    );
+
+    // The paper's headline slice: every weighting × mean table at full scale.
+    for cluster in table.clusters() {
+        let full = *table.cores().last().expect("non-empty axis");
+        println!("{}", table.table_at(cluster, full).expect("cell exists").to_text());
+    }
+
+    // And the Figure-5 shape for the arithmetic cell, one series per cluster.
+    println!("{}", table.figure(0, 0).to_text());
+}
