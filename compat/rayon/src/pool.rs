@@ -89,15 +89,18 @@ impl Registry {
             let reg = Arc::clone(&registry);
             thread::Builder::new()
                 .name(format!("tgi-rayon-{i}"))
-                .spawn(move || reg.worker_loop())
+                .spawn(move || reg.worker_loop(i))
                 .expect("failed to spawn pool worker thread");
         }
         registry
     }
 
     /// The blocking loop each dedicated worker runs.
-    fn worker_loop(self: Arc<Registry>) {
+    fn worker_loop(self: Arc<Registry>, index: usize) {
         WORKER_REGISTRY.with(|cell| cell.set(Arc::as_ptr(&self) as usize));
+        // Per-worker busy-time gauge, resolved lazily so an uninstrumented
+        // run never touches the metrics registry.
+        let mut busy_gauge = None;
         loop {
             let job = {
                 let mut shared = self.shared.lock().expect("pool queue poisoned");
@@ -114,7 +117,25 @@ impl Registry {
             match job {
                 // SAFETY: see JobRef — the spawner keeps the pointee
                 // alive until the latch this call sets.
-                Some(job) => unsafe { (job.execute)(job.data) },
+                Some(job) => {
+                    if tgi_telemetry::enabled() {
+                        let started = std::time::Instant::now();
+                        unsafe { (job.execute)(job.data) }
+                        let busy = started.elapsed().as_secs_f64();
+                        tgi_telemetry::counter!("tgi_pool_jobs_total").inc();
+                        tgi_telemetry::counter!("tgi_pool_steals_total").inc();
+                        tgi_telemetry::gauge!("tgi_pool_busy_seconds").add(busy);
+                        busy_gauge
+                            .get_or_insert_with(|| {
+                                tgi_telemetry::metrics::gauge(&format!(
+                                    "tgi_pool_worker_{index}_busy_seconds"
+                                ))
+                            })
+                            .add(busy);
+                    } else {
+                        unsafe { (job.execute)(job.data) }
+                    }
+                }
                 None => return,
             }
         }
@@ -309,13 +330,25 @@ where
                 // SAFETY: see JobRef.
                 Some(job) => {
                     idle_spins = 0;
-                    unsafe { (job.execute)(job.data) }
+                    if tgi_telemetry::enabled() {
+                        let started = std::time::Instant::now();
+                        unsafe { (job.execute)(job.data) }
+                        tgi_telemetry::counter!("tgi_pool_jobs_total").inc();
+                        tgi_telemetry::counter!("tgi_pool_steals_total").inc();
+                        tgi_telemetry::gauge!("tgi_pool_busy_seconds")
+                            .add(started.elapsed().as_secs_f64());
+                    } else {
+                        unsafe { (job.execute)(job.data) }
+                    }
                 }
                 None if idle_spins < SPINS_BEFORE_PARK => {
                     idle_spins += 1;
                     thread::yield_now();
                 }
                 None => {
+                    if tgi_telemetry::enabled() {
+                        tgi_telemetry::counter!("tgi_pool_parks_total").inc();
+                    }
                     let guard = self.result.lock().unwrap_or_else(PoisonError::into_inner);
                     // Re-check under the lock: execute() sets DONE while
                     // holding it, so seeing !DONE here guarantees the
@@ -367,6 +400,11 @@ where
         }
     };
     let rb = if registry.try_reclaim(&job_b.as_job_ref()) {
+        // Reclaimed before any worker saw it: executed here, so it counts
+        // as a job but not as a steal.
+        if tgi_telemetry::enabled() {
+            tgi_telemetry::counter!("tgi_pool_jobs_total").inc();
+        }
         job_b.run_inline()
     } else {
         job_b.wait_helping(&registry)

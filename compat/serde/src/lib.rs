@@ -118,6 +118,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// Identity impls: a `Value` is already in the data model, so parsing into
+// one (`serde_json::from_str::<Value>`) keeps the raw tree — useful for
+// inspecting arbitrary JSON (e.g. exported telemetry traces) in tests.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -169,6 +169,12 @@ impl ExecutionEngine {
     /// # Panics
     /// Panics if `processes` is 0 or exceeds the cluster's core count.
     pub fn run(&self, workload: Workload, processes: usize) -> SimulatedRun {
+        let _span = tgi_telemetry::span_cat("sim.run", "cluster")
+            .field("benchmark", workload.benchmark_id())
+            .field("processes", processes);
+        if tgi_telemetry::enabled() {
+            tgi_telemetry::counter!("tgi_sim_runs_total").inc();
+        }
         let spec = &self.cluster;
         assert!(processes > 0, "need at least one process");
         assert!(
@@ -371,10 +377,20 @@ impl MemoizedEngine {
         let key = SuiteKey::new(workloads, processes);
         if let Some(cached) = self.cache.lock().expect("suite cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if tgi_telemetry::enabled() {
+                tgi_telemetry::counter!("tgi_memo_hits_total").inc();
+            }
             return Arc::clone(cached);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if tgi_telemetry::enabled() {
+            tgi_telemetry::counter!("tgi_memo_misses_total").inc();
+        }
+        let sim_span = tgi_telemetry::span_cat("sim.run_suite", "cluster")
+            .field("workloads", workloads.len())
+            .field("processes", processes);
         let runs = Arc::new(self.engine.run_suite(workloads, processes));
+        sim_span.end();
         Arc::clone(self.cache.lock().expect("suite cache poisoned").entry(key).or_insert(runs))
     }
 

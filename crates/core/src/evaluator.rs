@@ -212,6 +212,20 @@ impl<'r, M: EfficiencyMetric> TgiEvaluator<'r, M> {
         scratch: &mut EvalScratch,
         out: &mut Vec<f64>,
     ) -> Result<(), TgiError> {
+        // Gated so the disabled path stays allocation-free (this is the
+        // batch hot loop the zero-allocation tests cover).
+        let batch_span = if tgi_telemetry::enabled() {
+            tgi_telemetry::counter!("tgi_eval_batches_total").inc();
+            tgi_telemetry::counter!("tgi_eval_cells_total")
+                .add((weightings.len() * means.len()) as u64);
+            Some(
+                tgi_telemetry::span_cat("eval.cells", "core")
+                    .field("measurements", measurements.len())
+                    .field("cells", weightings.len() * means.len()),
+            )
+        } else {
+            None
+        };
         out.clear();
         self.resolve(measurements, scratch)?;
         self.rees_into(measurements, scratch)?;
@@ -221,6 +235,7 @@ impl<'r, M: EfficiencyMetric> TgiEvaluator<'r, M> {
                 out.push(combine(&scratch.rees, &scratch.weights, mean)?);
             }
         }
+        drop(batch_span);
         Ok(())
     }
 

@@ -9,6 +9,7 @@
 //! tgi-native --json out.json        # dump measurements as JSON
 //! tgi-native --repeats 3 --retries 2 --timeout 120 --keep-going \
 //!            --journal runs.jsonl   # resilient runner + JSONL journal
+//! tgi-native --telemetry metrics.prom --trace-out trace.json  # observability
 //! ```
 //!
 //! Power comes from the background sampler over the modeled node (see
@@ -35,6 +36,22 @@ struct Args {
     timeout_secs: Option<f64>,
     keep_going: bool,
     journal: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+}
+
+fn usage_text() -> &'static str {
+    "usage: tgi-native [--preset standard|quick|hpcc | --spec suite.json]\n\
+     \x20                [--reference ref.json] [--save-reference ref.json]\n\
+     \x20                [--json out.json] [--parallel N] [--repeats N]\n\
+     \x20                [--retries N] [--timeout SECS] [--keep-going]\n\
+     \x20                [--journal runs.jsonl]\n\
+     \x20                [--telemetry metrics.prom] [--trace-out trace.json]\n\
+     \n\
+     \x20 --telemetry PATH  record run telemetry, write a Prometheus text\n\
+     \x20                   snapshot to PATH, and print a span summary\n\
+     \x20 --trace-out PATH  write the run timeline as Chrome trace_event\n\
+     \x20                   JSON (open in chrome://tracing or Perfetto)"
 }
 
 fn parse_args() -> Args {
@@ -50,6 +67,8 @@ fn parse_args() -> Args {
         timeout_secs: None,
         keep_going: false,
         journal: None,
+        telemetry: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -79,8 +98,15 @@ fn parse_args() -> Args {
             "--timeout" => args.timeout_secs = Some(parse("--timeout", value("--timeout"))),
             "--keep-going" => args.keep_going = true,
             "--journal" => args.journal = Some(PathBuf::from(value("--journal"))),
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry"))),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out"))),
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
+                eprintln!("{}", usage_text());
                 std::process::exit(2);
             }
         }
@@ -113,6 +139,8 @@ fn load_spec(args: &Args) -> SuiteSpec {
 
 fn main() {
     let args = parse_args();
+    let telemetry =
+        tgi_harness::TelemetrySession::start(args.telemetry.clone(), args.trace_out.clone());
     let spec = load_spec(&args);
     let suite = spec.build();
     eprintln!("running {} benchmarks natively...", suite.len());
@@ -251,5 +279,10 @@ fn main() {
              Tip: run once on the reference machine with --save-reference ref.json,\n\
              then score others with --reference ref.json."
         );
+    }
+
+    if let Err(e) = telemetry.finish() {
+        eprintln!("cannot write telemetry output: {e}");
+        std::process::exit(1);
     }
 }

@@ -25,15 +25,26 @@ struct Args {
     seed: u64,
     thermal: bool,
     trace: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
+fn usage_text() -> &'static str {
+    "usage: tgi-simulate [--cluster fire|fire-gpu|sandy|systemg | --spec file.json]\n\
+     \x20                  --workload hpl|stream|iozone --procs N\n\
+     \x20                  [--dvfs RATIO] [--noise SIGMA] [--seed N] [--thermal]\n\
+     \x20                  [--trace out.csv]\n\
+     \x20                  [--telemetry metrics.prom] [--trace-out trace.json]\n\
+     \n\
+     \x20 --telemetry PATH  record run telemetry, write a Prometheus text\n\
+     \x20                   snapshot to PATH, and print a span summary\n\
+     \x20 --trace-out PATH  write the run timeline as Chrome trace_event\n\
+     \x20                   JSON (open in chrome://tracing or Perfetto)"
+}
+
+/// Parse error: usage to stderr, exit 2 (`--help` prints to stdout, exit 0).
 fn usage() -> ! {
-    eprintln!(
-        "usage: tgi-simulate [--cluster fire|fire-gpu|sandy|systemg | --spec file.json]\n\
-         \x20                  --workload hpl|stream|iozone --procs N\n\
-         \x20                  [--dvfs RATIO] [--noise SIGMA] [--seed N] [--thermal]\n\
-         \x20                  [--trace out.csv]"
-    );
+    eprintln!("{}", usage_text());
     std::process::exit(2);
 }
 
@@ -48,6 +59,8 @@ fn parse_args() -> Args {
         seed: 0,
         thermal: false,
         trace: None,
+        telemetry: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -67,7 +80,12 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--thermal" => args.thermal = true,
             "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
-            "--help" | "-h" => usage(),
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry"))),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out"))),
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 usage()
@@ -82,6 +100,8 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let telemetry =
+        tgi_harness::TelemetrySession::start(args.telemetry.clone(), args.trace_out.clone());
 
     let cluster: ClusterSpec = if let Some(path) = &args.spec {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -152,5 +172,10 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {} samples to {}", run.trace.len(), path.display());
+    }
+
+    if let Err(e) = telemetry.finish() {
+        eprintln!("cannot write telemetry output: {e}");
+        std::process::exit(1);
     }
 }

@@ -160,11 +160,18 @@ impl GridSweep {
         let evaluator = TgiEvaluator::new(reference);
         let n_cores = self.cores.len();
         let cells_per_point = self.weightings.len() * self.means.len();
+        let _sweep_span = tgi_telemetry::span_cat("grid.run", "harness")
+            .field("clusters", self.clusters.len())
+            .field("cores", n_cores)
+            .field("cells", self.clusters.len() * n_cores * cells_per_point);
         let points: Vec<Result<Vec<f64>, TgiError>> = (0..self.clusters.len() * n_cores)
             .into_par_iter()
             .map(|t| {
                 let cluster = &self.clusters[t / n_cores];
                 let cores = self.cores[t % n_cores];
+                let _point_span = tgi_telemetry::span_cat("grid.point", "harness")
+                    .field("cluster", cluster.label.as_str())
+                    .field("cores", cores);
                 let runs = cluster.engine.run_suite(&cluster.workloads, cores);
                 let measurements: Vec<_> = runs.iter().map(|r| r.measurement()).collect();
                 let mut scratch = EvalScratch::with_capacity(measurements.len());

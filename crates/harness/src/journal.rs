@@ -60,8 +60,16 @@ impl From<std::io::Error> for JournalError {
 }
 
 /// Appends every entry of `report` to the JSONL journal at `path`,
-/// creating the file if needed. Returns the number of lines written.
+/// creating the file — and any missing parent directories (a fresh
+/// `results/` dir must not be a setup step) — if needed. Returns the
+/// number of lines written.
 pub fn append(path: impl AsRef<Path>, report: &RunReport) -> Result<usize, JournalError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     let mut file = OpenOptions::new().create(true).append(true).open(path)?;
     let records = report.records();
     let mut buf = String::new();
@@ -172,6 +180,21 @@ mod tests {
         assert!(records[0].error.as_deref().unwrap().contains("boom"));
         assert!(records[0].perf.is_none());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_creates_missing_parent_directories() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("tgi-journal-fresh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("results").join("run.jsonl");
+
+        let suite = BenchmarkSuite::new().with(Fixed("a"));
+        let report = SuiteRunner::new().run(&suite);
+        let written = append(&path, &report).expect("append must create parent dirs");
+        assert_eq!(written, 1);
+        assert_eq!(read(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod journal;
 pub mod list;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 
 pub use experiments::{
     fig2_hpl_efficiency, fig3_stream_efficiency, fig4_iozone_efficiency, fig5_tgi_arithmetic,
@@ -37,3 +38,4 @@ pub use export::ExperimentBundle;
 pub use grid::{GridSweep, GridTable};
 pub use report::{FigureData, Series, TableData};
 pub use sweep::FireSweep;
+pub use telemetry::TelemetrySession;

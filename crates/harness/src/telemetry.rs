@@ -1,0 +1,81 @@
+//! CLI-side telemetry sessions: the shared `--telemetry` / `--trace-out`
+//! wiring of the harness binaries.
+//!
+//! A [`TelemetrySession`] installs the global collector when at least one
+//! output is requested, and on [`TelemetrySession::finish`] drains the
+//! recorded events, writes the requested exports (Prometheus text snapshot
+//! and/or Chrome `trace_event` JSON), and prints the end-of-run
+//! [`tgi_telemetry::summary()`] table to stderr. With neither output
+//! requested the session is inert and the run records nothing.
+
+use std::io;
+use std::path::PathBuf;
+
+/// One CLI run's telemetry lifecycle; construct with
+/// [`TelemetrySession::start`], consume with [`TelemetrySession::finish`].
+#[derive(Debug)]
+pub struct TelemetrySession {
+    prometheus_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    active: bool,
+}
+
+impl TelemetrySession {
+    /// Installs the collector when either output path is given.
+    ///
+    /// `prometheus_out` receives the metrics snapshot (`--telemetry`),
+    /// `trace_out` the Chrome trace (`--trace-out`).
+    pub fn start(prometheus_out: Option<PathBuf>, trace_out: Option<PathBuf>) -> Self {
+        let wanted = prometheus_out.is_some() || trace_out.is_some();
+        let active = wanted && tgi_telemetry::install();
+        if wanted && !active {
+            eprintln!(
+                "warning: telemetry requested but the collector could not be installed \
+                 (already active, or compiled out with --no-default-features)"
+            );
+        }
+        TelemetrySession { prometheus_out, trace_out, active }
+    }
+
+    /// Whether this session actually records.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Stops recording, writes the requested exports (creating parent
+    /// directories), and prints the span/metric summary to stderr.
+    pub fn finish(self) -> io::Result<()> {
+        if !self.active {
+            return Ok(());
+        }
+        let events = tgi_telemetry::uninstall();
+        let snapshot = tgi_telemetry::metrics::snapshot();
+        if let Some(path) = &self.trace_out {
+            tgi_telemetry::export::write_chrome_trace(path, &events)?;
+            eprintln!(
+                "wrote {} trace event(s) to {} (open in chrome://tracing or ui.perfetto.dev)",
+                events.len(),
+                path.display()
+            );
+        }
+        if let Some(path) = &self.prometheus_out {
+            tgi_telemetry::export::write_prometheus(path, &snapshot)?;
+            eprintln!("wrote metrics snapshot to {}", path.display());
+        }
+        eprint!("{}", tgi_telemetry::summary(&events, &snapshot));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_without_output_paths() {
+        let session = TelemetrySession::start(None, None);
+        assert!(!session.active());
+        assert!(!tgi_telemetry::installed());
+        session.finish().unwrap();
+    }
+}

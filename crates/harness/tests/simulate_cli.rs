@@ -1,0 +1,82 @@
+//! CLI contract tests for the `tgi-simulate` binary.
+//!
+//! `--help` is an answer, not an error: it goes to stdout with exit 0.
+//! Parse errors keep the traditional contract: usage on stderr, exit 2.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn simulate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tgi-simulate"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tgi-simulate-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+#[test]
+fn help_prints_to_stdout_and_exits_zero() {
+    let out = simulate().arg("--help").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: tgi-simulate"), "stdout was: {stdout}");
+    assert!(stdout.contains("--telemetry"), "usage must document --telemetry");
+    assert!(stdout.contains("--trace-out"), "usage must document --trace-out");
+    assert!(out.stderr.is_empty(), "help must not write to stderr");
+}
+
+#[test]
+fn short_help_flag_matches_long_form() {
+    let long = simulate().arg("--help").output().expect("binary runs");
+    let short = simulate().arg("-h").output().expect("binary runs");
+    assert_eq!(short.status.code(), Some(0));
+    assert_eq!(short.stdout, long.stdout);
+}
+
+#[test]
+fn unknown_flag_is_a_parse_error_on_stderr_with_exit_2() {
+    let out = simulate().arg("--bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument"), "stderr was: {stderr}");
+    assert!(stderr.contains("usage: tgi-simulate"), "stderr must carry usage");
+    assert!(out.stdout.is_empty(), "parse errors must not write to stdout");
+}
+
+#[test]
+fn missing_required_flags_exit_2() {
+    let out = simulate().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: tgi-simulate"));
+}
+
+#[test]
+fn telemetry_flags_produce_exports_in_fresh_directories() {
+    let dir = tmp_dir("exports");
+    let prom = dir.join("metrics").join("run.prom");
+    let trace = dir.join("traces").join("run.json");
+
+    let out = simulate()
+        .args(["--cluster", "fire", "--workload", "hpl", "--procs", "8"])
+        .arg("--telemetry")
+        .arg(&prom)
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let prom_text = std::fs::read_to_string(&prom).expect("prometheus snapshot written");
+    assert!(prom_text.contains("# TYPE"), "snapshot was: {prom_text}");
+    let trace_text = std::fs::read_to_string(&trace).expect("chrome trace written");
+    assert!(trace_text.contains("\"traceEvents\""), "trace was: {trace_text}");
+    assert!(trace_text.contains("sim.run"), "run span missing from trace: {trace_text}");
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("telemetry summary"), "summary missing: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

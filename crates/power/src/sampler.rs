@@ -129,20 +129,44 @@ impl BackgroundSampler {
         assert!(interval > Duration::ZERO, "sampling interval must be positive");
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let handle = std::thread::spawn(move || {
+            let session_span = tgi_telemetry::span_cat("sampler.session", "power")
+                .field("interval_secs", interval.as_secs_f64());
             // Pre-size all four SoA columns; typical native runs take a few
             // seconds at millisecond intervals.
             let mut trace = PowerTrace::with_capacity(256);
             let start = Instant::now();
+            let mut last_sample = Instant::now();
             trace.push(0.0, source.power_now());
+            if tgi_telemetry::enabled() {
+                tgi_telemetry::counter!("tgi_sampler_samples_total").inc();
+            }
             loop {
                 // Wait for the interval or a stop signal, whichever first.
                 if stop_rx.recv_timeout(interval).is_ok() {
                     break;
                 }
                 trace.push(start.elapsed().as_secs_f64(), source.power_now());
+                if tgi_telemetry::enabled() {
+                    tgi_telemetry::counter!("tgi_sampler_samples_total").inc();
+                    // An overrun means the cadence slipped: the gap since the
+                    // previous sample spans what should have been 2+ samples,
+                    // so the trace under-resolves the power curve there.
+                    let gap = last_sample.elapsed();
+                    if gap > interval * 2 {
+                        tgi_telemetry::counter!("tgi_sampler_overruns_total").inc();
+                        tgi_telemetry::instant("sampler.overrun")
+                            .field("gap_secs", gap.as_secs_f64())
+                            .end();
+                    }
+                }
+                last_sample = Instant::now();
             }
             // Final sample so the trace covers the full duration.
             trace.push(start.elapsed().as_secs_f64(), source.power_now());
+            if tgi_telemetry::enabled() {
+                tgi_telemetry::counter!("tgi_sampler_samples_total").inc();
+            }
+            session_span.field("samples", trace.len()).end();
             trace
         });
         BackgroundSampler { stop: stop_tx, handle }

@@ -138,6 +138,10 @@ impl SuiteRunner {
         let benchmarks = suite.benchmarks();
         let items: Vec<(usize, usize)> =
             (0..benchmarks.len()).flat_map(|b| (0..self.repeats).map(move |r| (b, r))).collect();
+        let _run_span = tgi_telemetry::span_cat("suite.run", "suite")
+            .field("benchmarks", benchmarks.len())
+            .field("items", items.len())
+            .field("parallelism", self.parallelism);
         let slots: Vec<Mutex<Option<BenchmarkReport>>> =
             items.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
@@ -155,6 +159,9 @@ impl SuiteRunner {
                     };
                     let bench = &benchmarks[bench_idx];
                     let report = if abort.load(Ordering::SeqCst) {
+                        if tgi_telemetry::enabled() {
+                            tgi_telemetry::counter!("tgi_suite_skipped_total").inc();
+                        }
                         BenchmarkReport::skipped(bench.as_ref(), repeat)
                     } else {
                         let report = self.run_item(bench, repeat, &meter);
@@ -189,6 +196,10 @@ impl SuiteRunner {
         meter: &RwLock<()>,
     ) -> BenchmarkReport {
         let started = Instant::now();
+        let item_span = tgi_telemetry::span_cat("suite.item", "suite")
+            .field("benchmark", bench.id())
+            .field("repeat", repeat)
+            .field("metered", bench.exclusive_meter());
         let mut attempts = 0;
         let outcome = loop {
             attempts += 1;
@@ -196,6 +207,7 @@ impl SuiteRunner {
             // machine); everything else shares the read lock so it can
             // overlap with other non-metered items but never with a
             // metered one.
+            let lock_started = Instant::now();
             let write_guard;
             let read_guard;
             if bench.exclusive_meter() {
@@ -205,17 +217,52 @@ impl SuiteRunner {
                 write_guard = None;
                 read_guard = Some(meter.read().expect("meter lock poisoned"));
             }
+            if tgi_telemetry::enabled() {
+                // Cumulative seconds every item spent waiting for its meter
+                // token (write side for metered items, read side otherwise).
+                tgi_telemetry::gauge!("tgi_suite_meter_wait_seconds")
+                    .add(lock_started.elapsed().as_secs_f64());
+            }
+            let attempt_started = Instant::now();
             let result = self.attempt(bench);
             drop(write_guard);
             drop(read_guard);
+            if tgi_telemetry::enabled() {
+                tgi_telemetry::histogram!(
+                    "tgi_suite_attempt_seconds",
+                    &[0.001, 0.01, 0.1, 1.0, 10.0, 100.0]
+                )
+                .observe(attempt_started.elapsed().as_secs_f64());
+            }
             match result {
                 Ok(output) => break RunOutcome::Success(output),
                 Err(e) if e.is_transient() && attempts <= self.retries => {
+                    if tgi_telemetry::enabled() {
+                        tgi_telemetry::counter!("tgi_suite_retries_total").inc();
+                        tgi_telemetry::instant("suite.retry")
+                            .field("benchmark", bench.id())
+                            .field("attempt", attempts)
+                            .end();
+                    }
                     std::thread::sleep(self.backoff * 2u32.pow(attempts as u32 - 1));
                 }
                 Err(e) => break RunOutcome::Failed(e),
             }
         };
+        if tgi_telemetry::enabled() {
+            match &outcome {
+                RunOutcome::Success(_) => {
+                    tgi_telemetry::counter!("tgi_suite_successes_total").inc()
+                }
+                RunOutcome::Failed(SuiteError::Timeout { .. }) => {
+                    tgi_telemetry::counter!("tgi_suite_timeouts_total").inc();
+                    tgi_telemetry::counter!("tgi_suite_failures_total").inc();
+                }
+                RunOutcome::Failed(_) => tgi_telemetry::counter!("tgi_suite_failures_total").inc(),
+                RunOutcome::Skipped => {}
+            }
+        }
+        item_span.field("attempts", attempts).end();
         BenchmarkReport {
             benchmark: bench.id().to_string(),
             subsystem: bench.subsystem(),
@@ -231,9 +278,13 @@ impl SuiteRunner {
         let (tx, rx) = mpsc::channel();
         let worker = Arc::clone(bench);
         let handle = std::thread::spawn(move || {
+            let span =
+                tgi_telemetry::span_cat("suite.attempt", "suite").field("benchmark", worker.id());
+            let result = worker.run_detailed();
+            span.field("ok", result.is_ok()).end();
             // A send error only means the runner timed out and dropped
             // the receiver; the result is discarded either way.
-            let _ = tx.send(worker.run_detailed());
+            let _ = tx.send(result);
         });
         let received = match self.timeout {
             Some(budget) => rx.recv_timeout(budget),

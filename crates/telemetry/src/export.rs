@@ -1,0 +1,202 @@
+//! Exporters: JSONL event stream, Chrome `trace_event` JSON, and
+//! Prometheus text exposition.
+//!
+//! All three are hand-rolled (the crate stays dependency-free); the Chrome
+//! output loads directly in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev), and the Prometheus text parses with
+//! any standard scraper.
+
+use crate::collector::{Event, EventKind};
+use crate::metrics::MetricsSnapshot;
+use crate::span::FieldValue;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` as JSON (non-finite values become `0`, which
+/// JSON cannot represent natively).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_field(value: &FieldValue) -> String {
+    match value {
+        FieldValue::U64(v) => format!("{v}"),
+        FieldValue::I64(v) => format!("{v}"),
+        FieldValue::F64(v) => json_f64(*v),
+        FieldValue::Bool(v) => format!("{v}"),
+        FieldValue::Str(v) => format!("\"{}\"", json_escape(v)),
+    }
+}
+
+fn json_args(fields: &[(&'static str, FieldValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(key), json_field(value));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders events as one JSON object per line (stable machine-readable log).
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"{}\",\"name\":\"{}\",\"cat\":\"{}\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"fields\":{}}}",
+            ev.kind.label(),
+            json_escape(ev.name),
+            json_escape(ev.cat),
+            ev.tid,
+            ev.start_ns,
+            ev.dur_ns,
+            json_args(&ev.fields),
+        );
+    }
+    out
+}
+
+/// Renders events as Chrome `trace_event` JSON (the "JSON Object Format":
+/// a top-level `traceEvents` array of `ph:"X"` complete events and
+/// `ph:"i"` instants, timestamps in microseconds).
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts = ev.start_ns as f64 / 1000.0;
+        match ev.kind {
+            EventKind::Span => {
+                let dur = ev.dur_ns as f64 / 1000.0;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+                    json_escape(ev.name),
+                    json_escape(ev.cat),
+                    json_f64(ts),
+                    json_f64(dur),
+                    ev.tid,
+                    json_args(&ev.fields),
+                );
+            }
+            EventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+                    json_escape(ev.name),
+                    json_escape(ev.cat),
+                    json_f64(ts),
+                    ev.tid,
+                    json_args(&ev.fields),
+                );
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Keeps `[a-zA-Z0-9_:]`, mapping anything else to `_` (Prometheus metric
+/// name charset).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a metrics snapshot as Prometheus text exposition (format 0.0.4).
+pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = prom_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = prom_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", prom_f64(*value));
+    }
+    for hist in &snapshot.histograms {
+        let name = prom_name(&hist.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, bucket) in hist.bounds.iter().zip(hist.buckets.iter()) {
+            cumulative += bucket;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", prom_f64(*bound));
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", prom_f64(hist.sum));
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+/// Writes [`chrome_trace`] output to `path`, creating parent directories.
+pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[Event]) -> io::Result<()> {
+    write_with_parents(path.as_ref(), &chrome_trace(events))
+}
+
+/// Writes [`jsonl`] output to `path`, creating parent directories.
+pub fn write_jsonl(path: impl AsRef<Path>, events: &[Event]) -> io::Result<()> {
+    write_with_parents(path.as_ref(), &jsonl(events))
+}
+
+/// Writes [`prometheus`] output to `path`, creating parent directories.
+pub fn write_prometheus(path: impl AsRef<Path>, snapshot: &MetricsSnapshot) -> io::Result<()> {
+    write_with_parents(path.as_ref(), &prometheus(snapshot))
+}
+
+fn write_with_parents(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}

@@ -1,0 +1,306 @@
+//! Named counters, gauges, and fixed-bucket histograms.
+//!
+//! Metrics are registered once (by name) in a global registry and handed
+//! out as `Arc`s; recording is a single atomic RMW with no locks. The
+//! [`crate::counter!`]/[`crate::gauge!`]/[`crate::histogram!`] macros cache the `Arc` in a
+//! per-callsite `OnceLock` so steady-state recording never touches the
+//! registry mutex either. While no collector is installed ([`crate::enabled`]
+//! is `false`) all recording methods early-return, so disabled cost is one
+//! relaxed atomic load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` (no-op while no collector is installed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.add_unconditional(n);
+        }
+    }
+
+    /// Adds 1 (no-op while no collector is installed).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` even while disabled — for internal bookkeeping (the
+    /// collector's own dropped-events counter) that must never be lost.
+    #[inline]
+    pub(crate) fn add_unconditional(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the latest `f64` sample (bit-cast into an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge (no-op while no collector is installed).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` with a CAS loop (no-op while no collector is installed).
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with fixed, caller-supplied bucket upper bounds.
+///
+/// Observations use one atomic add on the matching bucket plus two for the
+/// running sum/count — lock-free, like the other metric kinds.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values, accumulated in nanos-style fixed point
+    /// (micro-units) so it fits an atomic integer.
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(mut bounds: Vec<f64>) -> Self {
+        bounds.retain(|b| b.is_finite());
+        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, buckets, sum_micros: AtomicU64::new(0), count: AtomicU64::new(0) }
+    }
+
+    /// Records one observation (no-op while no collector is installed).
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add((v.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bucket upper bounds (the final `+Inf` bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; one longer than [`Self::bounds`] (the `+Inf` bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric, by kind.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+static REGISTRY: Mutex<Vec<(String, Metric)>> = Mutex::new(Vec::new());
+
+fn lookup_or_insert(name: &str, make: impl FnOnce() -> Metric) -> Metric {
+    let mut registry = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some((_, metric)) = registry.iter().find(|(n, _)| n == name) {
+        return metric.clone();
+    }
+    let metric = make();
+    registry.push((name.to_string(), metric.clone()));
+    metric
+}
+
+/// Returns the counter named `name`, registering it on first use.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> Arc<Counter> {
+    match lookup_or_insert(name, || Metric::Counter(Arc::new(Counter::default()))) {
+        Metric::Counter(c) => c,
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Returns the gauge named `name`, registering it on first use.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    match lookup_or_insert(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Returns the histogram named `name`, registering it (with `bounds` as the
+/// bucket upper bounds) on first use. Later calls ignore `bounds`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
+    match lookup_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new(bounds.to_vec())))) {
+        Metric::Histogram(h) => h,
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// A point-in-time copy of one histogram's state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Bucket upper bounds (the `+Inf` bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; one longer than `bounds`.
+    pub buckets: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// A point-in-time copy of every registered metric's state.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, in registration order.
+    pub gauges: Vec<(String, f64)>,
+    /// Every histogram's state, in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Snapshots every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let registry = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut snap = MetricsSnapshot::default();
+    for (name, metric) in registry.iter() {
+        match metric {
+            Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+            Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+            Metric::Histogram(h) => snap.histograms.push(HistogramSnapshot {
+                name: name.clone(),
+                bounds: h.bounds().to_vec(),
+                buckets: h.bucket_counts(),
+                sum: h.sum(),
+                count: h.count(),
+            }),
+        }
+    }
+    snap
+}
+
+/// Resets every registered metric to zero (used by [`crate::install`] so a
+/// fresh collection session starts from a clean slate).
+pub fn reset() {
+    let registry = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    for (_, metric) in registry.iter() {
+        match metric {
+            Metric::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.bits.store(0, Ordering::Relaxed),
+            Metric::Histogram(h) => {
+                for bucket in &h.buckets {
+                    bucket.store(0, Ordering::Relaxed);
+                }
+                h.sum_micros.store(0, Ordering::Relaxed);
+                h.count.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Returns a per-callsite cached [`Counter`]; `counter!("name").inc()`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: std::sync::OnceLock<std::sync::Arc<$crate::Counter>> =
+            std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Returns a per-callsite cached [`Gauge`]; `gauge!("name").set(1.5)`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: std::sync::OnceLock<std::sync::Arc<$crate::Gauge>> =
+            std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// Returns a per-callsite cached [`Histogram`];
+/// `histogram!("name", &[0.1, 1.0]).observe(0.3)`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $bounds:expr) => {{
+        static CELL: std::sync::OnceLock<std::sync::Arc<$crate::Histogram>> =
+            std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::metrics::histogram($name, $bounds))
+    }};
+}

@@ -1,0 +1,164 @@
+//! RAII span guards and instant markers.
+//!
+//! A [`Span`] measures the wall-clock lifetime of its guard: it captures a
+//! monotonic start timestamp at creation and records a finished
+//! [`crate::Event`] into the current thread's buffer when dropped. While no
+//! collector is installed the guard holds nothing and both creation and
+//! drop cost a single relaxed atomic load.
+
+use crate::collector::{now_ns, record, thread_id, Event, EventKind};
+
+/// A typed `key=value` field attached to a span or instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text (owned; prefer the scalar variants on hot paths).
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $cast)
+            }
+        }
+    )*};
+}
+impl_from!(u64 => U64 as u64, u32 => U64 as u64, usize => U64 as u64,
+           i64 => I64 as i64, i32 => I64 as i64,
+           f64 => F64 as f64, f32 => F64 as f64);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// The live half of a [`Span`], present only while a collector records.
+#[derive(Debug)]
+struct ActiveSpan {
+    kind: EventKind,
+    name: &'static str,
+    cat: &'static str,
+    tid: u64,
+    start_ns: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An RAII guard measuring a region of time; see [`span`].
+#[derive(Debug)]
+#[must_use = "a span measures its guard's lifetime; binding it to `_` drops it immediately"]
+pub struct Span(Option<ActiveSpan>);
+
+impl Span {
+    /// Attaches a `key=value` field (no-op while disabled).
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if let Some(active) = &mut self.0 {
+            active.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Ends the span now (sugar for dropping the guard explicitly).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            finish(active);
+        }
+    }
+}
+
+/// Out-of-line slow half of [`Span::drop`]: only reached while recording,
+/// keeping the disabled drop path to a discriminant check.
+#[cold]
+fn finish(active: ActiveSpan) {
+    let dur_ns = match active.kind {
+        EventKind::Span => now_ns().saturating_sub(active.start_ns),
+        EventKind::Instant => 0,
+    };
+    record(Event {
+        kind: active.kind,
+        name: active.name,
+        cat: active.cat,
+        tid: active.tid,
+        start_ns: active.start_ns,
+        dur_ns,
+        fields: active.fields,
+    });
+}
+
+#[inline]
+fn begin(kind: EventKind, name: &'static str, cat: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span(None);
+    }
+    begin_active(kind, name, cat)
+}
+
+/// Out-of-line slow half of [`begin`], only reached while recording.
+#[cold]
+fn begin_active(kind: EventKind, name: &'static str, cat: &'static str) -> Span {
+    Span(Some(ActiveSpan {
+        kind,
+        name,
+        cat,
+        tid: thread_id(),
+        start_ns: now_ns(),
+        fields: Vec::new(),
+    }))
+}
+
+/// Starts a span in the default `"app"` category.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    span_cat(name, "app")
+}
+
+/// Starts a span in an explicit category (Chrome trace `cat`).
+#[inline]
+pub fn span_cat(name: &'static str, cat: &'static str) -> Span {
+    begin(EventKind::Span, name, cat)
+}
+
+/// Emits a point-in-time marker (recorded when the returned guard drops,
+/// so fields can still be chained on).
+#[inline]
+pub fn instant(name: &'static str) -> Span {
+    begin(EventKind::Instant, name, "app")
+}

@@ -18,8 +18,11 @@
 //!   distributed block-cyclic HPL, the form the paper's benchmarks ran in.
 //! * [`harness`] — regenerates every figure and table of the
 //!   paper's evaluation.
+//! * [`telemetry`] — spans, metrics, and exportable run timelines
+//!   (Chrome trace_event / Prometheus text) across the whole pipeline.
 //!
-//! See `examples/quickstart.rs` for the 30-second tour.
+//! See `examples/quickstart.rs` for the 30-second tour and
+//! `examples/telemetry_timeline.rs` for the observability quickstart.
 
 pub use cluster_sim as cluster;
 pub use hpc_kernels as kernels;
@@ -28,5 +31,6 @@ pub use power_model as power;
 pub use tgi_core as core;
 pub use tgi_harness as harness;
 pub use tgi_suite as suite;
+pub use tgi_telemetry as telemetry;
 
 pub use tgi_core::prelude;
