@@ -1,0 +1,114 @@
+//! End-to-end load benchmark for `tgi-server`, written to
+//! `BENCH_server.json` at the repository root (override the path with
+//! `TGI_BENCH_OUT`, the scale with `TGI_SERVER_BENCH_CLIENTS` /
+//! `TGI_SERVER_BENCH_REQUESTS`).
+//!
+//! Starts an in-process server on an ephemeral loopback port, then drives
+//! the same [`tgi_server::load`] generator the `tgi-load` binary uses:
+//! N concurrent keep-alive clients, each cycling a write-heavy
+//! ingest/query/evaluate mix. Guarantees asserted here, not just reported:
+//!
+//! * every request eventually succeeds (`429`s are retried, nothing is
+//!   dropped, no non-2xx other than backpressure);
+//! * no transport-level errors on loopback;
+//! * the server's own served/rejected counters agree with the clients'
+//!   view of the run.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use tgi_server::{LoadConfig, Server, ServerConfig};
+
+#[derive(Serialize)]
+struct Machine {
+    available_parallelism: usize,
+}
+
+#[derive(Serialize)]
+struct ServerSide {
+    workers: usize,
+    shards: usize,
+    queue_capacity: usize,
+    connections_accepted: u64,
+    connections_rejected: u64,
+    requests_served: u64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    machine: Machine,
+    server: ServerSide,
+    load: tgi_server::LoadReport,
+}
+
+fn output_path() -> PathBuf {
+    if let Ok(p) = std::env::var("TGI_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    // crates/bench/ → repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_server.json")
+}
+
+fn env_count(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&v| v > 0).unwrap_or(default)
+}
+
+fn main() {
+    let clients = env_count("TGI_SERVER_BENCH_CLIENTS", 1000);
+    let requests_per_client = env_count("TGI_SERVER_BENCH_REQUESTS", 20);
+    let server_config = ServerConfig::default();
+    let workers = server_config.workers;
+    let shards = server_config.shards;
+    let queue_capacity = server_config.queue_capacity;
+    eprintln!(
+        "server_load: {clients} clients x {requests_per_client} requests, \
+         {workers} workers, {shards} shards, queue {queue_capacity}"
+    );
+
+    let mut server = Server::start(server_config, tgi_harness::experiments::system_g_reference())
+        .expect("server starts");
+    let load_config = LoadConfig {
+        addr: server.addr().to_string(),
+        clients,
+        requests_per_client,
+        batch_samples: 32,
+    };
+    let report = tgi_server::load::run(&load_config);
+    server.shutdown();
+
+    // Contract checks — the numbers are only worth committing if the run
+    // was clean.
+    let expected = (clients * requests_per_client) as u64;
+    assert_eq!(report.ok, expected, "every request must eventually succeed");
+    assert_eq!(report.failed, 0, "no non-backpressure failures allowed");
+    assert_eq!(report.transport_errors, 0, "loopback transport must be clean");
+    let stats = server.stats();
+    let served = stats.served.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(served >= expected, "server served {served} but clients completed {expected}");
+
+    let bench = BenchReport {
+        machine: Machine {
+            available_parallelism: std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1),
+        },
+        server: ServerSide {
+            workers,
+            shards,
+            queue_capacity,
+            connections_accepted: stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
+            connections_rejected: stats.rejected.load(std::sync::atomic::Ordering::Relaxed),
+            requests_served: served,
+        },
+        load: report,
+    };
+    let path = output_path();
+    let json = serde_json::to_string_pretty(&bench).expect("serialize report");
+    std::fs::write(&path, json + "\n").expect("write bench report");
+    eprintln!(
+        "server_load: {:.0} rps, p50 {:.0}us, p99 {:.0}us -> {}",
+        bench.load.rps,
+        bench.load.p50_us,
+        bench.load.p99_us,
+        path.display()
+    );
+}

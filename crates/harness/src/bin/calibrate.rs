@@ -4,11 +4,43 @@
 //! time, energy, EE, and REE; then each weighting's TGI series and the full
 //! PCC matrix. Used to keep the simulator calibrated to the paper's anchor
 //! points and correlation pattern (see DESIGN.md §6).
+//!
+//! CLI contract (PR 5 convention): `--help` is an answer, not an error —
+//! stdout, exit 0. Parse errors print usage to stderr and exit 2. Runtime
+//! failures (a sweep point the reference cannot score) are reported on
+//! stderr with exit 1 — never a panic.
 
 use tgi_core::Weighting;
 use tgi_harness::{experiments, FireSweep};
 
+const USAGE: &str = "\
+usage: calibrate [--help]
+
+Dumps the Fire sweep calibration detail: per-benchmark REE against the
+SystemG reference, every weighting's TGI series, and the PCC matrix.
+
+options:
+  -h, --help   print this help and exit
+";
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    if let Some(unknown) = args.first() {
+        eprintln!("unknown argument `{unknown}`");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    if let Err(e) = run() {
+        eprintln!("calibrate failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), tgi_core::TgiError> {
     let reference = experiments::system_g_reference();
     println!("reference: {}", reference.name());
     for (id, m) in reference.iter() {
@@ -27,7 +59,7 @@ fn main() {
     for p in sweep.points() {
         println!("cores={}", p.cores);
         for m in &p.measurements {
-            let ree = reference.ree(m).unwrap();
+            let ree = reference.ree(m)?;
             println!(
                 "  {:8} perf={:>16} power={:>9} time={:>10} energy={:>11} ee={:.4e} ree={:.4}",
                 m.id(),
@@ -43,7 +75,7 @@ fn main() {
 
     println!("\nTGI series:");
     for w in [Weighting::Arithmetic, Weighting::Time, Weighting::Energy, Weighting::Power] {
-        let series = sweep.tgi_series(&reference, w.clone()).unwrap();
+        let series = sweep.tgi_series(&reference, w.clone())?;
         let vals: Vec<String> = series.iter().map(|(_, r)| format!("{:.3}", r.value())).collect();
         println!("  {:16} {}", w.label(), vals.join(" "));
     }
@@ -62,4 +94,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

@@ -18,13 +18,36 @@ use tgi_harness::{
     ExperimentBundle, FigureData, FireSweep, TableData,
 };
 
+const USAGE: &str = "\
+usage: tgi-experiments [options] [artifact...]
+
+artifacts: fig2 fig3 fig4 fig5 fig6 table1 table2 list extensions all
+(default: all)
+
+options:
+  --csv <dir>        also write one CSV file per artifact into <dir>
+  --json <file>      also write one JSON bundle
+  --markdown <file>  also write a Markdown report
+  -h, --help         print this help and exit
+";
+
+/// Parse error: usage on stderr, exit 2 (PR 5 CLI convention).
+fn parse_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprint!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
     let mut csv_dir: Option<PathBuf> = None;
     if let Some(pos) = args.iter().position(|a| a == "--csv") {
         if pos + 1 >= args.len() {
-            eprintln!("--csv requires a directory argument");
-            std::process::exit(2);
+            parse_error("--csv requires a directory argument");
         }
         csv_dir = Some(PathBuf::from(args.remove(pos + 1)));
         args.remove(pos);
@@ -32,8 +55,7 @@ fn main() {
     let mut json_path: Option<PathBuf> = None;
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         if pos + 1 >= args.len() {
-            eprintln!("--json requires a file argument");
-            std::process::exit(2);
+            parse_error("--json requires a file argument");
         }
         json_path = Some(PathBuf::from(args.remove(pos + 1)));
         args.remove(pos);
@@ -41,14 +63,21 @@ fn main() {
     let mut md_path: Option<PathBuf> = None;
     if let Some(pos) = args.iter().position(|a| a == "--markdown") {
         if pos + 1 >= args.len() {
-            eprintln!("--markdown requires a file argument");
-            std::process::exit(2);
+            parse_error("--markdown requires a file argument");
         }
         md_path = Some(PathBuf::from(args.remove(pos + 1)));
         args.remove(pos);
     }
+    if let Some(unknown) = args.iter().find(|a| a.starts_with('-')) {
+        parse_error(&format!("unknown argument `{unknown}`"));
+    }
     if args.is_empty() {
         args.push("all".to_string());
+    }
+    const KNOWN: [&str; 10] =
+        ["fig2", "fig3", "fig4", "fig5", "fig6", "table1", "table2", "list", "extensions", "all"];
+    if let Some(bad) = args.iter().find(|a| !KNOWN.contains(&a.as_str())) {
+        parse_error(&format!("unknown artifact `{bad}`"));
     }
 
     let want = |name: &str| args.iter().any(|a| a == name || a == "all");
@@ -132,11 +161,6 @@ fn main() {
                 std::process::exit(1);
             }
         }
-    }
-
-    if figures.is_empty() && tables.is_empty() {
-        eprintln!("unknown artifact(s) {:?}; expected fig2..fig6, table1, table2, all", args);
-        std::process::exit(2);
     }
 
     for f in &figures {

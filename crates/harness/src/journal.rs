@@ -85,6 +85,10 @@ pub fn append(path: impl AsRef<Path>, report: &RunReport) -> Result<usize, Journ
 }
 
 /// Reads every record from the journal at `path`, skipping blank lines.
+///
+/// Strict: the first malformed line fails the whole read. Use
+/// [`read_tolerant`] to recover everything that *is* parseable from a
+/// journal whose writer died mid-append.
 pub fn read(path: impl AsRef<Path>) -> Result<Vec<RunRecord>, JournalError> {
     let text = std::fs::read_to_string(path)?;
     text.lines()
@@ -95,6 +99,70 @@ pub fn read(path: impl AsRef<Path>) -> Result<Vec<RunRecord>, JournalError> {
                 .map_err(|e| JournalError::Json { line: i + 1, detail: e.to_string() })
         })
         .collect()
+}
+
+/// One journal line that [`read_tolerant`] could not parse.
+#[derive(Debug, Clone)]
+pub struct SkippedLine {
+    /// 1-based line number of the unparseable record.
+    pub line: usize,
+    /// Parser detail for the failure.
+    pub detail: String,
+    /// The raw line content (truncated to 256 bytes so a report over a
+    /// corrupt multi-megabyte line stays bounded).
+    pub content: String,
+}
+
+/// The result of a tolerant journal read: everything parseable plus a
+/// report of what was skipped.
+#[derive(Debug, Clone)]
+pub struct TolerantRead {
+    /// Records recovered in journal order.
+    pub records: Vec<RunRecord>,
+    /// Lines that failed to parse, in order of appearance.
+    pub skipped: Vec<SkippedLine>,
+}
+
+impl TolerantRead {
+    /// True when every non-blank line parsed (the strict [`read`] would
+    /// have succeeded).
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// Reads the journal at `path`, recovering every parseable record and
+/// reporting the rest instead of failing.
+///
+/// A run killed mid-`write_all` legitimately leaves a truncated trailing
+/// record; strict [`read`] correctly refuses such a file, but replay
+/// tooling usually wants the thousands of good records *and* a note about
+/// the bad line. I/O errors (missing file, permissions) still fail: there
+/// is nothing to recover from a file that cannot be opened.
+pub fn read_tolerant(path: impl AsRef<Path>) -> Result<TolerantRead, JournalError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut records = Vec::new();
+    let mut skipped = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str(line) {
+            Ok(record) => records.push(record),
+            Err(e) => {
+                let mut content = line.to_string();
+                if content.len() > 256 {
+                    let mut cut = 256;
+                    while !content.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    content.truncate(cut);
+                }
+                skipped.push(SkippedLine { line: i + 1, detail: e.to_string(), content });
+            }
+        }
+    }
+    Ok(TolerantRead { records, skipped })
 }
 
 #[cfg(test)]
@@ -203,6 +271,78 @@ mod tests {
         std::fs::write(&path, "{\"not\": \"a record\"}\n").unwrap();
         let err = read(&path).unwrap_err();
         assert!(matches!(err, JournalError::Json { line: 1, .. }), "got {err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Writes a journal with two good records, then truncates the file
+    /// mid-way through the second — the on-disk state a run killed during
+    /// `write_all` leaves behind.
+    fn truncated_journal(name: &str) -> std::path::PathBuf {
+        let path = tmp_path(name);
+        let suite = BenchmarkSuite::new().with(Fixed("a")).with(Fixed("b"));
+        let report = SuiteRunner::new().run(&suite);
+        append(&path, &report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let second_start = text.find('\n').unwrap() + 1;
+        let cut = second_start + (text.len() - second_start) / 2;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        path
+    }
+
+    #[test]
+    fn strict_read_still_rejects_truncated_file() {
+        let path = truncated_journal("strict-truncated");
+        let err = read(&path).unwrap_err();
+        assert!(matches!(err, JournalError::Json { line: 2, .. }), "got {err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tolerant_read_recovers_good_records_and_reports_the_rest() {
+        let path = truncated_journal("tolerant-truncated");
+        let result = read_tolerant(&path).unwrap();
+        assert!(!result.is_complete());
+        assert_eq!(result.records.len(), 1);
+        assert_eq!(result.records[0].benchmark, "a");
+        assert_eq!(result.skipped.len(), 1);
+        assert_eq!(result.skipped[0].line, 2);
+        assert!(!result.skipped[0].detail.is_empty());
+        assert!(result.skipped[0].content.starts_with('{'), "raw line preserved");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tolerant_read_matches_strict_read_on_clean_journals() {
+        let path = tmp_path("tolerant-clean");
+        let suite = BenchmarkSuite::new().with(Fixed("a")).with(Fixed("b"));
+        let report = SuiteRunner::new().run(&suite);
+        append(&path, &report).unwrap();
+        let strict = read(&path).unwrap();
+        let tolerant = read_tolerant(&path).unwrap();
+        assert!(tolerant.is_complete());
+        assert_eq!(tolerant.records.len(), strict.len());
+        for (a, b) in tolerant.records.iter().zip(&strict) {
+            assert_eq!(a.benchmark, b.benchmark);
+            assert_eq!(a.status, b.status);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tolerant_read_still_fails_on_missing_file() {
+        let err = read_tolerant("/nonexistent/tgi-journal-missing.jsonl").unwrap_err();
+        assert!(matches!(err, JournalError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn tolerant_read_bounds_reported_content() {
+        let path = tmp_path("tolerant-bigline");
+        let big = format!("{{\"benchmark\": \"{}\"", "x".repeat(4096));
+        std::fs::write(&path, format!("{big}\n")).unwrap();
+        let result = read_tolerant(&path).unwrap();
+        assert_eq!(result.records.len(), 0);
+        assert_eq!(result.skipped.len(), 1);
+        assert!(result.skipped[0].content.len() <= 256);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -157,17 +157,6 @@ impl PowerTrace {
         self.cum_watts.reserve(n);
     }
 
-    /// Builds a trace from already-materialized columns without validating
-    /// invariants (deserialization keeps the historical behavior of
-    /// accepting whatever the archive contains; queries assume invariants).
-    fn from_soa_unchecked(times: Vec<f64>, watts: Vec<f64>) -> Self {
-        let mut trace = PowerTrace::with_capacity(times.len());
-        for (&t, &w) in times.iter().zip(&watts) {
-            trace.append(t, w);
-        }
-        trace
-    }
-
     /// The sample timestamps, in seconds from trace start.
     pub fn times(&self) -> &[f64] {
         &self.times
@@ -390,8 +379,12 @@ impl PowerTrace {
 // array-of-structs layout the trace used to store directly. Hand-written
 // (de)serialization keeps that wire format stable over the SoA layout, so
 // existing journals and regression fixtures keep parsing. Deserialization
-// does not validate invariants (matching the old derived impl); the index
-// is rebuilt from whatever the archive contains.
+// enforces the same invariants as `push` — finite non-negative values,
+// non-decreasing timestamps — with a descriptive `DeError` naming the first
+// offending sample, so a corrupt archive can never poison the prefix index
+// that `energy()`/`energy_between()` answer from. Well-formed archives
+// rebuild the index with exactly the operations `push` performs, so legacy
+// journals parse bit-identically.
 impl Serialize for PowerTrace {
     fn to_value(&self) -> Value {
         let samples: Vec<Value> = self.iter().map(|s| s.to_value()).collect();
@@ -403,14 +396,32 @@ impl Deserialize for PowerTrace {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let samples = v.get("samples").ok_or_else(|| DeError::new("missing field `samples`"))?;
         let arr = samples.as_array().ok_or_else(|| DeError::new("`samples` must be an array"))?;
-        let mut times = Vec::with_capacity(arr.len());
-        let mut watts = Vec::with_capacity(arr.len());
-        for entry in arr {
+        let mut trace = PowerTrace::with_capacity(arr.len());
+        let mut last_t = f64::NEG_INFINITY;
+        for (i, entry) in arr.iter().enumerate() {
             let s = PowerSample::from_value(entry)?;
-            times.push(s.t);
-            watts.push(s.watts);
+            if !s.t.is_finite() || s.t < 0.0 {
+                return Err(DeError::new(format!(
+                    "sample {i}: time must be finite and non-negative (got {})",
+                    s.t
+                )));
+            }
+            if s.t < last_t {
+                return Err(DeError::new(format!(
+                    "sample {i}: timestamps must be non-decreasing (got {} after {last_t})",
+                    s.t
+                )));
+            }
+            if !s.watts.is_finite() || s.watts < 0.0 {
+                return Err(DeError::new(format!(
+                    "sample {i}: power must be finite and non-negative (got {})",
+                    s.watts
+                )));
+            }
+            last_t = s.t;
+            trace.push_unvalidated(s.t, s.watts);
         }
-        Ok(PowerTrace::from_soa_unchecked(times, watts))
+        Ok(trace)
     }
 }
 
@@ -599,15 +610,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
-    fn extend_shifted_validates_samples() {
-        // Regression: extend_shifted used to push into `samples` directly,
-        // so a trace that bypassed `push` validation (e.g. deserialized from
-        // JSON) could smuggle invalid samples into a clean trace.
-        let bad: PowerTrace =
-            serde_json::from_str(r#"{"samples":[{"t":0.0,"watts":-25.0}]}"#).unwrap();
-        let mut clean = trace(&[(0.0, 100.0)]);
-        clean.extend_shifted(&bad);
+    fn serde_rejects_invalid_samples_at_the_boundary() {
+        // Regression: deserialization used to rebuild the prefix index from
+        // whatever the archive contained (`from_soa_unchecked`), so negative
+        // watts or backwards timestamps silently poisoned every O(1)/O(log n)
+        // energy query. The ingest boundary now rejects them outright.
+        let cases: &[(&str, &str)] = &[
+            // Negative power.
+            (r#"{"samples":[{"t":0.0,"watts":-25.0}]}"#, "power must be finite"),
+            // Non-finite power (JSON has no NaN literal; 1e999 parses to +inf).
+            (r#"{"samples":[{"t":0.0,"watts":1e999}]}"#, "power must be finite"),
+            // Backwards timestamps.
+            (
+                r#"{"samples":[{"t":5.0,"watts":100.0},{"t":1.0,"watts":100.0}]}"#,
+                "timestamps must be non-decreasing",
+            ),
+            // Negative timestamp.
+            (r#"{"samples":[{"t":-1.0,"watts":100.0}]}"#, "time must be finite"),
+            // Non-finite timestamp.
+            (r#"{"samples":[{"t":1e999,"watts":100.0}]}"#, "time must be finite"),
+        ];
+        for (json, reason) in cases {
+            let err = serde_json::from_str::<PowerTrace>(json).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(reason), "payload {json}: expected {reason:?}, got {msg:?}");
+        }
+    }
+
+    #[test]
+    fn serde_error_names_the_offending_sample() {
+        let err = serde_json::from_str::<PowerTrace>(
+            r#"{"samples":[{"t":0.0,"watts":100.0},{"t":1.0,"watts":100.0},{"t":0.5,"watts":100.0}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("sample 2"), "got {err:?}");
+    }
+
+    #[test]
+    fn poisoned_archive_cannot_corrupt_energy_queries() {
+        // A journal with a backwards timestamp would have produced a negative
+        // trapezoid in `cum_energy`, skewing `energy()` and every windowed
+        // query derived from the index. The only way to obtain a trace from
+        // an archive now is through the validated path, so the bad record
+        // never becomes a queryable trace at all.
+        let poisoned = r#"{"samples":[
+            {"t":0.0,"watts":100.0},{"t":10.0,"watts":100.0},{"t":2.0,"watts":100.0}
+        ]}"#;
+        assert!(serde_json::from_str::<PowerTrace>(poisoned).is_err());
+        // The well-formed prefix of the same archive still parses and
+        // reports the expected energy.
+        let clean: PowerTrace = serde_json::from_str(
+            r#"{"samples":[{"t":0.0,"watts":100.0},{"t":10.0,"watts":100.0}]}"#,
+        )
+        .unwrap();
+        assert!((clean.energy().value() - 1000.0).abs() < 1e-9);
+        assert!((clean.energy_between(0.0, 5.0).value() - 500.0).abs() < 1e-9);
     }
 
     #[test]

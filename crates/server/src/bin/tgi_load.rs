@@ -1,0 +1,75 @@
+//! `tgi-load` binary: drives a mixed ingest/query/evaluate workload at a
+//! running `tgi-server` and prints a JSON latency report.
+//!
+//! Same CLI convention as the rest of the workspace: `--help` → stdout,
+//! exit 0; parse errors → usage on stderr, exit 2; runtime failures →
+//! stderr, exit 1.
+
+use tgi_server::{load, LoadConfig};
+
+const USAGE: &str = "\
+usage: tgi-load [--addr HOST:PORT] [--clients N] [--requests N]
+                [--batch N] [--help]
+
+Drives concurrent load at a tgi-server and reports rps + latency
+percentiles as JSON on stdout.
+
+options:
+  --addr HOST:PORT  server address              (default 127.0.0.1:7070)
+  --clients N       concurrent connections      (default 1000)
+  --requests N      requests per client         (default 20)
+  --batch N         samples per ingest batch    (default 32)
+  -h, --help        print this help
+";
+
+fn parse_error(msg: &str) -> ! {
+    eprintln!("tgi-load: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_count(flag: &str, raw: &str) -> usize {
+    match raw.parse::<usize>() {
+        Ok(v) if v > 0 => v,
+        _ => parse_error(&format!("{flag} must be a positive integer, got `{raw}`")),
+    }
+}
+
+fn parse_args() -> LoadConfig {
+    let mut config = LoadConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| parse_error(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" => config.addr = value_of("--addr"),
+            "--clients" => config.clients = parse_count("--clients", &value_of("--clients")),
+            "--requests" => {
+                config.requests_per_client = parse_count("--requests", &value_of("--requests"));
+            }
+            "--batch" => config.batch_samples = parse_count("--batch", &value_of("--batch")),
+            other => parse_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    let report = load::run(&config);
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("tgi-load: failed to serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.ok == 0 {
+        eprintln!("tgi-load: no requests succeeded — is the server up at {}?", config.addr);
+        std::process::exit(1);
+    }
+}

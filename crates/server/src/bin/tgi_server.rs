@@ -1,0 +1,122 @@
+//! `tgi-server` binary: serves the TGI evaluation + metrics API.
+//!
+//! CLI convention (workspace-wide): `--help` is an answer — usage on
+//! stdout, exit 0. Parse errors print usage on stderr and exit 2. Runtime
+//! failures report on stderr and exit 1; nothing panics.
+
+use tgi_server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+usage: tgi-server [--addr HOST:PORT] [--workers N] [--shards N]
+                  [--queue N] [--duration SECONDS] [--help]
+
+Serves the TGI evaluation + metrics API over HTTP/1.1 (std::net).
+
+options:
+  --addr HOST:PORT    listen address             (default 127.0.0.1:7070)
+  --workers N         worker threads             (default: rayon pool width)
+  --shards N          trace shards               (default 16)
+  --queue N           connection queue capacity  (default 1024)
+  --duration SECONDS  serve for a fixed time, then drain and exit
+                      (default: serve until killed)
+  -h, --help          print this help
+
+endpoints:
+  POST /traces/{node}             ingest a validated sample batch
+  GET  /traces                    list nodes
+  GET  /traces/{node}/energy      indexed energy window (?from=&to=)
+  GET  /fleet/summary             parallel fleet statistics
+  POST /evaluate                  score a measurement suite (TGI)
+  GET  /metrics                   Prometheus exposition
+  GET  /healthz                   liveness probe
+";
+
+fn parse_error(msg: &str) -> ! {
+    eprintln!("tgi-server: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    config: ServerConfig,
+    duration: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut config = ServerConfig { addr: "127.0.0.1:7070".to_string(), ..ServerConfig::default() };
+    let mut duration = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| parse_error(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" => config.addr = value_of("--addr"),
+            "--workers" => {
+                config.workers = parse_count("--workers", &value_of("--workers"));
+            }
+            "--shards" => {
+                config.shards = parse_count("--shards", &value_of("--shards"));
+            }
+            "--queue" => {
+                config.queue_capacity = parse_count("--queue", &value_of("--queue"));
+            }
+            "--duration" => {
+                let raw = value_of("--duration");
+                match raw.parse::<f64>() {
+                    Ok(v) if v.is_finite() && v > 0.0 => duration = Some(v),
+                    _ => parse_error(&format!("--duration must be a positive number, got `{raw}`")),
+                }
+            }
+            other => parse_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    Args { config, duration }
+}
+
+fn parse_count(flag: &str, raw: &str) -> usize {
+    match raw.parse::<usize>() {
+        Ok(v) if v > 0 => v,
+        _ => parse_error(&format!("{flag} must be a positive integer, got `{raw}`")),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    // Install the global collector so `/metrics` reports live counters and
+    // request spans are recorded (no-op when built without telemetry).
+    tgi_telemetry::install();
+    let reference = tgi_harness::experiments::system_g_reference();
+    let mut server = match Server::start(args.config, reference) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tgi-server: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("tgi-server listening on {}", server.addr());
+    match args.duration {
+        Some(seconds) => {
+            std::thread::sleep(std::time::Duration::from_secs_f64(seconds));
+            println!("tgi-server: duration elapsed, draining");
+            server.shutdown();
+            let stats = server.stats();
+            println!(
+                "tgi-server: served {} requests ({} connections accepted, {} rejected)",
+                stats.served.load(std::sync::atomic::Ordering::Relaxed),
+                stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
+                stats.rejected.load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+            // Span events buffer per thread until drained; discard them
+            // periodically so a long-running server stays bounded (the
+            // /metrics registry is separate and unaffected).
+            let _ = tgi_telemetry::drain();
+        },
+    }
+}

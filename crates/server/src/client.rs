@@ -1,0 +1,126 @@
+//! A tiny blocking HTTP/1.1 client over `std::net`, shared by the load
+//! generator, the benchmarks, and the integration tests.
+//!
+//! One [`Client`] is one keep-alive connection; requests run strictly in
+//! sequence. Responses are fully buffered (they are small JSON bodies).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Errors a request can surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server's response could not be parsed.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::BadResponse(d) => write!(f, "bad response: {d}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A buffered response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes as text.
+    pub body: String,
+    /// Whether the server asked to close the connection.
+    pub close: bool,
+}
+
+/// One keep-alive connection to a server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: String,
+}
+
+impl Client {
+    /// Connects with a read/write timeout.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        // Small request frames; Nagle would stall the ping-pong.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, addr: addr.to_string() })
+    }
+
+    /// Sends one request and reads the response. `body` is sent with a
+    /// `Content-Length` header; pass `""` for body-less methods.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientResponse, ClientError> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+            self.addr,
+            body.len(),
+        )?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::BadResponse("connection closed mid-response".into()));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> Result<ClientResponse, ClientError> {
+        let status_line = self.read_line()?;
+        let status: u16 =
+            status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(
+                || ClientError::BadResponse(format!("bad status line `{status_line}`")),
+            )?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
+                        ClientError::BadResponse(format!("bad content-length `{value}`"))
+                    })?;
+                } else if name == "connection" {
+                    close = value.eq_ignore_ascii_case("close");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| ClientError::BadResponse("body is not UTF-8".into()))?;
+        Ok(ClientResponse { status, body, close })
+    }
+}

@@ -1,0 +1,36 @@
+//! `tgi-server` — a std-only networked evaluation and metrics service for
+//! The Green Index pipeline.
+//!
+//! The service puts the validated ingest boundaries on the wire: power
+//! traces stream in over `POST /traces/{node}` (sharded storage, bounded
+//! backpressure), indexed energy windows answer in O(log n) over
+//! `GET /traces/{node}/energy`, measurement suites score through the
+//! cached zero-alloc evaluator at `POST /evaluate`, and `GET /metrics`
+//! exposes the tgi-telemetry registry in Prometheus text format.
+//!
+//! Everything runs on `std::net` + `std::thread` — no async runtime —
+//! with the same compat-shim discipline as the rest of the workspace:
+//! heavy aggregate endpoints (fleet summaries) borrow the rayon pool,
+//! everything else is plain blocking I/O with explicit limits.
+//!
+//! ```no_run
+//! use tgi_server::{Server, ServerConfig};
+//!
+//! let config = ServerConfig { addr: "127.0.0.1:7070".into(), ..Default::default() };
+//! let server = Server::start(config, tgi_harness::experiments::system_g_reference()).unwrap();
+//! println!("listening on {}", server.addr());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod load;
+pub mod queue;
+pub mod server;
+pub mod state;
+
+pub use client::{Client, ClientError, ClientResponse};
+pub use load::{LoadConfig, LoadReport};
+pub use server::{Server, ServerStats};
+pub use state::{ServerConfig, ServerState};

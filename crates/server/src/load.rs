@@ -1,0 +1,216 @@
+//! The load generator: N concurrent keep-alive clients driving a mixed
+//! ingest/query/evaluate workload, with per-request latency capture.
+//!
+//! Shared by the `tgi-load` binary (against any address) and the
+//! `server_load` benchmark (against an in-process server), so the numbers
+//! in `BENCH_server.json` come from exactly the code a user would run.
+
+use crate::client::Client;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests_per_client: usize,
+    /// Samples in each ingest batch.
+    pub batch_samples: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            clients: 1000,
+            requests_per_client: 20,
+            batch_samples: 32,
+        }
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Serialize)]
+pub struct LoadReport {
+    /// Concurrent clients that ran.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Requests answered `2xx`.
+    pub ok: u64,
+    /// Requests answered `429` (backpressure; retried).
+    pub rejected: u64,
+    /// Requests answered any other status.
+    pub failed: u64,
+    /// Transport-level errors (connect/timeout).
+    pub transport_errors: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_s: f64,
+    /// Completed requests per wall-clock second.
+    pub rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Slowest request, microseconds.
+    pub max_us: f64,
+}
+
+struct Counters {
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    transport: AtomicU64,
+}
+
+/// The request mix one client cycles through. Each client owns a node, so
+/// ingest batches append monotonically without cross-client conflicts.
+fn run_client(
+    config: &LoadConfig,
+    client_id: usize,
+    counters: &Counters,
+    latencies: &mut Vec<u64>,
+) {
+    let timeout = Duration::from_secs(10);
+    let mut client = match Client::connect(&config.addr, timeout) {
+        Ok(c) => c,
+        Err(_) => {
+            counters.transport.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let node = format!("load-node-{client_id}");
+    let mut t0 = 0.0f64;
+    let mut issued = 0usize;
+    while issued < config.requests_per_client {
+        let (method, path, body): (&str, String, String) = match issued % 4 {
+            // Two ingests for every query and evaluate: write-heavy.
+            0 | 1 => {
+                let samples: Vec<String> = (0..config.batch_samples)
+                    .map(|i| {
+                        let t = t0 + i as f64;
+                        let w = 100.0 + ((client_id + i) % 40) as f64;
+                        format!("{{\"t\":{t},\"watts\":{w}}}")
+                    })
+                    .collect();
+                t0 += config.batch_samples as f64;
+                ("POST", format!("/traces/{node}"), format!("{{\"samples\":[{}]}}", samples.join(",")))
+            }
+            2 => {
+                ("GET", format!("/traces/{node}/energy?from=0&to={t0}"), String::new())
+            }
+            _ => (
+                "POST",
+                "/evaluate".to_string(),
+                format!(
+                    "{{\"measurements\":[{{\"id\":\"hpl\",\"gflops\":{}, \"watts\":2900.0,\"seconds\":1800.0}}],\"weighting\":\"energy\",\"mean\":\"geometric\"}}",
+                    80.0 + (client_id % 20) as f64
+                ),
+            ),
+        };
+        let started = Instant::now();
+        match client.request(method, &path, &body) {
+            Ok(response) => {
+                latencies.push(started.elapsed().as_micros() as u64);
+                match response.status {
+                    200 => {
+                        counters.ok.fetch_add(1, Ordering::Relaxed);
+                        issued += 1;
+                    }
+                    429 => {
+                        // Backpressure: reconnect (the server closed us) and
+                        // retry the same step after a short pause.
+                        counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(5));
+                        match Client::connect(&config.addr, timeout) {
+                            Ok(c) => client = c,
+                            Err(_) => {
+                                counters.transport.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                    _ => {
+                        counters.failed.fetch_add(1, Ordering::Relaxed);
+                        issued += 1;
+                    }
+                }
+                if response.close && issued < config.requests_per_client {
+                    match Client::connect(&config.addr, timeout) {
+                        Ok(c) => client = c,
+                        Err(_) => {
+                            counters.transport.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                counters.transport.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] as f64
+}
+
+/// Runs the workload and aggregates latencies across every client.
+pub fn run(config: &LoadConfig) -> LoadReport {
+    let counters = Arc::new(Counters {
+        ok: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        transport: AtomicU64::new(0),
+    });
+    let started = Instant::now();
+    let handles: Vec<_> = (0..config.clients)
+        .map(|client_id| {
+            let config = config.clone();
+            let counters = Arc::clone(&counters);
+            // Small stacks: 1k+ threads at the default 8 MiB would reserve
+            // 8 GiB of address space for what is a tiny request loop.
+            std::thread::Builder::new()
+                .name(format!("tgi-load-{client_id}"))
+                .stack_size(128 * 1024)
+                .spawn(move || {
+                    let mut latencies = Vec::with_capacity(config.requests_per_client);
+                    run_client(&config, client_id, &counters, &mut latencies);
+                    latencies
+                })
+                .expect("spawn load client")
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in handles {
+        latencies.extend(handle.join().expect("load client panicked"));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let completed = counters.ok.load(Ordering::Relaxed) + counters.failed.load(Ordering::Relaxed);
+    LoadReport {
+        clients: config.clients,
+        requests_per_client: config.requests_per_client,
+        ok: counters.ok.load(Ordering::Relaxed),
+        rejected: counters.rejected.load(Ordering::Relaxed),
+        failed: counters.failed.load(Ordering::Relaxed),
+        transport_errors: counters.transport.load(Ordering::Relaxed),
+        wall_s,
+        rps: if wall_s > 0.0 { completed as f64 / wall_s } else { 0.0 },
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0) as f64,
+    }
+}

@@ -1,0 +1,465 @@
+//! Shared server state and the request router.
+//!
+//! [`ServerState`] owns the data plane: node traces sharded across
+//! independently locked maps (ingest for node A never contends with a
+//! query for node B on another shard), one cached [`TgiEvaluator`] bound
+//! to the reference system for the process lifetime, and a pool of
+//! [`EvalScratch`] buffers so concurrent `/evaluate` requests reuse warm
+//! allocations instead of building fresh ones.
+//!
+//! Every request body crosses a *validated* deserialization boundary
+//! before touching state: power samples go through `PowerTrace`'s
+//! validating `Deserialize` (NaN/negative/backwards samples are a 400,
+//! never a poisoned prefix index), and measurement suites go through
+//! [`Measurement::new`]'s typed checks. Handlers return typed JSON errors;
+//! nothing in this module panics on user input.
+
+use crate::http::{Request, Response};
+use power_model::fleet::TraceSet;
+use power_model::PowerTrace;
+use serde::{Serialize, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use tgi_core::evaluator::{EvalScratch, TgiEvaluator};
+use tgi_core::{MeanKind, Measurement, Perf, PerfUnit, ReferenceSystem, Seconds, Watts, Weighting};
+
+/// Tunables for a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving connections. Defaults to the rayon shim's
+    /// pool width, so the service and the compute pool are sized together.
+    pub workers: usize,
+    /// Trace shards (independently locked). More shards, less contention.
+    pub shards: usize,
+    /// Accepted-connection queue capacity — the backpressure bound; beyond
+    /// it the acceptor answers `429` instead of queueing.
+    pub queue_capacity: usize,
+    /// Largest accepted request body, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: rayon::current_num_threads().max(2),
+            shards: 16,
+            queue_capacity: 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// The shared, thread-safe data plane behind every worker.
+pub struct ServerState {
+    shards: Vec<Mutex<HashMap<String, PowerTrace>>>,
+    evaluator: TgiEvaluator<'static>,
+    scratch_pool: Mutex<Vec<EvalScratch>>,
+    max_body_bytes: usize,
+    draining: AtomicBool,
+}
+
+#[derive(Serialize)]
+struct IngestResponse {
+    node: String,
+    appended: usize,
+    samples: usize,
+    energy_j: f64,
+}
+
+#[derive(Serialize)]
+struct EnergyResponse {
+    node: String,
+    from: f64,
+    to: f64,
+    energy_j: f64,
+    average_w: f64,
+    samples: usize,
+}
+
+#[derive(Serialize)]
+struct NodeInfo {
+    node: String,
+    samples: usize,
+    duration_s: f64,
+    energy_j: f64,
+}
+
+#[derive(Serialize)]
+struct ListResponse {
+    nodes: Vec<NodeInfo>,
+    total_samples: usize,
+    total_energy_j: f64,
+}
+
+#[derive(Serialize)]
+struct EvaluateResponse {
+    tgi: f64,
+    reference: String,
+    weighting: String,
+    mean: String,
+    benchmarks: Vec<String>,
+    rees: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+fn json_response<T: Serialize>(status: u16, value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(status, body),
+        Err(e) => Response::error(500, &format!("response serialization failed: {e}")),
+    }
+}
+
+/// A node label usable as a path segment and shard key: non-empty,
+/// ≤ 128 bytes, `[A-Za-z0-9._-]` only.
+fn valid_node_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+impl ServerState {
+    /// Builds the state, caching one evaluator over `reference` for the
+    /// process lifetime (the reference is intentionally leaked: the
+    /// evaluator borrows it, and a server's reference lives as long as the
+    /// process serves `/evaluate`).
+    pub fn new(config: &ServerConfig, reference: ReferenceSystem) -> Self {
+        let reference: &'static ReferenceSystem = Box::leak(Box::new(reference));
+        let shards = (0..config.shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect();
+        ServerState {
+            shards,
+            evaluator: TgiEvaluator::new(reference),
+            scratch_pool: Mutex::new(Vec::new()),
+            max_body_bytes: config.max_body_bytes,
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Largest accepted request body, bytes.
+    pub fn max_body_bytes(&self) -> usize {
+        self.max_body_bytes
+    }
+
+    /// Flags the state as draining: keep-alive sessions close after the
+    /// in-flight request finishes.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn shard(&self, node: &str) -> &Mutex<HashMap<String, PowerTrace>> {
+        let mut hasher = DefaultHasher::new();
+        node.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Routes one parsed request to its handler.
+    pub fn handle(&self, request: &Request) -> Response {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => self.healthz(),
+            ("GET", ["metrics"]) => self.metrics(),
+            ("GET", ["traces"]) => self.list_traces(),
+            ("POST", ["traces", node]) => self.ingest(node, &request.body),
+            ("GET", ["traces", node, "energy"]) => self.energy(node, request),
+            ("GET", ["fleet", "summary"]) => self.fleet_summary(),
+            ("POST", ["evaluate"]) => self.evaluate(&request.body),
+            // Known paths with the wrong verb get a 405, not a 404.
+            (_, ["healthz"] | ["metrics"] | ["traces"] | ["evaluate"] | ["fleet", "summary"])
+            | (_, ["traces", _] | ["traces", _, "energy"]) => {
+                Response::error(405, &format!("method {} not allowed here", request.method))
+            }
+            _ => Response::error(404, &format!("no route for {}", request.path)),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let nodes: usize =
+            self.shards.iter().map(|s| s.lock().expect("shard poisoned").len()).sum();
+        Response::json(200, format!("{{\"status\":\"ok\",\"nodes\":{nodes}}}"))
+    }
+
+    fn metrics(&self) -> Response {
+        let snapshot = tgi_telemetry::metrics::snapshot();
+        Response::text(200, tgi_telemetry::export::prometheus(&snapshot))
+    }
+
+    /// `POST /traces/{node}`: appends a validated batch of samples to the
+    /// node's trace. The batch must continue the node's timeline — its
+    /// first timestamp may not precede the last already-ingested one
+    /// (409 otherwise, so replayed or reordered batches cannot corrupt
+    /// the prefix index).
+    fn ingest(&self, node: &str, body: &[u8]) -> Response {
+        if !valid_node_name(node) {
+            return Response::error(400, "node name must be 1-128 chars of [A-Za-z0-9._-]");
+        }
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+        };
+        // The validated deserialization boundary: NaN/negative/backwards
+        // samples are rejected here with the sample index, before any
+        // shared state is touched.
+        let batch: PowerTrace = match serde_json::from_str(text) {
+            Ok(t) => t,
+            Err(e) => return Response::error(400, &format!("invalid trace batch: {e}")),
+        };
+        let mut shard = self.shard(node).lock().expect("shard poisoned");
+        let trace = shard.entry(node.to_string()).or_default();
+        if let (Some((_, last)), Some((first, _))) = (trace.time_bounds(), batch.time_bounds()) {
+            if first < last {
+                return Response::error(
+                    409,
+                    &format!(
+                        "batch starts at t={first} but node `{node}` has samples through t={last}"
+                    ),
+                );
+            }
+        }
+        // Safe: the batch is validated, and its first timestamp does not
+        // precede the trace's last, so `push`'s invariants hold.
+        trace.reserve(batch.len());
+        for s in batch.iter() {
+            trace.push(s.t, Watts::new(s.watts));
+        }
+        let response = IngestResponse {
+            node: node.to_string(),
+            appended: batch.len(),
+            samples: trace.len(),
+            energy_j: trace.energy().value(),
+        };
+        if tgi_telemetry::enabled() {
+            tgi_telemetry::counter!("server_samples_ingested_total").add(batch.len() as u64);
+        }
+        json_response(200, &response)
+    }
+
+    /// `GET /traces/{node}/energy?from=&to=`: an O(log n) indexed window
+    /// query against the node's prefix index.
+    fn energy(&self, node: &str, request: &Request) -> Response {
+        let parse_bound = |key: &str, default: f64| -> Result<f64, Response> {
+            match request.query_value(key) {
+                None => Ok(default),
+                Some(raw) => match raw.parse::<f64>() {
+                    Ok(v) if !v.is_nan() => Ok(v),
+                    _ => Err(Response::error(
+                        400,
+                        &format!("query parameter `{key}` must be a finite number, got `{raw}`"),
+                    )),
+                },
+            }
+        };
+        let from = match parse_bound("from", f64::NEG_INFINITY) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let to = match parse_bound("to", f64::INFINITY) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let shard = self.shard(node).lock().expect("shard poisoned");
+        let trace = match shard.get(node) {
+            Some(t) => t,
+            None => return Response::error(404, &format!("unknown node `{node}`")),
+        };
+        let (first, last) = trace.time_bounds().unwrap_or((0.0, 0.0));
+        let response = EnergyResponse {
+            node: node.to_string(),
+            from: from.max(first),
+            to: to.min(last),
+            energy_j: trace.energy_between(from, to).value(),
+            average_w: trace.average_power_between(from, to).value(),
+            samples: trace.len(),
+        };
+        json_response(200, &response)
+    }
+
+    fn list_traces(&self) -> Response {
+        let mut nodes: Vec<NodeInfo> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            for (name, trace) in shard.iter() {
+                nodes.push(NodeInfo {
+                    node: name.clone(),
+                    samples: trace.len(),
+                    duration_s: trace.duration().value(),
+                    energy_j: trace.energy().value(),
+                });
+            }
+        }
+        nodes.sort_by(|a, b| a.node.cmp(&b.node));
+        let response = ListResponse {
+            total_samples: nodes.iter().map(|n| n.samples).sum(),
+            total_energy_j: nodes.iter().map(|n| n.energy_j).sum(),
+            nodes,
+        };
+        json_response(200, &response)
+    }
+
+    /// `GET /fleet/summary`: snapshots every node into a [`TraceSet`] and
+    /// summarizes it on the rayon shim pool (per-node percentile caches in
+    /// parallel). Clones the traces — this is the reporting endpoint, not
+    /// the hot path.
+    fn fleet_summary(&self) -> Response {
+        let mut entries: Vec<(String, PowerTrace)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            for (name, trace) in shard.iter() {
+                entries.push((name.clone(), trace.clone()));
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let summary = TraceSet::from_entries(entries).summarize();
+        json_response(200, &summary)
+    }
+
+    /// `POST /evaluate`: scores a measurement suite against the cached
+    /// reference through the zero-alloc evaluator, with a pooled scratch.
+    fn evaluate(&self, body: &[u8]) -> Response {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+        };
+        let value: Value = match serde_json::from_str(text) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+        };
+        let (measurements, weighting, mean) = match parse_evaluate_request(&value) {
+            Ok(parts) => parts,
+            Err(msg) => return Response::error(400, &msg),
+        };
+
+        let mut scratch =
+            self.scratch_pool.lock().expect("scratch poisoned").pop().unwrap_or_default();
+        let result = self.evaluator.evaluate_into(&measurements, &weighting, mean, &mut scratch);
+        let response = match result {
+            Ok(tgi) => {
+                let response = EvaluateResponse {
+                    tgi,
+                    reference: self.evaluator.reference().name().to_string(),
+                    weighting: weighting.label().to_string(),
+                    mean: mean.label().to_string(),
+                    benchmarks: measurements.iter().map(|m| m.id().to_string()).collect(),
+                    rees: scratch.rees().to_vec(),
+                    weights: scratch.weights().to_vec(),
+                };
+                json_response(200, &response)
+            }
+            Err(e) => Response::error(400, &format!("evaluation rejected: {e}")),
+        };
+        self.scratch_pool.lock().expect("scratch poisoned").push(scratch);
+        response
+    }
+
+    /// Test/oracle accessor: a clone of one node's trace.
+    pub fn trace_snapshot(&self, node: &str) -> Option<PowerTrace> {
+        self.shard(node).lock().expect("shard poisoned").get(node).cloned()
+    }
+}
+
+/// Parses the `/evaluate` request body:
+///
+/// ```json
+/// {"measurements": [{"id": "hpl", "gflops": 90.0, "watts": 2900.0, "seconds": 1800.0}],
+///  "weighting": "arithmetic|time|energy|power",
+///  "mean": "arithmetic|geometric|harmonic"}
+/// ```
+///
+/// `weighting` and `mean` default to `arithmetic`. Every measurement is
+/// validated through [`Measurement::new`]'s typed checks; performance is
+/// additionally checked here because `Perf::gflops` is a raw constructor.
+fn parse_evaluate_request(
+    value: &Value,
+) -> Result<(Vec<Measurement>, Weighting, MeanKind), String> {
+    let list = value
+        .get("measurements")
+        .ok_or("missing field `measurements`")?
+        .as_array()
+        .ok_or("`measurements` must be an array")?;
+    let mut measurements = Vec::with_capacity(list.len());
+    for (i, entry) in list.iter().enumerate() {
+        let field = |name: &str| -> Result<f64, String> {
+            entry
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("measurement {i}: missing numeric field `{name}`"))
+        };
+        let id = entry
+            .get("id")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("measurement {i}: missing string field `id`"))?;
+        // Performance comes as the `gflops` shorthand or as a generic
+        // `perf` + `unit` pair (the reference suite mixes FLOPS and B/s).
+        // `Perf::new` (unlike `Perf::gflops`) validates, so every wire
+        // value funnels through the checked constructor.
+        let perf = match (entry.get("gflops"), entry.get("perf")) {
+            (Some(_), Some(_)) => {
+                return Err(format!("measurement {i}: give `gflops` or `perf`+`unit`, not both"))
+            }
+            (Some(_), None) => Perf::new(field("gflops")? * 1e9, PerfUnit::Flops)
+                .map_err(|e| format!("measurement {i}: `gflops`: {e}"))?,
+            (None, Some(_)) => {
+                let unit = match entry.get("unit").map(|u| u.as_str()) {
+                    Some(Some("flops")) => PerfUnit::Flops,
+                    Some(Some("bytes_per_sec")) => PerfUnit::BytesPerSecond,
+                    Some(Some("gups")) => PerfUnit::Gups,
+                    Some(Some(other)) => PerfUnit::Custom(other.to_string()),
+                    _ => {
+                        return Err(format!(
+                            "measurement {i}: `perf` needs a string `unit` \
+                             (flops|bytes_per_sec|gups|<custom label>)"
+                        ))
+                    }
+                };
+                Perf::new(field("perf")?, unit)
+                    .map_err(|e| format!("measurement {i}: `perf`: {e}"))?
+            }
+            (None, None) => {
+                return Err(format!("measurement {i}: missing `gflops` or `perf`+`unit`"))
+            }
+        };
+        // `Watts::try_new`/`Seconds::try_new` here rather than the raw
+        // constructors: these values are straight off the wire.
+        let watts = Watts::try_new(field("watts")?)
+            .map_err(|e| format!("measurement {i}: `watts`: {e}"))?;
+        let seconds = Seconds::try_new(field("seconds")?)
+            .map_err(|e| format!("measurement {i}: `seconds`: {e}"))?;
+        let m = Measurement::new(id, perf, watts, seconds)
+            .map_err(|e| format!("measurement {i}: {e}"))?;
+        measurements.push(m);
+    }
+
+    let weighting = match value.get("weighting").map(|v| v.as_str()) {
+        None => Weighting::Arithmetic,
+        Some(Some("arithmetic")) => Weighting::Arithmetic,
+        Some(Some("time")) => Weighting::Time,
+        Some(Some("energy")) => Weighting::Energy,
+        Some(Some("power")) => Weighting::Power,
+        Some(other) => {
+            return Err(format!(
+                "`weighting` must be one of arithmetic|time|energy|power, got {other:?}"
+            ))
+        }
+    };
+    let mean = match value.get("mean").map(|v| v.as_str()) {
+        None => MeanKind::Arithmetic,
+        Some(Some("arithmetic")) => MeanKind::Arithmetic,
+        Some(Some("geometric")) => MeanKind::Geometric,
+        Some(Some("harmonic")) => MeanKind::Harmonic,
+        Some(other) => {
+            return Err(format!(
+                "`mean` must be one of arithmetic|geometric|harmonic, got {other:?}"
+            ))
+        }
+    };
+    Ok((measurements, weighting, mean))
+}

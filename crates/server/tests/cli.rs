@@ -1,0 +1,77 @@
+//! CLI contract tests for the `tgi-server` and `tgi-load` binaries —
+//! the workspace convention: `--help` → usage on stdout, exit 0; parse
+//! errors → usage on stderr, exit 2.
+
+use std::process::Command;
+
+fn server() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tgi-server"))
+}
+
+fn load() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tgi-load"))
+}
+
+#[test]
+fn server_help_prints_to_stdout_and_exits_zero() {
+    let out = server().arg("--help").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: tgi-server"), "stdout was: {stdout}");
+    assert!(stdout.contains("POST /traces"), "usage must document endpoints");
+    assert!(out.stderr.is_empty(), "help must not write to stderr");
+}
+
+#[test]
+fn server_unknown_argument_exits_2_with_usage() {
+    let out = server().arg("--bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument"), "stderr was: {stderr}");
+    assert!(stderr.contains("usage: tgi-server"), "stderr must carry usage");
+    assert!(out.stdout.is_empty(), "parse errors must not write to stdout");
+}
+
+#[test]
+fn server_invalid_flag_values_exit_2() {
+    for args in [
+        &["--workers", "0"][..],
+        &["--shards", "none"][..],
+        &["--queue", "-3"][..],
+        &["--duration", "nan"][..],
+        &["--addr"][..],
+    ] {
+        let out = server().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage: tgi-server"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn server_bad_bind_address_exits_1() {
+    let out =
+        server().args(["--addr", "256.256.256.256:1", "--duration", "1"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("failed to start"), "stderr was: {stderr}");
+}
+
+#[test]
+fn load_help_prints_to_stdout_and_exits_zero() {
+    let out = load().arg("--help").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: tgi-load"), "stdout was: {stdout}");
+    assert!(out.stderr.is_empty(), "help must not write to stderr");
+}
+
+#[test]
+fn load_unknown_argument_exits_2_with_usage() {
+    let out = load().arg("--bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument"), "stderr was: {stderr}");
+    assert!(stderr.contains("usage: tgi-load"), "stderr must carry usage");
+    assert!(out.stdout.is_empty());
+}
