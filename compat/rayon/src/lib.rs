@@ -27,10 +27,17 @@
 //! owns a disjoint `&mut` region: kernels whose tasks write disjoint
 //! output chunks (GEMM, PTRANS, the LU trailing update) produce
 //! bit-identical results at every thread count.
+//!
+//! Beyond the rayon API the shim adds two NUMA-awareness hooks (see
+//! [`affinity`]): `TGI_PIN_THREADS=1` pins each worker to a CPU, and
+//! [`resize_first_touch`] initializes large arrays in parallel chunks so
+//! pages are first-touched by the workers that will stream them.
 
+pub mod affinity;
 mod iter;
 mod pool;
 
+pub use affinity::{pin_current_thread, resize_first_touch, PIN_THREADS_ENV};
 pub use iter::{
     ChunksIter, ChunksIterMut, Enumerate, IntoParallelIterator, Map, ParallelIterator,
     ParallelSlice, ParallelSliceMut, RangeIter, SliceIter, SliceIterMut, VecIter, Zip,

@@ -98,6 +98,12 @@ impl Registry {
     /// The blocking loop each dedicated worker runs.
     fn worker_loop(self: Arc<Registry>, index: usize) {
         WORKER_REGISTRY.with(|cell| cell.set(Arc::as_ptr(&self) as usize));
+        // Opt-in affinity: worker i takes CPU i (the caller thread is
+        // participant 0), wrapping on oversubscribed pools. Best-effort —
+        // a refused mask just means unpinned operation.
+        if crate::affinity::pin_requested() {
+            let _ = crate::affinity::pin_current_thread(index);
+        }
         // Per-worker busy-time gauge, resolved lazily so an uninstrumented
         // run never touches the metrics registry.
         let mut busy_gauge = None;

@@ -5,10 +5,14 @@
 //! The committed JSON is the perf baseline for the parallel backend: GFLOPS
 //! for DGEMM and HPL, STREAM Triad MB/s, and GUPS, plus the N-thread/1-thread
 //! speedup per kernel. Numbers are honest for the machine that produced
-//! them — `machine.available_parallelism` records how many cores that was.
+//! them: `machine.available_parallelism` records how many cores that was,
+//! `machine.isa` names the SIMD path the kernels dispatched to
+//! (`TGI_KERNEL_ISA` overrides it), and on a single-core machine only the
+//! 1-thread run is recorded with `speedup_n_over_1: null` — a 1-over-1
+//! "speedup" is not a measurement.
 
 use hpc_kernels::stream::StreamConfig;
-use hpc_kernels::{gemm, hpl, random_access, stream};
+use hpc_kernels::{gemm, hpl, random_access, stream, timing};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -22,6 +26,7 @@ const GUPS_LOG2: u32 = 16;
 #[derive(Serialize)]
 struct Machine {
     available_parallelism: usize,
+    isa: &'static str,
 }
 
 #[derive(Serialize)]
@@ -39,6 +44,7 @@ struct KernelRun {
 
 #[derive(Serialize)]
 struct Speedup {
+    threads: usize,
     gemm: f64,
     hpl: f64,
     stream_triad: f64,
@@ -49,7 +55,9 @@ struct Speedup {
 struct Baseline {
     machine: Machine,
     runs: Vec<KernelRun>,
-    speedup_n_over_1: Speedup,
+    /// `null` when the machine has a single core: there is no N-thread
+    /// run to compare against.
+    speedup_n_over_1: Option<Speedup>,
 }
 
 fn measure(threads: usize) -> KernelRun {
@@ -86,26 +94,39 @@ fn output_path() -> PathBuf {
 
 fn main() {
     let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    eprintln!("kernel_throughput: measuring at 1 and {n_threads} thread(s)");
+    let isa = timing::active_isa_name();
+    eprintln!("kernel_throughput: isa={isa}, measuring at 1 and {n_threads} thread(s)");
 
     let one = measure(1);
-    let many = if n_threads > 1 { measure(n_threads) } else { measure(1) };
-    let speedup = Speedup {
-        gemm: many.gemm_gflops / one.gemm_gflops,
-        hpl: many.hpl_gflops / one.hpl_gflops,
-        stream_triad: many.stream_triad_mbps / one.stream_triad_mbps,
-        gups: many.gups / one.gups,
+    let mut runs = vec![one];
+    let speedup = if n_threads > 1 {
+        let many = measure(n_threads);
+        let one = &runs[0];
+        let s = Speedup {
+            threads: many.threads,
+            gemm: many.gemm_gflops / one.gemm_gflops,
+            hpl: many.hpl_gflops / one.hpl_gflops,
+            stream_triad: many.stream_triad_mbps / one.stream_triad_mbps,
+            gups: many.gups / one.gups,
+        };
+        runs.push(many);
+        Some(s)
+    } else {
+        None
     };
-    for run in [&one, &many] {
+    for run in &runs {
         eprintln!(
             "  threads={}: gemm {:.3} GFLOPS, hpl {:.3} GFLOPS, triad {:.1} MB/s, {:.5} GUPS",
             run.threads, run.gemm_gflops, run.hpl_gflops, run.stream_triad_mbps, run.gups
         );
     }
+    if speedup.is_none() {
+        eprintln!("  single core: skipping the N-thread run (speedup_n_over_1 = null)");
+    }
 
     let baseline = Baseline {
-        machine: Machine { available_parallelism: n_threads },
-        runs: vec![one, many],
+        machine: Machine { available_parallelism: n_threads, isa },
+        runs,
         speedup_n_over_1: speedup,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");

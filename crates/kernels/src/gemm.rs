@@ -26,6 +26,7 @@
 //! update in [`crate::lu`] (HPL's compute core).
 
 use crate::matrix::Matrix;
+use crate::simd::{self, Isa};
 use crate::timing::time_until_resolved;
 use rayon::prelude::*;
 
@@ -37,9 +38,9 @@ pub(crate) const KC: usize = 256;
 /// Register-blocking shared between DGEMM and the LU trailing update.
 pub(crate) mod micro {
     /// Microkernel tile height: rows of C computed per register block.
-    pub(crate) const MR: usize = 8;
+    pub(crate) use crate::simd::MR;
     /// Microkernel tile width: columns of C computed per register block.
-    pub(crate) const NR: usize = 4;
+    pub(crate) use crate::simd::NR;
 
     /// Packs the `ib×pb` block of column-major `src` (leading dimension
     /// `ld`) starting at row `i0`, column `p0` into `MR`-row
@@ -96,12 +97,16 @@ pub(crate) mod micro {
     /// `c_chunk` is `nr_eff` full columns of C with leading dimension
     /// `ldc`. Accumulators stay in registers across the whole `pb`
     /// sweep; the (zero-padded) fringe rows/columns are computed but
-    /// not stored.
+    /// not stored. Dispatches to the `isa` implementation (scalar,
+    /// AVX2+FMA, or NEON — see [`crate::simd`]); callers resolve
+    /// [`crate::simd::active`] once and thread the copy through their
+    /// parallel tasks so dispatch stays out of inner loops.
     // BLAS-style microkernel signature: the argument list is the panel
     // geometry, which a params struct would only rename.
     #[allow(clippy::too_many_arguments)]
     #[inline]
     pub(crate) fn kernel(
+        isa: crate::simd::Isa,
         apanel: &[f64],
         bsliver: &[f64],
         pb: usize,
@@ -112,29 +117,27 @@ pub(crate) mod micro {
         mr_eff: usize,
         nr_eff: usize,
     ) {
-        let mut regs = [[0.0f64; MR]; NR];
-        for (a, b) in apanel.chunks_exact(MR).zip(bsliver.chunks_exact(NR)).take(pb) {
-            for (j, acc) in regs.iter_mut().enumerate() {
-                let bj = b[j];
-                for (i, r) in acc.iter_mut().enumerate() {
-                    *r += a[i] * bj;
-                }
-            }
-        }
-        for (j, acc) in regs.iter().enumerate().take(nr_eff) {
-            let col = &mut c_chunk[j * ldc + row0..j * ldc + row0 + mr_eff];
-            for (cv, r) in col.iter_mut().zip(acc) {
-                *cv += alpha * r;
-            }
-        }
+        crate::simd::gemm_kernel(
+            isa, apanel, bsliver, pb, alpha, c_chunk, ldc, row0, mr_eff, nr_eff,
+        )
     }
 }
 
-/// `C ← α·A·B + β·C` for column-major dense matrices.
+/// `C ← α·A·B + β·C` for column-major dense matrices, on the process-wide
+/// dispatched ISA ([`crate::simd::active`]).
 ///
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    dgemm_with_isa(simd::active(), alpha, a, b, beta, c)
+}
+
+/// [`dgemm`] on an explicitly chosen ISA path — the hook the SIMD oracle
+/// tests use to compare every supported path in one process.
+///
+/// # Panics
+/// Panics on dimension mismatch, or if `isa` is not supported on this host.
+pub fn dgemm_with_isa(isa: Isa, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
     assert_eq!(k, kb, "inner dimensions must agree");
@@ -173,8 +176,11 @@ pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
         // Pack every KC×NR sliver of this B panel once, in parallel:
         // the slivers depend only on (p0, jb), so all MC row blocks
         // below share them read-only instead of repacking per task.
-        bpack.clear();
-        bpack.resize(nblocks * pb * NR, 0.0);
+        // First-touch: the buffer is initialized in parallel chunks, so
+        // with a pinned pool (`TGI_PIN_THREADS=1`) the panel's pages are
+        // faulted by the workers that go on to read them, not serially
+        // by the caller.
+        rayon::resize_first_touch(&mut bpack, nblocks * pb * NR, 0.0);
         bpack.par_chunks_mut(pb * NR).enumerate().for_each(|(jb, sliver)| {
             micro::pack_b_sliver(b_data, k, p0, pb, jb * NR, NR.min(n - jb * NR), sliver);
         });
@@ -193,7 +199,9 @@ pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
                 for (r, ap) in apack.chunks_exact(MR * pb).enumerate() {
                     let row0 = i0 + r * MR;
                     let mr_eff = MR.min(i0 + ib - row0);
-                    micro::kernel(ap, bsliver, pb, alpha, c_chunk, c_rows, row0, mr_eff, nr_eff);
+                    micro::kernel(
+                        isa, ap, bsliver, pb, alpha, c_chunk, c_rows, row0, mr_eff, nr_eff,
+                    );
                 }
             });
             i0 += ib;
@@ -237,6 +245,9 @@ pub struct GemmResult {
     pub seconds: f64,
     /// Multiplies executed to resolve the timer (1 for non-trivial n).
     pub repetitions: u32,
+    /// Which ISA path ran (`scalar` / `avx2` / `neon`) — committed BENCH
+    /// files are only interpretable across machines if they say this.
+    pub isa: &'static str,
 }
 
 /// Runs a square DGEMM benchmark of order `n` with deterministic inputs.
@@ -249,10 +260,18 @@ pub fn benchmark(n: usize, seed: u64) -> GemmResult {
     let a = Matrix::random(n, n, seed);
     let b = Matrix::random(n, n, seed.wrapping_add(1));
     let mut c = Matrix::zeros(n, n);
-    let (repetitions, seconds) = time_until_resolved(|| dgemm(1.0, &a, &b, 0.0, &mut c));
+    let isa = simd::active();
+    let (repetitions, seconds) =
+        time_until_resolved(|| dgemm_with_isa(isa, 1.0, &a, &b, 0.0, &mut c));
     // Prevent the multiply from being optimized out.
     assert!(c.norm_frobenius().is_finite());
-    GemmResult { n, gflops: gemm_flops(n, n, n) / seconds / 1e9, seconds, repetitions }
+    GemmResult {
+        n,
+        gflops: gemm_flops(n, n, n) / seconds / 1e9,
+        seconds,
+        repetitions,
+        isa: isa.name(),
+    }
 }
 
 #[cfg(test)]
@@ -352,11 +371,34 @@ mod tests {
     }
 
     #[test]
-    fn benchmark_reports_positive_gflops() {
+    fn benchmark_reports_positive_gflops_and_the_dispatched_isa() {
         let r = benchmark(96, 7);
         assert!(r.gflops > 0.0);
         assert!(r.seconds > 0.0);
         assert_eq!(r.n, 96);
+        assert_eq!(r.isa, crate::simd::active().name());
+    }
+
+    #[test]
+    fn every_supported_isa_matches_naive_within_fma_tolerance() {
+        // FMA-aware tolerance: the vector paths contract a·b + c into one
+        // rounding, so a length-k dot product can drift ~k·ε·|x| from the
+        // scalar two-rounding reference. Entries are in [-0.5, 0.5), so
+        // partial sums are O(k/4) and k·1e-14 is a generous ulp-scale bound.
+        for isa in crate::simd::supported() {
+            for (m, n, k) in [(8, 4, 256), (9, 5, 257), (64, 64, 64), (130, 65, 129), (257, 9, 300)]
+            {
+                let a = Matrix::random(m, k, 21);
+                let b = Matrix::random(k, n, 22);
+                let mut c_ref = Matrix::random(m, n, 23);
+                let mut c_isa = c_ref.clone();
+                dgemm_with_isa(Isa::Scalar, 1.5, &a, &b, -0.5, &mut c_ref);
+                dgemm_with_isa(isa, 1.5, &a, &b, -0.5, &mut c_isa);
+                let tol = k as f64 * 1e-14;
+                let diff = c_ref.max_abs_diff(&c_isa);
+                assert!(diff <= tol, "{isa} vs scalar at ({m},{n},{k}): {diff} > {tol}");
+            }
+        }
     }
 
     #[test]

@@ -24,15 +24,20 @@
 //! overridable with the `TGI_NUM_THREADS` environment variable
 //! (`TGI_NUM_THREADS=1` pins every kernel to fully sequential execution).
 //! Parallel tasks write disjoint `&mut` output chunks, so GEMM, PTRANS and
-//! the LU trailing update are bit-identical at every thread count. Kernels
-//! report the same metrics the original benchmarks report (GFLOPS, MB/s,
-//! GUPS), with explicit work accounting so power and energy models can
-//! reuse the numbers; the [`timing`] helpers repeat tiny problems until the
-//! clock resolves, so no benchmark ever reports `inf`. Because each kernel
-//! may now use the whole machine, the suite runner executes metered items
-//! exclusively (see `tgi-suite`) rather than overlapping them.
+//! the LU trailing update are bit-identical at every thread count. The hot
+//! kernel bodies (GEMM/LU microkernel, STREAM loops, GUPS stream) dispatch
+//! through [`simd`] to runtime-detected AVX2/NEON paths, overridable with
+//! `TGI_KERNEL_ISA`. Kernels report the same metrics the original
+//! benchmarks report (GFLOPS, MB/s, GUPS), with explicit work accounting so
+//! power and energy models can reuse the numbers; the [`timing`] helpers
+//! repeat tiny problems until the clock resolves, so no benchmark ever
+//! reports `inf`. Because each kernel may now use the whole machine, the
+//! suite runner executes metered items exclusively (see `tgi-suite`) rather
+//! than overlapping them.
 
-#![forbid(unsafe_code)]
+// `simd` is the single intrinsics surface and carries its own narrow
+// `allow(unsafe_code)`; everything else stays deny-clean.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod comm;
@@ -47,6 +52,7 @@ pub mod matrix;
 pub mod mixed;
 pub mod ptrans;
 pub mod random_access;
+pub mod simd;
 pub mod stream;
 pub mod timing;
 
@@ -56,6 +62,7 @@ pub use hpl::{HplConfig, HplResult};
 pub use iobench::{IoBenchConfig, IoBenchResult, IoOperation};
 pub use matrix::Matrix;
 pub use random_access::{GupsConfig, GupsResult};
+pub use simd::Isa;
 pub use stream::{StreamConfig, StreamKernel, StreamResult};
 
 /// Work accounting for one kernel execution, used by power/energy models to

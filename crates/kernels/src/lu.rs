@@ -15,6 +15,7 @@
 //! triangular solves to obtain `x`.
 
 use crate::matrix::Matrix;
+use crate::simd::{self, Isa};
 use rayon::prelude::*;
 
 /// Error for a numerically singular matrix (zero pivot column).
@@ -86,11 +87,22 @@ fn pivot_search(a: &Matrix, col: usize, from_row: usize) -> (usize, f64) {
 }
 
 /// Blocked right-looking LU with partial pivoting, in place, with the
-/// trailing update parallelized over columns.
+/// trailing update parallelized over columns and running on the
+/// process-wide dispatched ISA ([`crate::simd::active`]).
 ///
 /// `nb` is the panel width (HPL's NB). Returns the pivot vector as in
 /// [`factor_unblocked`].
 pub fn factor_blocked(a: &mut Matrix, nb: usize) -> Result<Vec<usize>, SingularMatrix> {
+    factor_blocked_with_isa(simd::active(), a, nb)
+}
+
+/// [`factor_blocked`] on an explicitly chosen ISA path — the hook the
+/// SIMD oracle tests use to compare every supported path in one process.
+pub fn factor_blocked_with_isa(
+    isa: Isa,
+    a: &mut Matrix,
+    nb: usize,
+) -> Result<Vec<usize>, SingularMatrix> {
     let n = a.rows();
     assert_eq!(n, a.cols(), "LU requires a square matrix");
     assert!(nb > 0, "block size must be positive");
@@ -199,7 +211,7 @@ pub fn factor_blocked(a: &mut Matrix, nb: usize) -> Result<Vec<usize>, SingularM
                 for (r, lp) in l21pack.chunks_exact(MR * kb).enumerate() {
                     let row0 = k0 + kb + r * MR;
                     let mr_eff = MR.min(k0 + kb + l21_rows - row0);
-                    micro::kernel(lp, ybuf, kb, -1.0, chunk, rows, row0, mr_eff, ncols);
+                    micro::kernel(isa, lp, ybuf, kb, -1.0, chunk, rows, row0, mr_eff, ncols);
                 }
             });
         }

@@ -11,10 +11,17 @@
 //! tolerated up to a bounded error fraction — verification re-applies the
 //! same stream and counts mismatches (HPCC allows ≤ 1%).
 
+use crate::simd::{self, Isa};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Update-stream values generated per batch: the vector paths fill the
+/// batch 4 lanes at a time (bit-identical to the scalar stream), then the
+/// table XORs apply scalar-atomically — the updates themselves are
+/// dependent random accesses and cannot be vectorized.
+const STREAM_BATCH: usize = 128;
 
 /// Configuration for a GUPS run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,18 +66,22 @@ pub struct GupsResult {
 /// HPCC's allowed error fraction for the racy parallel variant.
 pub const MAX_ERROR_FRACTION: f64 = 0.01;
 
+/// Per-chunk seed for the partitioned update stream.
 #[inline]
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    seed.wrapping_add(chunk.wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+/// Runs the GUPS benchmark with the process-wide dispatched ISA.
+pub fn run(config: GupsConfig) -> GupsResult {
+    run_with_isa(simd::active(), config)
 }
 
 /// Runs the GUPS benchmark: timed racy-parallel update phase, then an
-/// untimed sequential verification phase.
-pub fn run(config: GupsConfig) -> GupsResult {
+/// untimed sequential verification phase. The update stream is generated in
+/// 128-value batches by the `isa` path's SplitMix64 — every ISA produces the
+/// identical bit stream, so verification replays it exactly.
+pub fn run_with_isa(isa: Isa, config: GupsConfig) -> GupsResult {
     assert!(config.log2_table_size >= 4, "table must have at least 16 words");
     assert!(config.updates > 0, "update count must be positive");
     let size = config.table_size();
@@ -88,14 +99,19 @@ pub fn run(config: GupsConfig) -> GupsResult {
 
     let start = Instant::now();
     (0..chunks).into_par_iter().for_each(|c| {
-        let mut state = config.seed.wrapping_add(c.wrapping_mul(0xA076_1D64_78BD_642F));
-        let count = per_chunk + if c < remainder { 1 } else { 0 };
-        for _ in 0..count {
-            let ai = splitmix64(&mut state);
-            let idx = (ai & mask) as usize;
-            // fetch_xor is a single atomic RMW: no torn updates, and the
-            // commutativity of XOR makes the final table order-independent.
-            table[idx].fetch_xor(ai, Ordering::Relaxed);
+        let mut state = chunk_seed(config.seed, c);
+        let mut left = per_chunk + if c < remainder { 1 } else { 0 };
+        let mut batch = [0u64; STREAM_BATCH];
+        while left > 0 {
+            let take = (left as usize).min(STREAM_BATCH);
+            simd::splitmix_fill(isa, &mut state, &mut batch[..take]);
+            for &ai in &batch[..take] {
+                let idx = (ai & mask) as usize;
+                // fetch_xor is a single atomic RMW: no torn updates, and the
+                // commutativity of XOR makes the final table order-independent.
+                table[idx].fetch_xor(ai, Ordering::Relaxed);
+            }
+            left -= take as u64;
         }
     });
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
@@ -105,12 +121,17 @@ pub fn run(config: GupsConfig) -> GupsResult {
     // fraction doubles as a determinism check.
     let mut check: Vec<u64> = (0..size as u64).collect();
     for c in 0..chunks {
-        let mut state = config.seed.wrapping_add(c.wrapping_mul(0xA076_1D64_78BD_642F));
-        let count = per_chunk + if c < remainder { 1 } else { 0 };
-        for _ in 0..count {
-            let ai = splitmix64(&mut state);
-            let idx = (ai & mask) as usize;
-            check[idx] ^= ai;
+        let mut state = chunk_seed(config.seed, c);
+        let mut left = per_chunk + if c < remainder { 1 } else { 0 };
+        let mut batch = [0u64; STREAM_BATCH];
+        while left > 0 {
+            let take = (left as usize).min(STREAM_BATCH);
+            simd::splitmix_fill(isa, &mut state, &mut batch[..take]);
+            for &ai in &batch[..take] {
+                let idx = (ai & mask) as usize;
+                check[idx] ^= ai;
+            }
+            left -= take as u64;
         }
     }
     let errors = table.iter().zip(&check).filter(|(t, c)| t.load(Ordering::Relaxed) != **c).count();
@@ -158,11 +179,25 @@ mod tests {
     fn splitmix_sequence_is_deterministic_and_nondegenerate() {
         let mut s1 = 42u64;
         let mut s2 = 42u64;
-        let seq1: Vec<u64> = (0..8).map(|_| splitmix64(&mut s1)).collect();
-        let seq2: Vec<u64> = (0..8).map(|_| splitmix64(&mut s2)).collect();
+        let mut seq1 = [0u64; 8];
+        let mut seq2 = [0u64; 8];
+        simd::splitmix_fill(Isa::Scalar, &mut s1, &mut seq1);
+        simd::splitmix_fill(Isa::Scalar, &mut s2, &mut seq2);
         assert_eq!(seq1, seq2);
         let unique: std::collections::BTreeSet<_> = seq1.iter().collect();
         assert_eq!(unique.len(), 8, "values must not repeat immediately");
+    }
+
+    #[test]
+    fn every_supported_isa_verifies_exactly() {
+        let mut c = GupsConfig::new(10);
+        // Not a multiple of the batch size, so the partial-batch path runs.
+        c.updates = 3 * STREAM_BATCH as u64 + 17;
+        for isa in simd::supported() {
+            let r = run_with_isa(isa, c);
+            assert!(r.passed, "{isa}: error fraction {}", r.error_fraction);
+            assert_eq!(r.error_fraction, 0.0, "{isa}: atomic XOR replay must be exact");
+        }
     }
 
     #[test]

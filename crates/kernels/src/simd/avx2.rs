@@ -1,0 +1,191 @@
+//! AVX2 + FMA implementations (`std::arch::x86_64`, 4×f64 lanes).
+//!
+//! Every function here carries `#[target_feature(enable = "avx2", enable =
+//! "fma")]` and is therefore `unsafe` to call: the dispatcher in
+//! [`super`] only routes here after runtime detection confirmed both
+//! features, and that is the sole safety obligation. Slice accesses go
+//! through raw pointers only where the index arithmetic is already
+//! bounds-guaranteed by the caller's packed-panel geometry (debug asserts
+//! restate the bounds).
+//!
+//! Rounding: the GEMM microkernel and the STREAM Triad contract `a·b + c`
+//! into `vfmadd` — one rounding instead of two — so results differ from the
+//! scalar path by FMA rounding (the oracle tolerance), while Copy/Scale/Add
+//! are element-wise exact. The SplitMix64 batch generator is pure integer
+//! arithmetic and matches the scalar stream bit-for-bit.
+
+use super::{MR, NR};
+use std::arch::x86_64::*;
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn gemm_kernel(
+    apanel: &[f64],
+    bsliver: &[f64],
+    pb: usize,
+    alpha: f64,
+    c_chunk: &mut [f64],
+    ldc: usize,
+    row0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    debug_assert!(apanel.len() >= pb * MR && bsliver.len() >= pb * NR);
+    debug_assert!(nr_eff == 0 || (nr_eff - 1) * ldc + row0 + mr_eff <= c_chunk.len());
+    // 8×4 tile: two 4-lane accumulators per column, eight ymm registers
+    // live across the whole pb sweep.
+    let mut acc_lo = [_mm256_setzero_pd(); NR];
+    let mut acc_hi = [_mm256_setzero_pd(); NR];
+    let mut ap = apanel.as_ptr();
+    let mut bp = bsliver.as_ptr();
+    for _ in 0..pb {
+        let a_lo = _mm256_loadu_pd(ap);
+        let a_hi = _mm256_loadu_pd(ap.add(4));
+        for j in 0..NR {
+            let bj = _mm256_set1_pd(*bp.add(j));
+            acc_lo[j] = _mm256_fmadd_pd(a_lo, bj, acc_lo[j]);
+            acc_hi[j] = _mm256_fmadd_pd(a_hi, bj, acc_hi[j]);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    let av = _mm256_set1_pd(alpha);
+    let base = c_chunk.as_mut_ptr();
+    for j in 0..nr_eff {
+        let col = base.add(j * ldc + row0);
+        if mr_eff == MR {
+            _mm256_storeu_pd(col, _mm256_fmadd_pd(av, acc_lo[j], _mm256_loadu_pd(col)));
+            let hi = col.add(4);
+            _mm256_storeu_pd(hi, _mm256_fmadd_pd(av, acc_hi[j], _mm256_loadu_pd(hi)));
+        } else {
+            // Fringe rows: spill the tile and finish with scalar fmadds
+            // (`mul_add` lowers to vfmadd inside this target_feature fn),
+            // keeping the whole path FMA-rounded and geometry-determined.
+            let mut tile = [0.0f64; MR];
+            _mm256_storeu_pd(tile.as_mut_ptr(), acc_lo[j]);
+            _mm256_storeu_pd(tile.as_mut_ptr().add(4), acc_hi[j]);
+            for (i, t) in tile.iter().enumerate().take(mr_eff) {
+                *col.add(i) = alpha.mul_add(*t, *col.add(i));
+            }
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn stream_copy(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        _mm256_storeu_pd(d.add(i), _mm256_loadu_pd(s.add(i)));
+        i += 4;
+    }
+    while i < n {
+        *d.add(i) = *s.add(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn stream_scale(dst: &mut [f64], src: &[f64], scale: f64) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+    let sv = _mm256_set1_pd(scale);
+    let mut i = 0;
+    while i + 4 <= n {
+        _mm256_storeu_pd(d.add(i), _mm256_mul_pd(sv, _mm256_loadu_pd(s.add(i))));
+        i += 4;
+    }
+    while i < n {
+        *d.add(i) = scale * *s.add(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn stream_add(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
+    let n = dst.len();
+    let (d, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        _mm256_storeu_pd(
+            d.add(i),
+            _mm256_add_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i))),
+        );
+        i += 4;
+    }
+    while i < n {
+        *d.add(i) = *ap.add(i) + *bp.add(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn stream_triad(dst: &mut [f64], a: &[f64], b: &[f64], scale: f64) {
+    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
+    let n = dst.len();
+    let (d, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+    let sv = _mm256_set1_pd(scale);
+    let mut i = 0;
+    while i + 4 <= n {
+        let t = _mm256_fmadd_pd(sv, _mm256_loadu_pd(bp.add(i)), _mm256_loadu_pd(ap.add(i)));
+        _mm256_storeu_pd(d.add(i), t);
+        i += 4;
+    }
+    while i < n {
+        *d.add(i) = scale.mul_add(*bp.add(i), *ap.add(i));
+        i += 1;
+    }
+}
+
+/// 64×64→64-bit low multiply per lane. AVX2 has no `vpmullq`, so compose
+/// it from 32-bit partial products:
+/// `lo(a)·lo(b) + ((lo(a)·hi(b) + hi(a)·lo(b)) << 32)` — exact mod 2⁶⁴.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mullo64(a: __m256i, b: __m256i) -> __m256i {
+    let a_hi = _mm256_srli_epi64(a, 32);
+    let b_hi = _mm256_srli_epi64(b, 32);
+    let ll = _mm256_mul_epu32(a, b);
+    let lh = _mm256_mul_epu32(a, b_hi);
+    let hl = _mm256_mul_epu32(a_hi, b);
+    let cross = _mm256_slli_epi64(_mm256_add_epi64(lh, hl), 32);
+    _mm256_add_epi64(ll, cross)
+}
+
+/// Four SplitMix64 lanes per step, bit-identical to the scalar stream:
+/// lane `i` of step `k` mixes state `s + (4k + i + 1)·γ`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn splitmix_fill(state: &mut u64, out: &mut [u64]) {
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+    const C1: u64 = 0xBF58_476D_1CE4_E5B9;
+    const C2: u64 = 0x94D0_49BB_1331_11EB;
+    let mut chunks = out.chunks_exact_mut(4);
+    let c1 = _mm256_set1_epi64x(C1 as i64);
+    let c2 = _mm256_set1_epi64x(C2 as i64);
+    let step = _mm256_set1_epi64x(GAMMA.wrapping_mul(4) as i64);
+    let mut cur = _mm256_add_epi64(
+        _mm256_set1_epi64x(*state as i64),
+        _mm256_setr_epi64x(
+            GAMMA as i64,
+            GAMMA.wrapping_mul(2) as i64,
+            GAMMA.wrapping_mul(3) as i64,
+            GAMMA.wrapping_mul(4) as i64,
+        ),
+    );
+    for chunk in &mut chunks {
+        let mut z = cur;
+        z = mullo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)), c1);
+        z = mullo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)), c2);
+        z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+        _mm256_storeu_si256(chunk.as_mut_ptr() as *mut __m256i, z);
+        cur = _mm256_add_epi64(cur, step);
+        *state = state.wrapping_add(GAMMA.wrapping_mul(4));
+    }
+    for v in chunks.into_remainder() {
+        *v = super::scalar::splitmix64(state);
+    }
+}

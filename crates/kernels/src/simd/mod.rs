@@ -1,0 +1,337 @@
+//! Runtime-dispatched SIMD microkernels for the hot kernel bodies.
+//!
+//! The GEMM/LU register microkernel, the four STREAM loops, and the GUPS
+//! update stream each exist in up to three implementations:
+//!
+//! * **scalar** — portable Rust, the fallback on every architecture and
+//!   the reference the vector paths are property-tested against;
+//! * **AVX2+FMA** — 4-lane `f64` (`std::arch::x86_64`), 8×4 GEMM tile
+//!   held in eight 256-bit accumulators;
+//! * **NEON** — 2-lane `f64` (`std::arch::aarch64`), same 8×4 tile in
+//!   sixteen 128-bit accumulators.
+//!
+//! The path is chosen **once per process** by [`active`]: runtime feature
+//! detection (`is_x86_feature_detected!` / `is_aarch64_feature_detected!`)
+//! picks the widest supported ISA, and the `TGI_KERNEL_ISA` environment
+//! variable (`scalar` | `avx2` | `neon` | `auto`) forces a specific path —
+//! forcing an ISA the host cannot execute is a loud panic, never a silent
+//! fallback, so committed benchmark files always name the path that really
+//! ran. Kernels resolve the ISA once per call tree and thread it through
+//! their parallel tasks, so dispatch never sits in an inner loop.
+//!
+//! Determinism contract: for a **fixed** ISA, every implementation performs
+//! an identical, thread-count-independent sequence of floating-point
+//! operations per output element (tasks own disjoint output chunks), so each
+//! dispatched path is bit-identical at 1, 2 and N threads. *Across* ISAs the
+//! results differ by FMA rounding only: the vector paths contract `a·b + c`
+//! into fused multiply-adds, which is why the oracle tests compare them to
+//! scalar with an FMA-aware tolerance instead of bit equality.
+//!
+//! This module is the crate's single `unsafe` surface (`std::arch`
+//! intrinsics behind `#[target_feature]`); everything else remains
+//! `deny(unsafe_code)`.
+
+#![allow(unsafe_code)]
+
+mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+use std::sync::OnceLock;
+
+/// Environment variable forcing the kernel ISA path
+/// (`scalar` | `avx2` | `neon` | `auto`).
+pub const KERNEL_ISA_ENV: &str = "TGI_KERNEL_ISA";
+
+/// Microkernel tile height: rows of C computed per register block.
+pub(crate) const MR: usize = 8;
+/// Microkernel tile width: columns of C computed per register block.
+pub(crate) const NR: usize = 4;
+
+/// An instruction-set path the kernels can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// Portable scalar Rust — always supported, the correctness reference.
+    Scalar,
+    /// AVX2 + FMA, 4×f64 lanes (x86-64 only).
+    Avx2,
+    /// NEON, 2×f64 lanes (aarch64 only).
+    Neon,
+}
+
+impl Isa {
+    /// All ISAs, widest first (the auto-detection preference order).
+    pub const ALL: [Isa; 3] = [Isa::Avx2, Isa::Neon, Isa::Scalar];
+
+    /// Lower-case name, matching the `TGI_KERNEL_ISA` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Neon => "neon",
+        }
+    }
+
+    /// Whether the current host can execute this path.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+            #[cfg(target_arch = "aarch64")]
+            Isa::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// Parses a `TGI_KERNEL_ISA` value; `auto` / empty mean "detect".
+    pub fn parse(value: &str) -> Result<Option<Isa>, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Ok(None),
+            "scalar" => Ok(Some(Isa::Scalar)),
+            "avx2" => Ok(Some(Isa::Avx2)),
+            "neon" => Ok(Some(Isa::Neon)),
+            other => Err(format!(
+                "unknown {KERNEL_ISA_ENV} value {other:?} (expected scalar, avx2, neon or auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The ISAs the current host supports, widest first.
+pub fn supported() -> Vec<Isa> {
+    Isa::ALL.into_iter().filter(|isa| isa.is_supported()).collect()
+}
+
+/// The ISA every kernel dispatches to, selected once per process:
+/// `TGI_KERNEL_ISA` if set (panicking on unknown or unsupported values —
+/// a forced path must never silently degrade), else the widest ISA the
+/// host supports.
+pub fn active() -> Isa {
+    static ACTIVE: OnceLock<Isa> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let forced = match std::env::var(KERNEL_ISA_ENV) {
+            Ok(v) => Isa::parse(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => None,
+        };
+        match forced {
+            Some(isa) => {
+                assert!(
+                    isa.is_supported(),
+                    "{KERNEL_ISA_ENV}={} forces an ISA this host cannot execute",
+                    isa.name()
+                );
+                isa
+            }
+            None => *supported().first().unwrap_or(&Isa::Scalar),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch wrappers. Each takes the ISA explicitly: callers resolve
+// `active()` once per kernel invocation and thread the copy through their
+// parallel tasks, keeping dispatch out of inner loops and letting the
+// oracle tests drive every path in one process.
+// ---------------------------------------------------------------------------
+
+/// `MR×NR` GEMM microkernel:
+/// `C[row0.., 0..nr_eff] += α · Apanel · Bsliver` (see [`crate::gemm::micro`]
+/// for the packed-panel layout). `c_chunk` is `nr_eff` whole columns of C
+/// with leading dimension `ldc`.
+// BLAS-style microkernel signature: the argument list is the panel
+// geometry, which a params struct would only rename.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn gemm_kernel(
+    isa: Isa,
+    apanel: &[f64],
+    bsliver: &[f64],
+    pb: usize,
+    alpha: f64,
+    c_chunk: &mut [f64],
+    ldc: usize,
+    row0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    debug_assert!(apanel.len() >= pb * MR);
+    debug_assert!(bsliver.len() >= pb * NR);
+    debug_assert!(nr_eff == 0 || (nr_eff - 1) * ldc + row0 + mr_eff <= c_chunk.len());
+    match isa {
+        Isa::Scalar => {
+            scalar::gemm_kernel(apanel, bsliver, pb, alpha, c_chunk, ldc, row0, mr_eff, nr_eff)
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Isa::Avx2` is only selectable when `is_supported()`
+        // confirmed avx2+fma at dispatch time (active() asserts, tests gate).
+        Isa::Avx2 => unsafe {
+            avx2::gemm_kernel(apanel, bsliver, pb, alpha, c_chunk, ldc, row0, mr_eff, nr_eff)
+        },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above for NEON.
+        Isa::Neon => unsafe {
+            neon::gemm_kernel(apanel, bsliver, pb, alpha, c_chunk, ldc, row0, mr_eff, nr_eff)
+        },
+        #[allow(unreachable_patterns)]
+        other => panic!("ISA {other} is not supported on this host"),
+    }
+}
+
+/// STREAM Copy body: `dst[i] = src[i]`.
+#[inline]
+pub(crate) fn stream_copy(isa: Isa, dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len());
+    match isa {
+        Isa::Scalar => scalar::stream_copy(dst, src),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `gemm_kernel`.
+        Isa::Avx2 => unsafe { avx2::stream_copy(dst, src) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: see `gemm_kernel`.
+        Isa::Neon => unsafe { neon::stream_copy(dst, src) },
+        #[allow(unreachable_patterns)]
+        other => panic!("ISA {other} is not supported on this host"),
+    }
+}
+
+/// STREAM Scale body: `dst[i] = s · src[i]`.
+#[inline]
+pub(crate) fn stream_scale(isa: Isa, dst: &mut [f64], src: &[f64], s: f64) {
+    assert_eq!(dst.len(), src.len());
+    match isa {
+        Isa::Scalar => scalar::stream_scale(dst, src, s),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `gemm_kernel`.
+        Isa::Avx2 => unsafe { avx2::stream_scale(dst, src, s) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: see `gemm_kernel`.
+        Isa::Neon => unsafe { neon::stream_scale(dst, src, s) },
+        #[allow(unreachable_patterns)]
+        other => panic!("ISA {other} is not supported on this host"),
+    }
+}
+
+/// STREAM Add body: `dst[i] = a[i] + b[i]`.
+#[inline]
+pub(crate) fn stream_add(isa: Isa, dst: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(dst.len(), a.len());
+    assert_eq!(dst.len(), b.len());
+    match isa {
+        Isa::Scalar => scalar::stream_add(dst, a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `gemm_kernel`.
+        Isa::Avx2 => unsafe { avx2::stream_add(dst, a, b) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: see `gemm_kernel`.
+        Isa::Neon => unsafe { neon::stream_add(dst, a, b) },
+        #[allow(unreachable_patterns)]
+        other => panic!("ISA {other} is not supported on this host"),
+    }
+}
+
+/// STREAM Triad body: `dst[i] = a[i] + s · b[i]`.
+#[inline]
+pub(crate) fn stream_triad(isa: Isa, dst: &mut [f64], a: &[f64], b: &[f64], s: f64) {
+    assert_eq!(dst.len(), a.len());
+    assert_eq!(dst.len(), b.len());
+    match isa {
+        Isa::Scalar => scalar::stream_triad(dst, a, b, s),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `gemm_kernel`.
+        Isa::Avx2 => unsafe { avx2::stream_triad(dst, a, b, s) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: see `gemm_kernel`.
+        Isa::Neon => unsafe { neon::stream_triad(dst, a, b, s) },
+        #[allow(unreachable_patterns)]
+        other => panic!("ISA {other} is not supported on this host"),
+    }
+}
+
+/// Fills `out` with the next `out.len()` values of the SplitMix64 stream
+/// seeded by `*state`, advancing `*state` exactly as the scalar generator
+/// would — every path produces the **identical** bit stream (the GUPS
+/// verification replay depends on it).
+#[inline]
+pub(crate) fn splitmix_fill(isa: Isa, state: &mut u64, out: &mut [u64]) {
+    match isa {
+        Isa::Scalar => scalar::splitmix_fill(state, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `gemm_kernel`.
+        Isa::Avx2 => unsafe { avx2::splitmix_fill(state, out) },
+        #[cfg(target_arch = "aarch64")]
+        // NEON has no 64-bit vector multiply; the scalar stream generator
+        // is already the fastest correct option there.
+        Isa::Neon => scalar::splitmix_fill(state, out),
+        #[allow(unreachable_patterns)]
+        other => panic!("ISA {other} is not supported on this host"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_supported_and_listed() {
+        assert!(Isa::Scalar.is_supported());
+        assert!(supported().contains(&Isa::Scalar));
+    }
+
+    #[test]
+    fn supported_orders_widest_first() {
+        let s = supported();
+        assert_eq!(*s.last().unwrap(), Isa::Scalar, "scalar is the last resort");
+    }
+
+    #[test]
+    fn active_is_supported_and_stable() {
+        let a = active();
+        assert!(a.is_supported());
+        assert_eq!(a, active(), "selection is cached per process");
+    }
+
+    #[test]
+    fn parse_accepts_known_names_and_auto() {
+        assert_eq!(Isa::parse("scalar").unwrap(), Some(Isa::Scalar));
+        assert_eq!(Isa::parse("AVX2").unwrap(), Some(Isa::Avx2));
+        assert_eq!(Isa::parse(" neon ").unwrap(), Some(Isa::Neon));
+        assert_eq!(Isa::parse("auto").unwrap(), None);
+        assert_eq!(Isa::parse("").unwrap(), None);
+        assert!(Isa::parse("sse9").unwrap_err().contains("sse9"));
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for isa in Isa::ALL {
+            assert_eq!(Isa::parse(isa.name()).unwrap(), Some(isa));
+            assert_eq!(format!("{isa}"), isa.name());
+        }
+    }
+
+    #[test]
+    fn splitmix_fill_matches_scalar_for_every_supported_isa() {
+        for isa in supported() {
+            for n in [0usize, 1, 3, 4, 5, 8, 17, 64, 100] {
+                let mut s_ref = 0xDEAD_BEEF_u64;
+                let mut s_isa = 0xDEAD_BEEF_u64;
+                let mut want = vec![0u64; n];
+                let mut got = vec![0u64; n];
+                scalar::splitmix_fill(&mut s_ref, &mut want);
+                splitmix_fill(isa, &mut s_isa, &mut got);
+                assert_eq!(want, got, "{isa} stream diverges at n={n}");
+                assert_eq!(s_ref, s_isa, "{isa} final state diverges at n={n}");
+            }
+        }
+    }
+}

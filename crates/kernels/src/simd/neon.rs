@@ -1,0 +1,136 @@
+//! NEON implementations (`std::arch::aarch64`, 2×f64 lanes).
+//!
+//! Same contract as the AVX2 path: `#[target_feature(enable = "neon")]`
+//! functions the dispatcher only reaches after runtime detection, an 8×4
+//! GEMM tile (here sixteen 128-bit accumulators), and FMA-contracted
+//! arithmetic via `vfmaq_f64` — so NEON results match AVX2's rounding
+//! behavior and are compared to scalar with the same FMA-aware tolerance.
+//! There is no 64-bit vector multiply on NEON, so the GUPS stream
+//! generator stays scalar (see [`super::splitmix_fill`]).
+
+use super::{MR, NR};
+use std::arch::aarch64::*;
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn gemm_kernel(
+    apanel: &[f64],
+    bsliver: &[f64],
+    pb: usize,
+    alpha: f64,
+    c_chunk: &mut [f64],
+    ldc: usize,
+    row0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    debug_assert!(apanel.len() >= pb * MR && bsliver.len() >= pb * NR);
+    debug_assert!(nr_eff == 0 || (nr_eff - 1) * ldc + row0 + mr_eff <= c_chunk.len());
+    // 8×4 tile: four 2-lane accumulators per column (16 q-registers live,
+    // out of 32).
+    let mut acc = [[vdupq_n_f64(0.0); 4]; NR];
+    let mut ap = apanel.as_ptr();
+    let mut bp = bsliver.as_ptr();
+    for _ in 0..pb {
+        let a0 = vld1q_f64(ap);
+        let a1 = vld1q_f64(ap.add(2));
+        let a2 = vld1q_f64(ap.add(4));
+        let a3 = vld1q_f64(ap.add(6));
+        for (j, col) in acc.iter_mut().enumerate() {
+            let bj = vdupq_n_f64(*bp.add(j));
+            col[0] = vfmaq_f64(col[0], a0, bj);
+            col[1] = vfmaq_f64(col[1], a1, bj);
+            col[2] = vfmaq_f64(col[2], a2, bj);
+            col[3] = vfmaq_f64(col[3], a3, bj);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    let av = vdupq_n_f64(alpha);
+    let base = c_chunk.as_mut_ptr();
+    for (j, col_acc) in acc.iter().enumerate().take(nr_eff) {
+        let col = base.add(j * ldc + row0);
+        if mr_eff == MR {
+            for (h, half) in col_acc.iter().enumerate() {
+                let p = col.add(2 * h);
+                vst1q_f64(p, vfmaq_f64(vld1q_f64(p), av, *half));
+            }
+        } else {
+            // Fringe rows: spill the tile and finish with scalar fmadds,
+            // keeping the whole path FMA-rounded and geometry-determined.
+            let mut tile = [0.0f64; MR];
+            for (h, half) in col_acc.iter().enumerate() {
+                vst1q_f64(tile.as_mut_ptr().add(2 * h), *half);
+            }
+            for (i, t) in tile.iter().enumerate().take(mr_eff) {
+                *col.add(i) = alpha.mul_add(*t, *col.add(i));
+            }
+        }
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn stream_copy(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+    let mut i = 0;
+    while i + 2 <= n {
+        vst1q_f64(d.add(i), vld1q_f64(s.add(i)));
+        i += 2;
+    }
+    while i < n {
+        *d.add(i) = *s.add(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn stream_scale(dst: &mut [f64], src: &[f64], scale: f64) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+    let sv = vdupq_n_f64(scale);
+    let mut i = 0;
+    while i + 2 <= n {
+        vst1q_f64(d.add(i), vmulq_f64(sv, vld1q_f64(s.add(i))));
+        i += 2;
+    }
+    while i < n {
+        *d.add(i) = scale * *s.add(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn stream_add(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
+    let n = dst.len();
+    let (d, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 2 <= n {
+        vst1q_f64(d.add(i), vaddq_f64(vld1q_f64(ap.add(i)), vld1q_f64(bp.add(i))));
+        i += 2;
+    }
+    while i < n {
+        *d.add(i) = *ap.add(i) + *bp.add(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn stream_triad(dst: &mut [f64], a: &[f64], b: &[f64], scale: f64) {
+    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
+    let n = dst.len();
+    let (d, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+    let sv = vdupq_n_f64(scale);
+    let mut i = 0;
+    while i + 2 <= n {
+        vst1q_f64(d.add(i), vfmaq_f64(vld1q_f64(ap.add(i)), sv, vld1q_f64(bp.add(i))));
+        i += 2;
+    }
+    while i < n {
+        *d.add(i) = scale.mul_add(*bp.add(i), *ap.add(i));
+        i += 1;
+    }
+}

@@ -1,0 +1,78 @@
+//! Portable scalar implementations — the fallback on every architecture
+//! and the reference the vector paths are property-tested against.
+//!
+//! The GEMM body is the register-blocked microkernel the crate shipped
+//! before SIMD dispatch existed: `MR·NR` accumulators that the compiler
+//! keeps in registers across the whole `pb` sweep, without fused
+//! multiply-adds (separate mul + add roundings), which is exactly what
+//! makes it the rounding reference for the FMA-based vector paths.
+
+use super::{MR, NR};
+
+#[allow(clippy::too_many_arguments)]
+pub(super) fn gemm_kernel(
+    apanel: &[f64],
+    bsliver: &[f64],
+    pb: usize,
+    alpha: f64,
+    c_chunk: &mut [f64],
+    ldc: usize,
+    row0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut regs = [[0.0f64; MR]; NR];
+    for (a, b) in apanel.chunks_exact(MR).zip(bsliver.chunks_exact(NR)).take(pb) {
+        for (j, acc) in regs.iter_mut().enumerate() {
+            let bj = b[j];
+            for (i, r) in acc.iter_mut().enumerate() {
+                *r += a[i] * bj;
+            }
+        }
+    }
+    for (j, acc) in regs.iter().enumerate().take(nr_eff) {
+        let col = &mut c_chunk[j * ldc + row0..j * ldc + row0 + mr_eff];
+        for (cv, r) in col.iter_mut().zip(acc) {
+            *cv += alpha * r;
+        }
+    }
+}
+
+pub(super) fn stream_copy(dst: &mut [f64], src: &[f64]) {
+    dst.copy_from_slice(src);
+}
+
+pub(super) fn stream_scale(dst: &mut [f64], src: &[f64], s: f64) {
+    for (d, v) in dst.iter_mut().zip(src) {
+        *d = s * *v;
+    }
+}
+
+pub(super) fn stream_add(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    for ((d, x), y) in dst.iter_mut().zip(a).zip(b) {
+        *d = *x + *y;
+    }
+}
+
+pub(super) fn stream_triad(dst: &mut [f64], a: &[f64], b: &[f64], s: f64) {
+    for ((d, x), y) in dst.iter_mut().zip(a).zip(b) {
+        *d = *x + s * *y;
+    }
+}
+
+/// The canonical SplitMix64 step — the single definition every stream
+/// generator (scalar or vector) must reproduce bit-exactly.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub(super) fn splitmix_fill(state: &mut u64, out: &mut [u64]) {
+    for v in out {
+        *v = splitmix64(state);
+    }
+}

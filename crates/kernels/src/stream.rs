@@ -12,11 +12,21 @@
 //! * bandwidth accounting per the official byte counts (Copy/Scale move
 //!   2 words per element, Add/Triad move 3);
 //! * parallelized over array chunks (the rayon analogue of STREAM's OpenMP
-//!   pragmas).
+//!   pragmas), with each chunk body dispatched to the active SIMD path
+//!   (scalar / AVX2 / NEON — see [`crate::simd`]);
+//! * arrays are initialized first-touch in parallel chunks
+//!   ([`rayon::resize_first_touch`]), so with a pinned pool
+//!   (`TGI_PIN_THREADS=1`) pages land on the NUMA node of the worker
+//!   that streams them.
 
+use crate::simd::{self, Isa};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Elements per parallel task: 64 KiB chunks — big enough that dispatch
+/// and task overheads vanish, small enough for load balancing.
+const PAR_CHUNK: usize = 8 << 10;
 
 /// The four STREAM kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -126,19 +136,29 @@ impl StreamResult {
 /// The scalar used by Scale and Triad (the reference uses 3.0).
 pub const SCALAR: f64 = 3.0;
 
-/// Runs the STREAM benchmark.
+/// Runs the STREAM benchmark on the process-wide dispatched ISA
+/// ([`crate::simd::active`]).
 ///
 /// Faithful to the reference driver: each repetition executes the full
 /// Copy→Scale→Add→Triad cycle, each kernel is timed within the cycle, the
 /// per-kernel *minimum* across repetitions is reported, and the final array
 /// contents are checked against the analytic expectation.
 pub fn run(config: StreamConfig) -> StreamResult {
+    run_with_isa(simd::active(), config)
+}
+
+/// [`run`] on an explicitly chosen ISA path — the hook the SIMD oracle
+/// tests use to validate every supported path in one process.
+pub fn run_with_isa(isa: Isa, config: StreamConfig) -> StreamResult {
     assert!(config.array_size > 0, "array size must be positive");
     assert!(config.ntimes > 0, "ntimes must be positive");
     let n = config.array_size;
-    let mut a = vec![1.0f64; n];
-    let mut b = vec![2.0f64; n];
-    let mut c = vec![0.0f64; n];
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let mut c = Vec::new();
+    rayon::resize_first_touch(&mut a, n, 1.0f64);
+    rayon::resize_first_touch(&mut b, n, 2.0f64);
+    rayon::resize_first_touch(&mut c, n, 0.0f64);
 
     let run_start = Instant::now();
     let mut best = [f64::INFINITY; 4];
@@ -146,22 +166,41 @@ pub fn run(config: StreamConfig) -> StreamResult {
     for _ in 0..config.ntimes {
         for (ki, kernel) in StreamKernel::ALL.into_iter().enumerate() {
             let start = Instant::now();
+            // Each task owns one disjoint PAR_CHUNK-sized &mut chunk of the
+            // destination and reads the matching source range; the per-chunk
+            // body is the dispatched SIMD loop. Element results depend only
+            // on element inputs, so every thread count and chunk split is
+            // bit-identical for a fixed ISA.
             match kernel {
                 StreamKernel::Copy => {
-                    c.par_iter_mut().zip(a.par_iter()).for_each(|(c, a)| *c = *a);
+                    c.par_chunks_mut(PAR_CHUNK).enumerate().for_each(|(i, cc)| {
+                        let o = i * PAR_CHUNK;
+                        simd::stream_copy(isa, cc, &a[o..o + cc.len()]);
+                    });
                 }
                 StreamKernel::Scale => {
-                    b.par_iter_mut().zip(c.par_iter()).for_each(|(b, c)| *b = SCALAR * *c);
+                    b.par_chunks_mut(PAR_CHUNK).enumerate().for_each(|(i, bc)| {
+                        let o = i * PAR_CHUNK;
+                        simd::stream_scale(isa, bc, &c[o..o + bc.len()], SCALAR);
+                    });
                 }
                 StreamKernel::Add => {
-                    c.par_iter_mut()
-                        .zip(a.par_iter().zip(b.par_iter()))
-                        .for_each(|(c, (a, b))| *c = *a + *b);
+                    c.par_chunks_mut(PAR_CHUNK).enumerate().for_each(|(i, cc)| {
+                        let o = i * PAR_CHUNK;
+                        simd::stream_add(isa, cc, &a[o..o + cc.len()], &b[o..o + cc.len()]);
+                    });
                 }
                 StreamKernel::Triad => {
-                    a.par_iter_mut()
-                        .zip(b.par_iter().zip(c.par_iter()))
-                        .for_each(|(a, (b, c))| *a = *b + SCALAR * *c);
+                    a.par_chunks_mut(PAR_CHUNK).enumerate().for_each(|(i, ac)| {
+                        let o = i * PAR_CHUNK;
+                        simd::stream_triad(
+                            isa,
+                            ac,
+                            &b[o..o + ac.len()],
+                            &c[o..o + ac.len()],
+                            SCALAR,
+                        );
+                    });
                 }
             }
             let t = start.elapsed().as_secs_f64().max(1e-9);

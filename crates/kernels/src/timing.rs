@@ -5,9 +5,17 @@
 //! reported GFLOPS/bandwidth `inf`. The helpers here repeat the kernel
 //! until the accumulated wall time is measurable and clamp the mean to
 //! a floor of one nanosecond, so every benchmark reports a finite,
-//! minimum-resolution result.
+//! minimum-resolution result. [`active_isa_name`] lets benchmark output
+//! record which SIMD path produced the numbers.
 
 use std::time::Instant;
+
+/// Name of the SIMD path every kernel dispatches to in this process
+/// ([`crate::simd::active`]) — benchmark emitters record this next to
+/// their timings so committed numbers always name the code path that ran.
+pub fn active_isa_name() -> &'static str {
+    crate::simd::active().name()
+}
 
 /// Repeat a benchmark body until at least this much wall time has
 /// accumulated (or [`MAX_TIMING_REPS`] is hit).
@@ -32,7 +40,10 @@ pub fn time_until_resolved(mut body: impl FnMut()) -> (u32, f64) {
     let mut reps = 0u32;
     let total = loop {
         body();
-        reps += 1;
+        // Saturating: even if the rep cap were raised past u32::MAX the
+        // counter must stop, not wrap (a wrap would reset the mean's
+        // denominator and report a bogus per-rep time).
+        reps = reps.saturating_add(1);
         let elapsed = start.elapsed().as_secs_f64();
         if elapsed >= MIN_TIMED_SECONDS || reps >= MAX_TIMING_REPS {
             break elapsed;
@@ -50,7 +61,7 @@ pub fn time_until_resolved_excluding_setup(mut body: impl FnMut() -> f64) -> (u3
     let mut reps = 0u32;
     loop {
         total += body();
-        reps += 1;
+        reps = reps.saturating_add(1);
         if total >= MIN_TIMED_SECONDS || reps >= MAX_TIMING_REPS {
             break;
         }
@@ -90,5 +101,10 @@ mod tests {
         let (reps, mean) = time_until_resolved_excluding_setup(|| 0.0);
         assert_eq!(reps, MAX_TIMING_REPS);
         assert_eq!(mean, TIMER_FLOOR_SECONDS);
+    }
+
+    #[test]
+    fn active_isa_name_is_a_known_path() {
+        assert!(["scalar", "avx2", "neon"].contains(&active_isa_name()));
     }
 }

@@ -8,9 +8,14 @@
 //! counts. STREAM and GUPS validate against their own analytic/replayed
 //! references; the racy GUPS table uses atomic XOR, so its verification is
 //! exact too.
+//!
+//! These tests run on the process-wide dispatched SIMD path (whatever
+//! `TGI_KERNEL_ISA` / auto-detection selects), so a CI leg with
+//! `TGI_KERNEL_ISA=scalar` re-proves every property on the scalar path;
+//! per-ISA cross-checks live in `simd_oracle.rs`.
 
 use hpc_kernels::fft::{self, Direction};
-use hpc_kernels::gemm::{dgemm, dgemm_naive};
+use hpc_kernels::gemm::{dgemm, dgemm_naive, dgemm_with_isa};
 use hpc_kernels::lu;
 use hpc_kernels::ptrans::transpose_add;
 use hpc_kernels::random_access::{self, GupsConfig};
@@ -51,6 +56,22 @@ fn gemm_bit_identical_across_thread_counts_and_close_to_naive() {
             }
         }
     }
+}
+
+#[test]
+fn default_dispatch_equals_explicit_active_isa() {
+    // `dgemm` is a thin wrapper over `dgemm_with_isa(active(), ..)`; if
+    // dispatch ever drifted (e.g. resolved per task instead of per call
+    // tree), the results would stop being bit-equal.
+    let (m, k, n) = (130, 70, 33);
+    let a = Matrix::random(m, k, 1);
+    let b = Matrix::random(k, n, 2);
+    let c0 = Matrix::random(m, n, 3);
+    let mut via_wrapper = c0.clone();
+    dgemm(1.5, &a, &b, 0.5, &mut via_wrapper);
+    let mut via_isa = c0.clone();
+    dgemm_with_isa(hpc_kernels::simd::active(), 1.5, &a, &b, 0.5, &mut via_isa);
+    assert_eq!(via_wrapper.as_slice(), via_isa.as_slice());
 }
 
 #[test]

@@ -1,0 +1,353 @@
+//! DVFS governor model: the frequency ↦ {relative performance, watts}
+//! frontier and the race-to-idle question.
+//!
+//! The paper's clusters expose a ladder of P-states. A governor picks one;
+//! the energy consequence depends on two opposing effects:
+//!
+//! * **power** — CPU dynamic power falls roughly cubically with frequency
+//!   ([`crate::components::CpuPower::power_scaled`]), so running slower
+//!   draws fewer watts;
+//! * **time** — only the compute-bound fraction of a workload stretches
+//!   when the clock drops ([`GovernorModel::time_scale`]); the
+//!   memory-/I/O-bound remainder is frequency-insensitive. Running slower
+//!   therefore takes longer, and the node's fixed idle floor (baseboard,
+//!   DIMMs, PSU losses) is paid for every extra second.
+//!
+//! [`GovernorModel::frontier`] evaluates every P-state against a
+//! [`crate::node::NodePowerModel`] and returns the full energy/perf
+//! frontier; [`GovernorModel::race_to_idle`] answers the classic governor
+//! question for a fixed deadline: is it cheaper to sprint at the highest
+//! frequency and let the node idle until the deadline ("race to idle"), or
+//! to stretch the job across the whole window at a lower P-state?
+//!
+//! Writing deadline energy as `E(r) = idle·D + (P(r) − idle)·t(r)` shows
+//! the answer hinges on what the *above-idle* power is made of: the CPU's
+//! dynamic term falls as `r³` while the memory/disk/NIC active deltas are
+//! frequency-independent. When those flat deltas dominate (I/O- and
+//! memory-heavy utilization, modest CPU draw), every extra second costs
+//! nearly full price and the sprint wins; when the cubic CPU term
+//! dominates (compute-bound at high utilization), slowing down recoups
+//! more than the stretch costs and race-to-idle **loses** — both regimes
+//! are pinned by the tests below.
+
+use crate::node::NodePowerModel;
+use crate::utilization::UtilizationSample;
+use serde::{Deserialize, Serialize};
+
+/// A DVFS governor's view of one machine: the nominal clock and the
+/// ladder of frequency ratios (P-states) it may select.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GovernorModel {
+    /// Nominal (highest P-state) core clock, GHz.
+    pub nominal_ghz: f64,
+    /// Selectable frequencies as fractions of nominal, ascending; the
+    /// last entry is normally `1.0`.
+    pub ratios: Vec<f64>,
+}
+
+/// One point on the energy/performance frontier: a P-state evaluated for
+/// a specific workload on a specific node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Frequency as a fraction of nominal.
+    pub ratio: f64,
+    /// Absolute frequency, GHz.
+    pub freq_ghz: f64,
+    /// Time-to-solution at this P-state, seconds.
+    pub seconds: f64,
+    /// Wall power while running, watts.
+    pub watts: f64,
+    /// Energy-to-solution (run energy only), joules.
+    pub energy_j: f64,
+    /// Energy over the full deadline window: run energy plus idle power
+    /// for the slack. `None` when the P-state misses the deadline.
+    pub deadline_energy_j: Option<f64>,
+}
+
+/// The answer to "is race-to-idle optimal?" for one workload + deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaceToIdleVerdict {
+    /// The deadline the P-states were judged against, seconds.
+    pub deadline_s: f64,
+    /// Idle wall power charged during slack, watts.
+    pub idle_watts: f64,
+    /// Ratio with the lowest deadline energy among feasible P-states.
+    pub best_ratio: f64,
+    /// Deadline energy at `best_ratio`, joules.
+    pub best_deadline_energy_j: f64,
+    /// Deadline energy at the highest feasible P-state, joules.
+    pub sprint_deadline_energy_j: f64,
+    /// Whether the highest P-state (sprint + idle) minimizes deadline
+    /// energy — the race-to-idle hypothesis.
+    pub race_to_idle_optimal: bool,
+}
+
+impl GovernorModel {
+    /// Builds a governor.
+    ///
+    /// # Panics
+    /// Panics if the ladder is empty, unsorted, or has ratios outside
+    /// `(0, 1.5]` (the DVFS clamp of the CPU model), or if the nominal
+    /// clock is not positive.
+    pub fn new(nominal_ghz: f64, ratios: Vec<f64>) -> Self {
+        assert!(nominal_ghz > 0.0, "nominal clock must be positive");
+        assert!(!ratios.is_empty(), "P-state ladder must not be empty");
+        assert!(
+            ratios.iter().all(|r| *r > 0.0 && *r <= 1.5),
+            "frequency ratios must lie in (0, 1.5]"
+        );
+        assert!(ratios.windows(2).all(|w| w[0] < w[1]), "ratios must be strictly ascending");
+        GovernorModel { nominal_ghz, ratios }
+    }
+
+    /// The Fire cluster's Opteron 6134 P-state ladder
+    /// (0.8 / 1.2 / 1.5 / 1.9 / 2.3 GHz).
+    pub fn fire() -> Self {
+        let nominal = 2.3;
+        GovernorModel::new(
+            nominal,
+            vec![0.8 / nominal, 1.2 / nominal, 1.5 / nominal, 1.9 / nominal, 1.0],
+        )
+    }
+
+    /// A Sandy Bridge-EP ladder (1.2 → 2.6 GHz in 200 MHz steps, thinned
+    /// to six states).
+    pub fn sandy_bridge() -> Self {
+        let nominal = 2.6;
+        let steps = [1.2, 1.6, 1.9, 2.2, 2.4, 2.6];
+        GovernorModel::new(nominal, steps.iter().map(|f| f / nominal).collect())
+    }
+
+    /// Relative time-to-solution at frequency ratio `r` for a workload
+    /// whose compute-bound fraction is `compute_fraction`:
+    /// `t(r)/t(1) = cf/r + (1 − cf)`. The compute part scales inversely
+    /// with the clock; the memory-/I/O-bound remainder does not (the
+    /// frequency-domain Amdahl split used by DVFS studies).
+    pub fn time_scale(&self, compute_fraction: f64, ratio: f64) -> f64 {
+        let cf = compute_fraction.clamp(0.0, 1.0);
+        assert!(ratio > 0.0, "frequency ratio must be positive");
+        cf / ratio + (1.0 - cf)
+    }
+
+    /// Evaluates every P-state for a workload that takes `base_seconds`
+    /// at nominal frequency with utilization `u` and compute-bound
+    /// fraction `compute_fraction`, on `node`. `deadline_s` fills in the
+    /// deadline-energy column (idle slack charged at the node's idle wall
+    /// power); P-states that finish after the deadline get `None` there.
+    pub fn frontier(
+        &self,
+        node: &NodePowerModel,
+        u: UtilizationSample,
+        compute_fraction: f64,
+        base_seconds: f64,
+        deadline_s: f64,
+    ) -> Vec<FrontierPoint> {
+        assert!(base_seconds > 0.0, "base time must be positive");
+        let idle_w = node.idle_wall_power().value();
+        self.ratios
+            .iter()
+            .map(|&ratio| {
+                let seconds = base_seconds * self.time_scale(compute_fraction, ratio);
+                let watts = node.wall_power_scaled(u, ratio).value();
+                let energy_j = watts * seconds;
+                let deadline_energy_j =
+                    (seconds <= deadline_s).then_some(energy_j + idle_w * (deadline_s - seconds));
+                FrontierPoint {
+                    ratio,
+                    freq_ghz: ratio * self.nominal_ghz,
+                    seconds,
+                    watts,
+                    energy_j,
+                    deadline_energy_j,
+                }
+            })
+            .collect()
+    }
+
+    /// Judges the race-to-idle hypothesis: among P-states that meet
+    /// `deadline_s`, does the **highest** one minimize total deadline
+    /// energy (run + idle slack)?
+    ///
+    /// Returns `None` when no P-state meets the deadline (then the only
+    /// honest answer is "run flat out and miss it anyway").
+    pub fn race_to_idle(
+        &self,
+        node: &NodePowerModel,
+        u: UtilizationSample,
+        compute_fraction: f64,
+        base_seconds: f64,
+        deadline_s: f64,
+    ) -> Option<RaceToIdleVerdict> {
+        let frontier = self.frontier(node, u, compute_fraction, base_seconds, deadline_s);
+        let feasible: Vec<&FrontierPoint> =
+            frontier.iter().filter(|p| p.deadline_energy_j.is_some()).collect();
+        let sprint = *feasible.last()?;
+        let best = *feasible
+            .iter()
+            .min_by(|a, b| a.deadline_energy_j.unwrap().total_cmp(&b.deadline_energy_j.unwrap()))?;
+        Some(RaceToIdleVerdict {
+            deadline_s,
+            idle_watts: node.idle_wall_power().value(),
+            best_ratio: best.ratio,
+            best_deadline_energy_j: best.deadline_energy_j.unwrap(),
+            sprint_deadline_energy_j: sprint.deadline_energy_j.unwrap(),
+            race_to_idle_optimal: best.ratio == sprint.ratio,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::AcceleratorPower;
+    use crate::components::{BaseboardPower, CpuPower, DiskPower, MemoryPower, NicPower};
+    use crate::psu::PsuEfficiency;
+    use proptest::prelude::*;
+
+    /// An idealized node with a zero idle floor: all energy is dynamic
+    /// CPU power, so the cubic law should favor the slowest P-state.
+    fn zero_idle_node() -> NodePowerModel {
+        NodePowerModel {
+            cpu: CpuPower { idle_w: 0.0, max_w: 130.0, alpha: 1.0, sockets: 2 },
+            memory: MemoryPower { idle_w_per_dimm: 0.0, active_w_per_dimm: 0.0, dimms: 0 },
+            disk: DiskPower { idle_w: 0.0, active_w: 0.0, drives: 0 },
+            nic: NicPower { idle_w: 0.0, active_w: 0.0 },
+            baseboard: BaseboardPower { w: 0.0 },
+            accelerator: AcceleratorPower::none(),
+            psu: PsuEfficiency::bronze(800.0),
+        }
+    }
+
+    #[test]
+    fn time_scale_limits() {
+        let g = GovernorModel::fire();
+        // Fully compute-bound at half clock: exactly 2× slower.
+        assert!((g.time_scale(1.0, 0.5) - 2.0).abs() < 1e-12);
+        // Fully memory-bound: frequency-insensitive.
+        assert!((g.time_scale(0.0, 0.4) - 1.0).abs() < 1e-12);
+        // Half/half at half clock: 1.5×.
+        assert!((g.time_scale(0.5, 0.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladders_are_valid_and_end_at_nominal() {
+        for g in [GovernorModel::fire(), GovernorModel::sandy_bridge()] {
+            assert!(g.ratios.len() >= 5);
+            assert!((g.ratios.last().unwrap() - 1.0).abs() < 1e-12);
+            assert!(g.ratios.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_frequency() {
+        let g = GovernorModel::fire();
+        let node = NodePowerModel::fire_node();
+        let pts = g.frontier(&node, UtilizationSample::cpu_bound(1.0), 0.8, 100.0, f64::INFINITY);
+        assert_eq!(pts.len(), g.ratios.len());
+        for w in pts.windows(2) {
+            assert!(w[0].seconds > w[1].seconds, "higher clock must be faster");
+            assert!(w[0].watts < w[1].watts, "higher clock must draw more");
+            assert!((w[1].freq_ghz - w[1].ratio * g.nominal_ghz).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flat_active_power_makes_race_to_idle_optimal() {
+        // Memory/disk/NIC at full tilt with modest CPU draw: the active
+        // delta over idle is mostly frequency-independent, so every extra
+        // second costs nearly full price and sprinting wins.
+        let g = GovernorModel::fire();
+        let node = NodePowerModel::fire_node();
+        let u = UtilizationSample::new(0.3, 1.0, 1.0, 1.0);
+        let v = g.race_to_idle(&node, u, 1.0, 100.0, 400.0).expect("nominal meets a 4× deadline");
+        assert!(v.race_to_idle_optimal, "verdict: {v:?}");
+        assert!((v.best_ratio - 1.0).abs() < 1e-12);
+        assert!(v.best_deadline_energy_j <= v.sprint_deadline_energy_j);
+    }
+
+    #[test]
+    fn cubic_dominated_workload_rejects_race_to_idle() {
+        // Compute-bound at full CPU utilization: the r³ term dominates
+        // the above-idle power, so a lower P-state beats the sprint.
+        let g = GovernorModel::fire();
+        let node = NodePowerModel::fire_node();
+        let v = g
+            .race_to_idle(&node, UtilizationSample::cpu_bound(1.0), 0.9, 100.0, 400.0)
+            .expect("nominal meets a 4× deadline");
+        assert!(!v.race_to_idle_optimal, "verdict: {v:?}");
+        assert!(v.best_ratio < 1.0);
+    }
+
+    #[test]
+    fn zero_idle_cubic_node_prefers_slowest_feasible_state() {
+        // No idle floor + cubic dynamic power + fully compute-bound:
+        // E(r) ∝ r³ · (1/r) = r², so the slowest feasible state wins.
+        let g = GovernorModel::fire();
+        let node = zero_idle_node();
+        let v = g
+            .race_to_idle(&node, UtilizationSample::cpu_bound(1.0), 1.0, 100.0, 1e4)
+            .expect("everything meets a loose deadline");
+        assert!(!v.race_to_idle_optimal, "verdict: {v:?}");
+        assert!((v.best_ratio - g.ratios[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_deadline_yields_none() {
+        let g = GovernorModel::fire();
+        let node = NodePowerModel::fire_node();
+        assert!(g
+            .race_to_idle(&node, UtilizationSample::cpu_bound(1.0), 1.0, 100.0, 50.0)
+            .is_none());
+    }
+
+    #[test]
+    fn tight_deadline_prunes_slow_states() {
+        let g = GovernorModel::fire();
+        let node = NodePowerModel::fire_node();
+        // Deadline of 1.05× nominal time: only the top state(s) fit.
+        let pts = g.frontier(&node, UtilizationSample::cpu_bound(1.0), 1.0, 100.0, 105.0);
+        assert!(pts.last().unwrap().deadline_energy_j.is_some());
+        assert!(pts.first().unwrap().deadline_energy_j.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_ladder_panics() {
+        GovernorModel::new(2.0, vec![0.8, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_ladder_panics() {
+        GovernorModel::new(2.0, vec![]);
+    }
+
+    proptest! {
+        /// Deadline energy of the best state never exceeds the sprint's,
+        /// and both are bounded below by the run energy at some state.
+        #[test]
+        fn prop_best_never_beats_worse_than_sprint(
+            cf in 0.0..1.0f64,
+            base in 1.0..500.0f64,
+            slack in 1.0..10.0f64,
+        ) {
+            let g = GovernorModel::fire();
+            let node = NodePowerModel::fire_node();
+            let deadline = base * slack;
+            if let Some(v) =
+                g.race_to_idle(&node, UtilizationSample::cpu_bound(1.0), cf, base, deadline)
+            {
+                prop_assert!(v.best_deadline_energy_j <= v.sprint_deadline_energy_j + 1e-9);
+                prop_assert!(v.best_deadline_energy_j > 0.0);
+            }
+        }
+
+        /// time_scale is decreasing in ratio and ≥ 1 at/below nominal.
+        #[test]
+        fn prop_time_scale_monotone(cf in 0.0..1.0f64, r in 0.2..1.0f64) {
+            let g = GovernorModel::fire();
+            prop_assert!(g.time_scale(cf, r) >= g.time_scale(cf, 1.0) - 1e-12);
+            prop_assert!((g.time_scale(cf, 1.0) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -32,6 +32,8 @@
 //!   while a native benchmark runs.
 //! * [`cooling`] — the PUE/cooling extension the paper lists as advantage
 //!   (2) of TGI and as future work.
+//! * [`dvfs`] — P-state governor model: the frequency ↦ {relative perf,
+//!   watts} frontier over a node model and the race-to-idle verdict.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +42,7 @@ pub mod accelerator;
 pub mod analysis;
 pub mod components;
 pub mod cooling;
+pub mod dvfs;
 pub mod fleet;
 pub mod meter;
 pub mod node;
@@ -54,6 +57,7 @@ pub use accelerator::AcceleratorPower;
 pub use analysis::PercentileCache;
 pub use components::{BaseboardPower, CpuPower, DiskPower, MemoryPower, NicPower};
 pub use cooling::CoolingModel;
+pub use dvfs::{FrontierPoint, GovernorModel, RaceToIdleVerdict};
 pub use fleet::{FleetSummary, NodeSummary, TraceSet};
 pub use meter::{MeterSpec, PowerMeter, WattsUpPro};
 pub use node::NodePowerModel;
