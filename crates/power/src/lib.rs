@@ -22,6 +22,11 @@
 //! * [`trace_io`] — streaming meter-log I/O: logs parse line-by-line from
 //!   any [`std::io::BufRead`] and write through any [`std::io::Write`]
 //!   without materializing the file in memory.
+//! * [`persist`] — on-disk traces: [`PowerTrace::to_store`] /
+//!   [`PowerTrace::from_store`] round-trip through the compressed
+//!   `tgi-trace-store` format, and [`persist::StoreBackedTrace`] answers
+//!   the `PowerTrace` query surface from chunk footers bit-identically
+//!   without rehydrating the trace.
 //! * [`analysis`] — single-pass trace post-processing: percentiles
 //!   (selection-based, with a reusable sorted cache), idle estimation,
 //!   two-pointer moving averages, monotonic-deque sliding extrema, and
@@ -46,6 +51,7 @@ pub mod dvfs;
 pub mod fleet;
 pub mod meter;
 pub mod node;
+pub mod persist;
 pub mod psu;
 pub mod sampler;
 pub mod thermal;
@@ -61,8 +67,9 @@ pub use dvfs::{FrontierPoint, GovernorModel, RaceToIdleVerdict};
 pub use fleet::{FleetSummary, NodeSummary, TraceSet};
 pub use meter::{MeterSpec, PowerMeter, WattsUpPro};
 pub use node::NodePowerModel;
+pub use persist::StoreBackedTrace;
 pub use psu::PsuEfficiency;
-pub use sampler::{BackgroundSampler, PowerSource};
+pub use sampler::{BackgroundSampler, PowerSource, StreamingSampler};
 pub use thermal::ThermalModel;
 pub use trace::PowerTrace;
 pub use utilization::{UtilizationProfile, UtilizationSample};

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tgi_core::Watts;
+use tgi_trace_store::{StoreError, TraceStore};
 
 /// Something whose instantaneous power can be polled.
 pub trait PowerSource: Send + Sync {
@@ -177,6 +178,67 @@ impl BackgroundSampler {
         let _ = self.stop.send(());
         self.handle.join().expect("sampler thread must not panic")
     }
+
+    /// Starts a sampler that streams every sample straight into an open
+    /// [`TraceStore`] instead of accumulating a trace in memory — the
+    /// capture-length-independent path for long recordings. Each sample is
+    /// write-ahead logged by the store, so a crash mid-capture loses at
+    /// most the un-synced WAL tail.
+    pub fn start_streaming(
+        source: Arc<dyn PowerSource>,
+        interval: Duration,
+        mut store: TraceStore,
+    ) -> StreamingSampler {
+        assert!(interval > Duration::ZERO, "sampling interval must be positive");
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let handle = std::thread::spawn(move || {
+            let session_span = tgi_telemetry::span_cat("sampler.stream", "power")
+                .field("interval_secs", interval.as_secs_f64());
+            // Streamed timestamps continue from the store's last sample so
+            // resumed captures stay monotone.
+            let offset = store.time_bounds().map(|(_, last)| last).unwrap_or(0.0);
+            let start = Instant::now();
+            let append = |store: &mut TraceStore, t: f64, w: Watts| {
+                store.append(offset + t, w.value().max(0.0))?;
+                if tgi_telemetry::enabled() {
+                    tgi_telemetry::counter!("tgi_sampler_samples_total").inc();
+                }
+                Ok::<(), StoreError>(())
+            };
+            let mut result = append(&mut store, 0.0, source.power_now());
+            while result.is_ok() {
+                if stop_rx.recv_timeout(interval).is_ok() {
+                    break;
+                }
+                result = append(&mut store, start.elapsed().as_secs_f64(), source.power_now());
+            }
+            if result.is_ok() {
+                // Final sample so the trace covers the full duration, then
+                // force the WAL tail to disk.
+                result = append(&mut store, start.elapsed().as_secs_f64(), source.power_now())
+                    .and_then(|()| store.sync());
+            }
+            session_span.field("samples", store.len()).end();
+            result.map(|()| store)
+        });
+        StreamingSampler { stop: stop_tx, handle }
+    }
+}
+
+/// A sampler thread streaming into a [`TraceStore`] (see
+/// [`BackgroundSampler::start_streaming`]).
+pub struct StreamingSampler {
+    stop: Sender<()>,
+    handle: JoinHandle<Result<TraceStore, StoreError>>,
+}
+
+impl StreamingSampler {
+    /// Stops sampling and returns the store, synced through the last
+    /// sample (or the store error that aborted the capture).
+    pub fn stop(self) -> Result<TraceStore, StoreError> {
+        let _ = self.stop.send(());
+        self.handle.join().expect("sampler thread must not panic")
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +270,33 @@ mod tests {
             BackgroundSampler::start(Arc::new(ConstantSource(100.0)), Duration::from_millis(500));
         let trace = sampler.stop();
         assert!(trace.len() >= 2); // initial + final sample
+    }
+
+    #[test]
+    fn streaming_sampler_records_into_store() {
+        use tgi_trace_store::StoreConfig;
+        let dir = std::env::temp_dir().join(format!("tgi_stream_sampler_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::open(&dir, StoreConfig { chunk_samples: 16, retain_seconds: None })
+            .unwrap();
+        let sampler = BackgroundSampler::start_streaming(
+            Arc::new(ConstantSource(250.0)),
+            Duration::from_millis(5),
+            store,
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        let store = sampler.stop().unwrap();
+        assert!(store.len() >= 3, "expected several samples, got {}", store.len());
+        let (first, last) = store.time_bounds().unwrap();
+        let avg = store.energy_between(first, last).unwrap() / (last - first);
+        assert!((avg - 250.0).abs() < 1e-9, "streamed average {avg}");
+        // The store is durable: a reopen (fresh process) sees the samples.
+        let n = store.len();
+        drop(store);
+        let store = TraceStore::open(&dir, StoreConfig { chunk_samples: 16, retain_seconds: None })
+            .unwrap();
+        assert_eq!(store.len(), n);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

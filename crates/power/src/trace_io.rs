@@ -79,16 +79,30 @@ pub fn to_log(trace: &PowerTrace) -> String {
 
 /// Parses and validates one log line, appending the sample on success. The
 /// trace does not re-validate: this is the single validation pass.
+///
+/// `seen_content` tracks whether any header or sample has appeared yet:
+/// the `seconds,watts` header is accepted on the first *non-blank* line
+/// (real archives open with blank lines, CRLF endings, or a UTF-8 BOM),
+/// but a header after data — or a second header — stays a hard error.
 fn parse_line(
     trace: &mut PowerTrace,
     last_t: &mut f64,
+    seen_content: &mut bool,
     line: usize,
     raw: &str,
 ) -> Result<(), LogError> {
-    let content = raw.trim();
-    if content.is_empty() || (line == 1 && content.eq_ignore_ascii_case("seconds,watts")) {
+    // A leading byte-order mark is only tolerated before any content —
+    // exactly where editors and exporters put one.
+    let content =
+        if *seen_content { raw.trim() } else { raw.trim_start_matches('\u{feff}').trim() };
+    if content.is_empty() {
         return Ok(());
     }
+    if !*seen_content && content.eq_ignore_ascii_case("seconds,watts") {
+        *seen_content = true;
+        return Ok(());
+    }
+    *seen_content = true;
     let (ts, ws) = content
         .split_once(',')
         .ok_or_else(|| LogError::Malformed { line, content: content.to_string() })?;
@@ -114,24 +128,29 @@ fn parse_line(
     Ok(())
 }
 
-/// Parses a meter log from text. Accepts an optional `seconds,watts` header
-/// and blank lines; rejects anything else.
+/// Parses a meter log from text. Accepts an optional `seconds,watts`
+/// header on the first non-blank line, CRLF line endings, a leading UTF-8
+/// BOM, and blank lines anywhere (including a trailing run); rejects
+/// anything else.
 pub fn from_log(text: &str) -> Result<PowerTrace, LogError> {
     let mut trace = PowerTrace::new();
     let mut last_t = f64::NEG_INFINITY;
+    let mut seen_content = false;
     for (idx, raw) in text.lines().enumerate() {
-        parse_line(&mut trace, &mut last_t, idx + 1, raw)?;
+        parse_line(&mut trace, &mut last_t, &mut seen_content, idx + 1, raw)?;
     }
     Ok(trace)
 }
 
 /// Streams a meter log out of any buffered reader without materializing the
-/// whole file, line-validating as it goes.
+/// whole file, line-validating as it goes. Tolerates the same dialect as
+/// [`from_log`]: optional header, CRLF endings, leading BOM, blank lines.
 pub fn from_reader<R: BufRead>(reader: R) -> Result<PowerTrace, LogError> {
     let mut trace = PowerTrace::new();
     let mut last_t = f64::NEG_INFINITY;
+    let mut seen_content = false;
     for (idx, line) in reader.lines().enumerate() {
-        parse_line(&mut trace, &mut last_t, idx + 1, &line?)?;
+        parse_line(&mut trace, &mut last_t, &mut seen_content, idx + 1, &line?)?;
     }
     Ok(trace)
 }
@@ -192,6 +211,45 @@ mod tests {
     fn headerless_log_accepted() {
         let t = from_log("0,100\n1,110\n").expect("headerless");
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn crlf_logs_with_trailing_blanks_accepted() {
+        // Windows-archived logs: CRLF endings and a run of trailing blank
+        // lines, through both the text and the streaming entry points.
+        let text = "seconds,watts\r\n0,100\r\n1,200\r\n\r\n\r\n";
+        let t = from_log(text).expect("CRLF text");
+        assert_eq!(t.len(), 2);
+        let t = from_reader(text.as_bytes()).expect("CRLF stream");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.sample(1).watts, 200.0);
+    }
+
+    #[test]
+    fn header_after_leading_blank_lines_accepted() {
+        let t = from_log("\n\nseconds,watts\n0,100\n1,110\n").expect("leading blanks");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn bom_prefixed_header_accepted() {
+        let t = from_log("\u{feff}seconds,watts\n0,100\n").expect("BOM header");
+        assert_eq!(t.len(), 1);
+        let t = from_reader("\u{feff}0,100\n1,110\n".as_bytes()).expect("BOM data");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn header_is_only_accepted_before_data() {
+        // A second header, or a header after samples, is still corruption.
+        assert!(matches!(
+            from_log("seconds,watts\nseconds,watts\n0,100\n"),
+            Err(LogError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_log("0,100\nseconds,watts\n"),
+            Err(LogError::Malformed { line: 2, .. })
+        ));
     }
 
     #[test]

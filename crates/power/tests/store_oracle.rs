@@ -1,0 +1,169 @@
+//! Oracle parity: the on-disk trace store vs. the in-memory prefix index.
+//!
+//! Builds one randomized trace, persists it, and asserts that every query
+//! the store answers is `to_bits`-identical to the in-memory `PowerTrace`
+//! over the same samples — while the store's decompression counter proves
+//! each energy window touched at most its two boundary chunks.
+
+use power_model::persist::StoreBackedTrace;
+use power_model::PowerTrace;
+use std::path::PathBuf;
+use tgi_core::Watts;
+use tgi_trace_store::StoreConfig;
+
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("tgi_store_oracle_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Deterministic splitmix-style generator (no external dependency).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A meter-like trace: mostly fixed cadence with occasional jitter and
+/// duplicate timestamps, quantized watts holding levels between phase
+/// shifts.
+fn synth(n: usize, seed: u64) -> PowerTrace {
+    let mut rng = Rng(seed);
+    let mut trace = PowerTrace::with_capacity(n);
+    let mut t = 0.0f64;
+    let mut level = 180.0f64;
+    for i in 0..n {
+        let r = rng.uniform();
+        if i > 0 {
+            if r < 0.02 {
+                // duplicate timestamp
+            } else if r < 0.07 {
+                t += 1.0 + (rng.uniform() - 0.5) * 0.25; // jittered tick
+            } else {
+                t += 1.0; // metronomic tick
+            }
+        }
+        if rng.uniform() < 0.03 {
+            level = (80.0 + 400.0 * rng.uniform() * 10.0).round() / 10.0;
+        }
+        trace.push(t, Watts::new(level));
+    }
+    trace
+}
+
+#[test]
+fn store_queries_are_bit_identical_to_memory_oracle() {
+    let scratch = ScratchDir::new("parity");
+    let trace = synth(40_000, 0xC0FFEE);
+    let config = StoreConfig { chunk_samples: 512, retain_seconds: None };
+    let backed = StoreBackedTrace::new(trace.to_store(&scratch.0, config).unwrap());
+    assert!(backed.store().sealed_chunks() >= 70, "want many chunks for a meaningful test");
+
+    assert_eq!(backed.energy().value().to_bits(), trace.energy().value().to_bits());
+    assert_eq!(backed.peak_power().value().to_bits(), trace.peak_power().value().to_bits());
+    assert_eq!(backed.min_power().value().to_bits(), trace.min_power().value().to_bits());
+    assert_eq!(backed.time_bounds(), trace.time_bounds());
+
+    let (first, last) = trace.time_bounds().unwrap();
+    let span = last - first;
+    let mut rng = Rng(0xDECAF);
+    for case in 0..400 {
+        let a = first + span * rng.uniform();
+        let b = first + span * rng.uniform();
+        backed.store().reset_decompressions();
+        let got = backed.energy_between(a, b).unwrap().value();
+        let want = trace.energy_between(a, b).value();
+        assert_eq!(got.to_bits(), want.to_bits(), "case {case}: energy_between({a}, {b})");
+        assert!(
+            backed.store().decompressions() <= 2,
+            "case {case}: energy_between({a}, {b}) decompressed {} chunks",
+            backed.store().decompressions()
+        );
+        let got = backed.power_at(a).unwrap().map(|w| w.value().to_bits());
+        let want = trace.power_at(a).map(|w| w.value().to_bits());
+        assert_eq!(got, want, "case {case}: power_at({a})");
+        let got = backed.average_power_between(a, b).unwrap().value();
+        let want = trace.average_power_between(a, b).value();
+        assert_eq!(got.to_bits(), want.to_bits(), "case {case}: average_power_between({a}, {b})");
+    }
+
+    // Exact stored timestamps (chunk edges included) and out-of-range
+    // probes behave identically too.
+    for idx in [0usize, 511, 512, 513, 8191, 8192, 39_999] {
+        let t = trace.times()[idx];
+        assert_eq!(
+            backed.power_at(t).unwrap().map(|w| w.value().to_bits()),
+            trace.power_at(t).map(|w| w.value().to_bits()),
+            "power_at stored sample {idx}"
+        );
+        backed.store().reset_decompressions();
+        let got = backed.energy_between(first, t).unwrap().value();
+        assert_eq!(got.to_bits(), trace.energy_between(first, t).value().to_bits());
+        assert!(backed.store().decompressions() <= 2);
+    }
+    assert_eq!(backed.power_at(first - 1.0).unwrap(), None);
+    assert_eq!(backed.power_at(last + 1.0).unwrap(), None);
+    assert_eq!(
+        backed.energy_between(f64::NEG_INFINITY, f64::INFINITY).unwrap().value().to_bits(),
+        trace.energy_between(f64::NEG_INFINITY, f64::INFINITY).value().to_bits()
+    );
+}
+
+#[test]
+fn windows_round_trip_through_store() {
+    let scratch = ScratchDir::new("window");
+    let trace = synth(5_000, 42);
+    let config = StoreConfig { chunk_samples: 256, retain_seconds: None };
+    let backed = StoreBackedTrace::new(trace.to_store(&scratch.0, config).unwrap());
+    let (first, last) = trace.time_bounds().unwrap();
+    let span = last - first;
+    let mut rng = Rng(7);
+    for case in 0..40 {
+        let a = first + span * rng.uniform();
+        let b = a + span * rng.uniform() * 0.2;
+        let w_mem = trace.window(a, b);
+        let w_store = backed.window(a, b).unwrap();
+        assert_eq!(w_store, w_mem, "case {case}: window({a}, {b})");
+        assert_eq!(
+            w_store.energy().value().to_bits(),
+            w_mem.energy().value().to_bits(),
+            "case {case}: window({a}, {b}) energy"
+        );
+    }
+}
+
+#[test]
+fn reopened_store_stays_bit_identical() {
+    let scratch = ScratchDir::new("reopen");
+    let trace = synth(3_000, 99);
+    let config = StoreConfig { chunk_samples: 128, retain_seconds: None };
+    drop(trace.to_store(&scratch.0, config.clone()).unwrap());
+    // A fresh process would see exactly this: recovery from disk alone.
+    let backed = StoreBackedTrace::open(&scratch.0, config).unwrap();
+    assert_eq!(backed.len(), 3_000);
+    assert_eq!(backed.energy().value().to_bits(), trace.energy().value().to_bits());
+    let restored = backed.to_trace().unwrap();
+    assert_eq!(restored, trace);
+    assert_eq!(restored.prefix_energy(), trace.prefix_energy());
+}

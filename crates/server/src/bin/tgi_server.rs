@@ -8,7 +8,7 @@ use tgi_server::{Server, ServerConfig};
 
 const USAGE: &str = "\
 usage: tgi-server [--addr HOST:PORT] [--workers N] [--shards N]
-                  [--queue N] [--duration SECONDS] [--help]
+                  [--queue N] [--data-dir PATH] [--duration SECONDS] [--help]
 
 Serves the TGI evaluation + metrics API over HTTP/1.1 (std::net).
 
@@ -17,6 +17,9 @@ options:
   --workers N         worker threads             (default: rayon pool width)
   --shards N          trace shards               (default 16)
   --queue N           connection queue capacity  (default 1024)
+  --data-dir PATH     persist traces to compressed on-disk stores under
+                      PATH (one directory per node); existing stores are
+                      recovered on startup    (default: in-memory only)
   --duration SECONDS  serve for a fixed time, then drain and exit
                       (default: serve until killed)
   -h, --help          print this help
@@ -28,7 +31,7 @@ endpoints:
   GET  /fleet/summary             parallel fleet statistics
   POST /evaluate                  score a measurement suite (TGI)
   GET  /metrics                   Prometheus exposition
-  GET  /healthz                   liveness probe
+  GET  /healthz                   liveness probe (+ store status)
 ";
 
 fn parse_error(msg: &str) -> ! {
@@ -63,6 +66,9 @@ fn parse_args() -> Args {
             }
             "--queue" => {
                 config.queue_capacity = parse_count("--queue", &value_of("--queue"));
+            }
+            "--data-dir" => {
+                config.data_dir = Some(std::path::PathBuf::from(value_of("--data-dir")));
             }
             "--duration" => {
                 let raw = value_of("--duration");

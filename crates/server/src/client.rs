@@ -41,6 +41,8 @@ pub struct ClientResponse {
     pub body: String,
     /// Whether the server asked to close the connection.
     pub close: bool,
+    /// The `Retry-After` backoff hint (seconds), when the server sent one.
+    pub retry_after: Option<u64>,
 }
 
 /// One keep-alive connection to a server.
@@ -100,6 +102,7 @@ impl Client {
             )?;
         let mut content_length = 0usize;
         let mut close = false;
+        let mut retry_after = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -114,6 +117,8 @@ impl Client {
                     })?;
                 } else if name == "connection" {
                     close = value.eq_ignore_ascii_case("close");
+                } else if name == "retry-after" {
+                    retry_after = value.parse().ok();
                 }
             }
         }
@@ -121,6 +126,6 @@ impl Client {
         self.reader.read_exact(&mut body)?;
         let body = String::from_utf8(body)
             .map_err(|_| ClientError::BadResponse("body is not UTF-8".into()))?;
-        Ok(ClientResponse { status, body, close })
+        Ok(ClientResponse { status, body, close, retry_after })
     }
 }

@@ -272,12 +272,15 @@ pub struct Response {
     pub body: String,
     /// Whether to close the connection after writing.
     pub close: bool,
+    /// When set, a `Retry-After: <seconds>` header is emitted — the
+    /// standard backoff hint on `429`/`503` answers.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: String) -> Self {
-        Response { status, content_type: "application/json", body, close: false }
+        Response { status, content_type: "application/json", body, close: false, retry_after: None }
     }
 
     /// A plain-text response with the given status.
@@ -287,7 +290,14 @@ impl Response {
             content_type: "text/plain; version=0.0.4",
             body: body.into(),
             close: false,
+            retry_after: None,
         }
+    }
+
+    /// Attaches a `Retry-After` hint (seconds).
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// A JSON error envelope: `{"error": "..."}`.
@@ -318,13 +328,17 @@ impl Response {
     pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
             if self.close { "close" } else { "keep-alive" },
         )?;
+        if let Some(seconds) = self.retry_after {
+            write!(writer, "retry-after: {seconds}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
         writer.write_all(self.body.as_bytes())?;
         writer.flush()
     }
@@ -418,5 +432,18 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("content-length: 2"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        assert!(!text.contains("retry-after"), "{text}");
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_when_set() {
+        let mut out = Vec::new();
+        Response::error(429, "overloaded").with_retry_after(2).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
+        // The hint stays inside the header block, before the blank line.
+        let header_block = text.split("\r\n\r\n").next().unwrap();
+        assert!(header_block.contains("retry-after: 2"), "{text}");
     }
 }

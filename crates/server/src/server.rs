@@ -59,7 +59,7 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServerState::new(&config, reference));
+        let state = Arc::new(ServerState::new(&config, reference)?);
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
@@ -168,10 +168,11 @@ fn acceptor_loop(
 
 /// Answers `429` on a connection there is no room to serve. Best-effort:
 /// the socket gets a short write timeout so a dead peer cannot stall the
-/// acceptor.
+/// acceptor. The `Retry-After` hint tells well-behaved clients how long to
+/// back off before reconnecting.
 fn reject_overloaded(mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let response = Response::error(429, "server overloaded, retry later");
+    let response = Response::error(429, "server overloaded, retry later").with_retry_after(1);
     let _ = response.write_to(&mut stream);
 }
 

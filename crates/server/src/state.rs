@@ -16,15 +16,18 @@
 
 use crate::http::{Request, Response};
 use power_model::fleet::TraceSet;
-use power_model::PowerTrace;
+use power_model::{PowerTrace, StoreBackedTrace};
 use serde::{Serialize, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use tgi_core::evaluator::{EvalScratch, TgiEvaluator};
 use tgi_core::{MeanKind, Measurement, Perf, PerfUnit, ReferenceSystem, Seconds, Watts, Weighting};
+use tgi_trace_store::{StoreConfig, StoreError};
 
 /// Tunables for a server instance.
 #[derive(Debug, Clone)]
@@ -41,6 +44,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Largest accepted request body, bytes.
     pub max_body_bytes: usize,
+    /// When set, traces persist to compressed `tgi-trace-store` stores
+    /// under this directory (one subdirectory per node) instead of living
+    /// only in memory; existing stores are recovered on startup.
+    pub data_dir: Option<PathBuf>,
+    /// Samples per sealed store chunk in `--data-dir` mode.
+    pub store_chunk_samples: usize,
 }
 
 impl Default for ServerConfig {
@@ -51,13 +60,101 @@ impl Default for ServerConfig {
             shards: 16,
             queue_capacity: 1024,
             max_body_bytes: 4 * 1024 * 1024,
+            data_dir: None,
+            store_chunk_samples: StoreConfig::default().chunk_samples,
         }
     }
 }
 
+/// One node's trace, either purely in memory (the default) or backed by
+/// an on-disk store (`--data-dir` mode). The two variants answer every
+/// query the handlers need with identical semantics; the stored one is
+/// fallible because cold chunks live on disk.
+enum NodeTrace {
+    Memory(PowerTrace),
+    Stored(StoreBackedTrace),
+}
+
+impl NodeTrace {
+    fn len(&self) -> usize {
+        match self {
+            NodeTrace::Memory(t) => t.len(),
+            NodeTrace::Stored(s) => s.len() as usize,
+        }
+    }
+
+    fn time_bounds(&self) -> Option<(f64, f64)> {
+        match self {
+            NodeTrace::Memory(t) => t.time_bounds(),
+            NodeTrace::Stored(s) => s.time_bounds(),
+        }
+    }
+
+    fn duration_s(&self) -> f64 {
+        match self {
+            NodeTrace::Memory(t) => t.duration().value(),
+            NodeTrace::Stored(s) => s.duration().value(),
+        }
+    }
+
+    fn energy_j(&self) -> f64 {
+        match self {
+            NodeTrace::Memory(t) => t.energy().value(),
+            NodeTrace::Stored(s) => s.energy().value(),
+        }
+    }
+
+    fn energy_between(&self, a: f64, b: f64) -> Result<f64, StoreError> {
+        match self {
+            NodeTrace::Memory(t) => Ok(t.energy_between(a, b).value()),
+            NodeTrace::Stored(s) => Ok(s.energy_between(a, b)?.value()),
+        }
+    }
+
+    fn average_power_between(&self, a: f64, b: f64) -> Result<f64, StoreError> {
+        match self {
+            NodeTrace::Memory(t) => Ok(t.average_power_between(a, b).value()),
+            NodeTrace::Stored(s) => Ok(s.average_power_between(a, b)?.value()),
+        }
+    }
+
+    /// Appends a pre-validated, timeline-continuing batch and (in stored
+    /// mode) makes it durable before the caller acknowledges it.
+    fn append_batch(&mut self, times: &[f64], watts: &[f64]) -> Result<(), StoreError> {
+        match self {
+            NodeTrace::Memory(t) => {
+                t.extend_from_slices(times, watts);
+                Ok(())
+            }
+            NodeTrace::Stored(s) => {
+                s.extend_from_slices(times, watts)?;
+                // A 200 promises the batch survives a crash: fsync the WAL
+                // tail (sealed chunks were already synced by the append).
+                s.store_mut().sync()
+            }
+        }
+    }
+
+    /// Materializes the full trace (clones the memory variant, decodes
+    /// the stored one).
+    fn materialize(&self) -> Result<PowerTrace, StoreError> {
+        match self {
+            NodeTrace::Memory(t) => Ok(t.clone()),
+            NodeTrace::Stored(s) => s.to_trace(),
+        }
+    }
+}
+
+/// Where `--data-dir` mode keeps its per-node stores.
+struct StoreRoot {
+    dir: PathBuf,
+    config: StoreConfig,
+}
+
 /// The shared, thread-safe data plane behind every worker.
 pub struct ServerState {
-    shards: Vec<Mutex<HashMap<String, PowerTrace>>>,
+    shards: Vec<Mutex<HashMap<String, NodeTrace>>>,
+    store: Option<StoreRoot>,
     evaluator: TgiEvaluator<'static>,
     scratch_pool: Mutex<Vec<EvalScratch>>,
     max_body_bytes: usize,
@@ -115,12 +212,24 @@ fn json_response<T: Serialize>(status: u16, value: &T) -> Response {
     }
 }
 
-/// A node label usable as a path segment and shard key: non-empty,
-/// ≤ 128 bytes, `[A-Za-z0-9._-]` only.
+/// A node label usable as a path segment, shard key, and (in `--data-dir`
+/// mode) directory name: non-empty, ≤ 128 bytes, `[A-Za-z0-9._-]` only.
+/// `.` and `..` are excluded explicitly — the character set admits them,
+/// but as directory names they would escape the per-node layout.
 fn valid_node_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 128
+        && name != "."
+        && name != ".."
         && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Maps a node name to its shard slot (stable across restarts within one
+/// build; persistence does not depend on it — recovery re-hashes names).
+fn shard_index(node: &str, shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    node.hash(&mut hasher);
+    (hasher.finish() as usize) % shards
 }
 
 impl ServerState {
@@ -128,16 +237,57 @@ impl ServerState {
     /// process lifetime (the reference is intentionally leaked: the
     /// evaluator borrows it, and a server's reference lives as long as the
     /// process serves `/evaluate`).
-    pub fn new(config: &ServerConfig, reference: ReferenceSystem) -> Self {
+    ///
+    /// With `config.data_dir` set, the directory is created if needed and
+    /// every existing per-node store under it is recovered (WAL replay,
+    /// torn-tail truncation) before the server accepts traffic; a store
+    /// that cannot be opened fails startup instead of silently serving a
+    /// partial fleet.
+    pub fn new(config: &ServerConfig, reference: ReferenceSystem) -> io::Result<Self> {
         let reference: &'static ReferenceSystem = Box::leak(Box::new(reference));
-        let shards = (0..config.shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect();
-        ServerState {
+        let shard_count = config.shards.max(1);
+        let mut shards: Vec<Mutex<HashMap<String, NodeTrace>>> =
+            (0..shard_count).map(|_| Mutex::new(HashMap::new())).collect();
+        let store = match &config.data_dir {
+            None => None,
+            Some(dir) => {
+                let store_config = StoreConfig {
+                    chunk_samples: config.store_chunk_samples.max(2),
+                    ..StoreConfig::default()
+                };
+                std::fs::create_dir_all(dir)?;
+                for entry in std::fs::read_dir(dir)? {
+                    let entry = entry?;
+                    if !entry.file_type()?.is_dir() {
+                        continue;
+                    }
+                    let name = match entry.file_name().into_string() {
+                        Ok(n) if valid_node_name(&n) => n,
+                        _ => continue,
+                    };
+                    let backed = StoreBackedTrace::open(entry.path(), store_config.clone())
+                        .map_err(|e| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("recovering store for node `{name}`: {e}"),
+                            )
+                        })?;
+                    shards[shard_index(&name, shard_count)]
+                        .get_mut()
+                        .expect("shard poisoned")
+                        .insert(name, NodeTrace::Stored(backed));
+                }
+                Some(StoreRoot { dir: dir.clone(), config: store_config })
+            }
+        };
+        Ok(ServerState {
             shards,
+            store,
             evaluator: TgiEvaluator::new(reference),
             scratch_pool: Mutex::new(Vec::new()),
             max_body_bytes: config.max_body_bytes,
             draining: AtomicBool::new(false),
-        }
+        })
     }
 
     /// Largest accepted request body, bytes.
@@ -156,10 +306,8 @@ impl ServerState {
         self.draining.load(Ordering::SeqCst)
     }
 
-    fn shard(&self, node: &str) -> &Mutex<HashMap<String, PowerTrace>> {
-        let mut hasher = DefaultHasher::new();
-        node.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    fn shard(&self, node: &str) -> &Mutex<HashMap<String, NodeTrace>> {
+        &self.shards[shard_index(node, self.shards.len())]
     }
 
     /// Routes one parsed request to its handler.
@@ -183,9 +331,26 @@ impl ServerState {
     }
 
     fn healthz(&self) -> Response {
-        let nodes: usize =
-            self.shards.iter().map(|s| s.lock().expect("shard poisoned").len()).sum();
-        Response::json(200, format!("{{\"status\":\"ok\",\"nodes\":{nodes}}}"))
+        let mut nodes = 0usize;
+        let mut chunks = 0u64;
+        let mut disk_bytes = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            nodes += shard.len();
+            for trace in shard.values() {
+                if let NodeTrace::Stored(s) = trace {
+                    chunks += s.store().sealed_chunks() as u64;
+                    disk_bytes += s.store().disk_bytes();
+                }
+            }
+        }
+        let store = match &self.store {
+            Some(_) => {
+                format!("{{\"enabled\":true,\"chunks\":{chunks},\"disk_bytes\":{disk_bytes}}}")
+            }
+            None => "{\"enabled\":false}".to_string(),
+        };
+        Response::json(200, format!("{{\"status\":\"ok\",\"nodes\":{nodes},\"store\":{store}}}"))
     }
 
     fn metrics(&self) -> Response {
@@ -214,7 +379,26 @@ impl ServerState {
             Err(e) => return Response::error(400, &format!("invalid trace batch: {e}")),
         };
         let mut shard = self.shard(node).lock().expect("shard poisoned");
-        let trace = shard.entry(node.to_string()).or_default();
+        if !shard.contains_key(node) {
+            // First batch for this node: open (or create) its store in
+            // `--data-dir` mode, otherwise start an in-memory trace.
+            let fresh = match &self.store {
+                None => NodeTrace::Memory(PowerTrace::new()),
+                Some(root) => {
+                    match StoreBackedTrace::open(root.dir.join(node), root.config.clone()) {
+                        Ok(backed) => NodeTrace::Stored(backed),
+                        Err(e) => {
+                            return Response::error(
+                                500,
+                                &format!("opening store for node `{node}`: {e}"),
+                            )
+                        }
+                    }
+                }
+            };
+            shard.insert(node.to_string(), fresh);
+        }
+        let trace = shard.get_mut(node).expect("just inserted");
         if let (Some((_, last)), Some((first, _))) = (trace.time_bounds(), batch.time_bounds()) {
             if first < last {
                 return Response::error(
@@ -226,16 +410,16 @@ impl ServerState {
             }
         }
         // Safe: the batch is validated, and its first timestamp does not
-        // precede the trace's last, so `push`'s invariants hold.
-        trace.reserve(batch.len());
-        for s in batch.iter() {
-            trace.push(s.t, Watts::new(s.watts));
+        // precede the trace's last, so the append invariants hold. In
+        // stored mode the batch is durable (WAL fsynced) before the 200.
+        if let Err(e) = trace.append_batch(batch.times(), batch.watts()) {
+            return Response::error(500, &format!("persisting batch for node `{node}`: {e}"));
         }
         let response = IngestResponse {
             node: node.to_string(),
             appended: batch.len(),
             samples: trace.len(),
-            energy_j: trace.energy().value(),
+            energy_j: trace.energy_j(),
         };
         if tgi_telemetry::enabled() {
             tgi_telemetry::counter!("server_samples_ingested_total").add(batch.len() as u64);
@@ -272,12 +456,19 @@ impl ServerState {
             None => return Response::error(404, &format!("unknown node `{node}`")),
         };
         let (first, last) = trace.time_bounds().unwrap_or((0.0, 0.0));
+        let (energy_j, average_w) =
+            match (trace.energy_between(from, to), trace.average_power_between(from, to)) {
+                (Ok(e), Ok(w)) => (e, w),
+                (Err(e), _) | (_, Err(e)) => {
+                    return Response::error(500, &format!("store query for `{node}` failed: {e}"))
+                }
+            };
         let response = EnergyResponse {
             node: node.to_string(),
             from: from.max(first),
             to: to.min(last),
-            energy_j: trace.energy_between(from, to).value(),
-            average_w: trace.average_power_between(from, to).value(),
+            energy_j,
+            average_w,
             samples: trace.len(),
         };
         json_response(200, &response)
@@ -291,8 +482,8 @@ impl ServerState {
                 nodes.push(NodeInfo {
                     node: name.clone(),
                     samples: trace.len(),
-                    duration_s: trace.duration().value(),
-                    energy_j: trace.energy().value(),
+                    duration_s: trace.duration_s(),
+                    energy_j: trace.energy_j(),
                 });
             }
         }
@@ -314,7 +505,15 @@ impl ServerState {
         for shard in &self.shards {
             let shard = shard.lock().expect("shard poisoned");
             for (name, trace) in shard.iter() {
-                entries.push((name.clone(), trace.clone()));
+                match trace.materialize() {
+                    Ok(t) => entries.push((name.clone(), t)),
+                    Err(e) => {
+                        return Response::error(
+                            500,
+                            &format!("materializing trace for `{name}`: {e}"),
+                        )
+                    }
+                }
             }
         }
         entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -360,9 +559,15 @@ impl ServerState {
         response
     }
 
-    /// Test/oracle accessor: a clone of one node's trace.
+    /// Test/oracle accessor: a materialized copy of one node's trace
+    /// (cloned from memory, or decoded from the store in `--data-dir`
+    /// mode).
     pub fn trace_snapshot(&self, node: &str) -> Option<PowerTrace> {
-        self.shard(node).lock().expect("shard poisoned").get(node).cloned()
+        self.shard(node)
+            .lock()
+            .expect("shard poisoned")
+            .get(node)
+            .and_then(|t| t.materialize().ok())
     }
 }
 

@@ -30,6 +30,7 @@ fn parallel_clients_lose_nothing_and_agree_with_the_oracle() {
         shards: 4,
         queue_capacity: 64,
         max_body_bytes: 1024 * 1024,
+        ..ServerConfig::default()
     };
     let mut server =
         Server::start(config, tgi_harness::experiments::system_g_reference()).expect("start");
@@ -129,6 +130,7 @@ fn overload_answers_429_and_serves_the_rest() {
         shards: 1,
         queue_capacity: 1,
         max_body_bytes: 64 * 1024,
+        ..ServerConfig::default()
     };
     let server =
         Server::start(config, tgi_harness::experiments::system_g_reference()).expect("start");
@@ -139,7 +141,7 @@ fn overload_answers_429_and_serves_the_rest() {
             let addr = addr.clone();
             std::thread::spawn(move || {
                 let mut client = Client::connect(&addr, Duration::from_secs(10)).ok()?;
-                client.request("GET", "/healthz", "").ok().map(|r| r.status)
+                client.request("GET", "/healthz", "").ok().map(|r| (r.status, r.retry_after))
             })
         })
         .collect();
@@ -147,9 +149,13 @@ fn overload_answers_429_and_serves_the_rest() {
     let mut rejected = 0u32;
     for handle in outcomes {
         match handle.join().expect("client thread") {
-            Some(200) => ok += 1,
-            Some(429) => rejected += 1,
-            Some(other) => panic!("unexpected status {other}"),
+            Some((200, _)) => ok += 1,
+            Some((429, retry_after)) => {
+                rejected += 1;
+                // Every refusal carries the standard backoff hint.
+                assert_eq!(retry_after, Some(1), "429 without a Retry-After hint");
+            }
+            Some((other, _)) => panic!("unexpected status {other}"),
             None => {}
         }
     }

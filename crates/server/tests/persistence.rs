@@ -1,0 +1,174 @@
+//! `--data-dir` mode end-to-end: batches ingested over the wire persist
+//! through the compressed trace store, survive a full server restart, and
+//! answer queries identically to an in-memory oracle.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use tgi_server::{Client, Server, ServerConfig};
+
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("tgi_server_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start_server(data_dir: &Path) -> Server {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        shards: 4,
+        queue_capacity: 64,
+        max_body_bytes: 1024 * 1024,
+        data_dir: Some(data_dir.to_path_buf()),
+        // Small chunks so a modest batch exercises sealing + footers.
+        store_chunk_samples: 32,
+    };
+    Server::start(config, tgi_harness::experiments::system_g_reference()).expect("server starts")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(&server.addr().to_string(), Duration::from_secs(5)).expect("connect")
+}
+
+fn batch_json(samples: &[(f64, f64)]) -> String {
+    let entries: Vec<String> =
+        samples.iter().map(|(t, w)| format!("{{\"t\":{t},\"watts\":{w}}}")).collect();
+    format!("{{\"samples\":[{}]}}", entries.join(","))
+}
+
+fn extract_f64(body: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let start =
+        body.find(&needle).unwrap_or_else(|| panic!("`{key}` missing in {body}")) + needle.len();
+    let rest = &body[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or_else(|_| panic!("`{key}` not a number in {body}"))
+}
+
+/// The oracle trace every test batch builds up: 100 samples across three
+/// POSTs, enough to seal chunks at `store_chunk_samples = 32`.
+fn oracle_samples() -> Vec<(f64, f64)> {
+    (0..100).map(|i| (i as f64 * 0.5, 150.0 + 40.0 * ((i % 7) as f64) + 0.1)).collect()
+}
+
+#[test]
+fn traces_survive_a_server_restart() {
+    let scratch = ScratchDir::new("restart");
+    let samples = oracle_samples();
+    let mut oracle = power_model::PowerTrace::new();
+    for &(t, w) in &samples {
+        oracle.push(t, tgi_core::Watts::new(w));
+    }
+
+    // First server lifetime: ingest in three batches.
+    {
+        let mut server = start_server(&scratch.0);
+        let mut client = connect(&server);
+        for batch in samples.chunks(40) {
+            let response =
+                client.request("POST", "/traces/node0", &batch_json(batch)).expect("ingest");
+            assert_eq!(response.status, 200, "{}", response.body);
+        }
+        let response = client.request("GET", "/healthz", "").expect("healthz");
+        assert!(response.body.contains("\"enabled\":true"), "{}", response.body);
+        assert!(response.body.contains("\"chunks\":"), "{}", response.body);
+        let disk_bytes = extract_f64(&response.body, "disk_bytes");
+        assert!(disk_bytes > 0.0, "store reported no bytes on disk: {}", response.body);
+        server.shutdown();
+    }
+
+    // Second lifetime, same directory: everything recovers from disk.
+    let server = start_server(&scratch.0);
+    let mut client = connect(&server);
+
+    let response = client.request("GET", "/traces", "").expect("list");
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(response.body.contains("\"node\":\"node0\""), "{}", response.body);
+    assert!(response.body.contains("\"samples\":100"), "{}", response.body);
+
+    let response =
+        client.request("GET", "/traces/node0/energy?from=3.3&to=41.7", "").expect("energy");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let energy = extract_f64(&response.body, "energy_j");
+    let expected = oracle.energy_between(3.3, 41.7).value();
+    assert_eq!(energy.to_bits(), expected.to_bits(), "wire {energy} vs oracle {expected}");
+    let average = extract_f64(&response.body, "average_w");
+    let expected = oracle.average_power_between(3.3, 41.7).value();
+    assert_eq!(average.to_bits(), expected.to_bits());
+
+    // The snapshot materialized from the store is the oracle, bit for bit.
+    let snapshot = server.state().trace_snapshot("node0").expect("trace recovered");
+    assert_eq!(snapshot, oracle);
+
+    // Appending continues the recovered timeline; replays are still 409s.
+    let response = client
+        .request("POST", "/traces/node0", &batch_json(&[(50.0, 180.0), (50.5, 185.0)]))
+        .expect("append");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let response =
+        client.request("POST", "/traces/node0", &batch_json(&[(10.0, 100.0)])).expect("replay");
+    assert_eq!(response.status, 409, "{}", response.body);
+}
+
+#[test]
+fn fleet_endpoints_serve_from_the_store() {
+    let scratch = ScratchDir::new("fleet");
+    let server = start_server(&scratch.0);
+    let mut client = connect(&server);
+    for node in ["a1", "b2"] {
+        let batch: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 200.0 + i as f64)).collect();
+        let response = client
+            .request("POST", &format!("/traces/{node}"), &batch_json(&batch))
+            .expect("ingest");
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+    let response = client.request("GET", "/fleet/summary", "").expect("summary");
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(response.body.contains("a1"), "{}", response.body);
+    assert!(response.body.contains("b2"), "{}", response.body);
+
+    let response = client.request("GET", "/healthz", "").expect("healthz");
+    assert!(response.body.contains("\"nodes\":2"), "{}", response.body);
+    assert!(response.body.contains("\"enabled\":true"), "{}", response.body);
+}
+
+#[test]
+fn memory_mode_reports_store_disabled() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        shards: 1,
+        queue_capacity: 16,
+        max_body_bytes: 64 * 1024,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(config, tgi_harness::experiments::system_g_reference()).expect("start");
+    let mut client = connect(&server);
+    let response = client.request("GET", "/healthz", "").expect("healthz");
+    assert!(response.body.contains("\"enabled\":false"), "{}", response.body);
+}
+
+#[test]
+fn traversal_shaped_node_names_are_rejected() {
+    let scratch = ScratchDir::new("names");
+    let server = start_server(&scratch.0);
+    let mut client = connect(&server);
+    for name in ["..", "."] {
+        let response = client
+            .request("POST", &format!("/traces/{name}"), &batch_json(&[(0.0, 100.0)]))
+            .expect("send");
+        assert_eq!(response.status, 400, "`{name}` accepted: {}", response.body);
+    }
+}

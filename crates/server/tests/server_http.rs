@@ -12,6 +12,7 @@ fn start_server() -> Server {
         shards: 4,
         queue_capacity: 256,
         max_body_bytes: 1024 * 1024,
+        ..ServerConfig::default()
     };
     Server::start(config, tgi_harness::experiments::system_g_reference()).expect("server starts")
 }

@@ -1,0 +1,286 @@
+//! Sealed-chunk segment format: `[magic][len][payload][footer]` blocks in
+//! one append-only file.
+//!
+//! Each sealed chunk carries a fixed-size footer summarizing everything a
+//! window query needs without decompressing the payload: first/last
+//! timestamp and watts, the *prefix energy* at the chunk's first and last
+//! sample (bit-exact snapshots of the store's running trapezoid
+//! accumulation), peak/min watts, the payload's exact bit length, and
+//! CRCs over both payload and footer. `energy_between` binary-searches
+//! these footers and touches at most the two boundary chunks' payloads.
+//!
+//! Opening a segment scans blocks sequentially — header, *seek over* the
+//! payload, footer — so cold data is never read. A torn tail (crash during
+//! a seal) fails its magic/length/CRC checks and the scan reports the last
+//! valid offset; the store truncates there and re-seals from the WAL.
+
+use crate::crc::crc32;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+/// Magic prefix of every block: "TGSC" (TGI Store Chunk).
+pub const BLOCK_MAGIC: u32 = 0x5447_5343;
+/// Magic prefix of every footer: "TGSF".
+pub const FOOTER_MAGIC: u32 = 0x5447_5346;
+/// Serialized footer size, bytes.
+pub const FOOTER_LEN: usize = 96;
+/// Block header size: magic + payload length.
+pub const BLOCK_HEADER_LEN: usize = 8;
+
+/// An in-memory chunk summary: the footer plus the payload's location in
+/// the segment file. One of these per sealed chunk stays resident; the
+/// payload stays on disk until a query needs it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkMeta {
+    /// Byte offset of the payload within the segment file.
+    pub payload_offset: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Exact valid bit count of the payload's bit stream.
+    pub bit_len: u64,
+    /// Samples in the chunk (always ≥ 1 for a sealed chunk).
+    pub count: u64,
+    /// First sample's timestamp.
+    pub first_t: f64,
+    /// Last sample's timestamp.
+    pub last_t: f64,
+    /// First sample's power.
+    pub first_w: f64,
+    /// Last sample's power.
+    pub last_w: f64,
+    /// Prefix energy (J) at the chunk's first sample — the store's running
+    /// trapezoid accumulation snapshotted bit-exactly at seal time.
+    pub cum_first: f64,
+    /// Prefix energy at the chunk's last sample.
+    pub cum_last: f64,
+    /// Highest power in the chunk.
+    pub peak_w: f64,
+    /// Lowest power in the chunk.
+    pub min_w: f64,
+    /// CRC-32 of the payload bytes.
+    pub payload_crc: u32,
+}
+
+impl ChunkMeta {
+    /// Serializes the footer (without the payload-offset, which is implied
+    /// by the block's position in the file).
+    pub fn encode_footer(&self) -> [u8; FOOTER_LEN] {
+        let mut out = [0u8; FOOTER_LEN];
+        let mut at = 0usize;
+        let mut put = |bytes: &[u8]| {
+            out[at..at + bytes.len()].copy_from_slice(bytes);
+            at += bytes.len();
+        };
+        put(&FOOTER_MAGIC.to_le_bytes());
+        put(&self.count.to_le_bytes());
+        put(&self.bit_len.to_le_bytes());
+        put(&self.first_t.to_bits().to_le_bytes());
+        put(&self.last_t.to_bits().to_le_bytes());
+        put(&self.first_w.to_bits().to_le_bytes());
+        put(&self.last_w.to_bits().to_le_bytes());
+        put(&self.cum_first.to_bits().to_le_bytes());
+        put(&self.cum_last.to_bits().to_le_bytes());
+        put(&self.peak_w.to_bits().to_le_bytes());
+        put(&self.min_w.to_bits().to_le_bytes());
+        put(&self.payload_len.to_le_bytes());
+        put(&self.payload_crc.to_le_bytes());
+        debug_assert_eq!(at, FOOTER_LEN - 4);
+        let crc = crc32(&out[..FOOTER_LEN - 4]);
+        out[FOOTER_LEN - 4..].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses a footer, returning `None` on bad magic or checksum.
+    pub fn decode_footer(bytes: &[u8; FOOTER_LEN], payload_offset: u64) -> Option<ChunkMeta> {
+        let stored_crc = u32::from_le_bytes(bytes[FOOTER_LEN - 4..].try_into().ok()?);
+        if crc32(&bytes[..FOOTER_LEN - 4]) != stored_crc {
+            return None;
+        }
+        let mut at = 0usize;
+        let mut take_u32 = |bytes: &[u8]| -> u32 {
+            let v = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            at += 4;
+            v
+        };
+        if take_u32(bytes) != FOOTER_MAGIC {
+            return None;
+        }
+        let mut at8 = 4usize;
+        let mut take_u64 = || -> u64 {
+            let v = u64::from_le_bytes(bytes[at8..at8 + 8].try_into().expect("8 bytes"));
+            at8 += 8;
+            v
+        };
+        let count = take_u64();
+        let bit_len = take_u64();
+        let first_t = f64::from_bits(take_u64());
+        let last_t = f64::from_bits(take_u64());
+        let first_w = f64::from_bits(take_u64());
+        let last_w = f64::from_bits(take_u64());
+        let cum_first = f64::from_bits(take_u64());
+        let cum_last = f64::from_bits(take_u64());
+        let peak_w = f64::from_bits(take_u64());
+        let min_w = f64::from_bits(take_u64());
+        let tail = at8;
+        let payload_len = u32::from_le_bytes(bytes[tail..tail + 4].try_into().expect("4 bytes"));
+        let payload_crc =
+            u32::from_le_bytes(bytes[tail + 4..tail + 8].try_into().expect("4 bytes"));
+        Some(ChunkMeta {
+            payload_offset,
+            payload_len,
+            bit_len,
+            count,
+            first_t,
+            last_t,
+            first_w,
+            last_w,
+            cum_first,
+            cum_last,
+            peak_w,
+            min_w,
+            payload_crc,
+        })
+    }
+}
+
+/// Serializes one full block (`header + payload + footer`) ready to append
+/// to the segment file. `meta.payload_offset` is ignored; the caller knows
+/// where the block lands.
+pub fn encode_block(meta: &ChunkMeta, payload: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(meta.payload_len as usize, payload.len());
+    let mut out = Vec::with_capacity(BLOCK_HEADER_LEN + payload.len() + FOOTER_LEN);
+    out.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
+    out.extend_from_slice(&meta.payload_len.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&meta.encode_footer());
+    out
+}
+
+/// Scans a segment file from the start, returning every valid chunk's
+/// metadata plus the byte length of the valid prefix. The scan stops at
+/// the first block whose magic, length, or footer CRC fails — the torn
+/// tail a crash mid-seal leaves — and never reads payload bytes.
+pub fn scan_segment<F: Read + Seek>(file: &mut F) -> io::Result<(Vec<ChunkMeta>, u64)> {
+    let total = file.seek(SeekFrom::End(0))?;
+    file.seek(SeekFrom::Start(0))?;
+    let mut chunks = Vec::new();
+    let mut offset = 0u64;
+    loop {
+        let remaining = total - offset;
+        if remaining < (BLOCK_HEADER_LEN + FOOTER_LEN) as u64 {
+            break;
+        }
+        let mut header = [0u8; BLOCK_HEADER_LEN];
+        file.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let payload_len = u32::from_le_bytes(header[4..].try_into().expect("4 bytes")) as u64;
+        if magic != BLOCK_MAGIC || payload_len > remaining - (BLOCK_HEADER_LEN + FOOTER_LEN) as u64
+        {
+            break;
+        }
+        // Seek over the payload — cold data stays cold.
+        file.seek(SeekFrom::Current(payload_len as i64))?;
+        let mut footer = [0u8; FOOTER_LEN];
+        file.read_exact(&mut footer)?;
+        let payload_offset = offset + BLOCK_HEADER_LEN as u64;
+        let meta = match ChunkMeta::decode_footer(&footer, payload_offset) {
+            Some(meta) if meta.payload_len as u64 == payload_len && meta.count > 0 => meta,
+            _ => break,
+        };
+        chunks.push(meta);
+        offset += BLOCK_HEADER_LEN as u64 + payload_len + FOOTER_LEN as u64;
+    }
+    Ok((chunks, offset))
+}
+
+/// Reads and checksums one chunk's payload bytes.
+pub fn read_payload<F: Read + Seek>(file: &mut F, meta: &ChunkMeta) -> io::Result<Vec<u8>> {
+    file.seek(SeekFrom::Start(meta.payload_offset))?;
+    let mut payload = vec![0u8; meta.payload_len as usize];
+    file.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Appends a block and returns the new file length. The caller fsyncs.
+pub fn append_block<F: Write + Seek>(
+    file: &mut F,
+    end: u64,
+    meta: &ChunkMeta,
+    payload: &[u8],
+) -> io::Result<u64> {
+    file.seek(SeekFrom::Start(end))?;
+    let block = encode_block(meta, payload);
+    file.write_all(&block)?;
+    Ok(end + block.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn meta(payload: &[u8]) -> ChunkMeta {
+        ChunkMeta {
+            payload_offset: 0,
+            payload_len: payload.len() as u32,
+            bit_len: payload.len() as u64 * 8,
+            count: 3,
+            first_t: 0.0,
+            last_t: 2.0,
+            first_w: 100.0,
+            last_w: 120.0,
+            cum_first: 0.0,
+            cum_last: 220.0,
+            peak_w: 120.0,
+            min_w: 100.0,
+            payload_crc: crc32(payload),
+        }
+    }
+
+    #[test]
+    fn footer_round_trips() {
+        let m = meta(b"payload");
+        let encoded = m.encode_footer();
+        let back = ChunkMeta::decode_footer(&encoded, 0).expect("valid footer");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn footer_rejects_corruption() {
+        let m = meta(b"payload");
+        let mut encoded = m.encode_footer();
+        encoded[10] ^= 1;
+        assert!(ChunkMeta::decode_footer(&encoded, 0).is_none());
+    }
+
+    #[test]
+    fn scan_recovers_blocks_and_stops_at_torn_tail() {
+        let mut file = Cursor::new(Vec::new());
+        let p1 = b"first payload".to_vec();
+        let p2 = b"second".to_vec();
+        let mut end = 0;
+        end = append_block(&mut file, end, &meta(&p1), &p1).unwrap();
+        end = append_block(&mut file, end, &meta(&p2), &p2).unwrap();
+        let clean_len = end;
+        // A torn third block: header + half a payload, no footer.
+        file.seek(SeekFrom::Start(end)).unwrap();
+        file.write_all(&BLOCK_MAGIC.to_le_bytes()).unwrap();
+        file.write_all(&400u32.to_le_bytes()).unwrap();
+        file.write_all(b"torn....").unwrap();
+
+        let (chunks, valid_len) = scan_segment(&mut file).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(valid_len, clean_len);
+        assert_eq!(chunks[0].payload_len as usize, p1.len());
+        let payload = read_payload(&mut file, &chunks[1]).unwrap();
+        assert_eq!(payload, p2);
+        assert_eq!(crc32(&payload), chunks[1].payload_crc);
+    }
+
+    #[test]
+    fn scan_of_empty_file_is_empty() {
+        let mut file = Cursor::new(Vec::new());
+        let (chunks, valid_len) = scan_segment(&mut file).unwrap();
+        assert!(chunks.is_empty());
+        assert_eq!(valid_len, 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Write-ahead log for the active (not yet sealed) chunk.
+//!
+//! Appends land here first as length-prefixed, CRC'd records of raw
+//! sample bits; a chunk is only compressed and sealed once it is full, so
+//! a crash at any byte boundary loses at most the torn tail of the last
+//! record — never a sealed chunk. On open, [`replay`] walks the records,
+//! stops at the first invalid one (truncated length, bad CRC, or samples
+//! violating the trace invariants), and reports the valid prefix length so
+//! the store can truncate the tail — the same torn-tail recovery contract
+//! as `tgi_harness::journal::read_tolerant`, at the binary layer.
+//!
+//! Each record carries the *absolute index* of its first sample in the
+//! store's lifetime stream. Sealing fsyncs the segment before resetting
+//! the WAL, so a crash between the two leaves records that overlap already
+//! sealed data; replay drops the overlap by index instead of guessing by
+//! timestamp (timestamps may legitimately repeat).
+
+use crate::crc::crc32;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+/// Magic prefix of every WAL record: "TGSW".
+pub const RECORD_MAGIC: u32 = 0x5447_5357;
+/// Record header: magic + payload length + payload CRC.
+pub const RECORD_HEADER_LEN: usize = 12;
+/// Fixed prefix of a record payload: start index + sample count.
+pub const PAYLOAD_PREFIX_LEN: usize = 12;
+
+/// Serializes one record: samples `times[i]`/`watts[i]` starting at
+/// absolute sample index `start_index`.
+pub fn encode_record(start_index: u64, times: &[f64], watts: &[f64]) -> Vec<u8> {
+    debug_assert_eq!(times.len(), watts.len());
+    let count = times.len() as u32;
+    let mut payload = Vec::with_capacity(PAYLOAD_PREFIX_LEN + times.len() * 16);
+    payload.extend_from_slice(&start_index.to_le_bytes());
+    payload.extend_from_slice(&count.to_le_bytes());
+    for (&t, &w) in times.iter().zip(watts) {
+        payload.extend_from_slice(&t.to_bits().to_le_bytes());
+        payload.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    out.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// One decoded WAL record.
+#[derive(Debug)]
+pub struct Record {
+    /// Absolute index of the first sample in the store's lifetime stream.
+    pub start_index: u64,
+    /// Sample timestamps.
+    pub times: Vec<f64>,
+    /// Sample power values.
+    pub watts: Vec<f64>,
+}
+
+/// The result of replaying a WAL file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Records recovered in order, every sample valid.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix; anything beyond is a torn or
+    /// corrupt tail the store should truncate away.
+    pub valid_len: u64,
+}
+
+/// Replays a WAL byte stream. `last_t` seeds the monotonicity check with
+/// the last sealed sample's timestamp (or `f64::NEG_INFINITY` for a fresh
+/// store); records whose samples fall entirely below `min_index` are
+/// skipped as already sealed, and partially sealed records are trimmed.
+///
+/// Stops — and reports the prefix length — at the first record with a bad
+/// magic, an impossible length, a CRC mismatch, or any sample that is
+/// non-finite, negative, or out of order. Recovery never surfaces an
+/// invalid sample.
+pub fn replay(bytes: &[u8], min_index: u64, mut last_t: f64) -> Replay {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut next_index = min_index;
+    loop {
+        let remaining = bytes.len() - offset;
+        if remaining < RECORD_HEADER_LEN {
+            break;
+        }
+        let magic = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+        let payload_len =
+            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes")) as usize;
+        let stored_crc =
+            u32::from_le_bytes(bytes[offset + 8..offset + 12].try_into().expect("4 bytes"));
+        if magic != RECORD_MAGIC
+            || payload_len < PAYLOAD_PREFIX_LEN
+            || payload_len > remaining - RECORD_HEADER_LEN
+        {
+            break;
+        }
+        let payload = &bytes[offset + RECORD_HEADER_LEN..offset + RECORD_HEADER_LEN + payload_len];
+        if crc32(payload) != stored_crc {
+            break;
+        }
+        let start_index = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
+        if payload_len != PAYLOAD_PREFIX_LEN + count * 16 {
+            break;
+        }
+        // Records must describe the stream in order without gaps: a record
+        // from a previous generation (start beyond the expected next
+        // index) would silently skip samples.
+        if start_index > next_index {
+            break;
+        }
+        // Trim the overlap with already sealed samples.
+        let skip = (next_index - start_index) as usize;
+        let mut times = Vec::with_capacity(count.saturating_sub(skip));
+        let mut watts = Vec::with_capacity(count.saturating_sub(skip));
+        let mut valid = true;
+        for i in 0..count {
+            let at = PAYLOAD_PREFIX_LEN + i * 16;
+            let t = f64::from_bits(u64::from_le_bytes(
+                payload[at..at + 8].try_into().expect("8 bytes"),
+            ));
+            let w = f64::from_bits(u64::from_le_bytes(
+                payload[at + 8..at + 16].try_into().expect("8 bytes"),
+            ));
+            if i >= skip {
+                if !t.is_finite() || t < 0.0 || !w.is_finite() || w < 0.0 || t < last_t {
+                    valid = false;
+                    break;
+                }
+                last_t = t;
+                times.push(t);
+                watts.push(w);
+            }
+        }
+        if !valid {
+            break;
+        }
+        next_index = start_index + count as u64;
+        if !times.is_empty() {
+            records.push(Record { start_index: next_index - times.len() as u64, times, watts });
+        }
+        offset += RECORD_HEADER_LEN + payload_len;
+    }
+    Replay { records, valid_len: offset as u64 }
+}
+
+/// Appends one record to the WAL file (a single `write_all`, so the
+/// on-disk record boundary is the atomicity unit the replay recovers at).
+pub fn append_record(
+    file: &mut std::fs::File,
+    start_index: u64,
+    times: &[f64],
+    watts: &[f64],
+) -> io::Result<()> {
+    file.seek(SeekFrom::End(0))?;
+    file.write_all(&encode_record(start_index, times, watts))
+}
+
+/// Reads the whole WAL file (active chunks are bounded by the chunk size,
+/// so this stays small).
+pub fn read_all(file: &mut std::fs::File) -> io::Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    file.seek(SeekFrom::Start(0))?;
+    file.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_replay_round_trips() {
+        let mut bytes = encode_record(0, &[0.0, 1.0], &[100.0, 110.0]);
+        bytes.extend(encode_record(2, &[2.0, 2.0], &[120.0, 90.0]));
+        let replay = replay(&bytes, 0, f64::NEG_INFINITY);
+        assert_eq!(replay.valid_len as usize, bytes.len());
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[0].times, vec![0.0, 1.0]);
+        assert_eq!(replay.records[1].start_index, 2);
+        assert_eq!(replay.records[1].watts, vec![120.0, 90.0]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_record_boundary() {
+        let r1 = encode_record(0, &[0.0, 1.0], &[100.0, 110.0]);
+        let r2 = encode_record(2, &[2.0], &[105.0]);
+        let mut bytes = r1.clone();
+        bytes.extend_from_slice(&r2[..r2.len() / 2]);
+        let replay = replay(&bytes, 0, f64::NEG_INFINITY);
+        assert_eq!(replay.valid_len as usize, r1.len());
+        assert_eq!(replay.records.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let r1 = encode_record(0, &[0.0], &[100.0]);
+        let mut r2 = encode_record(1, &[1.0], &[110.0]);
+        let flip = RECORD_HEADER_LEN + 14;
+        r2[flip] ^= 0x40;
+        let mut bytes = r1.clone();
+        bytes.extend_from_slice(&r2);
+        let replay = replay(&bytes, 0, f64::NEG_INFINITY);
+        assert_eq!(replay.valid_len as usize, r1.len());
+        assert_eq!(replay.records.len(), 1);
+    }
+
+    #[test]
+    fn sealed_overlap_is_trimmed_by_index() {
+        // Record covers samples 0..4 but samples 0..2 are already sealed.
+        let bytes = encode_record(0, &[0.0, 1.0, 2.0, 3.0], &[100.0, 101.0, 102.0, 103.0]);
+        let replay = replay(&bytes, 2, 1.0);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].start_index, 2);
+        assert_eq!(replay.records[0].times, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn fully_sealed_record_is_dropped() {
+        let mut bytes = encode_record(0, &[0.0, 1.0], &[100.0, 101.0]);
+        bytes.extend(encode_record(2, &[2.0], &[102.0]));
+        let replay = replay(&bytes, 2, 1.0);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].times, vec![2.0]);
+        assert_eq!(replay.valid_len as usize, bytes.len());
+    }
+
+    #[test]
+    fn gapped_record_stops_replay() {
+        // A record starting past the expected next index would skip
+        // samples 2..5 — replay refuses it.
+        let r1 = encode_record(0, &[0.0, 1.0], &[100.0, 101.0]);
+        let r2 = encode_record(5, &[5.0], &[105.0]);
+        let mut bytes = r1.clone();
+        bytes.extend_from_slice(&r2);
+        let replay = replay(&bytes, 0, f64::NEG_INFINITY);
+        assert_eq!(replay.valid_len as usize, r1.len());
+        assert_eq!(replay.records.len(), 1);
+    }
+
+    #[test]
+    fn invalid_sample_stops_replay_before_surfacing() {
+        let good = encode_record(0, &[0.0], &[100.0]);
+        let bad = encode_record(1, &[0.5], &[-5.0]); // negative watts
+        let mut bytes = good.clone();
+        bytes.extend_from_slice(&bad);
+        let r = replay(&bytes, 0, f64::NEG_INFINITY);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.valid_len as usize, good.len());
+        // Equal timestamps are allowed (non-decreasing).
+        let dup = encode_record(1, &[0.0], &[100.0]);
+        let mut bytes = good.clone();
+        bytes.extend_from_slice(&dup);
+        let r2 = replay(&bytes, 0, f64::NEG_INFINITY);
+        assert_eq!(r2.records.len(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! Property tests: the codec round-trips arbitrary valid sample columns
+//! bit-for-bit, the store round-trips them through disk under arbitrary
+//! batch splits, and a torn-write corpus — truncations and corrupted
+//! tails at arbitrary byte offsets — proves recovery only ever surfaces
+//! a bit-exact prefix of what was written, never an invalid or mangled
+//! sample.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use tgi_trace_store::{codec, StoreConfig, TraceStore, SEGMENT_FILE, WAL_FILE};
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("tgi_store_prop_{tag}_{}_{seq}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Builds valid sample columns out of raw generator material: deltas are
+/// clamped non-negative (zero deltas exercise duplicate timestamps), and
+/// watts mix free values with the 0.1 W-quantized levels real meters
+/// emit.
+fn columns(raw: &[(f64, f64, bool)]) -> (Vec<f64>, Vec<f64>) {
+    let mut t = 0.0;
+    let mut times = Vec::with_capacity(raw.len());
+    let mut watts = Vec::with_capacity(raw.len());
+    for &(dt, w, quantize) in raw {
+        t += dt;
+        times.push(t);
+        watts.push(if quantize { (w * 10.0).round() / 10.0 } else { w });
+    }
+    (times, watts)
+}
+
+proptest! {
+    /// The chunk codec is lossless at the bit-pattern level for any valid
+    /// column pair, including zero deltas and repeated watts.
+    #[test]
+    fn codec_round_trips_bitwise(
+        raw in proptest::collection::vec((0.0..90.0f64, 0.0..4500.0f64, proptest::bool::ANY), 1..300),
+    ) {
+        let (times, watts) = columns(&raw);
+        let mut enc = codec::Encoder::new();
+        for (&t, &w) in times.iter().zip(&watts) {
+            enc.push(t, w);
+        }
+        let (payload, bit_len) = enc.finish();
+        let (t2, w2) = codec::decode(&payload, bit_len, times.len()).expect("decodes");
+        prop_assert_eq!(t2.len(), times.len());
+        for i in 0..times.len() {
+            prop_assert_eq!(t2[i].to_bits(), times[i].to_bits(), "time {}", i);
+            prop_assert_eq!(w2[i].to_bits(), watts[i].to_bits(), "watts {}", i);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid column pair, appended under an arbitrary batch split and
+    /// chunk size, reads back bit-identically after a reopen.
+    #[test]
+    fn store_round_trips_under_any_batching(
+        raw in proptest::collection::vec((0.0..10.0f64, 0.0..900.0f64, proptest::bool::ANY), 1..400),
+        chunk in 2usize..96,
+        split in 1usize..64,
+    ) {
+        let (times, watts) = columns(&raw);
+        let scratch = ScratchDir::new("batch");
+        let config = StoreConfig { chunk_samples: chunk, retain_seconds: None };
+        {
+            let mut store = TraceStore::open(&scratch.0, config.clone()).expect("opens");
+            for (ts, ws) in times.chunks(split).zip(watts.chunks(split)) {
+                store.append_batch(ts, ws).expect("appends");
+            }
+            store.sync().expect("syncs");
+        }
+        let store = TraceStore::open(&scratch.0, config).expect("reopens");
+        let (t2, w2) = store.to_columns().expect("reads back");
+        prop_assert_eq!(t2.len(), times.len());
+        for i in 0..times.len() {
+            prop_assert_eq!(t2[i].to_bits(), times[i].to_bits(), "time {}", i);
+            prop_assert_eq!(w2[i].to_bits(), watts[i].to_bits(), "watts {}", i);
+        }
+    }
+}
+
+/// Asserts the recovered store holds a bit-exact prefix of `times`/`watts`
+/// — the crash-consistency contract. Returns the recovered length.
+fn assert_is_prefix(store: &TraceStore, times: &[f64], watts: &[f64]) -> usize {
+    let (t2, w2) = store.to_columns().expect("recovered store reads back");
+    assert!(
+        t2.len() <= times.len(),
+        "recovery surfaced {} samples, only {} were ever written",
+        t2.len(),
+        times.len()
+    );
+    for i in 0..t2.len() {
+        assert_eq!(t2[i].to_bits(), times[i].to_bits(), "recovered time {i} mangled");
+        assert_eq!(w2[i].to_bits(), watts[i].to_bits(), "recovered watts {i} mangled");
+        assert!(t2[i].is_finite() && t2[i] >= 0.0, "invalid recovered time");
+        assert!(w2[i].is_finite() && w2[i] >= 0.0, "invalid recovered watts");
+    }
+    t2.len()
+}
+
+fn truncate_file(path: &Path, len: u64) {
+    let f = std::fs::OpenOptions::new().write(true).open(path).expect("file opens");
+    f.set_len(len).expect("truncates");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Torn-write corpus: tear the WAL at an arbitrary byte offset —
+    /// optionally scribbling garbage over the new tail — and recovery
+    /// yields a valid bit-exact prefix, never a torn or invalid sample.
+    #[test]
+    fn torn_wal_recovers_a_clean_prefix(
+        raw in proptest::collection::vec((0.0..5.0f64, 0.0..800.0f64, proptest::bool::ANY), 8..200),
+        cut_unit in 0.0..1.0f64,
+        scribble in proptest::bool::ANY,
+    ) {
+        let (times, watts) = columns(&raw);
+        let scratch = ScratchDir::new("torn_wal");
+        let config = StoreConfig { chunk_samples: 1 << 20, retain_seconds: None };
+        {
+            // Large chunks: nothing seals, every sample lives in the WAL.
+            let mut store = TraceStore::open(&scratch.0, config.clone()).expect("opens");
+            for (ts, ws) in times.chunks(7).zip(watts.chunks(7)) {
+                store.append_batch(ts, ws).expect("appends");
+            }
+            store.sync().expect("syncs");
+        }
+        let wal = scratch.0.join(WAL_FILE);
+        let full = std::fs::metadata(&wal).expect("wal exists").len();
+        let cut = (full as f64 * cut_unit) as u64;
+        truncate_file(&wal, cut);
+        if scribble && cut > 4 {
+            // A torn sector is rarely clean zeros: overwrite the last few
+            // bytes with junk that cannot CRC-validate.
+            let mut bytes = std::fs::read(&wal).expect("read wal");
+            let n = bytes.len();
+            for b in &mut bytes[n.saturating_sub(4)..] {
+                *b ^= 0xA5;
+            }
+            std::fs::write(&wal, bytes).expect("rewrite wal");
+        }
+        let store = TraceStore::open(&scratch.0, config).expect("recovery never fails open");
+        let recovered = assert_is_prefix(&store, &times, &watts);
+        // A full, untouched WAL must recover everything.
+        if cut == full && !scribble {
+            prop_assert_eq!(recovered, times.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Torn segment writes: tear the sealed-chunk file at an arbitrary
+    /// offset. Recovery truncates to the last intact chunk, replays what
+    /// the WAL still covers, and surfaces only a bit-exact prefix.
+    #[test]
+    fn torn_segment_recovers_a_clean_prefix(
+        raw in proptest::collection::vec((0.0..5.0f64, 0.0..800.0f64, proptest::bool::ANY), 32..300),
+        chunk in 4usize..32,
+        cut_unit in 0.0..1.0f64,
+    ) {
+        let (times, watts) = columns(&raw);
+        let scratch = ScratchDir::new("torn_seg");
+        let config = StoreConfig { chunk_samples: chunk, retain_seconds: None };
+        {
+            let mut store = TraceStore::open(&scratch.0, config.clone()).expect("opens");
+            store.append_batch(&times, &watts).expect("appends");
+            store.sync().expect("syncs");
+        }
+        let segment = scratch.0.join(SEGMENT_FILE);
+        let full = std::fs::metadata(&segment).expect("segment exists").len();
+        truncate_file(&segment, (full as f64 * cut_unit) as u64);
+        let store = TraceStore::open(&scratch.0, config).expect("recovery never fails open");
+        assert_is_prefix(&store, &times, &watts);
+        // Whatever survived still answers queries without error.
+        if !store.is_empty() {
+            let (first, last) = store.time_bounds().expect("bounds");
+            let e = store.energy_between(first, last).expect("energy query");
+            prop_assert!(e.is_finite() && e >= 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Appending after a torn-tail recovery continues the timeline as if
+    /// the lost suffix had never been written.
+    #[test]
+    fn appends_continue_after_recovery(
+        raw in proptest::collection::vec((0.0..5.0f64, 0.0..800.0f64, proptest::bool::ANY), 8..120),
+        cut_unit in 0.0..1.0f64,
+    ) {
+        let (times, watts) = columns(&raw);
+        let scratch = ScratchDir::new("resume");
+        let config = StoreConfig { chunk_samples: 16, retain_seconds: None };
+        {
+            let mut store = TraceStore::open(&scratch.0, config.clone()).expect("opens");
+            store.append_batch(&times, &watts).expect("appends");
+            store.sync().expect("syncs");
+        }
+        let wal = scratch.0.join(WAL_FILE);
+        let full = std::fs::metadata(&wal).expect("wal exists").len();
+        truncate_file(&wal, (full as f64 * cut_unit) as u64);
+        let mut store = TraceStore::open(&scratch.0, config).expect("recovers");
+        let recovered = assert_is_prefix(&store, &times, &watts);
+        // Continue past the highest timestamp ever written: always valid.
+        let resume_t = times[times.len() - 1] + 1.0;
+        store.append(resume_t, 123.4).expect("append resumes");
+        prop_assert_eq!(store.len(), recovered as u64 + 1);
+        let (_, last) = store.time_bounds().expect("bounds");
+        prop_assert_eq!(last.to_bits(), resume_t.to_bits());
+    }
+}
