@@ -1,0 +1,296 @@
+//! Synthetic Green500 fleet bench: Top500-scale fleet generation, the full
+//! (system × weighting × mean) fleet sweep, and the sharded single-flight
+//! memoizer vs the old single-mutex design, written to `BENCH_fleet.json`
+//! at the repository root (override the path with `TGI_BENCH_OUT`, the
+//! fleet size with `TGI_FLEET_BENCH_SYSTEMS`).
+//!
+//! Three sections, each with hard correctness gates before any number is
+//! trusted:
+//!
+//! 1. **generation** — seeded fleet sampling, sequential vs the rayon
+//!    shim; the two fleets must be identical.
+//! 2. **sweep** — `FleetSweep::run` over the full paper axes grid; the
+//!    parallel table must be bitwise equal to `run_sequential`, and the
+//!    single-flight duplicate-simulation count must be exactly 0.
+//! 3. **memo** — N threads (1/4/16) race through the same cold key
+//!    sequence. The old design (one mutex, simulate outside the lock) lets
+//!    every racing thread re-simulate a missed key; the sharded
+//!    single-flight cache simulates each key exactly once and parks the
+//!    rest. The speedup is duplicate-work avoidance, so it holds on any
+//!    core count. ≥ 1× at 16 threads is always asserted; ≥ 4× at the full
+//!    500-system size.
+
+use cluster_sim::{
+    ClusterSpec, ExecutionEngine, FleetConfig, MemoizedEngine, SimulatedRun, Workload,
+};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+use tgi_harness::{system_g_reference, FleetSweep};
+
+#[derive(Serialize)]
+struct Machine {
+    available_parallelism: usize,
+}
+
+#[derive(Serialize)]
+struct Generation {
+    systems: usize,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct Sweep {
+    systems: usize,
+    suites: usize,
+    weightings: usize,
+    means: usize,
+    cells: usize,
+    cold_parallel_ms: f64,
+    warm_parallel_ms: f64,
+    warm_sequential_ms: f64,
+    bitwise_equal: bool,
+    duplicate_simulations: usize,
+    inflight_waits: usize,
+}
+
+#[derive(Serialize)]
+struct MemoPoint {
+    threads: usize,
+    distinct_keys: usize,
+    single_mutex_ms: f64,
+    single_mutex_simulations: usize,
+    single_mutex_duplicates: usize,
+    sharded_ms: f64,
+    sharded_simulations: usize,
+    sharded_duplicates: usize,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    machine: Machine,
+    generation: Generation,
+    sweep: Sweep,
+    memo: Vec<MemoPoint>,
+}
+
+/// The pre-PR memoizer, reconstructed as the baseline: one mutex around
+/// the whole map, simulation *outside* the lock, first insert wins. Two
+/// threads missing on the same key both pay the full simulation — the
+/// duplicate work the single-flight cache eliminates.
+struct SingleMutexMemo {
+    engine: ExecutionEngine,
+    cache: Mutex<HashMap<usize, Arc<Vec<SimulatedRun>>>>,
+    simulations: AtomicUsize,
+}
+
+impl SingleMutexMemo {
+    fn new(engine: ExecutionEngine) -> Self {
+        SingleMutexMemo {
+            engine,
+            cache: Mutex::new(HashMap::new()),
+            simulations: AtomicUsize::new(0),
+        }
+    }
+
+    fn run_suite(&self, workloads: &[Workload], processes: usize) -> Arc<Vec<SimulatedRun>> {
+        if let Some(cached) = self.cache.lock().unwrap().get(&processes) {
+            return Arc::clone(cached);
+        }
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        let runs = Arc::new(self.engine.run_suite(workloads, processes));
+        Arc::clone(self.cache.lock().unwrap().entry(processes).or_insert(runs))
+    }
+}
+
+fn output_path() -> PathBuf {
+    if let Ok(p) = std::env::var("TGI_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    // crates/bench/ → repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_fleet.json")
+}
+
+/// Drives `threads` std threads through the same cold key sequence and
+/// returns (elapsed ms, simulations performed).
+fn race_keys<F>(
+    threads: usize,
+    keys: &[usize],
+    run_key: F,
+    simulations: &AtomicUsize,
+) -> (f64, usize)
+where
+    F: Fn(usize) + Sync,
+{
+    simulations.store(0, Ordering::Relaxed);
+    let barrier = Barrier::new(threads);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                for &key in keys {
+                    run_key(key);
+                }
+            });
+        }
+    });
+    (start.elapsed().as_secs_f64() * 1e3, simulations.load(Ordering::Relaxed))
+}
+
+fn main() {
+    let systems: usize =
+        std::env::var("TGI_FLEET_BENCH_SYSTEMS").ok().and_then(|v| v.parse().ok()).unwrap_or(500);
+    let full_size = systems >= 500;
+    let n_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    eprintln!("fleet: {systems} systems, {n_threads} thread(s) available");
+
+    // --- 1. Generation: sequential vs rayon shim, must be identical.
+    let config = FleetConfig::new(42).systems(systems);
+    let start = Instant::now();
+    let fleet_seq = config.generate();
+    let sequential_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let fleet_par = config.generate_par();
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    let identical = fleet_seq == fleet_par;
+    assert!(identical, "parallel fleet generation must match sequential");
+    let generation = Generation { systems, sequential_ms, parallel_ms, identical };
+    eprintln!("  generation: seq {sequential_ms:.2} ms, par {parallel_ms:.2} ms");
+
+    // --- 2. Fleet sweep over the full paper axes.
+    let sweep =
+        FleetSweep::new().fleet(fleet_seq).suite("fire", Workload::fire_suite()).paper_axes();
+    let reference = system_g_reference();
+    let start = Instant::now();
+    let cold = sweep.run(&reference).expect("fleet evaluates");
+    let cold_parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let warm = sweep.run(&reference).expect("fleet evaluates");
+    let warm_parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let sequential = sweep.run_sequential(&reference).expect("fleet evaluates");
+    let warm_sequential_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let bitwise_equal = cold.values().len() == sequential.values().len()
+        && cold.values().iter().zip(sequential.values()).all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bitwise_equal, "parallel FleetTable must equal the sequential reference bitwise");
+    assert_eq!(cold, warm, "memoized rerun must reproduce the table exactly");
+    let duplicate_simulations = sweep.duplicate_simulations();
+    assert_eq!(duplicate_simulations, 0, "single-flight memo must never simulate a key twice");
+    let ranking = cold.green500_ranking(0, 0, 0).expect("finite scores");
+    eprintln!(
+        "  sweep: {} cells cold {cold_parallel_ms:.1} ms, warm {warm_parallel_ms:.2} ms; \
+         greenest {}",
+        cold.len(),
+        ranking.greenest().expect("non-empty fleet").name
+    );
+    let sweep_section = Sweep {
+        systems,
+        suites: 1,
+        weightings: cold.weightings().len(),
+        means: cold.means().len(),
+        cells: cold.len(),
+        cold_parallel_ms,
+        warm_parallel_ms,
+        warm_sequential_ms,
+        bitwise_equal,
+        duplicate_simulations,
+        inflight_waits: sweep.inflight_waits(),
+    };
+
+    // --- 3. Sharded single-flight vs single-mutex memo under key races.
+    // Every thread walks the same cold (suite, cores) sequence — the shape
+    // of concurrent clients scoring one fleet. The old design re-simulates
+    // a racing key per thread; single-flight parks all but one. The suite
+    // is a multi-size qualification batch (120 workloads, ~10 ms per
+    // simulation) so each simulation outlives a scheduler timeslice: racing
+    // threads genuinely interleave mid-simulation, on any core count.
+    let keys: Vec<usize> = vec![16, 32, 64, 128];
+    let suite: Vec<Workload> = (0..40u64)
+        .flat_map(|i| {
+            let scale = 1.0 + i as f64 * 0.25;
+            [
+                Workload::Hpl { n: 40_000 + i as usize * 4_000 },
+                Workload::Stream { total_bytes: 4e13 * scale },
+                Workload::Iozone { total_bytes: 1.5e10 * scale },
+            ]
+        })
+        .collect();
+    let mut memo = Vec::new();
+    for &threads in &[1usize, 4, 16] {
+        let baseline = SingleMutexMemo::new(ExecutionEngine::new(ClusterSpec::fire()));
+        let (single_mutex_ms, single_mutex_simulations) = race_keys(
+            threads,
+            &keys,
+            |cores| {
+                baseline.run_suite(&suite, cores);
+            },
+            &baseline.simulations,
+        );
+
+        let sharded = MemoizedEngine::new(ExecutionEngine::new(ClusterSpec::fire()));
+        let shard_sims = AtomicUsize::new(0);
+        let (sharded_ms, _) = race_keys(
+            threads,
+            &keys,
+            |cores| {
+                sharded.run_suite(&suite, cores);
+            },
+            &shard_sims,
+        );
+        let sharded_simulations = sharded.simulations();
+        let sharded_duplicates = sharded.duplicate_simulations();
+        assert_eq!(sharded_duplicates, 0, "single-flight duplicates at {threads} threads");
+        assert_eq!(sharded_simulations, keys.len(), "one simulation per distinct key");
+
+        let speedup = single_mutex_ms / sharded_ms;
+        eprintln!(
+            "  memo {threads:>2} threads: single-mutex {single_mutex_ms:.1} ms \
+             ({single_mutex_simulations} sims), sharded {sharded_ms:.1} ms \
+             ({sharded_simulations} sims) — {speedup:.1}x"
+        );
+        memo.push(MemoPoint {
+            threads,
+            distinct_keys: keys.len(),
+            single_mutex_ms,
+            single_mutex_simulations,
+            single_mutex_duplicates: single_mutex_simulations
+                - keys.len().min(single_mutex_simulations),
+            sharded_ms,
+            sharded_simulations,
+            sharded_duplicates,
+            speedup,
+        });
+    }
+    let at_16 = memo.iter().find(|p| p.threads == 16).expect("16-thread point");
+    assert!(
+        at_16.speedup >= 1.0,
+        "sharded memo slower than single-mutex at 16 threads: {:.2}x",
+        at_16.speedup
+    );
+    if full_size {
+        assert!(
+            at_16.speedup >= 4.0,
+            "sharded memo below the 4x bar at 16 threads: {:.2}x",
+            at_16.speedup
+        );
+    }
+
+    let baseline = Baseline {
+        machine: Machine { available_parallelism: n_threads },
+        generation,
+        sweep: sweep_section,
+        memo,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    let path = output_path();
+    std::fs::write(&path, json + "\n").expect("baseline file writable");
+    eprintln!("fleet: wrote {}", path.display());
+}

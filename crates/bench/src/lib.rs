@@ -17,6 +17,12 @@
 //!   Pearson correlation, means).
 //! * `benches/meter_ablation.rs` — meter sampling-rate sensitivity and
 //!   PUE-on/off ablation.
+//! * `benches/fleet.rs` — the synthetic Green500: fleet generation, the
+//!   full 500-system fleet sweep (parallel bitwise-equal to sequential,
+//!   zero duplicate simulations hard-asserted), and the sharded
+//!   single-flight memoizer vs the old single-mutex design at 1/4/16
+//!   threads; writes `BENCH_fleet.json` (`TGI_FLEET_BENCH_SYSTEMS`
+//!   shrinks it for CI smoke).
 //!
 //! Run with `cargo bench --workspace` (or `-p tgi-bench --bench figures`).
 

@@ -22,8 +22,8 @@ use power_model::trace::PowerTrace;
 use power_model::utilization::UtilizationSample;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use tgi_core::{Measurement, Perf, Seconds, Watts};
 
 /// Outcome of one simulated benchmark run.
@@ -254,6 +254,9 @@ impl ExecutionEngine {
             None => (0.0, 0.0, 0.0),
         };
         let active_f = active as f64;
+        // Facility overhead: the meter sits behind cooling/distribution, so
+        // it reads IT power × PUE (`pue * x` is exact for the default 1.0).
+        let pue = spec.pue;
         let ground_truth = move |t: f64| {
             let active_fan = match &thermal {
                 Some(m) => {
@@ -263,12 +266,18 @@ impl ExecutionEngine {
                 }
                 None => 0.0,
             };
-            Watts::new(active_f * (active_w + active_fan) + idle_nodes * (idle_w + idle_fan_w))
+            Watts::new(
+                pue * (active_f * (active_w + active_fan) + idle_nodes * (idle_w + idle_fan_w)),
+            )
         };
 
         // Meter the run. For very long runs, stretch the sampling interval
         // to bound trace memory (and scale timestamps back afterwards).
-        let mut meter = WattsUpPro::pdu(self.meter_serial);
+        // Fleet-scale clusters can draw more than a 60 kW PDU measures, so
+        // the ceiling grows with the cluster's theoretical envelope (plus
+        // fan headroom); clusters under the PDU ceiling meter identically.
+        let envelope = spec.pue * spec.nodes as f64 * (node_model.peak_wall_power().value() + 64.0);
+        let mut meter = WattsUpPro::pdu(self.meter_serial).with_ceiling(1.5 * envelope);
         let native_interval = meter.spec().sample_interval_s;
         let stride = ((seconds / native_interval) / self.max_trace_samples as f64).ceil().max(1.0);
         let trace = if stride > 1.0 {
@@ -308,47 +317,141 @@ impl ExecutionEngine {
 /// workload's benchmark id and exact problem size. Fractional sizes are
 /// keyed by their IEEE bit pattern (`f64::to_bits`), so equal workloads hit
 /// and nearly-equal ones don't — no tolerance surprises in `Eq`/`Hash`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Suites of up to [`KEY_INLINE`] workloads are stored inline, so building
+/// a key for a cache *lookup* allocates nothing — warm sweeps stay
+/// allocation-free end to end. Longer suites spill to a `Vec`; equality and
+/// hashing see one uniform item sequence either way.
+const KEY_INLINE: usize = 12;
+
+#[derive(Debug, Clone)]
 struct SuiteKey {
     processes: usize,
-    workloads: Vec<(&'static str, u64)>,
+    len: usize,
+    inline: [(u8, u64); KEY_INLINE],
+    spill: Vec<(u8, u64)>,
 }
 
 impl SuiteKey {
     fn new(workloads: &[Workload], processes: usize) -> Self {
-        let workloads = workloads
-            .iter()
-            .map(|w| {
-                let size = match w {
-                    Workload::Hpl { n } => *n as u64,
-                    Workload::Stream { total_bytes } | Workload::Iozone { total_bytes } => {
-                        total_bytes.to_bits()
-                    }
-                };
-                (w.benchmark_id(), size)
-            })
-            .collect();
-        SuiteKey { processes, workloads }
+        let encode = |w: &Workload| {
+            let size = match w {
+                Workload::Hpl { n } => *n as u64,
+                Workload::Stream { total_bytes } | Workload::Iozone { total_bytes } => {
+                    total_bytes.to_bits()
+                }
+            };
+            let tag = match w {
+                Workload::Hpl { .. } => 0u8,
+                Workload::Stream { .. } => 1,
+                Workload::Iozone { .. } => 2,
+            };
+            (tag, size)
+        };
+        let mut inline = [(0u8, 0u64); KEY_INLINE];
+        for (slot, w) in inline.iter_mut().zip(workloads) {
+            *slot = encode(w);
+        }
+        let spill = if workloads.len() > KEY_INLINE {
+            workloads[KEY_INLINE..].iter().map(encode).collect()
+        } else {
+            Vec::new()
+        };
+        SuiteKey { processes, len: workloads.len(), inline, spill }
+    }
+
+    fn items(&self) -> impl Iterator<Item = &(u8, u64)> {
+        self.inline[..self.len.min(KEY_INLINE)].iter().chain(self.spill.iter())
+    }
+
+    /// Shard selector: a deterministic (per-process) hash of the key.
+    fn shard(&self) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish() as usize & (MEMO_SHARDS - 1)
     }
 }
+
+impl PartialEq for SuiteKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.processes == other.processes && self.len == other.len && self.items().eq(other.items())
+    }
+}
+
+impl Eq for SuiteKey {}
+
+impl std::hash::Hash for SuiteKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.processes.hash(state);
+        self.len.hash(state);
+        for item in self.items() {
+            item.hash(state);
+        }
+    }
+}
+
+/// One cached simulation: the runs plus their ready-made measurements, so
+/// sweeps that only need [`tgi_core::Measurement`]s (the TGI hot path)
+/// never re-derive them — warm lookups are allocation-free.
+#[derive(Debug)]
+struct CachedSuite {
+    runs: Arc<Vec<SimulatedRun>>,
+    measurements: Arc<Vec<Measurement>>,
+}
+
+/// Per-key cache slot: either being simulated by exactly one thread
+/// (single-flight), ready, or poisoned by a panicking simulation.
+#[derive(Debug)]
+enum SuiteState {
+    InFlight,
+    Ready(CachedSuite),
+    Poisoned,
+}
+
+#[derive(Debug)]
+struct SuiteEntry {
+    state: Mutex<SuiteState>,
+    ready: Condvar,
+}
+
+/// Number of cache shards — a fixed power of two so the shard index is a
+/// mask of the key hash. 64 shards keep the collision probability of a
+/// 16-thread sweep's *lock* acquisitions low without bloating the struct.
+const MEMO_SHARDS: usize = 64;
+
+type Shard = Mutex<HashMap<SuiteKey, Arc<SuiteEntry>>>;
 
 /// An [`ExecutionEngine`] that memoizes [`ExecutionEngine::run_suite`] per
 /// (workload set, process count).
 ///
-/// Grid sweeps evaluate many (weighting × mean) cells over the *same*
-/// simulated measurements; the simulation is by far the expensive part, so
-/// caching it lets those axes reuse runs instead of re-running cluster-sim.
-/// Results are shared via `Arc`, and the cache is behind a `Mutex`, so one
-/// `MemoizedEngine` can serve many threads (`&self` everywhere). Simulation
-/// happens *outside* the lock: two threads missing on the same key may race
-/// and simulate twice, but the engine is deterministic, so both produce
-/// identical runs and the first insert wins.
+/// Grid and fleet sweeps evaluate many (weighting × mean) cells over the
+/// *same* simulated measurements; the simulation is by far the expensive
+/// part, so caching it lets those axes reuse runs instead of re-running
+/// cluster-sim. Results are shared via `Arc` and one `MemoizedEngine` can
+/// serve many threads (`&self` everywhere).
+///
+/// Internally the cache is **sharded** (64 shards selected by
+/// the key hash) so concurrent hits on different keys contend on different
+/// locks, and **single-flight**: a missed key is simulated exactly once —
+/// the first thread to miss installs an in-flight slot and simulates
+/// *outside* every lock, while later threads for the same key block on that
+/// slot's condvar (counted by [`MemoizedEngine::inflight_waits`]) instead
+/// of re-simulating or contending on the map. A panicking simulation
+/// poisons its slot, wakes all waiters (which propagate a panic), and
+/// removes the key so later calls can retry.
+///
+/// Statistics are relaxed atomics read without touching any shard lock, so
+/// stats scraping (telemetry, benches) never contends with simulation.
 #[derive(Debug)]
 pub struct MemoizedEngine {
     engine: ExecutionEngine,
-    cache: Mutex<HashMap<SuiteKey, Arc<Vec<SimulatedRun>>>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    shards: [Shard; MEMO_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inflight_waits: AtomicU64,
+    simulations: AtomicU64,
+    completed: AtomicU64,
 }
 
 impl MemoizedEngine {
@@ -356,9 +459,12 @@ impl MemoizedEngine {
     pub fn new(engine: ExecutionEngine) -> Self {
         MemoizedEngine {
             engine,
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inflight_waits: AtomicU64::new(0),
+            simulations: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
         }
     }
 
@@ -367,41 +473,183 @@ impl MemoizedEngine {
         &self.engine
     }
 
-    /// Runs the suite at one process count, returning the cached runs when
-    /// this (workload set, process count) has been simulated before.
-    ///
-    /// # Panics
-    /// As [`ExecutionEngine::run`]: `processes` must be in
-    /// `1..=total_cores`.
-    pub fn run_suite(&self, workloads: &[Workload], processes: usize) -> Arc<Vec<SimulatedRun>> {
+    /// Looks up (or simulates, single-flight) the suite for `key`.
+    fn lookup(&self, workloads: &[Workload], processes: usize) -> CachedSuite {
         let key = SuiteKey::new(workloads, processes);
-        if let Some(cached) = self.cache.lock().expect("suite cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            if tgi_telemetry::enabled() {
-                tgi_telemetry::counter!("tgi_memo_hits_total").inc();
+        let shard = &self.shards[key.shard()];
+        let (entry, owner) = {
+            let mut map = shard.lock().expect("suite cache shard poisoned");
+            match map.get(&key) {
+                Some(entry) => (Arc::clone(entry), false),
+                None => {
+                    let entry = Arc::new(SuiteEntry {
+                        state: Mutex::new(SuiteState::InFlight),
+                        ready: Condvar::new(),
+                    });
+                    map.insert(key.clone(), Arc::clone(&entry));
+                    (entry, true)
+                }
             }
-            return Arc::clone(cached);
+        };
+
+        if owner {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if tgi_telemetry::enabled() {
+                tgi_telemetry::counter!("tgi_memo_misses_total").inc();
+            }
+            return self.simulate_into(&key, shard, &entry, workloads, processes);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        if tgi_telemetry::enabled() {
-            tgi_telemetry::counter!("tgi_memo_misses_total").inc();
+
+        let mut state = entry.state.lock().expect("suite entry poisoned");
+        match &*state {
+            SuiteState::Ready(cached) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if tgi_telemetry::enabled() {
+                    tgi_telemetry::counter!("tgi_memo_hits_total").inc();
+                }
+                return CachedSuite {
+                    runs: Arc::clone(&cached.runs),
+                    measurements: Arc::clone(&cached.measurements),
+                };
+            }
+            SuiteState::InFlight => {
+                self.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                if tgi_telemetry::enabled() {
+                    tgi_telemetry::counter!("tgi_memo_inflight_waits_total").inc();
+                }
+            }
+            SuiteState::Poisoned => panic!("suite simulation panicked in another thread"),
         }
+        loop {
+            state = entry.ready.wait(state).expect("suite entry poisoned");
+            match &*state {
+                SuiteState::Ready(cached) => {
+                    // Served by the in-flight simulation: a hit — this
+                    // thread never simulated.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if tgi_telemetry::enabled() {
+                        tgi_telemetry::counter!("tgi_memo_hits_total").inc();
+                    }
+                    return CachedSuite {
+                        runs: Arc::clone(&cached.runs),
+                        measurements: Arc::clone(&cached.measurements),
+                    };
+                }
+                SuiteState::InFlight => continue,
+                SuiteState::Poisoned => panic!("suite simulation panicked in another thread"),
+            }
+        }
+    }
+
+    /// Simulates `key` as the single in-flight owner, publishing the result
+    /// (or poisoning the slot on panic) and waking all waiters.
+    fn simulate_into(
+        &self,
+        key: &SuiteKey,
+        shard: &Shard,
+        entry: &Arc<SuiteEntry>,
+        workloads: &[Workload],
+        processes: usize,
+    ) -> CachedSuite {
+        /// Unwind guard: if the simulation panics, poison the slot, wake
+        /// every waiter, and drop the key so later calls can retry.
+        struct Unpoison<'a> {
+            key: &'a SuiteKey,
+            shard: &'a Shard,
+            entry: &'a Arc<SuiteEntry>,
+            armed: bool,
+        }
+        impl Drop for Unpoison<'_> {
+            fn drop(&mut self) {
+                if !self.armed {
+                    return;
+                }
+                if let Ok(mut state) = self.entry.state.lock() {
+                    *state = SuiteState::Poisoned;
+                }
+                self.entry.ready.notify_all();
+                if let Ok(mut map) = self.shard.lock() {
+                    map.remove(self.key);
+                }
+            }
+        }
+
+        let mut guard = Unpoison { key, shard, entry, armed: true };
+        self.simulations.fetch_add(1, Ordering::Relaxed);
         let sim_span = tgi_telemetry::span_cat("sim.run_suite", "cluster")
             .field("workloads", workloads.len())
             .field("processes", processes);
         let runs = Arc::new(self.engine.run_suite(workloads, processes));
+        let measurements = Arc::new(runs.iter().map(|r| r.measurement()).collect::<Vec<_>>());
         sim_span.end();
-        Arc::clone(self.cache.lock().expect("suite cache poisoned").entry(key).or_insert(runs))
+        guard.armed = false;
+
+        let result =
+            CachedSuite { runs: Arc::clone(&runs), measurements: Arc::clone(&measurements) };
+        let mut state = entry.state.lock().expect("suite entry poisoned");
+        *state = SuiteState::Ready(CachedSuite { runs, measurements });
+        drop(state);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        entry.ready.notify_all();
+        result
     }
 
-    /// Number of `run_suite` calls served from the cache.
+    /// Runs the suite at one process count, returning the cached runs when
+    /// this (workload set, process count) has been simulated before. Under
+    /// concurrency, a missed key is simulated exactly once (single-flight).
+    ///
+    /// # Panics
+    /// As [`ExecutionEngine::run`]: `processes` must be in
+    /// `1..=total_cores`. Panics also if the in-flight simulation of the
+    /// same key panicked in another thread.
+    pub fn run_suite(&self, workloads: &[Workload], processes: usize) -> Arc<Vec<SimulatedRun>> {
+        self.lookup(workloads, processes).runs
+    }
+
+    /// The suite's measurements at one process count — the same cache entry
+    /// as [`MemoizedEngine::run_suite`], with the `Measurement` conversion
+    /// done once at simulation time. Warm calls are allocation-free, which
+    /// is what keeps sweep hot loops zero-allocation per point.
+    ///
+    /// # Panics
+    /// As [`MemoizedEngine::run_suite`].
+    pub fn suite_measurements(
+        &self,
+        workloads: &[Workload],
+        processes: usize,
+    ) -> Arc<Vec<Measurement>> {
+        self.lookup(workloads, processes).measurements
+    }
+
+    /// Number of `run_suite`/`suite_measurements` calls served from the
+    /// cache (including calls that waited on an in-flight simulation).
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) as usize
     }
 
-    /// Number of `run_suite` calls that had to simulate.
+    /// Number of calls that had to simulate.
     pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of calls that found their key in flight and blocked on its
+    /// completion instead of re-simulating.
+    pub fn inflight_waits(&self) -> usize {
+        self.inflight_waits.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of simulations actually executed.
+    pub fn simulations(&self) -> usize {
+        self.simulations.load(Ordering::Relaxed) as usize
+    }
+
+    /// Simulations that re-computed a key another simulation also computed
+    /// — always 0 under single-flight (the invariant the fleet bench
+    /// hard-asserts). Transiently counts in-flight simulations.
+    pub fn duplicate_simulations(&self) -> usize {
+        self.simulations
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.completed.load(Ordering::Relaxed)) as usize
     }
 }
 
@@ -587,6 +835,115 @@ mod tests {
     fn memoized_engine_exposes_wrapped_engine() {
         let memo = MemoizedEngine::new(fire_engine());
         assert_eq!(memo.engine().cluster().total_cores(), 128);
+    }
+
+    #[test]
+    fn suite_measurements_share_the_cache_entry() {
+        let memo = MemoizedEngine::new(fire_engine());
+        let suite = Workload::fire_suite();
+        let runs = memo.run_suite(&suite, 64);
+        // Same key: the measurements were derived during that simulation.
+        let m1 = memo.suite_measurements(&suite, 64);
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        let expected: Vec<Measurement> = runs.iter().map(|r| r.measurement()).collect();
+        assert_eq!(*m1, expected);
+        // Warm calls return the same allocation.
+        let m2 = memo.suite_measurements(&suite, 64);
+        assert!(Arc::ptr_eq(&m1, &m2));
+        assert_eq!((memo.hits(), memo.misses()), (2, 1));
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_simulate_once() {
+        use std::sync::Barrier;
+        const THREADS: usize = 8;
+        let memo = Arc::new(MemoizedEngine::new(fire_engine()));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let memo = Arc::clone(&memo);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    memo.run_suite(&Workload::fire_suite(), 64)
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Single-flight: exactly one thread simulated; everyone else hit
+        // (waiting on the in-flight entry counts as a hit).
+        assert_eq!(memo.simulations(), 1, "single-flight must simulate once");
+        assert_eq!(memo.duplicate_simulations(), 0);
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), THREADS - 1);
+        assert!(memo.inflight_waits() < THREADS);
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0], r), "all threads share one allocation");
+        }
+    }
+
+    #[test]
+    fn panicking_simulation_clears_its_slot_for_retry() {
+        let memo = MemoizedEngine::new(fire_engine());
+        let suite = Workload::fire_suite();
+        // Oversubscribed process count: the wrapped engine panics mid-flight.
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            memo.run_suite(&suite, 100_000)
+        }));
+        assert!(attempt.is_err());
+        assert_eq!((memo.misses(), memo.simulations()), (1, 1));
+        // The failed key was removed, not left poisoned forever: retrying
+        // the same key misses again (and panics again, same reason).
+        let retry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            memo.run_suite(&suite, 100_000)
+        }));
+        assert!(retry.is_err());
+        assert_eq!((memo.misses(), memo.simulations()), (2, 2));
+        // A valid key on the same engine still works.
+        let runs = memo.run_suite(&suite, 64);
+        assert_eq!(runs.len(), 3);
+    }
+
+    #[test]
+    fn long_suites_spill_but_key_uniformly() {
+        // More workloads than the inline key capacity: lookups still match.
+        let suite: Vec<Workload> =
+            (0..KEY_INLINE + 3).map(|i| Workload::Hpl { n: 10_000 + 1_000 * i }).collect();
+        let a = SuiteKey::new(&suite, 64);
+        let b = SuiteKey::new(&suite, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.shard(), b.shard());
+        // Differing only in a spilled slot is a different key.
+        let mut other = suite.clone();
+        other[KEY_INLINE + 1] = Workload::Hpl { n: 99_999 };
+        assert_ne!(a, SuiteKey::new(&other, 64));
+    }
+
+    #[test]
+    fn pue_multiplies_metered_power() {
+        let base = fire_engine().run(Workload::Hpl { n: 20_000 }, 64);
+        let dc = ExecutionEngine::new(ClusterSpec::fire().with_pue(1.5))
+            .run(Workload::Hpl { n: 20_000 }, 64);
+        let ratio = dc.average_power.value() / base.average_power.value();
+        assert!((ratio - 1.5).abs() < 0.01, "PUE 1.5 should read ~1.5× power, got {ratio}");
+        // Performance and time are untouched — PUE is facility overhead.
+        assert_eq!(base.seconds, dc.seconds);
+        assert_eq!(base.performance, dc.performance);
+    }
+
+    #[test]
+    fn fleet_scale_cluster_meters_above_pdu_ceiling() {
+        // 2000 SystemG-class nodes idle near half a megawatt — far above the
+        // 60 kW PDU ceiling. The engine raises the meter ceiling with the
+        // cluster envelope, so fleet-scale readings aren't clamped.
+        let mut spec = ClusterSpec::system_g();
+        spec.nodes = 2000;
+        let run = ExecutionEngine::new(spec).run(Workload::Hpl { n: 60_000 }, 1024);
+        assert!(
+            run.average_power.value() > 60_000.0,
+            "megawatt cluster must not clamp at the PDU ceiling: {} W",
+            run.average_power.value()
+        );
     }
 
     #[test]

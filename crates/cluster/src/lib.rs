@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod execution;
+pub mod fleet;
 pub mod power_cap;
 pub mod scaling;
 pub mod spec;
 pub mod workload;
 
 pub use execution::{fleet_trace_set, ExecutionEngine, MemoizedEngine, SimulatedRun};
+pub use fleet::FleetConfig;
 pub use power_cap::{run_capped, CappedRun};
 pub use spec::{ClusterSpec, InterconnectSpec, NodeSpec, SharedFsSpec};
 pub use workload::Workload;

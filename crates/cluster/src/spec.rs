@@ -101,6 +101,21 @@ pub struct ClusterSpec {
     pub shared_fs: SharedFsSpec,
     /// Scaling-model parameters.
     pub scaling: ScalingParams,
+    /// Facility power-usage effectiveness: the wall meter sits behind the
+    /// datacenter's cooling and distribution overhead, so metered power is
+    /// IT power × PUE. `1.0` (the default, and the paper's single-room
+    /// setup) means the meter sees IT power directly.
+    #[serde(default = "default_pue")]
+    pub pue: f64,
+    /// Explicit per-node power model. `None` (the default) selects a preset
+    /// by cluster name, preserving the paper systems' behavior; generated
+    /// fleet specs carry their sampled idle/peak power curves here.
+    #[serde(default)]
+    pub power: Option<NodePowerModel>,
+}
+
+fn default_pue() -> f64 {
+    1.0
 }
 
 /// A spec field that fails validation.
@@ -190,7 +205,41 @@ impl ClusterSpec {
                 reason: "must be at least 1 (1 = no accelerators)",
             });
         }
+        if !self.pue.is_finite() || self.pue < 1.0 {
+            return Err(InvalidSpec {
+                field: "pue",
+                reason: "must be a finite number of at least 1 (1 = no facility overhead)",
+            });
+        }
+        if let Some(power) = &self.power {
+            let idle = power.idle_wall_power().value();
+            let peak = power.peak_wall_power().value();
+            if !(idle.is_finite() && idle > 0.0 && peak.is_finite() && peak >= idle) {
+                return Err(InvalidSpec {
+                    field: "power",
+                    reason: "node power model must have 0 < idle <= peak wall power",
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// Sets the facility PUE multiplier (builder style).
+    ///
+    /// # Panics
+    /// Panics unless `pue` is finite and at least 1.
+    pub fn with_pue(mut self, pue: f64) -> Self {
+        assert!(pue.is_finite() && pue >= 1.0, "PUE must be finite and >= 1, got {pue}");
+        self.pue = pue;
+        self
+    }
+
+    /// Overrides the per-node power model (builder style). Generated fleet
+    /// specs use this so their sampled idle/peak watts survive serde and
+    /// drive the simulation instead of a name-matched preset.
+    pub fn with_node_power(mut self, power: NodePowerModel) -> Self {
+        self.power = Some(power);
+        self
     }
 
     /// Theoretical peak GFLOPS of the whole cluster.
@@ -198,8 +247,13 @@ impl ClusterSpec {
         self.nodes as f64 * self.node.peak_gflops()
     }
 
-    /// The node power model matching this cluster's hardware generation.
+    /// The node power model for this cluster: the explicit [`ClusterSpec::power`]
+    /// override when present, otherwise a preset matched to the cluster name's
+    /// hardware generation.
     pub fn node_power_model(&self) -> NodePowerModel {
+        if let Some(power) = &self.power {
+            return power.clone();
+        }
         match self.name.as_str() {
             "SystemG" => NodePowerModel::system_g_node(),
             name if name.contains("GPU") => NodePowerModel::gpu_node(),
@@ -244,6 +298,8 @@ impl ClusterSpec {
                 stream_cpu_factor: 0.12,
                 hpl_accelerator_factor: 1.0,
             },
+            pue: 1.0,
+            power: None,
         }
     }
 
@@ -295,6 +351,8 @@ impl ClusterSpec {
                 stream_cpu_factor: 0.2,
                 hpl_accelerator_factor: 1.0,
             },
+            pue: 1.0,
+            power: None,
         }
     }
 
@@ -336,6 +394,8 @@ impl ClusterSpec {
                 stream_cpu_factor: 1.0,
                 hpl_accelerator_factor: 1.0,
             },
+            pue: 1.0,
+            power: None,
         }
     }
 }
@@ -429,5 +489,60 @@ mod tests {
         let json = serde_json::to_string(&f).unwrap();
         let back: ClusterSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(f, back);
+    }
+
+    #[test]
+    fn pre_fleet_json_defaults_pue_and_power() {
+        // Specs serialized before the pue/power fields existed still load:
+        // cut the trailing `"pue": …, "power": …` fields out of the JSON.
+        let json = serde_json::to_string(&ClusterSpec::fire()).unwrap();
+        let cut = json.find(",\"pue\"").expect("pue is serialized after the scaling params");
+        let legacy = format!("{}}}", &json[..cut]);
+        let back: ClusterSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.pue, 1.0);
+        assert!(back.power.is_none());
+        assert_eq!(back, ClusterSpec::fire());
+    }
+
+    #[test]
+    fn validation_rejects_bad_pue_and_power() {
+        let mut sub_unity = ClusterSpec::fire();
+        sub_unity.pue = 0.9;
+        assert_eq!(sub_unity.validate().unwrap_err().field, "pue");
+        let mut nan = ClusterSpec::fire();
+        nan.pue = f64::NAN;
+        assert_eq!(nan.validate().unwrap_err().field, "pue");
+        // A power override whose idle draw exceeds its peak is rejected.
+        let mut model = power_model::NodePowerModel::fire_node();
+        model.cpu.idle_w = model.cpu.max_w + 10_000.0;
+        let mut inverted = ClusterSpec::fire();
+        inverted.power = Some(model);
+        assert_eq!(inverted.validate().unwrap_err().field, "power");
+    }
+
+    #[test]
+    fn with_pue_builder_sets_and_validates() {
+        let spec = ClusterSpec::fire().with_pue(1.6);
+        assert_eq!(spec.pue, 1.6);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "PUE must be finite")]
+    fn with_pue_rejects_sub_unity() {
+        let _ = ClusterSpec::fire().with_pue(0.5);
+    }
+
+    #[test]
+    fn node_power_override_beats_name_matching() {
+        // A spec named like SystemG but carrying an explicit model uses it.
+        let custom = power_model::NodePowerModel::sandy_bridge_node();
+        let spec = ClusterSpec::system_g().with_node_power(custom.clone());
+        assert_eq!(spec.node_power_model(), custom);
+        spec.validate().unwrap();
+        // And it survives serde, unlike name matching which is lossy.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node_power_model(), custom);
     }
 }

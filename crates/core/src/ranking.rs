@@ -5,6 +5,7 @@
 //! of scored systems and produces a stable, descending order (greener first),
 //! breaking ties by name so the order is deterministic.
 
+use crate::error::TgiError;
 use crate::tgi::TgiResult;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -42,19 +43,51 @@ impl Ranking {
     }
 
     /// Adds a system by name and raw TGI value.
+    ///
+    /// # Panics
+    /// Panics on a non-finite score; use [`Ranking::try_add`] to reject it
+    /// as an error instead.
     pub fn add(&mut self, name: impl Into<String>, tgi: f64) {
+        self.try_add(name, tgi).expect("TGI values are finite");
+    }
+
+    /// Adds a system by name and raw TGI value, rejecting non-finite
+    /// scores: NaN has no place in a total order, and a ±∞ "score" always
+    /// indicates an upstream division gone wrong, not a green machine.
+    pub fn try_add(&mut self, name: impl Into<String>, tgi: f64) -> Result<(), TgiError> {
+        if !tgi.is_finite() {
+            return Err(TgiError::NotFinite { quantity: "ranking score" });
+        }
         self.entries.push(RankedSystem { name: name.into(), tgi, detail: None });
         self.sort();
+        Ok(())
     }
 
     /// Adds a system with its full TGI decomposition.
+    ///
+    /// # Panics
+    /// Panics on a non-finite score, like [`Ranking::add`].
     pub fn add_result(&mut self, name: impl Into<String>, result: TgiResult) {
+        self.try_add_result(name, result).expect("TGI values are finite");
+    }
+
+    /// Adds a system with its full TGI decomposition, rejecting non-finite
+    /// scores as [`Ranking::try_add`] does.
+    pub fn try_add_result(
+        &mut self,
+        name: impl Into<String>,
+        result: TgiResult,
+    ) -> Result<(), TgiError> {
+        if !result.value().is_finite() {
+            return Err(TgiError::NotFinite { quantity: "ranking score" });
+        }
         self.entries.push(RankedSystem {
             name: name.into(),
             tgi: result.value(),
             detail: Some(result),
         });
         self.sort();
+        Ok(())
     }
 
     fn sort(&mut self) {
@@ -151,6 +184,57 @@ mod tests {
         assert!(out.contains("fire"));
         assert!(out.contains("ember"));
         assert!(out.contains("Rank"));
+    }
+
+    #[test]
+    fn duplicate_tgi_values_rank_in_stable_name_order() {
+        // A synthetic fleet can produce exact TGI collisions; the order
+        // must be deterministic (by id) no matter the insertion order.
+        let mut fwd = Ranking::new();
+        let mut rev = Ranking::new();
+        let systems = ["g500-003", "g500-001", "g500-002"];
+        for name in systems {
+            fwd.add(name, 0.75);
+        }
+        for name in systems.iter().rev() {
+            rev.add(*name, 0.75);
+        }
+        let order: Vec<&str> = fwd.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(order, vec!["g500-001", "g500-002", "g500-003"]);
+        assert_eq!(fwd, rev, "insertion order must not matter");
+        // Duplicates interleaved with distinct values keep descending TGI
+        // as the primary key.
+        fwd.add("g500-000", 0.9);
+        assert_eq!(fwd.rank_of("g500-000"), Some(1));
+        assert_eq!(fwd.rank_of("g500-001"), Some(2));
+    }
+
+    #[test]
+    fn single_system_fleet_ranks_itself() {
+        let mut r = Ranking::new();
+        r.add("only", 0.42);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rank_of("only"), Some(1));
+        assert_eq!(r.greenest().unwrap().name, "only");
+        assert_eq!(r.greenest().unwrap().tgi, 0.42);
+    }
+
+    #[test]
+    fn non_finite_scores_are_rejected() {
+        let mut r = Ranking::new();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = r.try_add("broken", bad).unwrap_err();
+            assert!(matches!(err, TgiError::NotFinite { quantity: "ranking score" }));
+        }
+        assert!(r.is_empty(), "rejected scores must not be inserted");
+        r.try_add("fine", 1.0).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "TGI values are finite")]
+    fn add_panics_on_nan() {
+        Ranking::new().add("broken", f64::NAN);
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! Synthetic Green500: fleet-scale (system × suite × weighting × mean)
+//! TGI sweeps.
+//!
+//! [`crate::GridSweep`] studies one machine across core counts; a
+//! [`FleetSweep`] studies *hundreds* of machines at full scale — the
+//! ROADMAP's synthetic Green500. The hot-path guarantees mirror PR 4's
+//! grid machinery, scaled up:
+//!
+//! * **Single-flight memoized simulation** — every system wraps its engine
+//!   in [`cluster_sim::MemoizedEngine`], whose sharded cache guarantees a
+//!   missed (suite, cores) key is simulated exactly once, no matter how
+//!   many workers race on it ([`FleetSweep::duplicate_simulations`] stays
+//!   0, hard-asserted by the fleet bench).
+//! * **Zero per-point allocation once warm** — workers pull cached
+//!   measurements via [`cluster_sim::MemoizedEngine::suite_measurements`]
+//!   (an `Arc` clone) and score all weighting × mean cells with a reused
+//!   `TgiEvaluator` + [`EvalScratch`] + cell buffer per worker chunk.
+//! * **Bit-identical at any thread count** — each cell is a pure function
+//!   of its point written at a fixed index, so
+//!   [`FleetSweep::run`] equals [`FleetSweep::run_sequential`] bitwise
+//!   (asserted in tests and the committed bench).
+//!
+//! The result is a structure-of-arrays [`FleetTable`]; its
+//! [`FleetTable::green500_ranking`] view sorts one (suite, weighting,
+//! mean) column into a [`tgi_core::Ranking`] — descending TGI, ties broken
+//! on spec id.
+
+use crate::report::csv_field;
+use cluster_sim::{ClusterSpec, ExecutionEngine, MemoizedEngine, Workload};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use tgi_core::evaluator::{EvalScratch, TgiEvaluator};
+use tgi_core::{MeanKind, Ranking, ReferenceSystem, TgiError, Weighting};
+
+/// One fleet member: a memoizing engine plus the scale it runs at.
+#[derive(Debug)]
+struct FleetSystem {
+    engine: MemoizedEngine,
+    /// Process count for every suite: the full machine, as Green500 runs.
+    cores: usize,
+}
+
+/// One workload-suite axis entry.
+#[derive(Debug, Clone)]
+struct FleetSuite {
+    label: String,
+    workloads: Vec<Workload>,
+}
+
+/// A configurable (system × suite × weighting × mean) fleet sweep.
+///
+/// ```no_run
+/// use cluster_sim::{FleetConfig, Workload};
+/// use tgi_harness::{system_g_reference, FleetSweep};
+///
+/// let sweep = FleetSweep::new()
+///     .fleet(FleetConfig::new(42).systems(50).generate())
+///     .suite("fire", Workload::fire_suite())
+///     .paper_axes();
+/// let table = sweep.run(&system_g_reference()).unwrap();
+/// println!("{}", table.green500_ranking(0, 0, 0).unwrap());
+/// ```
+#[derive(Debug, Default)]
+pub struct FleetSweep {
+    systems: Vec<FleetSystem>,
+    names: Vec<String>,
+    suites: Vec<FleetSuite>,
+    weightings: Vec<Weighting>,
+    means: Vec<MeanKind>,
+}
+
+impl FleetSweep {
+    /// An empty sweep; add systems, at least one suite, and both score
+    /// axes before running.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one system, running at its full core count.
+    pub fn system(mut self, spec: ClusterSpec) -> Self {
+        let cores = spec.total_cores();
+        self.names.push(spec.name.clone());
+        self.systems
+            .push(FleetSystem { engine: MemoizedEngine::new(ExecutionEngine::new(spec)), cores });
+        self
+    }
+
+    /// Appends a whole fleet of systems (e.g. from
+    /// [`cluster_sim::FleetConfig::generate`]).
+    pub fn fleet(self, specs: impl IntoIterator<Item = ClusterSpec>) -> Self {
+        specs.into_iter().fold(self, |sweep, spec| sweep.system(spec))
+    }
+
+    /// Appends one workload suite evaluated on every system.
+    pub fn suite(mut self, label: impl Into<String>, workloads: Vec<Workload>) -> Self {
+        self.suites.push(FleetSuite { label: label.into(), workloads });
+        self
+    }
+
+    /// Sets the weighting axis.
+    pub fn weightings(mut self, weightings: &[Weighting]) -> Self {
+        self.weightings = weightings.to_vec();
+        self
+    }
+
+    /// Sets the mean axis.
+    pub fn means(mut self, means: &[MeanKind]) -> Self {
+        self.means = means.to_vec();
+        self
+    }
+
+    /// The paper's §III axes: four weighting schemes × three mean kinds.
+    pub fn paper_axes(self) -> Self {
+        self.weightings(&[
+            Weighting::Arithmetic,
+            Weighting::Time,
+            Weighting::Energy,
+            Weighting::Power,
+        ])
+        .means(&[MeanKind::Arithmetic, MeanKind::Geometric, MeanKind::Harmonic])
+    }
+
+    /// Number of systems in the fleet.
+    pub fn len(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.systems.is_empty()
+    }
+
+    /// Simulation cache statistics summed over the fleet, `(hits, misses)`.
+    pub fn memo_stats(&self) -> (usize, usize) {
+        self.systems.iter().fold((0, 0), |(h, m), s| (h + s.engine.hits(), m + s.engine.misses()))
+    }
+
+    /// Calls that blocked on an in-flight simulation instead of
+    /// re-simulating, summed over the fleet.
+    pub fn inflight_waits(&self) -> usize {
+        self.systems.iter().map(|s| s.engine.inflight_waits()).sum()
+    }
+
+    /// Redundant simulations across the fleet — the single-flight memo
+    /// keeps this at 0, which the fleet bench hard-asserts.
+    pub fn duplicate_simulations(&self) -> usize {
+        self.systems.iter().map(|s| s.engine.duplicate_simulations()).sum()
+    }
+
+    fn check_axes(&self) -> Result<(), TgiError> {
+        if self.systems.is_empty()
+            || self.suites.is_empty()
+            || self.weightings.is_empty()
+            || self.means.is_empty()
+        {
+            return Err(TgiError::DegenerateStatistic(
+                "a fleet sweep needs systems, a suite, weightings, and means",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Scores every cell of one (system, suite) point into `out`
+    /// (weighting-major). Warm points allocate nothing: cached
+    /// measurements arrive as an `Arc` clone and the scratch buffers are
+    /// caller-owned.
+    fn eval_point(
+        &self,
+        evaluator: &TgiEvaluator<'_>,
+        point: usize,
+        scratch: &mut EvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), TgiError> {
+        let system = &self.systems[point / self.suites.len()];
+        let suite = &self.suites[point % self.suites.len()];
+        let measurements = system.engine.suite_measurements(&suite.workloads, system.cores);
+        evaluator.evaluate_cells_into(&measurements, &self.weightings, &self.means, scratch, out)
+    }
+
+    /// Evaluates the fleet in parallel over the rayon shim. Bit-identical
+    /// to [`FleetSweep::run_sequential`] at any thread count.
+    ///
+    /// Errors if an axis is empty or any evaluation fails (missing
+    /// reference entry, invalid weights, …).
+    pub fn run(&self, reference: &ReferenceSystem) -> Result<FleetTable, TgiError> {
+        self.check_axes()?;
+        let cells_per_point = self.weightings.len() * self.means.len();
+        let points = self.systems.len() * self.suites.len();
+        let _span = tgi_telemetry::span_cat("fleet.run", "harness")
+            .field("systems", self.systems.len())
+            .field("suites", self.suites.len())
+            .field("cells", points * cells_per_point);
+
+        let mut values = vec![0.0f64; points * cells_per_point];
+        // Chunk points so each worker task reuses one evaluator, scratch,
+        // and cell buffer across its whole chunk — per-worker state without
+        // thread-locals, and still enough chunks to load every thread.
+        let points_per_chunk = points.div_ceil(rayon::current_num_threads() * 4).max(1);
+        let first_error: Mutex<Option<TgiError>> = Mutex::new(None);
+        values.par_chunks_mut(points_per_chunk * cells_per_point).enumerate().for_each(
+            |(chunk_idx, chunk)| {
+                let evaluator = TgiEvaluator::new(reference);
+                let mut scratch = EvalScratch::with_capacity(
+                    self.suites.iter().map(|s| s.workloads.len()).max().unwrap_or(0),
+                );
+                let mut cells = Vec::with_capacity(cells_per_point);
+                let base = chunk_idx * points_per_chunk;
+                for (i, slot) in chunk.chunks_mut(cells_per_point).enumerate() {
+                    match self.eval_point(&evaluator, base + i, &mut scratch, &mut cells) {
+                        Ok(()) => slot.copy_from_slice(&cells),
+                        Err(e) => {
+                            first_error.lock().expect("error slot").get_or_insert(e);
+                            return;
+                        }
+                    }
+                }
+            },
+        );
+        if let Some(e) = first_error.into_inner().expect("error slot") {
+            return Err(e);
+        }
+        Ok(self.table(reference, values))
+    }
+
+    /// The sequential reference sweep: same cells, same order, one thread,
+    /// no chunking — the baseline [`FleetSweep::run`] must match bitwise.
+    pub fn run_sequential(&self, reference: &ReferenceSystem) -> Result<FleetTable, TgiError> {
+        self.check_axes()?;
+        let cells_per_point = self.weightings.len() * self.means.len();
+        let points = self.systems.len() * self.suites.len();
+        let evaluator = TgiEvaluator::new(reference);
+        let mut scratch = EvalScratch::with_capacity(
+            self.suites.iter().map(|s| s.workloads.len()).max().unwrap_or(0),
+        );
+        let mut cells = Vec::with_capacity(cells_per_point);
+        let mut values = Vec::with_capacity(points * cells_per_point);
+        for point in 0..points {
+            self.eval_point(&evaluator, point, &mut scratch, &mut cells)?;
+            values.extend_from_slice(&cells);
+        }
+        Ok(self.table(reference, values))
+    }
+
+    fn table(&self, reference: &ReferenceSystem, values: Vec<f64>) -> FleetTable {
+        FleetTable {
+            reference_name: reference.name().to_string(),
+            systems: self.names.clone(),
+            nodes: self.systems.iter().map(|s| s.engine.engine().cluster().nodes).collect(),
+            cores: self.systems.iter().map(|s| s.cores).collect(),
+            pues: self.systems.iter().map(|s| s.engine.engine().cluster().pue).collect(),
+            suites: self.suites.iter().map(|s| s.label.clone()).collect(),
+            weightings: self.weightings.clone(),
+            means: self.means.clone(),
+            values,
+        }
+    }
+}
+
+/// Structure-of-arrays result of a [`FleetSweep`]: per-system metadata
+/// columns plus one flat row-major value block
+/// (`[system][suite][weighting][mean]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTable {
+    reference_name: String,
+    systems: Vec<String>,
+    nodes: Vec<usize>,
+    cores: Vec<usize>,
+    pues: Vec<f64>,
+    suites: Vec<String>,
+    weightings: Vec<Weighting>,
+    means: Vec<MeanKind>,
+    values: Vec<f64>,
+}
+
+impl FleetTable {
+    /// Name of the reference system the fleet was normalized against.
+    pub fn reference_name(&self) -> &str {
+        &self.reference_name
+    }
+
+    /// System ids, in fleet order.
+    pub fn systems(&self) -> &[String] {
+        &self.systems
+    }
+
+    /// Node counts, parallel to [`FleetTable::systems`].
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// Core counts (the scale each system ran at), parallel to
+    /// [`FleetTable::systems`].
+    pub fn cores(&self) -> &[usize] {
+        &self.cores
+    }
+
+    /// Facility PUE factors, parallel to [`FleetTable::systems`].
+    pub fn pues(&self) -> &[f64] {
+        &self.pues
+    }
+
+    /// Suite labels, in sweep order.
+    pub fn suites(&self) -> &[String] {
+        &self.suites
+    }
+
+    /// The weighting axis.
+    pub fn weightings(&self) -> &[Weighting] {
+        &self.weightings
+    }
+
+    /// The mean axis.
+    pub fn means(&self) -> &[MeanKind] {
+        &self.means
+    }
+
+    /// The flat value block, row-major `[system][suite][weighting][mean]`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table has no cells (cannot occur via [`FleetSweep::run`]).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The TGI value of one cell, by axis indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range on its axis.
+    pub fn value(&self, system: usize, suite: usize, weighting: usize, mean: usize) -> f64 {
+        assert!(system < self.systems.len(), "system index {system} out of range");
+        assert!(suite < self.suites.len(), "suite index {suite} out of range");
+        assert!(weighting < self.weightings.len(), "weighting index {weighting} out of range");
+        assert!(mean < self.means.len(), "mean index {mean} out of range");
+        let idx = ((system * self.suites.len() + suite) * self.weightings.len() + weighting)
+            * self.means.len()
+            + mean;
+        self.values[idx]
+    }
+
+    /// The synthetic Green500 list for one (suite, weighting, mean)
+    /// column: every system ranked by descending TGI via
+    /// [`tgi_core::Ranking`], ties broken on spec id (stable across runs).
+    ///
+    /// Errors if a score is non-finite — impossible for tables built by
+    /// [`FleetSweep::run`], which validates every cell, but tables can be
+    /// deserialized from anywhere.
+    pub fn green500_ranking(
+        &self,
+        suite: usize,
+        weighting: usize,
+        mean: usize,
+    ) -> Result<Ranking, TgiError> {
+        let mut ranking = Ranking::new();
+        for (s, name) in self.systems.iter().enumerate() {
+            ranking.try_add(name.clone(), self.value(s, suite, weighting, mean))?;
+        }
+        Ok(ranking)
+    }
+
+    /// Long-format CSV: one `system,nodes,cores,pue,suite,weighting,mean,tgi`
+    /// row per cell, labels escaped per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("system,nodes,cores,pue,suite,weighting,mean,tgi\n");
+        for (s, system) in self.systems.iter().enumerate() {
+            let system = csv_field(system);
+            for (su, suite) in self.suites.iter().enumerate() {
+                let suite = csv_field(suite);
+                for (w, weighting) in self.weightings.iter().enumerate() {
+                    for (m, mean) in self.means.iter().enumerate() {
+                        out.push_str(&format!(
+                            "{system},{},{},{},{suite},{},{},{}\n",
+                            self.nodes[s],
+                            self.cores[s],
+                            self.pues[s],
+                            weighting.label().replace(' ', "_"),
+                            mean.label(),
+                            self.value(s, su, w, m)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::system_g_reference;
+    use cluster_sim::FleetConfig;
+    use tgi_core::Tgi;
+
+    fn small_sweep(systems: usize) -> FleetSweep {
+        FleetSweep::new()
+            .fleet(FleetConfig::new(42).systems(systems).generate())
+            .suite("fire", Workload::fire_suite())
+            .weightings(&[Weighting::Arithmetic, Weighting::Energy])
+            .means(&[MeanKind::Arithmetic, MeanKind::Geometric])
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise_at_several_thread_counts() {
+        let sweep = small_sweep(6);
+        let reference = system_g_reference();
+        let sequential = sweep.run_sequential(&reference).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let parallel = pool.install(|| sweep.run(&reference)).unwrap();
+            assert_eq!(parallel.len(), sequential.len());
+            for (a, b) in parallel.values().iter().zip(sequential.values()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "thread count {threads} changed a cell");
+            }
+            assert_eq!(parallel, sequential);
+        }
+        assert_eq!(sweep.duplicate_simulations(), 0);
+    }
+
+    #[test]
+    fn fleet_cells_match_the_builder_bitwise() {
+        let fleet = FleetConfig::new(1).systems(3).generate();
+        let reference = system_g_reference();
+        let sweep = FleetSweep::new()
+            .fleet(fleet.clone())
+            .suite("fire", Workload::fire_suite())
+            .weightings(&[Weighting::Time])
+            .means(&[MeanKind::Harmonic]);
+        let table = sweep.run(&reference).unwrap();
+        for (s, spec) in fleet.into_iter().enumerate() {
+            let cores = spec.total_cores();
+            let measurements: Vec<_> = ExecutionEngine::new(spec)
+                .run_suite(&Workload::fire_suite(), cores)
+                .into_iter()
+                .map(|r| r.measurement())
+                .collect();
+            let expected = Tgi::builder()
+                .reference(reference.clone())
+                .weighting(Weighting::Time)
+                .mean(MeanKind::Harmonic)
+                .measurements(measurements)
+                .compute()
+                .unwrap()
+                .value();
+            assert_eq!(table.value(s, 0, 0, 0).to_bits(), expected.to_bits());
+        }
+    }
+
+    #[test]
+    fn repeated_runs_reuse_simulations() {
+        let sweep = small_sweep(4);
+        let reference = system_g_reference();
+        sweep.run(&reference).unwrap();
+        let (h1, m1) = sweep.memo_stats();
+        assert_eq!(m1, 4, "one simulation per (system, suite) point");
+        sweep.run(&reference).unwrap();
+        let (h2, m2) = sweep.memo_stats();
+        assert_eq!(m2, 4, "second run re-simulates nothing");
+        assert_eq!(h2, h1 + 4);
+        assert_eq!(sweep.duplicate_simulations(), 0);
+    }
+
+    #[test]
+    fn green500_ranking_is_stable_and_complete() {
+        let table = small_sweep(5).run(&system_g_reference()).unwrap();
+        let ranking = table.green500_ranking(0, 0, 0).unwrap();
+        assert_eq!(ranking.len(), 5);
+        // Descending TGI.
+        let tgis: Vec<f64> = ranking.entries().iter().map(|e| e.tgi).collect();
+        assert!(tgis.windows(2).all(|w| w[0] >= w[1]), "not descending: {tgis:?}");
+        // Every spec id appears exactly once.
+        for name in table.systems() {
+            assert!(ranking.rank_of(name).is_some(), "{name} missing from ranking");
+        }
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let reference = system_g_reference();
+        let no_suite =
+            FleetSweep::new().fleet(FleetConfig::new(2).systems(2).generate()).paper_axes();
+        assert!(matches!(no_suite.run(&reference), Err(TgiError::DegenerateStatistic(_))));
+        let no_systems = FleetSweep::new().suite("fire", Workload::fire_suite()).paper_axes();
+        assert!(matches!(
+            no_systems.run_sequential(&reference),
+            Err(TgiError::DegenerateStatistic(_))
+        ));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_and_escapes_names() {
+        let table = FleetSweep::new()
+            .system(ClusterSpec { name: "g500, \"alpha\"".into(), ..ClusterSpec::fire() })
+            .suite("fire", Workload::fire_suite())
+            .weightings(&[Weighting::Arithmetic])
+            .means(&[MeanKind::Arithmetic])
+            .run(&system_g_reference())
+            .unwrap();
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 1 + table.len());
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.starts_with("\"g500, \"\"alpha\"\"\",8,128,1,fire,"), "row: {row}");
+    }
+
+    #[test]
+    fn fleet_table_serde_round_trips() {
+        let table = small_sweep(3).run(&system_g_reference()).unwrap();
+        let json = serde_json::to_string(&table).unwrap();
+        let back: FleetTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn multiple_suites_give_independent_columns() {
+        let sweep = FleetSweep::new()
+            .fleet(FleetConfig::new(3).systems(3).generate())
+            .suite("fire", Workload::fire_suite())
+            .suite(
+                "half-fire",
+                vec![
+                    Workload::Hpl { n: 30_000 },
+                    Workload::Stream { total_bytes: 5e13 },
+                    Workload::Iozone { total_bytes: 2e10 },
+                ],
+            )
+            .weightings(&[Weighting::Arithmetic])
+            .means(&[MeanKind::Geometric]);
+        let table = sweep.run(&system_g_reference()).unwrap();
+        assert_eq!(table.suites().len(), 2);
+        assert_eq!(table.len(), 3 * 2);
+        let differs = (0..3).any(|s| table.value(s, 0, 0, 0) != table.value(s, 1, 0, 0));
+        assert!(differs, "different suites should score differently");
+    }
+}

@@ -172,8 +172,7 @@ impl GridSweep {
                 let _point_span = tgi_telemetry::span_cat("grid.point", "harness")
                     .field("cluster", cluster.label.as_str())
                     .field("cores", cores);
-                let runs = cluster.engine.run_suite(&cluster.workloads, cores);
-                let measurements: Vec<_> = runs.iter().map(|r| r.measurement()).collect();
+                let measurements = cluster.engine.suite_measurements(&cluster.workloads, cores);
                 let mut scratch = EvalScratch::with_capacity(measurements.len());
                 let mut cells = Vec::with_capacity(cells_per_point);
                 evaluator.evaluate_cells_into(
@@ -344,10 +343,13 @@ impl GridTable {
         })
     }
 
-    /// Long-format CSV: one `cluster,cores,weighting,mean,tgi` row per cell.
+    /// Long-format CSV: one `cluster,cores,weighting,mean,tgi` row per
+    /// cell, with labels escaped per RFC 4180 ([`crate::report::csv_field`])
+    /// so cluster names containing commas or quotes can't corrupt rows.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("cluster,cores,weighting,mean,tgi\n");
         for (c, cluster) in self.clusters.iter().enumerate() {
+            let cluster = crate::report::csv_field(cluster);
             for (k, &cores) in self.cores.iter().enumerate() {
                 for (w, weighting) in self.weightings.iter().enumerate() {
                     for (m, mean) in self.means.iter().enumerate() {
@@ -466,6 +468,23 @@ mod tests {
         let csv = table.to_csv();
         assert_eq!(csv.lines().count(), 1 + table.len());
         assert!(csv.lines().nth(1).unwrap().starts_with("Fire,64,arithmetic_mean,arithmetic,"));
+    }
+
+    #[test]
+    fn csv_escapes_comma_bearing_cluster_names() {
+        // Generated fleet names are user-controllable strings; a comma (or
+        // quote) in a label must not add phantom CSV columns.
+        let sweep = GridSweep::new()
+            .cluster("Fire, Mk. \"II\"", ClusterSpec::fire())
+            .cores(&[64])
+            .weightings(&[Weighting::Arithmetic])
+            .means(&[MeanKind::Arithmetic]);
+        let csv = sweep.run(&system_g_reference()).unwrap().to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.starts_with("\"Fire, Mk. \"\"II\"\"\",64,"), "row: {row}");
+        // Unquoting yields exactly the five columns of the header.
+        let after_label = row.rsplit("\",").next().unwrap();
+        assert_eq!(after_label.split(',').count(), 4);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod experiments;
 pub mod export;
 pub mod extensions;
+pub mod fleet;
 pub mod grid;
 pub mod journal;
 pub mod list;
@@ -35,6 +36,7 @@ pub use experiments::{
     fig6_tgi_weighted, system_g_reference, table1_reference_performance, table2_pcc,
 };
 pub use export::ExperimentBundle;
+pub use fleet::{FleetSweep, FleetTable};
 pub use grid::{GridSweep, GridTable};
 pub use report::{FigureData, Series, TableData};
 pub use sweep::FireSweep;

@@ -1,7 +1,21 @@
 //! Figure/table data containers and text/CSV rendering.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt::Write as _;
+
+/// Escapes one CSV field per RFC 4180: fields containing a comma, a double
+/// quote, or a line break are wrapped in double quotes, with embedded
+/// quotes doubled. Plain fields are passed through unchanged (borrowed), so
+/// numeric columns cost nothing. Generated fleet spec names (and any
+/// user-supplied label) can therefore never corrupt a CSV row.
+pub fn csv_field(field: &str) -> Cow<'_, str> {
+    if field.contains(['"', ',', '\n', '\r']) {
+        Cow::Owned(format!("\"{}\"", field.replace('"', "\"\"")))
+    } else {
+        Cow::Borrowed(field)
+    }
+}
 
 /// One (x, y) point of a figure series.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -197,10 +211,12 @@ impl TableData {
 
     /// Renders as CSV.
     pub fn to_csv(&self) -> String {
+        let render =
+            |cells: &[String]| cells.iter().map(|c| csv_field(c)).collect::<Vec<_>>().join(",");
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.join(","));
+        let _ = writeln!(out, "{}", render(&self.headers));
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.join(","));
+            let _ = writeln!(out, "{}", render(row));
         }
         out
     }
@@ -221,6 +237,27 @@ impl TableData {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn csv_field_escapes_per_rfc_4180() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert!(matches!(csv_field("plain"), Cow::Borrowed(_)));
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_field(""), "");
+    }
+
+    #[test]
+    fn table_csv_escapes_cells() {
+        let t = TableData {
+            id: "t".into(),
+            title: "t".into(),
+            headers: vec!["name".into(), "value".into()],
+            rows: vec![vec!["a,b".into(), "1".into()]],
+        };
+        assert_eq!(t.to_csv(), "name,value\n\"a,b\",1\n");
+    }
 
     fn fig() -> FigureData {
         FigureData {

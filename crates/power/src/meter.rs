@@ -101,6 +101,18 @@ impl WattsUpPro {
         m
     }
 
+    /// Raises the measurable ceiling to at least `watts` (substation-class
+    /// metering for fleet-scale clusters). The resolution and noise model
+    /// are unchanged, so readings that never hit the old ceiling are
+    /// bit-identical. Lower ceilings are ignored.
+    pub fn with_ceiling(mut self, watts: f64) -> Self {
+        assert!(watts.is_finite() && watts > 0.0, "meter ceiling must be positive");
+        if watts > self.spec.max_watts {
+            self.spec.max_watts = watts;
+        }
+        self
+    }
+
     /// The device's fixed gain factor.
     pub fn gain(&self) -> f64 {
         self.gain
