@@ -1,0 +1,292 @@
+//! Observability-plane performance guards, written to `BENCH_obs.json` at
+//! the repository root (override the path with `TGI_BENCH_OUT`, the trace
+//! size with `TGI_OBS_SAMPLES`, the span-loop iterations with
+//! `TGI_OBS_ITERS`).
+//!
+//! Three contracts, asserted here rather than just reported:
+//!
+//! * **Detector throughput** — the streaming anomaly detector scans a
+//!   10M-sample trace at ≥ 1M samples/s. Anything slower would make the
+//!   post-hoc `/traces/{node}/anomalies` scans and fleet-wide sweeps
+//!   interactive-hostile.
+//! * **Quantile accuracy** — the log-linear `QuantileHistogram` answers
+//!   p50/p90/p99/p999 within its configured relative-error bound α of an
+//!   exact sorted oracle over the same observations.
+//! * **Recorder overhead** — with the flight recorder compiled in but
+//!   nothing recording, a span costs ≤ 2× the no-op loop baseline (the
+//!   "always-on" claim is only honest if idle cost stays negligible), and
+//!   an *active* ring-buffer recorder stays within 2× of the full
+//!   collector path it shadows.
+
+use power_model::anomaly::{self, AnomalyConfig};
+use serde::Serialize;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+use tgi_telemetry::QuantileHistogram;
+
+#[derive(Serialize)]
+struct Machine {
+    available_parallelism: usize,
+}
+
+#[derive(Serialize)]
+struct DetectorThroughput {
+    samples: usize,
+    elapsed_s: f64,
+    samples_per_s: f64,
+    events: usize,
+}
+
+#[derive(Serialize)]
+struct QuantileAccuracy {
+    samples: usize,
+    alpha: f64,
+    worst_rel_error: f64,
+    quantiles_checked: usize,
+}
+
+#[derive(Serialize)]
+struct RecorderOverhead {
+    baseline_ns: f64,
+    idle_span_ns: f64,
+    idle_overhead_x: f64,
+    recorder_span_ns: f64,
+    collector_span_ns: f64,
+    recorder_vs_collector_x: f64,
+}
+
+#[derive(Serialize)]
+struct ObsReport {
+    machine: Machine,
+    detector: DetectorThroughput,
+    quantile: QuantileAccuracy,
+    recorder: RecorderOverhead,
+}
+
+/// Deterministic splitmix-style generator (no rand dependency on the hot
+/// setup path).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Meter-like noise: ±2 W, quantized to 0.1 W.
+    fn noise(&mut self) -> f64 {
+        ((self.uniform() * 4.0 - 2.0) * 10.0).round() / 10.0
+    }
+}
+
+#[inline(never)]
+fn noop_unit(i: u64) -> u64 {
+    black_box(i)
+}
+
+fn time_per_iter(iters: usize, mut f: impl FnMut(u64)) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters as u64 {
+        f(i);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Median of several timing runs, to shrug off scheduler noise.
+fn median_of(runs: usize, mut measure: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..runs).map(|_| measure()).collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn output_path() -> PathBuf {
+    if let Ok(p) = std::env::var("TGI_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    // crates/bench/ → repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_obs.json")
+}
+
+fn env_count(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&v| v > 0).unwrap_or(default)
+}
+
+/// Scans `n` samples of a noisy 200 W baseline with a handful of injected
+/// spikes, timing the full streaming pass.
+fn detector_throughput(n: usize) -> DetectorThroughput {
+    let mut rng = Rng(7);
+    let mut times = Vec::with_capacity(n);
+    let mut watts = Vec::with_capacity(n);
+    // One 3-sample 900 W spike every million samples, so the events path
+    // (open/extend/close) is exercised, not just the clean fast path.
+    for i in 0..n {
+        times.push(i as f64);
+        let spiky = i >= 1_000 && (i % 1_000_000) < 3;
+        watts.push(if spiky { 900.0 } else { 200.0 + rng.noise() });
+    }
+    let start = Instant::now();
+    let events = anomaly::scan_columns(&times, &watts, AnomalyConfig::default());
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let samples_per_s = n as f64 / elapsed_s.max(1e-9);
+    eprintln!(
+        "  detector: {n} samples in {elapsed_s:.3} s = {:.2} Msamples/s ({} events)",
+        samples_per_s / 1e6,
+        events.len()
+    );
+    DetectorThroughput { samples: n, elapsed_s, samples_per_s, events: events.len() }
+}
+
+/// The oracle rank the sketch targets (same convention as the estimator's
+/// own property tests).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * (sorted.len() - 1) as f64).ceil() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Observes a heavy-tailed latency-shaped distribution into the sketch and
+/// compares four quantiles against an exact sort of the same data.
+fn quantile_accuracy(n: usize) -> QuantileAccuracy {
+    const ALPHA: f64 = 0.01;
+    let hist = QuantileHistogram::new(ALPHA);
+    let mut rng = Rng(11);
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Log-uniform over ~6 decades: microseconds to seconds.
+        let v = 10f64.powf(rng.uniform() * 6.0 - 3.0);
+        values.push(v);
+        hist.observe(v);
+    }
+    values.sort_by(f64::total_cmp);
+    let qs = [0.5, 0.9, 0.99, 0.999];
+    let mut worst = 0.0f64;
+    for &q in &qs {
+        let exact = exact_quantile(&values, q);
+        let est = hist.quantile(q).expect("non-empty sketch");
+        let rel = (est - exact).abs() / exact;
+        worst = worst.max(rel);
+        assert!(
+            rel <= ALPHA * (1.0 + 1e-9) + 1e-12,
+            "q{q}: sketch {est} vs exact {exact} — relative error {rel} beyond α={ALPHA}"
+        );
+    }
+    eprintln!(
+        "  quantile: worst relative error {worst:.5} over {} quantiles (α={ALPHA})",
+        qs.len()
+    );
+    QuantileAccuracy {
+        samples: n,
+        alpha: ALPHA,
+        worst_rel_error: worst,
+        quantiles_checked: qs.len(),
+    }
+}
+
+/// Times the span path under three regimes: nothing recording (the
+/// always-on idle cost), flight recorder active, and full collector.
+fn recorder_overhead(iters: usize) -> RecorderOverhead {
+    let runs = 7;
+    assert!(!tgi_telemetry::installed(), "bench must start with no collector");
+    assert!(!tgi_telemetry::recorder::active(), "bench must start with no recorder");
+
+    let baseline_ns = median_of(runs, || {
+        time_per_iter(iters, |i| {
+            black_box(noop_unit(i));
+        })
+    });
+    let idle_span_ns = median_of(runs, || {
+        time_per_iter(iters, |i| {
+            let _span = tgi_telemetry::span("bench.obs.idle");
+            black_box(noop_unit(i));
+        })
+    });
+
+    // Recorder-active spans: the per-thread ring absorbs writes without
+    // draining (old events are overwritten, which is the point).
+    let active_iters = iters.min(100_000);
+    assert!(tgi_telemetry::recorder::enable(4096), "recorder should enable");
+    let recorder_span_ns = median_of(runs, || {
+        time_per_iter(active_iters, |i| {
+            let _span = tgi_telemetry::span("bench.obs.recorder");
+            black_box(noop_unit(i));
+        })
+    });
+    tgi_telemetry::recorder::disable();
+
+    // Collector-enabled spans, drained between runs so the bounded buffer
+    // never fills.
+    assert!(tgi_telemetry::install(), "collector should install");
+    let collector_span_ns = median_of(runs, || {
+        let per = time_per_iter(active_iters, |i| {
+            let _span = tgi_telemetry::span("bench.obs.collector");
+            black_box(noop_unit(i));
+        });
+        let _ = tgi_telemetry::drain();
+        per
+    });
+    tgi_telemetry::uninstall();
+
+    let idle_overhead_x = idle_span_ns / baseline_ns.max(0.5);
+    let recorder_vs_collector_x = recorder_span_ns / collector_span_ns.max(0.5);
+    eprintln!("  recorder: baseline {baseline_ns:.2} ns, idle span {idle_span_ns:.2} ns ({idle_overhead_x:.2}x)");
+    eprintln!(
+        "  recorder: active span {recorder_span_ns:.2} ns vs collector {collector_span_ns:.2} ns ({recorder_vs_collector_x:.2}x)"
+    );
+
+    // Guard 1: with the recorder compiled in but idle, spans still cost
+    // within 2x of the no-op loop (0.5 ns floor against clock resolution).
+    assert!(
+        idle_span_ns <= 2.0 * baseline_ns.max(0.5),
+        "idle span overhead {idle_span_ns:.2} ns exceeds 2x baseline {baseline_ns:.2} ns"
+    );
+    // Guard 2: the lock-free ring write stays within 2x of the collector
+    // path it shadows — the flight recorder must never be the slow sink.
+    assert!(
+        recorder_span_ns <= 2.0 * collector_span_ns.max(0.5),
+        "recorder span {recorder_span_ns:.2} ns exceeds 2x collector span {collector_span_ns:.2} ns"
+    );
+
+    RecorderOverhead {
+        baseline_ns,
+        idle_span_ns,
+        idle_overhead_x,
+        recorder_span_ns,
+        collector_span_ns,
+        recorder_vs_collector_x,
+    }
+}
+
+fn main() {
+    let samples = env_count("TGI_OBS_SAMPLES", 10_000_000);
+    let iters = env_count("TGI_OBS_ITERS", 2_000_000);
+    let n_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    eprintln!("obs: {samples} detector samples, {iters} span iters, {n_threads} thread(s)");
+
+    let detector = detector_throughput(samples);
+    assert!(
+        detector.samples_per_s >= 1e6,
+        "detector {:.2} Msamples/s below the 1 Msamples/s floor",
+        detector.samples_per_s / 1e6
+    );
+
+    let quantile = quantile_accuracy(samples.min(200_000));
+    let recorder = recorder_overhead(iters);
+
+    let report = ObsReport {
+        machine: Machine { available_parallelism: n_threads },
+        detector,
+        quantile,
+        recorder,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = output_path();
+    std::fs::write(&path, json + "\n").expect("report file writable");
+    eprintln!("obs: wrote {}", path.display());
+}

@@ -105,10 +105,11 @@ fn main() {
     let json = serde_json::to_string_pretty(&bench).expect("serialize report");
     std::fs::write(&path, json + "\n").expect("write bench report");
     eprintln!(
-        "server_load: {:.0} rps, p50 {:.0}us, p99 {:.0}us -> {}",
+        "server_load: {:.0} rps, p50 {:.0}us, p99 {:.0}us, p999 {:.0}us -> {}",
         bench.load.rps,
         bench.load.p50_us,
         bench.load.p99_us,
+        bench.load.p999_us,
         path.display()
     );
 }

@@ -27,11 +27,14 @@
 
 use crate::report::csv_field;
 use cluster_sim::{ClusterSpec, ExecutionEngine, MemoizedEngine, Workload};
+use power_model::{AnomalyConfig, AnomalyCounts, AnomalyKind};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
+use std::time::Instant;
 use tgi_core::evaluator::{EvalScratch, TgiEvaluator};
 use tgi_core::{MeanKind, Ranking, ReferenceSystem, TgiError, Weighting};
+use tgi_telemetry::{QuantileHistogram, QuantileSummary};
 
 /// One fleet member: a memoizing engine plus the scale it runs at.
 #[derive(Debug)]
@@ -61,13 +64,37 @@ struct FleetSuite {
 /// let table = sweep.run(&system_g_reference()).unwrap();
 /// println!("{}", table.green500_ranking(0, 0, 0).unwrap());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FleetSweep {
     systems: Vec<FleetSystem>,
     names: Vec<String>,
     suites: Vec<FleetSuite>,
     weightings: Vec<Weighting>,
     means: Vec<MeanKind>,
+    /// When set, every (system, suite) point's metered traces are scanned
+    /// post-hoc and the per-point [`AnomalyCounts`] ride in the table.
+    anomaly_scan: Option<AnomalyConfig>,
+    /// Wall time of every point evaluation, across all runs of this sweep.
+    /// Timing is wall-clock (nondeterministic), so it lives on the sweep —
+    /// never in the bit-compared [`FleetTable`].
+    cell_latency: QuantileHistogram,
+}
+
+/// Relative-error bound for the sweep's cell-latency sketch (1%).
+const LATENCY_SKETCH_ALPHA: f64 = 0.01;
+
+impl Default for FleetSweep {
+    fn default() -> Self {
+        FleetSweep {
+            systems: Vec::new(),
+            names: Vec::new(),
+            suites: Vec::new(),
+            weightings: Vec::new(),
+            means: Vec::new(),
+            anomaly_scan: None,
+            cell_latency: QuantileHistogram::new(LATENCY_SKETCH_ALPHA),
+        }
+    }
 }
 
 impl FleetSweep {
@@ -110,6 +137,16 @@ impl FleetSweep {
         self
     }
 
+    /// Scans every (system, suite) point's metered traces for power
+    /// anomalies after scoring; the per-point tallies ride in the
+    /// resulting [`FleetTable`] (see [`FleetTable::anomaly_counts`]).
+    /// The simulated traces are deterministic, so the tallies are too —
+    /// parallel and sequential runs still match bitwise.
+    pub fn scan_anomalies(mut self, config: AnomalyConfig) -> Self {
+        self.anomaly_scan = Some(config);
+        self
+    }
+
     /// The paper's §III axes: four weighting schemes × three mean kinds.
     pub fn paper_axes(self) -> Self {
         self.weightings(&[
@@ -148,6 +185,16 @@ impl FleetSweep {
         self.systems.iter().map(|s| s.engine.duplicate_simulations()).sum()
     }
 
+    /// Wall-time quantiles of every point evaluation so far, in seconds —
+    /// cumulative over all [`FleetSweep::run`] / [`FleetSweep::run_sequential`]
+    /// calls on this sweep. A warm second run's p50 collapsing toward the
+    /// cache-hit cost is the memoization showing up as an SLO-style number.
+    /// Timing is nondeterministic, so it is exposed here and never stored
+    /// in the bit-compared [`FleetTable`].
+    pub fn cell_latency(&self) -> QuantileSummary {
+        self.cell_latency.summary()
+    }
+
     fn check_axes(&self) -> Result<(), TgiError> {
         if self.systems.is_empty()
             || self.suites.is_empty()
@@ -172,10 +219,20 @@ impl FleetSweep {
         scratch: &mut EvalScratch,
         out: &mut Vec<f64>,
     ) -> Result<(), TgiError> {
+        let started = Instant::now();
         let system = &self.systems[point / self.suites.len()];
         let suite = &self.suites[point % self.suites.len()];
         let measurements = system.engine.suite_measurements(&suite.workloads, system.cores);
-        evaluator.evaluate_cells_into(&measurements, &self.weightings, &self.means, scratch, out)
+        let result = evaluator.evaluate_cells_into(
+            &measurements,
+            &self.weightings,
+            &self.means,
+            scratch,
+            out,
+        );
+        // The sketch is `&self` and lock-free, so workers share it directly.
+        self.cell_latency.observe(started.elapsed().as_secs_f64());
+        result
     }
 
     /// Evaluates the fleet in parallel over the rayon shim. Bit-identical
@@ -242,7 +299,34 @@ impl FleetSweep {
         Ok(self.table(reference, values))
     }
 
+    /// Tallies anomaly events over every metered trace of one (system,
+    /// suite) point. Runs against the warm memo cache (the sweep already
+    /// simulated every point), and the simulated traces are deterministic,
+    /// so the tallies are identical at any thread count.
+    fn scan_point(&self, config: AnomalyConfig, point: usize) -> AnomalyCounts {
+        let system = &self.systems[point / self.suites.len()];
+        let suite = &self.suites[point % self.suites.len()];
+        let runs = system.engine.run_suite(&suite.workloads, system.cores);
+        let mut counts = AnomalyCounts::default();
+        for run in runs.iter() {
+            for event in power_model::anomaly::scan(&run.trace, config) {
+                match event.kind {
+                    AnomalyKind::Spike => counts.spikes += 1,
+                    AnomalyKind::Drift => counts.drifts += 1,
+                    AnomalyKind::Dropout => counts.dropouts += 1,
+                }
+            }
+        }
+        counts
+    }
+
     fn table(&self, reference: &ReferenceSystem, values: Vec<f64>) -> FleetTable {
+        let points = self.systems.len() * self.suites.len();
+        let anomalies = self.anomaly_scan.map(|config| {
+            let _span =
+                tgi_telemetry::span_cat("fleet.scan_anomalies", "harness").field("points", points);
+            (0..points).map(|p| self.scan_point(config, p)).collect()
+        });
         FleetTable {
             reference_name: reference.name().to_string(),
             systems: self.names.clone(),
@@ -253,6 +337,7 @@ impl FleetSweep {
             weightings: self.weightings.clone(),
             means: self.means.clone(),
             values,
+            anomalies,
         }
     }
 }
@@ -271,6 +356,12 @@ pub struct FleetTable {
     weightings: Vec<Weighting>,
     means: Vec<MeanKind>,
     values: Vec<f64>,
+    /// Per-(system, suite) anomaly tallies, point-major like `values` —
+    /// present only when the sweep ran with [`FleetSweep::scan_anomalies`].
+    /// Defaulted on deserialize so tables written before the observability
+    /// plane still load.
+    #[serde(default)]
+    anomalies: Option<Vec<AnomalyCounts>>,
 }
 
 impl FleetTable {
@@ -318,6 +409,35 @@ impl FleetTable {
     /// The flat value block, row-major `[system][suite][weighting][mean]`.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// The flat per-point anomaly block (`[system][suite]`), when the
+    /// sweep scanned for anomalies.
+    pub fn anomalies(&self) -> Option<&[AnomalyCounts]> {
+        self.anomalies.as_deref()
+    }
+
+    /// Anomaly tallies for one (system, suite) point, `None` unless the
+    /// sweep ran with [`FleetSweep::scan_anomalies`].
+    ///
+    /// # Panics
+    /// Panics if an index is out of range on its axis.
+    pub fn anomaly_counts(&self, system: usize, suite: usize) -> Option<AnomalyCounts> {
+        assert!(system < self.systems.len(), "system index {system} out of range");
+        assert!(suite < self.suites.len(), "suite index {suite} out of range");
+        self.anomalies.as_ref().map(|a| a[system * self.suites.len() + suite])
+    }
+
+    /// Anomaly tallies summed over the whole fleet, `None` unless the
+    /// sweep scanned for anomalies.
+    pub fn total_anomalies(&self) -> Option<AnomalyCounts> {
+        self.anomalies.as_ref().map(|a| {
+            let mut total = AnomalyCounts::default();
+            for counts in a {
+                total.absorb(*counts);
+            }
+            total
+        })
     }
 
     /// Total number of cells.
@@ -515,6 +635,64 @@ mod tests {
         let json = serde_json::to_string(&table).unwrap();
         let back: FleetTable = serde_json::from_str(&json).unwrap();
         assert_eq!(back, table);
+    }
+
+    #[test]
+    fn anomaly_scan_is_deterministic_and_optional() {
+        let reference = system_g_reference();
+        // Without the builder call the table carries no anomaly block.
+        let plain = small_sweep(3).run(&reference).unwrap();
+        assert!(plain.anomalies().is_none());
+        assert!(plain.anomaly_counts(0, 0).is_none());
+        assert!(plain.total_anomalies().is_none());
+
+        let sweep = small_sweep(3).scan_anomalies(power_model::AnomalyConfig::default());
+        let sequential = sweep.run_sequential(&reference).unwrap();
+        let scanned = sequential.anomalies().expect("scan requested");
+        assert_eq!(scanned.len(), 3, "one tally per (system, suite) point");
+        // Steady simulated runs with meter jitter are anomaly-free; the
+        // scan must not hallucinate events on clean fleet traces.
+        let total = sequential.total_anomalies().unwrap();
+        assert_eq!(total, AnomalyCounts::default(), "clean fleet flagged: {total:?}");
+        // Parallel runs produce the identical table, anomalies included.
+        for threads in [1, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let parallel = pool.install(|| sweep.run(&reference)).unwrap();
+            assert_eq!(parallel, sequential, "thread count {threads} changed the table");
+        }
+    }
+
+    #[test]
+    fn anomaly_block_survives_serde_and_old_tables_default() {
+        let table = small_sweep(2)
+            .scan_anomalies(power_model::AnomalyConfig::default())
+            .run(&system_g_reference())
+            .unwrap();
+        let json = serde_json::to_string(&table).unwrap();
+        assert!(json.contains("\"anomalies\""), "{json}");
+        let back: FleetTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, table);
+        // A pre-observability table (no `anomalies` key) still loads.
+        let legacy = serde_json::to_string(&small_sweep(2).run(&system_g_reference()).unwrap())
+            .unwrap()
+            .replace(",\"anomalies\":null", "");
+        assert!(!legacy.contains("anomalies"), "{legacy}");
+        let old: FleetTable = serde_json::from_str(&legacy).unwrap();
+        assert!(old.anomalies().is_none());
+    }
+
+    #[test]
+    fn cell_latency_tracks_every_point_evaluation() {
+        let sweep = small_sweep(4);
+        let reference = system_g_reference();
+        assert_eq!(sweep.cell_latency().count, 0);
+        sweep.run_sequential(&reference).unwrap();
+        let cold = sweep.cell_latency();
+        assert_eq!(cold.count, 4, "one observation per (system, suite) point");
+        assert!(cold.sum >= 0.0 && cold.p99 >= cold.p50);
+        // A warm parallel run adds four more observations.
+        sweep.run(&reference).unwrap();
+        assert_eq!(sweep.cell_latency().count, 8);
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //!   (selection-based, with a reusable sorted cache), idle estimation,
 //!   two-pointer moving averages, monotonic-deque sliding extrema, and
 //!   phase segmentation with per-phase energy from the prefix index.
+//! * [`anomaly`] — online detectors over streaming watts: robust-z
+//!   spikes, fast-vs-slow EWMA drift, and flatline/time-gap dropouts,
+//!   O(1) state per stream and scannable post-hoc over stored traces.
 //! * [`fleet`] — many labeled traces summarized in parallel over the
 //!   workspace thread pool ([`fleet::TraceSet`]).
 //! * [`sampler`] — a background thread that samples a live power source
@@ -45,6 +48,7 @@
 
 pub mod accelerator;
 pub mod analysis;
+pub mod anomaly;
 pub mod components;
 pub mod cooling;
 pub mod dvfs;
@@ -61,6 +65,7 @@ pub mod utilization;
 
 pub use accelerator::AcceleratorPower;
 pub use analysis::PercentileCache;
+pub use anomaly::{AnomalyConfig, AnomalyCounts, AnomalyDetector, AnomalyEvent, AnomalyKind};
 pub use components::{BaseboardPower, CpuPower, DiskPower, MemoryPower, NicPower};
 pub use cooling::CoolingModel;
 pub use dvfs::{FrontierPoint, GovernorModel, RaceToIdleVerdict};

@@ -219,6 +219,18 @@ impl StoreBackedTrace {
     pub fn to_trace(&self) -> Result<PowerTrace, StoreError> {
         PowerTrace::from_store(&self.store)
     }
+
+    /// Scans a window of the stored trace (the whole trace when a bound
+    /// is `None`) with a fresh [`crate::anomaly::AnomalyDetector`] — the
+    /// post-hoc query behind the server's `/traces/{node}/anomalies`.
+    pub fn scan_anomalies(
+        &self,
+        config: crate::anomaly::AnomalyConfig,
+        from: Option<f64>,
+        to: Option<f64>,
+    ) -> Result<Vec<crate::anomaly::AnomalyEvent>, StoreError> {
+        crate::anomaly::scan_stored(self, config, from, to)
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! CPU utilization from `/proc` (falling back to a constant on other
 //! platforms) and evaluating a [`NodePowerModel`] at it.
 
+use crate::anomaly::{AnomalyConfig, AnomalyDetector, AnomalyEvent};
 use crate::node::NodePowerModel;
 use crate::trace::PowerTrace;
 use crate::utilization::UtilizationSample;
@@ -19,6 +20,52 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tgi_core::Watts;
 use tgi_trace_store::{StoreError, TraceStore};
+
+/// Inline anomaly watching for a sampler thread: every sample flows
+/// through an [`AnomalyDetector`], closed events become telemetry
+/// instants (`power.anomaly`) plus the `tgi_power_anomalies_total`
+/// counter, and the full event list rides back on `stop`.
+struct SampleWatch {
+    detector: AnomalyDetector,
+    events: Vec<AnomalyEvent>,
+    scratch: Vec<AnomalyEvent>,
+}
+
+impl SampleWatch {
+    fn new(config: Option<AnomalyConfig>) -> Option<Self> {
+        config.map(|c| SampleWatch {
+            detector: AnomalyDetector::new(c),
+            events: Vec::new(),
+            scratch: Vec::new(),
+        })
+    }
+
+    fn push(&mut self, t: f64, watts: f64) {
+        self.detector.push(t, watts, &mut self.scratch);
+        self.publish();
+    }
+
+    fn finish(mut self) -> Vec<AnomalyEvent> {
+        self.detector.finish(&mut self.scratch);
+        self.publish();
+        self.events
+    }
+
+    fn publish(&mut self) {
+        for event in self.scratch.drain(..) {
+            if tgi_telemetry::enabled() {
+                tgi_telemetry::counter!("tgi_power_anomalies_total").inc();
+            }
+            tgi_telemetry::instant("power.anomaly")
+                .field("kind", event.kind.label())
+                .field("start", event.start)
+                .field("end", event.end)
+                .field("severity", event.severity)
+                .end();
+            self.events.push(event);
+        }
+    }
+}
 
 /// Something whose instantaneous power can be polled.
 pub trait PowerSource: Send + Sync {
@@ -121,12 +168,24 @@ fn process_cpu_seconds() -> Option<f64> {
 /// A sampler thread recording a [`PowerSource`] at a fixed interval.
 pub struct BackgroundSampler {
     stop: Sender<()>,
-    handle: JoinHandle<PowerTrace>,
+    handle: JoinHandle<(PowerTrace, Vec<AnomalyEvent>)>,
 }
 
 impl BackgroundSampler {
     /// Starts sampling `source` every `interval`.
     pub fn start(source: Arc<dyn PowerSource>, interval: Duration) -> Self {
+        Self::start_watched(source, interval, None)
+    }
+
+    /// Starts sampling with an inline [`AnomalyDetector`] when `watch` is
+    /// set: every sample is screened as it is recorded, closed anomalies
+    /// are emitted as `power.anomaly` telemetry instants immediately, and
+    /// [`Self::stop_with_anomalies`] returns the full list.
+    pub fn start_watched(
+        source: Arc<dyn PowerSource>,
+        interval: Duration,
+        watch: Option<AnomalyConfig>,
+    ) -> Self {
         assert!(interval > Duration::ZERO, "sampling interval must be positive");
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let handle = std::thread::spawn(move || {
@@ -135,20 +194,27 @@ impl BackgroundSampler {
             // Pre-size all four SoA columns; typical native runs take a few
             // seconds at millisecond intervals.
             let mut trace = PowerTrace::with_capacity(256);
+            let mut watch = SampleWatch::new(watch);
             let start = Instant::now();
             let mut last_sample = Instant::now();
-            trace.push(0.0, source.power_now());
-            if tgi_telemetry::enabled() {
-                tgi_telemetry::counter!("tgi_sampler_samples_total").inc();
-            }
+            let sample = |trace: &mut PowerTrace, watch: &mut Option<SampleWatch>, t: f64| {
+                let w = source.power_now();
+                trace.push(t, w);
+                if let Some(watch) = watch {
+                    watch.push(t, w.value());
+                }
+                if tgi_telemetry::enabled() {
+                    tgi_telemetry::counter!("tgi_sampler_samples_total").inc();
+                }
+            };
+            sample(&mut trace, &mut watch, 0.0);
             loop {
                 // Wait for the interval or a stop signal, whichever first.
                 if stop_rx.recv_timeout(interval).is_ok() {
                     break;
                 }
-                trace.push(start.elapsed().as_secs_f64(), source.power_now());
+                sample(&mut trace, &mut watch, start.elapsed().as_secs_f64());
                 if tgi_telemetry::enabled() {
-                    tgi_telemetry::counter!("tgi_sampler_samples_total").inc();
                     // An overrun means the cadence slipped: the gap since the
                     // previous sample spans what should have been 2+ samples,
                     // so the trace under-resolves the power curve there.
@@ -163,18 +229,23 @@ impl BackgroundSampler {
                 last_sample = Instant::now();
             }
             // Final sample so the trace covers the full duration.
-            trace.push(start.elapsed().as_secs_f64(), source.power_now());
-            if tgi_telemetry::enabled() {
-                tgi_telemetry::counter!("tgi_sampler_samples_total").inc();
-            }
+            sample(&mut trace, &mut watch, start.elapsed().as_secs_f64());
             session_span.field("samples", trace.len()).end();
-            trace
+            let anomalies = watch.map(SampleWatch::finish).unwrap_or_default();
+            (trace, anomalies)
         });
         BackgroundSampler { stop: stop_tx, handle }
     }
 
     /// Stops sampling and returns the recorded trace.
     pub fn stop(self) -> PowerTrace {
+        self.stop_with_anomalies().0
+    }
+
+    /// Stops sampling and returns the trace plus the anomalies the inline
+    /// detector flagged (always empty without
+    /// [`Self::start_watched`]'s config).
+    pub fn stop_with_anomalies(self) -> (PowerTrace, Vec<AnomalyEvent>) {
         let _ = self.stop.send(());
         self.handle.join().expect("sampler thread must not panic")
     }
@@ -187,7 +258,18 @@ impl BackgroundSampler {
     pub fn start_streaming(
         source: Arc<dyn PowerSource>,
         interval: Duration,
+        store: TraceStore,
+    ) -> StreamingSampler {
+        Self::start_streaming_watched(source, interval, store, None)
+    }
+
+    /// [`Self::start_streaming`] with an inline [`AnomalyDetector`] when
+    /// `watch` is set (see [`Self::start_watched`] for the semantics).
+    pub fn start_streaming_watched(
+        source: Arc<dyn PowerSource>,
+        interval: Duration,
         mut store: TraceStore,
+        watch: Option<AnomalyConfig>,
     ) -> StreamingSampler {
         assert!(interval > Duration::ZERO, "sampling interval must be positive");
         let (stop_tx, stop_rx) = bounded::<()>(1);
@@ -197,9 +279,13 @@ impl BackgroundSampler {
             // Streamed timestamps continue from the store's last sample so
             // resumed captures stay monotone.
             let offset = store.time_bounds().map(|(_, last)| last).unwrap_or(0.0);
+            let mut watch = SampleWatch::new(watch);
             let start = Instant::now();
-            let append = |store: &mut TraceStore, t: f64, w: Watts| {
+            let mut append = |store: &mut TraceStore, t: f64, w: Watts| {
                 store.append(offset + t, w.value().max(0.0))?;
+                if let Some(watch) = &mut watch {
+                    watch.push(offset + t, w.value().max(0.0));
+                }
                 if tgi_telemetry::enabled() {
                     tgi_telemetry::counter!("tgi_sampler_samples_total").inc();
                 }
@@ -219,7 +305,8 @@ impl BackgroundSampler {
                     .and_then(|()| store.sync());
             }
             session_span.field("samples", store.len()).end();
-            result.map(|()| store)
+            let anomalies = watch.map(SampleWatch::finish).unwrap_or_default();
+            result.map(|()| (store, anomalies))
         });
         StreamingSampler { stop: stop_tx, handle }
     }
@@ -229,13 +316,20 @@ impl BackgroundSampler {
 /// [`BackgroundSampler::start_streaming`]).
 pub struct StreamingSampler {
     stop: Sender<()>,
-    handle: JoinHandle<Result<TraceStore, StoreError>>,
+    handle: JoinHandle<Result<(TraceStore, Vec<AnomalyEvent>), StoreError>>,
 }
 
 impl StreamingSampler {
     /// Stops sampling and returns the store, synced through the last
     /// sample (or the store error that aborted the capture).
     pub fn stop(self) -> Result<TraceStore, StoreError> {
+        self.stop_with_anomalies().map(|(store, _)| store)
+    }
+
+    /// Stops sampling and returns the store plus the anomalies the inline
+    /// detector flagged (always empty without
+    /// [`BackgroundSampler::start_streaming_watched`]'s config).
+    pub fn stop_with_anomalies(self) -> Result<(TraceStore, Vec<AnomalyEvent>), StoreError> {
         let _ = self.stop.send(());
         self.handle.join().expect("sampler thread must not panic")
     }
@@ -297,6 +391,68 @@ mod tests {
             .unwrap();
         assert_eq!(store.len(), n);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A source whose output is a pure function of how many times it has
+    /// been polled: noisy 200 W base with a 900 W burst at polls
+    /// 300..=302. Timing-independent, so anomaly assertions are exact.
+    struct ScriptedSource(std::sync::atomic::AtomicUsize);
+
+    impl ScriptedSource {
+        fn polls(&self) -> usize {
+            self.0.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    impl PowerSource for ScriptedSource {
+        fn power_now(&self) -> Watts {
+            let n = self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if (300..=302).contains(&n) {
+                return Watts::new(900.0);
+            }
+            // Deterministic quantized noise, ±2 W around 200 W.
+            let mut z = (n as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+            Watts::new(200.0 + ((u * 4.0 - 2.0) * 10.0).round() / 10.0)
+        }
+    }
+
+    #[test]
+    fn watched_sampler_flags_injected_spike_and_nothing_else() {
+        let source = Arc::new(ScriptedSource(std::sync::atomic::AtomicUsize::new(0)));
+        let sampler = BackgroundSampler::start_watched(
+            Arc::clone(&source) as Arc<dyn PowerSource>,
+            Duration::from_micros(200),
+            Some(crate::anomaly::AnomalyConfig::default()),
+        );
+        while source.polls() < 500 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (trace, anomalies) = sampler.stop_with_anomalies();
+        assert!(trace.len() >= 500);
+        let spikes: Vec<_> =
+            anomalies.iter().filter(|e| e.kind == crate::anomaly::AnomalyKind::Spike).collect();
+        assert_eq!(spikes.len(), 1, "exactly the injected burst: {anomalies:?}");
+        assert!((spikes[0].value - 900.0).abs() < 1e-9);
+        assert!(
+            anomalies.iter().all(|e| e.kind != crate::anomaly::AnomalyKind::Drift),
+            "a level spike must not read as drift: {anomalies:?}"
+        );
+        // Gap dropouts are tolerated here: wall-clock scheduling jitter
+        // on a loaded machine can legitimately stretch the cadence.
+        assert!(
+            anomalies
+                .iter()
+                .all(|e| e.kind == crate::anomaly::AnomalyKind::Spike || e.samples == 0),
+            "only timing gaps may accompany the spike: {anomalies:?}"
+        );
+        // The unwatched API still works and reports nothing.
+        let sampler =
+            BackgroundSampler::start(Arc::new(ConstantSource(100.0)), Duration::from_millis(5));
+        let (_, anomalies) = sampler.stop_with_anomalies();
+        assert!(anomalies.is_empty());
     }
 
     #[test]

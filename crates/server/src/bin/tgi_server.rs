@@ -8,7 +8,8 @@ use tgi_server::{Server, ServerConfig};
 
 const USAGE: &str = "\
 usage: tgi-server [--addr HOST:PORT] [--workers N] [--shards N]
-                  [--queue N] [--data-dir PATH] [--duration SECONDS] [--help]
+                  [--queue N] [--data-dir PATH] [--duration SECONDS]
+                  [--flight-recorder N] [--no-flight-recorder] [--help]
 
 Serves the TGI evaluation + metrics API over HTTP/1.1 (std::net).
 
@@ -22,16 +23,22 @@ options:
                       recovered on startup    (default: in-memory only)
   --duration SECONDS  serve for a fixed time, then drain and exit
                       (default: serve until killed)
+  --flight-recorder N per-thread flight-recorder ring capacity, spans
+                      (default 4096)
+  --no-flight-recorder
+                      disable the always-on flight recorder
   -h, --help          print this help
 
 endpoints:
   POST /traces/{node}             ingest a validated sample batch
   GET  /traces                    list nodes
   GET  /traces/{node}/energy      indexed energy window (?from=&to=)
+  GET  /traces/{node}/anomalies   post-hoc anomaly scan (?from=&to=)
   GET  /fleet/summary             parallel fleet statistics
   POST /evaluate                  score a measurement suite (TGI)
-  GET  /metrics                   Prometheus exposition
-  GET  /healthz                   liveness probe (+ store status)
+  GET  /metrics                   Prometheus exposition (+ SLO burn rates)
+  GET  /debug/flight              flight-recorder dump (Chrome trace JSON)
+  GET  /healthz                   liveness probe (store/anomaly/SLO status)
 ";
 
 fn parse_error(msg: &str) -> ! {
@@ -45,7 +52,14 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut config = ServerConfig { addr: "127.0.0.1:7070".to_string(), ..ServerConfig::default() };
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7070".to_string(),
+        // The binary keeps the flight recorder on by default: ~4096
+        // spans/thread of bounded memory buys a crash/overload black box
+        // (`/debug/flight`, panic hook, 429-storm dumps).
+        flight_recorder_capacity: Some(4096),
+        ..ServerConfig::default()
+    };
     let mut duration = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +84,11 @@ fn parse_args() -> Args {
             "--data-dir" => {
                 config.data_dir = Some(std::path::PathBuf::from(value_of("--data-dir")));
             }
+            "--flight-recorder" => {
+                let n = parse_count("--flight-recorder", &value_of("--flight-recorder"));
+                config.flight_recorder_capacity = Some(n);
+            }
+            "--no-flight-recorder" => config.flight_recorder_capacity = None,
             "--duration" => {
                 let raw = value_of("--duration");
                 match raw.parse::<f64>() {
@@ -95,6 +114,14 @@ fn main() {
     // Install the global collector so `/metrics` reports live counters and
     // request spans are recorded (no-op when built without telemetry).
     tgi_telemetry::install();
+    // A panicking server leaves its last moments on disk: the hook dumps
+    // the flight recorder before unwinding.
+    if args.config.flight_recorder_capacity.is_some() {
+        tgi_telemetry::recorder::install_panic_hook(
+            std::env::temp_dir()
+                .join(format!("tgi_server_flight_panic_{}.json", std::process::id())),
+        );
+    }
     let reference = tgi_harness::experiments::system_g_reference();
     let mut server = match Server::start(args.config, reference) {
         Ok(s) => s,

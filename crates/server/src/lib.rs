@@ -28,9 +28,11 @@ pub mod http;
 pub mod load;
 pub mod queue;
 pub mod server;
+pub mod slo;
 pub mod state;
 
 pub use client::{Client, ClientError, ClientResponse};
 pub use load::{LoadConfig, LoadReport};
 pub use server::{Server, ServerStats};
+pub use slo::{Endpoint, EndpointSloStatus, SloTracker};
 pub use state::{ServerConfig, ServerState};

@@ -10,6 +10,12 @@ use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tgi_telemetry::QuantileHistogram;
+
+/// Relative error of the latency sketch: 1% keeps a 10ms p99 exact to
+/// ~100µs while the whole run needs a few KB instead of a latency `Vec`
+/// per request.
+const LATENCY_SKETCH_ALPHA: f64 = 0.01;
 
 /// Load-run parameters.
 #[derive(Debug, Clone)]
@@ -58,6 +64,8 @@ pub struct LoadReport {
     pub p50_us: f64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: f64,
+    /// 99.9th-percentile request latency, microseconds.
+    pub p999_us: f64,
     /// Slowest request, microseconds.
     pub max_us: f64,
 }
@@ -75,7 +83,7 @@ fn run_client(
     config: &LoadConfig,
     client_id: usize,
     counters: &Counters,
-    latencies: &mut Vec<u64>,
+    latencies: &QuantileHistogram,
 ) {
     let timeout = Duration::from_secs(10);
     let mut client = match Client::connect(&config.addr, timeout) {
@@ -117,7 +125,7 @@ fn run_client(
         let started = Instant::now();
         match client.request(method, &path, &body) {
             Ok(response) => {
-                latencies.push(started.elapsed().as_micros() as u64);
+                latencies.observe(started.elapsed().as_micros() as f64);
                 match response.status {
                     200 => {
                         counters.ok.fetch_add(1, Ordering::Relaxed);
@@ -159,14 +167,6 @@ fn run_client(
     }
 }
 
-fn percentile(sorted: &[u64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)] as f64
-}
-
 /// Runs the workload and aggregates latencies across every client.
 pub fn run(config: &LoadConfig) -> LoadReport {
     let counters = Arc::new(Counters {
@@ -186,19 +186,18 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                 .name(format!("tgi-load-{client_id}"))
                 .stack_size(128 * 1024)
                 .spawn(move || {
-                    let mut latencies = Vec::with_capacity(config.requests_per_client);
-                    run_client(&config, client_id, &counters, &mut latencies);
+                    let latencies = QuantileHistogram::new(LATENCY_SKETCH_ALPHA);
+                    run_client(&config, client_id, &counters, &latencies);
                     latencies
                 })
                 .expect("spawn load client")
         })
         .collect();
-    let mut latencies: Vec<u64> = Vec::new();
+    let latencies = QuantileHistogram::new(LATENCY_SKETCH_ALPHA);
     for handle in handles {
-        latencies.extend(handle.join().expect("load client panicked"));
+        latencies.merge(&handle.join().expect("load client panicked"));
     }
     let wall_s = started.elapsed().as_secs_f64();
-    latencies.sort_unstable();
     let completed = counters.ok.load(Ordering::Relaxed) + counters.failed.load(Ordering::Relaxed);
     LoadReport {
         clients: config.clients,
@@ -209,8 +208,9 @@ pub fn run(config: &LoadConfig) -> LoadReport {
         transport_errors: counters.transport.load(Ordering::Relaxed),
         wall_s,
         rps: if wall_s > 0.0 { completed as f64 / wall_s } else { 0.0 },
-        p50_us: percentile(&latencies, 0.50),
-        p99_us: percentile(&latencies, 0.99),
-        max_us: latencies.last().copied().unwrap_or(0) as f64,
+        p50_us: latencies.quantile(0.50).unwrap_or(0.0),
+        p99_us: latencies.quantile(0.99).unwrap_or(0.0),
+        p999_us: latencies.quantile(0.999).unwrap_or(0.0),
+        max_us: latencies.max().unwrap_or(0.0),
     }
 }

@@ -132,12 +132,66 @@ impl Drop for Server {
     }
 }
 
+/// Detects a 429 storm on the acceptor thread: when rejections exceed
+/// [`StormTrigger::THRESHOLD`] within one second, the flight recorder
+/// dumps itself so the moments *leading into* the overload are captured
+/// while they are still in the rings. Dumps are rate-limited and written
+/// off-thread — the acceptor never blocks on disk.
+struct StormTrigger {
+    window_start: Instant,
+    rejections: u32,
+    last_dump: Option<Instant>,
+}
+
+impl StormTrigger {
+    /// Rejections within one second that count as a storm.
+    const THRESHOLD: u32 = 100;
+    /// Minimum spacing between automatic dumps.
+    const COOLDOWN: Duration = Duration::from_secs(60);
+
+    fn new() -> Self {
+        StormTrigger { window_start: Instant::now(), rejections: 0, last_dump: None }
+    }
+
+    /// Notes one rejected connection; fires a dump when a storm is on.
+    fn note_rejection(&mut self) {
+        let now = Instant::now();
+        if now.duration_since(self.window_start) > Duration::from_secs(1) {
+            self.window_start = now;
+            self.rejections = 0;
+        }
+        self.rejections += 1;
+        if self.rejections < Self::THRESHOLD || !tgi_telemetry::recorder::active() {
+            return;
+        }
+        if let Some(last) = self.last_dump {
+            if now.duration_since(last) < Self::COOLDOWN {
+                return;
+            }
+        }
+        self.last_dump = Some(now);
+        self.rejections = 0;
+        let path =
+            std::env::temp_dir().join(format!("tgi_server_flight_429_{}.json", std::process::id()));
+        std::thread::Builder::new()
+            .name("tgi-flight-dump".to_string())
+            .spawn(move || match tgi_telemetry::recorder::write_dump(&path) {
+                Ok(()) => {
+                    eprintln!("tgi-server: 429 storm, flight recorder dumped to {}", path.display())
+                }
+                Err(e) => eprintln!("tgi-server: 429 storm, flight dump failed: {e}"),
+            })
+            .ok();
+    }
+}
+
 fn acceptor_loop(
     listener: &TcpListener,
     queue: &BoundedQueue<TcpStream>,
     stop: &AtomicBool,
     stats: &ServerStats,
 ) {
+    let mut storm = StormTrigger::new();
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -160,6 +214,7 @@ fn acceptor_loop(
                 if tgi_telemetry::enabled() {
                     tgi_telemetry::counter!("server_connections_rejected_total").inc();
                 }
+                storm.note_rejection();
                 reject_overloaded(stream);
             }
         }
@@ -207,7 +262,9 @@ fn serve_connection(state: &ServerState, stream: TcpStream, stats: &ServerStats)
             }
         };
         let started = Instant::now();
-        let mut response = if tgi_telemetry::enabled() {
+        // `recording()` covers the flight recorder too: request spans land
+        // in its ring even when no collector is installed.
+        let mut response = if tgi_telemetry::recording() {
             let span = tgi_telemetry::span_cat("server.request", "server")
                 .field("method", request.method.as_str())
                 .field("path", request.path.as_str());
@@ -217,10 +274,14 @@ fn serve_connection(state: &ServerState, stream: TcpStream, stats: &ServerStats)
         } else {
             state.handle(&request)
         };
+        // Latency lands in the per-endpoint SLO tracker (a log-linear
+        // quantile sketch — this replaced the old fixed-bucket
+        // `server_request_seconds` histogram, whose widest bucket hid
+        // everything between 100ms and 1s).
+        let endpoint = crate::slo::classify(&request.method, &request.path);
+        state.slo().record(endpoint, started.elapsed().as_secs_f64());
         if tgi_telemetry::enabled() {
             tgi_telemetry::counter!("server_requests_total").inc();
-            tgi_telemetry::histogram!("server_request_seconds", &[0.0001, 0.001, 0.01, 0.1, 1.0])
-                .observe(started.elapsed().as_secs_f64());
         }
         // Drain: finish this response, then close the session.
         let close = request.wants_close() || state.draining();

@@ -15,15 +15,19 @@
 //! nothing in this module panics on user input.
 
 use crate::http::{Request, Response};
+use crate::slo::SloTracker;
+use power_model::anomaly;
 use power_model::fleet::TraceSet;
-use power_model::{PowerTrace, StoreBackedTrace};
+use power_model::{
+    AnomalyConfig, AnomalyCounts, AnomalyDetector, AnomalyEvent, PowerTrace, StoreBackedTrace,
+};
 use serde::{Serialize, Value};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use tgi_core::evaluator::{EvalScratch, TgiEvaluator};
 use tgi_core::{MeanKind, Measurement, Perf, PerfUnit, ReferenceSystem, Seconds, Watts, Weighting};
@@ -50,6 +54,15 @@ pub struct ServerConfig {
     pub data_dir: Option<PathBuf>,
     /// Samples per sealed store chunk in `--data-dir` mode.
     pub store_chunk_samples: usize,
+    /// When set, the tgi-telemetry flight recorder is enabled at startup
+    /// with this per-thread ring capacity, and `GET /debug/flight` dumps
+    /// it. `None` leaves the process-global recorder untouched (tests
+    /// sharing a process must not fight over it; the `tgi-server` binary
+    /// turns it on).
+    pub flight_recorder_capacity: Option<usize>,
+    /// Detector tuning for the per-node online anomaly watch and the
+    /// post-hoc `GET /traces/{node}/anomalies` scans.
+    pub anomaly: AnomalyConfig,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +75,8 @@ impl Default for ServerConfig {
             max_body_bytes: 4 * 1024 * 1024,
             data_dir: None,
             store_chunk_samples: StoreConfig::default().chunk_samples,
+            flight_recorder_capacity: None,
+            anomaly: AnomalyConfig::default(),
         }
     }
 }
@@ -145,6 +160,47 @@ impl NodeTrace {
     }
 }
 
+/// Recent anomaly events kept live per node (older ones stay queryable
+/// post-hoc through the trace scan; this bound only caps hot memory).
+const RECENT_ANOMALIES: usize = 256;
+
+/// The online anomaly watch riding along a node's trace: one O(1)-state
+/// detector fed at ingest, plus a bounded deque of the most recent
+/// events for the health/anomaly endpoints.
+struct NodeWatch {
+    detector: AnomalyDetector,
+    recent: VecDeque<AnomalyEvent>,
+}
+
+impl NodeWatch {
+    fn new(config: AnomalyConfig) -> Self {
+        NodeWatch { detector: AnomalyDetector::new(config), recent: VecDeque::new() }
+    }
+
+    /// Feeds one validated batch through the detector; returns how many
+    /// anomaly events the batch closed.
+    fn observe_batch(&mut self, times: &[f64], watts: &[f64]) -> usize {
+        let mut events = Vec::new();
+        for (&t, &w) in times.iter().zip(watts) {
+            self.detector.push(t, w, &mut events);
+        }
+        let closed = events.len();
+        for event in events {
+            if self.recent.len() == RECENT_ANOMALIES {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(event);
+        }
+        closed
+    }
+}
+
+/// One node's full server-side state: the trace plus its anomaly watch.
+struct NodeEntry {
+    trace: NodeTrace,
+    watch: NodeWatch,
+}
+
 /// Where `--data-dir` mode keeps its per-node stores.
 struct StoreRoot {
     dir: PathBuf,
@@ -153,12 +209,17 @@ struct StoreRoot {
 
 /// The shared, thread-safe data plane behind every worker.
 pub struct ServerState {
-    shards: Vec<Mutex<HashMap<String, NodeTrace>>>,
+    shards: Vec<Mutex<HashMap<String, NodeEntry>>>,
     store: Option<StoreRoot>,
     evaluator: TgiEvaluator<'static>,
     scratch_pool: Mutex<Vec<EvalScratch>>,
     max_body_bytes: usize,
     draining: AtomicBool,
+    anomaly_config: AnomalyConfig,
+    /// Anomaly events closed by online detection since startup, across
+    /// every node (cheap aggregate for `/healthz`).
+    anomalies_detected: AtomicU64,
+    slo: SloTracker,
 }
 
 #[derive(Serialize)]
@@ -192,6 +253,21 @@ struct ListResponse {
     nodes: Vec<NodeInfo>,
     total_samples: usize,
     total_energy_j: f64,
+}
+
+#[derive(Serialize)]
+struct AnomaliesResponse {
+    node: String,
+    from: f64,
+    to: f64,
+    /// Events from the post-hoc scan over the requested window.
+    events: Vec<AnomalyEvent>,
+    /// Per-kind totals of `events`.
+    counts: AnomalyCounts,
+    /// Lifetime counts from the node's online detector (this process).
+    live: AnomalyCounts,
+    /// Most recent events the online detector closed (bounded buffer).
+    recent: Vec<AnomalyEvent>,
 }
 
 #[derive(Serialize)]
@@ -245,8 +321,11 @@ impl ServerState {
     /// partial fleet.
     pub fn new(config: &ServerConfig, reference: ReferenceSystem) -> io::Result<Self> {
         let reference: &'static ReferenceSystem = Box::leak(Box::new(reference));
+        if let Some(capacity) = config.flight_recorder_capacity {
+            tgi_telemetry::recorder::enable(capacity);
+        }
         let shard_count = config.shards.max(1);
-        let mut shards: Vec<Mutex<HashMap<String, NodeTrace>>> =
+        let mut shards: Vec<Mutex<HashMap<String, NodeEntry>>> =
             (0..shard_count).map(|_| Mutex::new(HashMap::new())).collect();
         let store = match &config.data_dir {
             None => None,
@@ -272,10 +351,19 @@ impl ServerState {
                                 format!("recovering store for node `{name}`: {e}"),
                             )
                         })?;
+                    // Recovered nodes restart their online detector from
+                    // a clean slate; history stays queryable through the
+                    // post-hoc scan over the store.
                     shards[shard_index(&name, shard_count)]
                         .get_mut()
                         .expect("shard poisoned")
-                        .insert(name, NodeTrace::Stored(backed));
+                        .insert(
+                            name,
+                            NodeEntry {
+                                trace: NodeTrace::Stored(backed),
+                                watch: NodeWatch::new(config.anomaly),
+                            },
+                        );
                 }
                 Some(StoreRoot { dir: dir.clone(), config: store_config })
             }
@@ -287,7 +375,16 @@ impl ServerState {
             scratch_pool: Mutex::new(Vec::new()),
             max_body_bytes: config.max_body_bytes,
             draining: AtomicBool::new(false),
+            anomaly_config: config.anomaly,
+            anomalies_detected: AtomicU64::new(0),
+            slo: SloTracker::default(),
         })
+    }
+
+    /// The per-endpoint latency SLO tracker (workers record into it;
+    /// `/metrics` and `/healthz` report from it).
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
     }
 
     /// Largest accepted request body, bytes.
@@ -306,7 +403,7 @@ impl ServerState {
         self.draining.load(Ordering::SeqCst)
     }
 
-    fn shard(&self, node: &str) -> &Mutex<HashMap<String, NodeTrace>> {
+    fn shard(&self, node: &str) -> &Mutex<HashMap<String, NodeEntry>> {
         &self.shards[shard_index(node, self.shards.len())]
     }
 
@@ -319,11 +416,14 @@ impl ServerState {
             ("GET", ["traces"]) => self.list_traces(),
             ("POST", ["traces", node]) => self.ingest(node, &request.body),
             ("GET", ["traces", node, "energy"]) => self.energy(node, request),
+            ("GET", ["traces", node, "anomalies"]) => self.anomalies(node, request),
             ("GET", ["fleet", "summary"]) => self.fleet_summary(),
             ("POST", ["evaluate"]) => self.evaluate(&request.body),
+            ("GET", ["debug", "flight"]) => self.debug_flight(),
             // Known paths with the wrong verb get a 405, not a 404.
             (_, ["healthz"] | ["metrics"] | ["traces"] | ["evaluate"] | ["fleet", "summary"])
-            | (_, ["traces", _] | ["traces", _, "energy"]) => {
+            | (_, ["traces", _] | ["traces", _, "energy"] | ["traces", _, "anomalies"])
+            | (_, ["debug", "flight"]) => {
                 Response::error(405, &format!("method {} not allowed here", request.method))
             }
             _ => Response::error(404, &format!("no route for {}", request.path)),
@@ -334,11 +434,13 @@ impl ServerState {
         let mut nodes = 0usize;
         let mut chunks = 0u64;
         let mut disk_bytes = 0u64;
+        let mut anomaly_counts = AnomalyCounts::default();
         for shard in &self.shards {
             let shard = shard.lock().expect("shard poisoned");
             nodes += shard.len();
-            for trace in shard.values() {
-                if let NodeTrace::Stored(s) = trace {
+            for entry in shard.values() {
+                anomaly_counts.absorb(entry.watch.detector.counts());
+                if let NodeTrace::Stored(s) = &entry.trace {
                     chunks += s.store().sealed_chunks() as u64;
                     disk_bytes += s.store().disk_bytes();
                 }
@@ -350,12 +452,56 @@ impl ServerState {
             }
             None => "{\"enabled\":false}".to_string(),
         };
-        Response::json(200, format!("{{\"status\":\"ok\",\"nodes\":{nodes},\"store\":{store}}}"))
+        // Observability riders: online anomaly totals, SLO burn state,
+        // and the telemetry plane's own loss/retention counters.
+        let anomalies = format!(
+            "{{\"events\":{},\"spikes\":{},\"drifts\":{},\"dropouts\":{}}}",
+            self.anomalies_detected.load(Ordering::Relaxed),
+            anomaly_counts.spikes,
+            anomaly_counts.drifts,
+            anomaly_counts.dropouts,
+        );
+        let slo_status = self.slo.status();
+        let slo = format!(
+            "{{\"endpoints\":{},\"breaching\":{}}}",
+            slo_status.len(),
+            slo_status.iter().filter(|s| s.breaching).count(),
+        );
+        let recorder = tgi_telemetry::recorder::stats();
+        let telemetry = format!(
+            "{{\"dropped_events\":{},\"recorder\":{{\"active\":{},\"threads\":{},\
+             \"buffered\":{},\"skipped_writes\":{},\"dumps\":{}}}}}",
+            tgi_telemetry::metrics::snapshot()
+                .counter("tgi_telemetry_dropped_events_total")
+                .unwrap_or(0),
+            recorder.active,
+            recorder.threads,
+            recorder.buffered,
+            recorder.skipped_writes,
+            recorder.dumps,
+        );
+        Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"nodes\":{nodes},\"store\":{store},\
+                 \"anomalies\":{anomalies},\"slo\":{slo},\"telemetry\":{telemetry}}}"
+            ),
+        )
     }
 
     fn metrics(&self) -> Response {
         let snapshot = tgi_telemetry::metrics::snapshot();
-        Response::text(200, tgi_telemetry::export::prometheus(&snapshot))
+        let mut body = tgi_telemetry::export::prometheus(&snapshot);
+        self.slo.prometheus_append(&mut body);
+        Response::text(200, body)
+    }
+
+    /// `GET /debug/flight`: dumps the flight recorder's retained spans as
+    /// Chrome trace JSON (loadable in `chrome://tracing` / Perfetto).
+    /// Served even while the recorder is inactive — the dump is then the
+    /// events retained from when it last ran, or empty.
+    fn debug_flight(&self) -> Response {
+        Response::json(200, tgi_telemetry::recorder::dump_chrome())
     }
 
     /// `POST /traces/{node}`: appends a validated batch of samples to the
@@ -396,10 +542,15 @@ impl ServerState {
                     }
                 }
             };
-            shard.insert(node.to_string(), fresh);
+            shard.insert(
+                node.to_string(),
+                NodeEntry { trace: fresh, watch: NodeWatch::new(self.anomaly_config) },
+            );
         }
-        let trace = shard.get_mut(node).expect("just inserted");
-        if let (Some((_, last)), Some((first, _))) = (trace.time_bounds(), batch.time_bounds()) {
+        let entry = shard.get_mut(node).expect("just inserted");
+        if let (Some((_, last)), Some((first, _))) =
+            (entry.trace.time_bounds(), batch.time_bounds())
+        {
             if first < last {
                 return Response::error(
                     409,
@@ -412,14 +563,23 @@ impl ServerState {
         // Safe: the batch is validated, and its first timestamp does not
         // precede the trace's last, so the append invariants hold. In
         // stored mode the batch is durable (WAL fsynced) before the 200.
-        if let Err(e) = trace.append_batch(batch.times(), batch.watts()) {
+        if let Err(e) = entry.trace.append_batch(batch.times(), batch.watts()) {
             return Response::error(500, &format!("persisting batch for node `{node}`: {e}"));
+        }
+        // The acknowledged batch streams through the node's online
+        // detector; closed events become health/metrics markers.
+        let closed = entry.watch.observe_batch(batch.times(), batch.watts());
+        if closed > 0 {
+            self.anomalies_detected.fetch_add(closed as u64, Ordering::Relaxed);
+            if tgi_telemetry::enabled() {
+                tgi_telemetry::counter!("server_power_anomalies_total").add(closed as u64);
+            }
         }
         let response = IngestResponse {
             node: node.to_string(),
             appended: batch.len(),
-            samples: trace.len(),
-            energy_j: trace.energy_j(),
+            samples: entry.trace.len(),
+            energy_j: entry.trace.energy_j(),
         };
         if tgi_telemetry::enabled() {
             tgi_telemetry::counter!("server_samples_ingested_total").add(batch.len() as u64);
@@ -452,7 +612,7 @@ impl ServerState {
         };
         let shard = self.shard(node).lock().expect("shard poisoned");
         let trace = match shard.get(node) {
-            Some(t) => t,
+            Some(entry) => &entry.trace,
             None => return Response::error(404, &format!("unknown node `{node}`")),
         };
         let (first, last) = trace.time_bounds().unwrap_or((0.0, 0.0));
@@ -474,16 +634,82 @@ impl ServerState {
         json_response(200, &response)
     }
 
+    /// `GET /traces/{node}/anomalies?from=&to=`: a post-hoc detector scan
+    /// over the node's stored samples in `[from, to]` (the whole trace by
+    /// default), plus the live online counts. The scan replays a fresh
+    /// detector over the window, so anomalies are queryable long after
+    /// the online watch saw them — including over traces recovered from
+    /// disk by a later process.
+    fn anomalies(&self, node: &str, request: &Request) -> Response {
+        let parse_bound = |key: &str| -> Result<Option<f64>, Response> {
+            match request.query_value(key) {
+                None => Ok(None),
+                Some(raw) => match raw.parse::<f64>() {
+                    Ok(v) if v.is_finite() => Ok(Some(v)),
+                    _ => Err(Response::error(
+                        400,
+                        &format!("query parameter `{key}` must be a finite number, got `{raw}`"),
+                    )),
+                },
+            }
+        };
+        let from = match parse_bound("from") {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let to = match parse_bound("to") {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let shard = self.shard(node).lock().expect("shard poisoned");
+        let entry = match shard.get(node) {
+            Some(e) => e,
+            None => return Response::error(404, &format!("unknown node `{node}`")),
+        };
+        let events = match &entry.trace {
+            NodeTrace::Memory(t) => {
+                let window =
+                    t.window(from.unwrap_or(f64::NEG_INFINITY), to.unwrap_or(f64::INFINITY));
+                anomaly::scan(&window, self.anomaly_config)
+            }
+            NodeTrace::Stored(s) => match anomaly::scan_stored(s, self.anomaly_config, from, to) {
+                Ok(events) => events,
+                Err(e) => {
+                    return Response::error(500, &format!("anomaly scan for `{node}` failed: {e}"))
+                }
+            },
+        };
+        let mut counts = AnomalyCounts::default();
+        for event in &events {
+            match event.kind {
+                power_model::AnomalyKind::Spike => counts.spikes += 1,
+                power_model::AnomalyKind::Drift => counts.drifts += 1,
+                power_model::AnomalyKind::Dropout => counts.dropouts += 1,
+            }
+        }
+        let (first, last) = entry.trace.time_bounds().unwrap_or((0.0, 0.0));
+        let response = AnomaliesResponse {
+            node: node.to_string(),
+            from: from.unwrap_or(first),
+            to: to.unwrap_or(last),
+            events,
+            counts,
+            live: entry.watch.detector.counts(),
+            recent: entry.watch.recent.iter().copied().collect(),
+        };
+        json_response(200, &response)
+    }
+
     fn list_traces(&self) -> Response {
         let mut nodes: Vec<NodeInfo> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("shard poisoned");
-            for (name, trace) in shard.iter() {
+            for (name, entry) in shard.iter() {
                 nodes.push(NodeInfo {
                     node: name.clone(),
-                    samples: trace.len(),
-                    duration_s: trace.duration_s(),
-                    energy_j: trace.energy_j(),
+                    samples: entry.trace.len(),
+                    duration_s: entry.trace.duration_s(),
+                    energy_j: entry.trace.energy_j(),
                 });
             }
         }
@@ -504,8 +730,8 @@ impl ServerState {
         let mut entries: Vec<(String, PowerTrace)> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("shard poisoned");
-            for (name, trace) in shard.iter() {
-                match trace.materialize() {
+            for (name, entry) in shard.iter() {
+                match entry.trace.materialize() {
                     Ok(t) => entries.push((name.clone(), t)),
                     Err(e) => {
                         return Response::error(
@@ -567,7 +793,17 @@ impl ServerState {
             .lock()
             .expect("shard poisoned")
             .get(node)
-            .and_then(|t| t.materialize().ok())
+            .and_then(|entry| entry.trace.materialize().ok())
+    }
+
+    /// Test/oracle accessor: the lifetime online anomaly counts for one
+    /// node's detector.
+    pub fn anomaly_counts(&self, node: &str) -> Option<AnomalyCounts> {
+        self.shard(node)
+            .lock()
+            .expect("shard poisoned")
+            .get(node)
+            .map(|entry| entry.watch.detector.counts())
     }
 }
 

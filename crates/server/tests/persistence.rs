@@ -33,6 +33,7 @@ fn start_server(data_dir: &Path) -> Server {
         data_dir: Some(data_dir.to_path_buf()),
         // Small chunks so a modest batch exercises sealing + footers.
         store_chunk_samples: 32,
+        ..ServerConfig::default()
     };
     Server::start(config, tgi_harness::experiments::system_g_reference()).expect("server starts")
 }

@@ -469,6 +469,41 @@ impl RunReport {
         set
     }
 
+    /// Summarizes per-item wall time through a log-linear quantile sketch
+    /// (1% relative error): p50/p99/p999 over every *attempted* item —
+    /// skipped items spent no wall time and are excluded.
+    pub fn latency_quantiles(&self) -> tgi_telemetry::QuantileSummary {
+        let hist = tgi_telemetry::QuantileHistogram::new(0.01);
+        for entry in &self.entries {
+            if !matches!(entry.outcome, RunOutcome::Skipped) {
+                hist.observe(entry.wall_secs);
+            }
+        }
+        hist.summary()
+    }
+
+    /// Scans the power trace of every successful metered item with the
+    /// anomaly detector and totals the events per kind. Deterministic
+    /// given the traces: the scan replays a fresh detector per trace in
+    /// sample order regardless of how the run was scheduled.
+    pub fn anomaly_counts(&self, config: power_model::AnomalyConfig) -> power_model::AnomalyCounts {
+        let mut counts = power_model::AnomalyCounts::default();
+        for entry in &self.entries {
+            if let RunOutcome::Success(output) = &entry.outcome {
+                if let Some(trace) = &output.trace {
+                    for event in power_model::anomaly::scan(trace, config) {
+                        match event.kind {
+                            power_model::AnomalyKind::Spike => counts.spikes += 1,
+                            power_model::AnomalyKind::Drift => counts.drifts += 1,
+                            power_model::AnomalyKind::Dropout => counts.dropouts += 1,
+                        }
+                    }
+                }
+            }
+        }
+        counts
+    }
+
     /// Collapses the report into `run_all`-style results: every
     /// measurement in order, or the first failure.
     pub fn into_result(self) -> Result<Vec<Measurement>, SuiteError> {
@@ -833,6 +868,46 @@ mod tests {
         let summary = set.summarize();
         assert_eq!(summary.nodes.len(), 2);
         assert_eq!(summary.total_samples, 4);
+    }
+
+    #[test]
+    fn observability_summaries_over_the_report() {
+        /// Metered benchmark whose trace carries an injected 3-sample
+        /// spike over a noisy-but-quiet baseline.
+        struct Spiky;
+        impl Benchmark for Spiky {
+            fn id(&self) -> &str {
+                "spiky"
+            }
+            fn subsystem(&self) -> &'static str {
+                "test"
+            }
+            fn run_detailed(&self) -> Result<BenchmarkOutput, SuiteError> {
+                let mut t = power_model::PowerTrace::new();
+                for i in 0..300usize {
+                    let w =
+                        if (200..203).contains(&i) { 900.0 } else { 100.0 + (i % 7) as f64 * 0.1 };
+                    t.push(i as f64, Watts::new(w));
+                }
+                Ok(BenchmarkOutput::metered(meas("spiky", 1.0), t))
+            }
+        }
+
+        let suite = BenchmarkSuite::new().with(Spiky).with(Fixed { id: "plain", gflops: 1.0 });
+        let report = SuiteRunner::new().parallelism(2).run(&suite);
+
+        let q = report.latency_quantiles();
+        assert_eq!(q.count, 2, "both attempted items are summarized");
+        assert!(q.p50 > 0.0 && q.p99 >= q.p50 && q.p999 >= q.p99, "{q:?}");
+
+        let counts = report.anomaly_counts(power_model::AnomalyConfig::default());
+        assert_eq!(counts.spikes, 1, "the injected spike is the only event: {counts:?}");
+        assert_eq!(counts.drifts, 0, "{counts:?}");
+
+        // Skipped items contribute no latency sample.
+        let failing = BenchmarkSuite::new().with(AlwaysFails).with(Fixed { id: "z", gflops: 1.0 });
+        let report = SuiteRunner::new().run(&failing);
+        assert_eq!(report.latency_quantiles().count, 1, "skipped item excluded");
     }
 
     #[test]

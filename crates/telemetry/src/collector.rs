@@ -111,11 +111,16 @@ fn new_thread_buffer() -> (u64, Arc<ThreadBuffer>) {
     (tid, buf)
 }
 
-/// Queues one finished event into the current thread's buffer.
+/// Queues one finished event into the current thread's buffer and, when
+/// the flight recorder is active, into its ring.
 ///
-/// No-op while disabled; bounded by [`MAX_EVENTS_PER_THREAD`] (overflow is
-/// counted, not stored).
+/// No-op while nothing records; bounded by [`MAX_EVENTS_PER_THREAD`]
+/// (overflow is counted, not stored).
 pub(crate) fn record(event: Event) {
+    #[cfg(feature = "enabled")]
+    if crate::recorder::active() {
+        crate::recorder::record(&event);
+    }
     if !crate::enabled() {
         return;
     }

@@ -124,9 +124,12 @@ pub fn chrome_trace(events: &[Event]) -> String {
     out
 }
 
-/// Keeps `[a-zA-Z0-9_:]`, mapping anything else to `_` (Prometheus metric
-/// name charset).
-fn prom_name(name: &str) -> String {
+/// Sanitizes a metric name to the Prometheus charset: keeps
+/// `[a-zA-Z0-9_:]`, maps anything else to `_`, and prefixes `_` when the
+/// name would start with a digit. Callers rendering hand-built series
+/// (the server's SLO blocks) use this so arbitrary identifiers stay
+/// scrapeable.
+pub fn prom_name(name: &str) -> String {
     let mut out: String = name
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
@@ -135,6 +138,44 @@ fn prom_name(name: &str) -> String {
         out.insert(0, '_');
     }
     out
+}
+
+/// Escapes a label value per the text exposition format: backslash,
+/// double-quote, and newline get backslash escapes; everything else
+/// passes through.
+pub fn prom_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the exposition format: backslash and
+/// newline only (quotes are legal in help text).
+fn prom_help_text(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for ch in help.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `# HELP` line for a metric: registered text
+/// ([`crate::metrics::describe`]) or a generated fallback.
+fn prom_help_line(out: &mut String, sanitized: &str, raw: &str) {
+    let help =
+        crate::metrics::help_for(raw).unwrap_or_else(|| "No description registered.".to_string());
+    let _ = writeln!(out, "# HELP {sanitized} {}", prom_help_text(&help));
 }
 
 fn prom_f64(v: f64) -> String {
@@ -149,21 +190,27 @@ fn prom_f64(v: f64) -> String {
     }
 }
 
-/// Renders a metrics snapshot as Prometheus text exposition (format 0.0.4).
+/// Renders a metrics snapshot as Prometheus text exposition (format
+/// 0.0.4): a `# HELP` line (registered via [`crate::metrics::describe`]
+/// or a fallback), a `# TYPE` line, then the samples, with names and
+/// label values sanitized per the format.
 pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
-    for (name, value) in &snapshot.counters {
-        let name = prom_name(name);
+    for (raw, value) in &snapshot.counters {
+        let name = prom_name(raw);
+        prom_help_line(&mut out, &name, raw);
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {value}");
     }
-    for (name, value) in &snapshot.gauges {
-        let name = prom_name(name);
+    for (raw, value) in &snapshot.gauges {
+        let name = prom_name(raw);
+        prom_help_line(&mut out, &name, raw);
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {}", prom_f64(*value));
     }
     for hist in &snapshot.histograms {
         let name = prom_name(&hist.name);
+        prom_help_line(&mut out, &name, &hist.name);
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (bound, bucket) in hist.bounds.iter().zip(hist.buckets.iter()) {
@@ -199,4 +246,119 @@ fn write_with_parents(path: &Path, contents: &str) -> io::Result<()> {
         }
     }
     std::fs::write(path, contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    /// Minimal exposition-format parser: returns `(helps, types, samples)`
+    /// keyed by metric name, enforcing the line grammar as it goes.
+    #[allow(clippy::type_complexity)]
+    fn parse_exposition(
+        text: &str,
+    ) -> (Vec<(String, String)>, Vec<(String, String)>, Vec<(String, f64)>) {
+        let mut helps = Vec::new();
+        let mut types = Vec::new();
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has name and text");
+                helps.push((name.to_string(), help.to_string()));
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has name and kind");
+                assert!(matches!(kind, "counter" | "gauge" | "histogram"), "unknown TYPE {kind}");
+                types.push((name.to_string(), kind.to_string()));
+            } else if !line.is_empty() {
+                let (series, value) = line.rsplit_once(' ').expect("sample has value");
+                let name = series.split('{').next().unwrap().to_string();
+                assert!(
+                    name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                    "unsanitized name {name:?}"
+                );
+                assert!(
+                    !name.chars().next().unwrap().is_ascii_digit(),
+                    "name {name:?} starts with a digit"
+                );
+                let value: f64 = match value {
+                    "+Inf" => f64::INFINITY,
+                    "-Inf" => f64::NEG_INFINITY,
+                    v => v.parse().unwrap_or_else(|_| panic!("bad value {v:?}")),
+                };
+                samples.push((name, value));
+            }
+        }
+        (helps, types, samples)
+    }
+
+    #[test]
+    fn prometheus_round_trips_with_help_and_sanitized_names() {
+        crate::metrics::describe(
+            "export.test/requests-per-sec",
+            "Requests per second, with a back\\slash and\nnewline.",
+        );
+        let snapshot = MetricsSnapshot {
+            counters: vec![("export.test/requests-per-sec".to_string(), 42)],
+            gauges: vec![("9starts_with_digit".to_string(), 1.5)],
+            histograms: vec![HistogramSnapshot {
+                name: "export.test.latency".to_string(),
+                bounds: vec![0.1, 1.0],
+                buckets: vec![3, 2, 1],
+                sum: 2.25,
+                count: 6,
+            }],
+        };
+        let text = prometheus(&snapshot);
+        let (helps, types, samples) = parse_exposition(&text);
+
+        // Every family has exactly one HELP and one TYPE, in the
+        // sanitized namespace.
+        let names = ["export_test_requests_per_sec", "_9starts_with_digit", "export_test_latency"];
+        for name in names {
+            assert_eq!(helps.iter().filter(|(n, _)| n == name).count(), 1, "HELP for {name}");
+            assert_eq!(types.iter().filter(|(n, _)| n == name).count(), 1, "TYPE for {name}");
+        }
+
+        // Registered help survives with escapes intact (single line).
+        let help = &helps.iter().find(|(n, _)| n == names[0]).unwrap().1;
+        assert_eq!(help, "Requests per second, with a back\\\\slash and\\nnewline.");
+
+        // Values round-trip.
+        assert!(samples.contains(&("export_test_requests_per_sec".to_string(), 42.0)));
+        assert!(samples.contains(&("_9starts_with_digit".to_string(), 1.5)));
+        assert!(samples.contains(&("export_test_latency_sum".to_string(), 2.25)));
+        assert!(samples.contains(&("export_test_latency_count".to_string(), 6.0)));
+
+        // Histogram buckets are cumulative and end at count.
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|(n, _)| n == "export_test_latency_bucket")
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(buckets, vec![3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let raw = "node \"a\"\\b\nline";
+        let escaped = prom_label_value(raw);
+        assert_eq!(escaped, "node \\\"a\\\"\\\\b\\nline");
+        // Unescape (the scraper's job) recovers the original.
+        let mut unescaped = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => unescaped.push('\\'),
+                    Some('"') => unescaped.push('"'),
+                    Some('n') => unescaped.push('\n'),
+                    other => panic!("bad escape \\{other:?}"),
+                }
+            } else {
+                unescaped.push(c);
+            }
+        }
+        assert_eq!(unescaped, raw);
+    }
 }

@@ -46,11 +46,15 @@
 pub mod collector;
 pub mod export;
 pub mod metrics;
+pub mod quantile;
+pub mod recorder;
 pub mod span;
 pub mod summary;
 
 pub use collector::{drain, install, installed, uninstall, Event, EventKind};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use quantile::{QuantileHistogram, QuantileSummary};
+pub use recorder::RecorderStats;
 pub use span::{instant, span, span_cat, FieldValue, Span};
 pub use summary::summary;
 
@@ -76,4 +80,13 @@ pub fn enabled() -> bool {
     {
         false
     }
+}
+
+/// Whether any recording sink wants events: the collector
+/// ([`enabled`]) or the flight recorder ([`recorder::active`]). Span
+/// creation gates on this so rings fill even while no collector is
+/// installed.
+#[inline(always)]
+pub fn recording() -> bool {
+    enabled() || recorder::active()
 }

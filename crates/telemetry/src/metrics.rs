@@ -153,6 +153,27 @@ enum Metric {
 
 static REGISTRY: Mutex<Vec<(String, Metric)>> = Mutex::new(Vec::new());
 
+/// `name → help` text registered via [`describe`], rendered as `# HELP`
+/// lines by the Prometheus exporter.
+static HELP: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Registers help text for the metric named `name` (first call wins).
+/// Metrics without a description get a generated fallback in the
+/// exposition output.
+pub fn describe(name: &str, help: &str) {
+    let mut registry = HELP.lock().unwrap_or_else(PoisonError::into_inner);
+    if registry.iter().any(|(n, _)| n == name) {
+        return;
+    }
+    registry.push((name.to_string(), help.to_string()));
+}
+
+/// The registered help text for `name`, if any.
+pub fn help_for(name: &str) -> Option<String> {
+    let registry = HELP.lock().unwrap_or_else(PoisonError::into_inner);
+    registry.iter().find(|(n, _)| n == name).map(|(_, h)| h.clone())
+}
+
 fn lookup_or_insert(name: &str, make: impl FnOnce() -> Metric) -> Metric {
     let mut registry = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some((_, metric)) = registry.iter().find(|(n, _)| n == name) {

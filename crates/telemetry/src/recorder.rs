@@ -1,0 +1,271 @@
+//! The flight recorder: an always-on, bounded ring of the most recent
+//! spans and instants, dumpable as Chrome trace JSON after the fact.
+//!
+//! The collector ([`crate::install`]) is a *session* tool — it buffers
+//! everything until a drain, which is wrong for a long-lived server. The
+//! recorder inverts that: each thread keeps a fixed-capacity ring of its
+//! most recent events, so memory is bounded at
+//! `threads × capacity × sizeof(Event)` forever, and the last moments
+//! before an incident are always available. Dumps are triggered on
+//! demand ([`snapshot`]/[`write_dump`]), from a chained `std::panic` hook
+//! ([`install_panic_hook`]), or by the server's 429-storm trigger.
+//!
+//! Writers never wait: the per-thread ring is guarded by a mutex that the
+//! recording thread only ever `try_lock`s — if a concurrent dump holds
+//! it, the write is dropped and counted ([`RecorderStats::skipped_writes`])
+//! rather than stalling the hot path. Only dumps take the lock
+//! unconditionally.
+//!
+//! With the `enabled` cargo feature off the whole recorder compiles to
+//! no-ops, like the rest of the crate.
+
+use crate::collector::Event;
+use std::io;
+use std::path::Path;
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+    pub(super) static ACTIVE: AtomicBool = AtomicBool::new(false);
+    pub(super) static CAPACITY: AtomicUsize = AtomicUsize::new(0);
+    pub(super) static SKIPPED: AtomicU64 = AtomicU64::new(0);
+    pub(super) static DUMPS: AtomicU64 = AtomicU64::new(0);
+
+    /// One thread's ring: a fixed-capacity vector written circularly.
+    pub(super) struct Ring {
+        pub(super) slots: Mutex<RingSlots>,
+    }
+
+    pub(super) struct RingSlots {
+        pub(super) events: Vec<Event>,
+        /// Next overwrite position once `events` has filled to capacity.
+        pub(super) head: usize,
+        pub(super) capacity: usize,
+    }
+
+    pub(super) fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+        static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+        RINGS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        pub(super) static LOCAL_RING: OnceLock<Arc<Ring>> = const { OnceLock::new() };
+    }
+
+    pub(super) fn local_ring() -> Arc<Ring> {
+        LOCAL_RING.with(|cell| {
+            Arc::clone(cell.get_or_init(|| {
+                let capacity = CAPACITY.load(Ordering::Relaxed).max(1);
+                let ring = Arc::new(Ring {
+                    slots: Mutex::new(RingSlots {
+                        events: Vec::with_capacity(capacity.min(1024)),
+                        head: 0,
+                        capacity,
+                    }),
+                });
+                registry().lock().unwrap_or_else(PoisonError::into_inner).push(Arc::clone(&ring));
+                ring
+            }))
+        })
+    }
+}
+
+/// Point-in-time recorder bookkeeping, exposed on `/healthz`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Whether the recorder is currently retaining events.
+    pub active: bool,
+    /// Ring capacity per thread (0 while inactive).
+    pub capacity_per_thread: usize,
+    /// Threads that have registered a ring.
+    pub threads: usize,
+    /// Events currently retained across all rings.
+    pub buffered: usize,
+    /// Writes dropped because a dump held the ring lock.
+    pub skipped_writes: u64,
+    /// Dumps written ([`write_dump`] and the panic hook).
+    pub dumps: u64,
+}
+
+/// Starts retaining events, `capacity` per thread. Returns `false` (and
+/// changes nothing) if already active or compiled out. Existing rings
+/// are cleared so a new recording session starts empty.
+pub fn enable(capacity: usize) -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        use std::sync::atomic::Ordering;
+        use std::sync::PoisonError;
+        let registry = imp::registry().lock().unwrap_or_else(PoisonError::into_inner);
+        if imp::ACTIVE.load(Ordering::SeqCst) {
+            return false;
+        }
+        imp::CAPACITY.store(capacity.max(1), Ordering::SeqCst);
+        for ring in registry.iter() {
+            let mut slots = ring.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            slots.events.clear();
+            slots.head = 0;
+            slots.capacity = capacity.max(1);
+        }
+        imp::ACTIVE.store(true, Ordering::SeqCst);
+        true
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = capacity;
+        false
+    }
+}
+
+/// Stops retaining events (rings keep their contents for a final dump).
+pub fn disable() {
+    #[cfg(feature = "enabled")]
+    imp::ACTIVE.store(false, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether the recorder is retaining events. One relaxed load; constant
+/// `false` when compiled out.
+#[inline(always)]
+pub fn active() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        imp::ACTIVE.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Appends one event to the current thread's ring, overwriting the
+/// oldest entry at capacity. Never blocks: if a dump holds the ring
+/// lock the write is counted as skipped instead.
+#[cfg(feature = "enabled")]
+pub(crate) fn record(event: &Event) {
+    use std::sync::atomic::Ordering;
+    let ring = imp::local_ring();
+    match ring.slots.try_lock() {
+        Ok(mut slots) => {
+            if slots.events.len() < slots.capacity {
+                slots.events.push(event.clone());
+            } else {
+                let head = slots.head;
+                slots.events[head] = event.clone();
+                slots.head = (head + 1) % slots.capacity;
+            }
+        }
+        Err(_) => {
+            imp::SKIPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+}
+
+/// Copies out every retained event, oldest first (by start time). The
+/// rings are locked one at a time; recording threads skip (and count)
+/// writes instead of waiting.
+pub fn snapshot() -> Vec<Event> {
+    #[cfg(feature = "enabled")]
+    {
+        use std::sync::PoisonError;
+        let rings: Vec<_> = {
+            let registry = imp::registry().lock().unwrap_or_else(PoisonError::into_inner);
+            registry.iter().cloned().collect()
+        };
+        let mut out = Vec::new();
+        for ring in rings {
+            let slots = ring.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            // Ring order: head..end is the oldest run, 0..head the newest.
+            out.extend_from_slice(&slots.events[slots.head..]);
+            out.extend_from_slice(&slots.events[..slots.head]);
+        }
+        out.sort_by(|a, b| {
+            (a.start_ns, std::cmp::Reverse(a.dur_ns), a.tid).cmp(&(
+                b.start_ns,
+                std::cmp::Reverse(b.dur_ns),
+                b.tid,
+            ))
+        });
+        out
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Renders the current rings as Chrome `trace_event` JSON.
+pub fn dump_chrome() -> String {
+    crate::export::chrome_trace(&snapshot())
+}
+
+/// Writes [`dump_chrome`] to `path` (parent directories created) and
+/// counts the dump in [`RecorderStats::dumps`].
+pub fn write_dump(path: impl AsRef<Path>) -> io::Result<()> {
+    let result = write_dump_inner(path.as_ref());
+    #[cfg(feature = "enabled")]
+    if result.is_ok() {
+        imp::DUMPS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    result
+}
+
+fn write_dump_inner(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, dump_chrome())
+}
+
+/// Installs a `std::panic` hook (chained in front of the existing one)
+/// that dumps the recorder to `path` before the process unwinds — the
+/// black-box half of the flight recorder. Only the first call installs;
+/// later calls are no-ops. No-op when compiled out.
+pub fn install_panic_hook(path: impl Into<std::path::PathBuf>) {
+    #[cfg(feature = "enabled")]
+    {
+        use std::sync::Once;
+        static HOOK: Once = Once::new();
+        let path = path.into();
+        HOOK.call_once(move || {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let _ = write_dump(&path);
+                previous(info);
+            }));
+        });
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = path.into();
+    }
+}
+
+/// Current recorder bookkeeping.
+pub fn stats() -> RecorderStats {
+    #[cfg(feature = "enabled")]
+    {
+        use std::sync::atomic::Ordering;
+        use std::sync::PoisonError;
+        let registry = imp::registry().lock().unwrap_or_else(PoisonError::into_inner);
+        let mut buffered = 0usize;
+        for ring in registry.iter() {
+            buffered += ring.slots.lock().unwrap_or_else(PoisonError::into_inner).events.len();
+        }
+        RecorderStats {
+            active: imp::ACTIVE.load(Ordering::Relaxed),
+            capacity_per_thread: imp::CAPACITY.load(Ordering::Relaxed),
+            threads: registry.len(),
+            buffered,
+            skipped_writes: imp::SKIPPED.load(Ordering::Relaxed),
+            dumps: imp::DUMPS.load(Ordering::Relaxed),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        RecorderStats::default()
+    }
+}

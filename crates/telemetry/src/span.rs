@@ -125,7 +125,7 @@ fn finish(active: ActiveSpan) {
 
 #[inline]
 fn begin(kind: EventKind, name: &'static str, cat: &'static str) -> Span {
-    if !crate::enabled() {
+    if !crate::recording() {
         return Span(None);
     }
     begin_active(kind, name, cat)

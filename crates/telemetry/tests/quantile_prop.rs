@@ -1,0 +1,114 @@
+//! Property tests: `QuantileHistogram` estimates stay within the
+//! advertised relative-error bound against an exact sort, for arbitrary
+//! value distributions, quantiles, sharding, and merge order.
+
+use proptest::prelude::*;
+use tgi_telemetry::QuantileHistogram;
+
+/// The exact oracle the estimator targets: `sorted[ceil(q · (n−1))]`.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * (sorted.len() - 1) as f64).ceil() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Turns raw generator material into positive in-range values spanning
+/// several regimes: near-constant, uniform decades, and heavy tails.
+fn materialize(raw: &[(f64, u8)]) -> Vec<f64> {
+    raw.iter()
+        .map(|&(u, mode)| match mode % 3 {
+            // Near-constant cluster around 0.2 s.
+            0 => 0.2 * (1.0 + 0.001 * (u - 0.5)),
+            // Uniform across six decades (1 µs … 1 s).
+            1 => 1e-6 * (10f64).powf(6.0 * u),
+            // Heavy tail: mostly fast, occasionally 1000× slower.
+            _ => {
+                if u > 0.95 {
+                    1.0 + 50.0 * u
+                } else {
+                    1e-3 + 1e-3 * u
+                }
+            }
+        })
+        .collect()
+}
+
+fn check_bound(hist: &QuantileHistogram, sorted: &[f64], q: f64) {
+    let exact = exact_quantile(sorted, q);
+    let est = hist.quantile(q).expect("non-empty histogram");
+    // Tiny slack absorbs the FP rounding of bucket boundaries (ln/exp):
+    // the mathematical bound is exactly α at the open bucket edge.
+    let bound = hist.alpha() * exact * (1.0 + 1e-9) + 1e-12;
+    assert!(
+        (est - exact).abs() <= bound,
+        "q={} estimate {} vs exact {} (α={})",
+        q,
+        est,
+        exact,
+        hist.alpha()
+    );
+}
+
+proptest! {
+    /// A single histogram honors its bound at arbitrary quantiles for
+    /// arbitrary mixed-regime distributions and α values.
+    #[test]
+    fn quantiles_within_bound(
+        raw in proptest::collection::vec((0.0..1.0f64, 0u8..255), 1..2000),
+        alpha in 0.002..0.05f64,
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let values = materialize(&raw);
+        let hist = QuantileHistogram::new(alpha);
+        for &v in &values {
+            hist.observe(v);
+        }
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, q1, q2, 0.5, 0.99, 0.999, 1.0] {
+            check_bound(&hist, &sorted, q);
+        }
+        prop_assert_eq!(hist.count(), sorted.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharding the stream across up to 8 histograms and merging them in
+    /// a generator-chosen order changes nothing: the merged histogram is
+    /// bucket-identical to one fed sequentially, so the bound survives
+    /// any merge topology.
+    #[test]
+    fn merge_order_is_irrelevant_and_bound_survives(
+        raw in proptest::collection::vec((0.0..1.0f64, 0u8..255), 8..1500),
+        shards in 2usize..8,
+        rotate in 0usize..8,
+        q in 0.0..1.0f64,
+    ) {
+        let values = materialize(&raw);
+        let whole = QuantileHistogram::new(0.01);
+        let parts: Vec<QuantileHistogram> =
+            (0..shards).map(|_| QuantileHistogram::new(0.01)).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe(v);
+            parts[i % shards].observe(v);
+        }
+        // Merge in a rotated order so every prefix pattern gets exercised.
+        let merged = QuantileHistogram::new(0.01);
+        for i in 0..shards {
+            merged.merge(&parts[(i + rotate) % shards]);
+        }
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for probe in [q, 0.5, 0.99, 0.999] {
+            check_bound(&merged, &sorted, probe);
+            // Merged and sequential agree exactly, not just within bound.
+            prop_assert_eq!(merged.quantile(probe), whole.quantile(probe));
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        // Sums differ only by FP association order across shards.
+        let (a, b) = (merged.sum(), whole.sum());
+        prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "sums {} vs {}", a, b);
+    }
+}

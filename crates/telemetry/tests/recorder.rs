@@ -1,0 +1,93 @@
+//! Flight-recorder behavior over real spans: bounded retention per
+//! thread, newest-events-win semantics, Chrome-trace dumps, and the
+//! panic hook — all without a collector installed.
+
+use tgi_telemetry::{recorder, FieldValue};
+
+fn field_u64(event: &tgi_telemetry::Event, key: &str) -> Option<u64> {
+    event.fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        FieldValue::U64(n) => Some(*n),
+        _ => None,
+    })
+}
+
+#[test]
+fn recorder_lifecycle_retention_and_dumps() {
+    // Spans emitted while nothing records vanish entirely.
+    tgi_telemetry::span("recorder.cold").end();
+    assert!(!recorder::active());
+
+    assert!(recorder::enable(4), "first enable succeeds");
+    assert!(!recorder::enable(8), "second enable is refused while active");
+    assert!(recorder::active());
+
+    // Ten spans through a 4-slot ring: exactly the last four survive.
+    for i in 0..10u64 {
+        tgi_telemetry::span("recorder.main").field("i", i).end();
+    }
+    let mine: Vec<_> =
+        recorder::snapshot().into_iter().filter(|e| e.name == "recorder.main").collect();
+    assert_eq!(mine.len(), 4, "ring retains exactly its capacity");
+    let indices: Vec<u64> = mine.iter().map(|e| field_u64(e, "i").unwrap()).collect();
+    assert_eq!(indices, vec![6, 7, 8, 9], "oldest events were overwritten, order preserved");
+    assert!(
+        recorder::snapshot().iter().all(|e| e.name != "recorder.cold"),
+        "pre-enable spans are not retained"
+    );
+
+    // A second thread gets its own ring; both show up in one snapshot.
+    std::thread::spawn(|| {
+        for i in 0..3u64 {
+            tgi_telemetry::span("recorder.worker").field("i", i).end();
+        }
+    })
+    .join()
+    .unwrap();
+    let all = recorder::snapshot();
+    assert_eq!(all.iter().filter(|e| e.name == "recorder.worker").count(), 3);
+    assert_eq!(all.iter().filter(|e| e.name == "recorder.main").count(), 4);
+
+    let stats = recorder::stats();
+    assert!(stats.active);
+    assert_eq!(stats.capacity_per_thread, 4);
+    assert!(stats.threads >= 2, "both rings registered: {stats:?}");
+    assert!(stats.buffered >= 7, "{stats:?}");
+
+    // The dump is Chrome trace JSON carrying the retained spans.
+    let dump = recorder::dump_chrome();
+    assert!(dump.contains("\"traceEvents\""));
+    assert!(dump.contains("recorder.worker"));
+
+    let path = std::env::temp_dir()
+        .join(format!("tgi_recorder_test_{}", std::process::id()))
+        .join("flight.json");
+    recorder::write_dump(&path).expect("dump writes");
+    let written = std::fs::read_to_string(&path).expect("dump readable");
+    assert!(written.contains("recorder.main"));
+    // ≥, not ==: the panic-hook test in this binary may also have dumped.
+    assert!(recorder::stats().dumps >= 1);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+
+    // Disabling stops retention but keeps contents for a final dump.
+    recorder::disable();
+    assert!(!recorder::active());
+    tgi_telemetry::span("recorder.after").end();
+    let after = recorder::snapshot();
+    assert!(after.iter().all(|e| e.name != "recorder.after"));
+    assert_eq!(after.iter().filter(|e| e.name == "recorder.main").count(), 4);
+}
+
+#[test]
+fn panic_hook_dumps_before_unwinding() {
+    let path = std::env::temp_dir()
+        .join(format!("tgi_recorder_hook_{}", std::process::id()))
+        .join("panic_flight.json");
+    recorder::install_panic_hook(&path);
+    let _ = std::panic::catch_unwind(|| panic!("recorder hook test"));
+    let written = std::fs::read_to_string(&path);
+    #[cfg(feature = "enabled")]
+    assert!(written.is_ok(), "panic hook wrote the dump");
+    #[cfg(not(feature = "enabled"))]
+    assert!(written.is_err(), "compiled-out recorder installs no hook");
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
